@@ -1,0 +1,80 @@
+//! Meso-benchmarks: how fast full cluster-seconds simulate, per system.
+//! These are the budgets behind the figure binaries' wall-clock times.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dynatune_cluster::experiments::failover::{run_single_trial, FailoverConfig};
+use dynatune_cluster::{ClusterConfig, ClusterSim};
+use dynatune_core::TuningConfig;
+use dynatune_simnet::SimTime;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_cluster_second(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cluster");
+    g.sample_size(10);
+    for (name, tuning) in [
+        ("raft", TuningConfig::raft_default()),
+        ("dynatune", TuningConfig::dynatune()),
+    ] {
+        g.bench_function(format!("10s_5servers_{name}"), |b| {
+            b.iter_batched(
+                || {
+                    ClusterSim::new(&ClusterConfig::stable(
+                        5,
+                        tuning,
+                        Duration::from_millis(100),
+                        7,
+                    ))
+                },
+                |mut sim| {
+                    sim.run_until(SimTime::from_secs(10));
+                    black_box(sim.leader())
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    g.bench_function("10s_17servers_dynatune", |b| {
+        b.iter_batched(
+            || {
+                ClusterSim::new(&ClusterConfig::stable(
+                    17,
+                    TuningConfig::dynatune(),
+                    Duration::from_millis(100),
+                    7,
+                ))
+            },
+            |mut sim| {
+                sim.run_until(SimTime::from_secs(10));
+                black_box(sim.leader())
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+fn bench_failover_trial(c: &mut Criterion) {
+    let mut g = c.benchmark_group("failover_trial");
+    g.sample_size(10);
+    for (name, tuning) in [
+        ("raft", TuningConfig::raft_default()),
+        ("dynatune", TuningConfig::dynatune()),
+    ] {
+        g.bench_function(name, |b| {
+            let cluster = ClusterConfig::stable(5, tuning, Duration::from_millis(100), 99);
+            let mut cfg = FailoverConfig::new(cluster, 1);
+            cfg.warmup = Duration::from_secs(20);
+            cfg.observe = Duration::from_secs(10);
+            let mut trial = 0usize;
+            b.iter(|| {
+                trial += 1;
+                black_box(run_single_trial(&cfg, trial))
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_cluster_second, bench_failover_trial);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Micro-benchmarks of the replicated log hot paths.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use dynatune_raft::{Entry, RaftLog};
+use std::hint::black_box;
+
+fn filled_log(n: u64) -> RaftLog<u64> {
+    let mut log = RaftLog::new();
+    for i in 1..=n {
+        log.append(Entry {
+            term: 1 + i / 100,
+            index: i,
+            data: Some(i),
+        });
+    }
+    log
+}
+
+fn bench_append(c: &mut Criterion) {
+    let mut g = c.benchmark_group("raft_log");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("append_new", |b| {
+        let mut log = filled_log(1);
+        b.iter(|| black_box(log.append_new(2, Some(7))));
+    });
+    g.bench_function("try_append_batch_64", |b| {
+        b.iter_batched(
+            || {
+                let follower = filled_log(1000);
+                let batch: Vec<Entry<u64>> = (1001..=1064)
+                    .map(|i| Entry {
+                        term: 11,
+                        index: i,
+                        data: Some(i),
+                    })
+                    .collect();
+                (follower, batch)
+            },
+            |(mut follower, batch)| black_box(follower.try_append(1000, 11, &batch)),
+            BatchSize::SmallInput,
+        );
+    });
+    g.bench_function("entries_from_256", |b| {
+        let log = filled_log(10_000);
+        b.iter(|| black_box(log.entries_from(5_000, 256)));
+    });
+    g.bench_function("term_at", |b| {
+        let log = filled_log(10_000);
+        let mut i = 1u64;
+        b.iter(|| {
+            i = i % 10_000 + 1;
+            black_box(log.term_at(i))
+        });
+    });
+    g.bench_function("compact_half_of_64k", |b| {
+        b.iter_batched(
+            || filled_log(65_536),
+            |mut log| {
+                log.compact(32_768);
+                black_box(log.first_index())
+            },
+            BatchSize::LargeInput,
+        );
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_append);
+criterion_main!(benches);

@@ -1,0 +1,106 @@
+//! Discrete-event kernel throughput: events per second the simulator can
+//! push, which bounds how fast the paper's long experiments regenerate.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use dynatune_simnet::{
+    Channel, CongestionConfig, Host, HostCtx, NetParams, Network, Rng, SimTime, Topology, World,
+};
+use std::hint::black_box;
+use std::time::Duration;
+
+/// Minimal ping host: every wake sends one message to a random-ish peer.
+struct Pinger {
+    n: usize,
+    interval: Duration,
+    next: SimTime,
+    counter: u64,
+}
+
+impl Host for Pinger {
+    type Msg = u64;
+
+    fn on_message(&mut self, _ctx: &mut HostCtx<'_, u64>, _from: usize, msg: u64) {
+        self.counter = self.counter.wrapping_add(msg);
+    }
+
+    fn on_wake(&mut self, ctx: &mut HostCtx<'_, u64>) {
+        let to = (ctx.node + 1 + (self.counter as usize % (self.n - 1))) % self.n;
+        ctx.send(to, Channel::Udp, self.counter);
+        self.counter += 1;
+        self.next = ctx.now + self.interval;
+    }
+
+    fn next_wake(&self) -> Option<SimTime> {
+        Some(self.next)
+    }
+}
+
+fn make_world(n: usize, jitter: f64) -> World<Pinger> {
+    let topo = Topology::uniform_constant(
+        n,
+        NetParams::clean(Duration::from_millis(10)).with_jitter(jitter),
+    );
+    let net = Network::new(n, &Rng::new(1), CongestionConfig::disabled(), |f, t| {
+        topo.schedule(f, t)
+    });
+    let hosts = (0..n)
+        .map(|i| Pinger {
+            n,
+            interval: Duration::from_millis(1),
+            next: SimTime::from_micros(i as u64 * 10),
+            counter: i as u64,
+        })
+        .collect();
+    World::new(hosts, net)
+}
+
+fn bench_kernel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simnet");
+    // 10 hosts x 1kHz x 1 simulated second = ~20k events (send + deliver).
+    g.throughput(Throughput::Elements(20_000));
+    g.bench_function("world_1s_10hosts_1khz", |b| {
+        b.iter_batched(
+            || make_world(10, 0.0),
+            |mut w| {
+                w.run_until(SimTime::from_secs(1));
+                black_box(w.counters())
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("network_send_udp_jittered", |b| {
+        let topo = Topology::uniform_constant(
+            2,
+            NetParams::clean(Duration::from_millis(50))
+                .with_jitter(0.2)
+                .with_loss(0.05),
+        );
+        let mut net = Network::new(2, &Rng::new(3), CongestionConfig::wan_default(), |f, t| {
+            topo.schedule(f, t)
+        });
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(net.send(SimTime::from_micros(i * 100), 0, 1, Channel::Udp))
+        });
+    });
+    g.bench_function("network_send_tcp_fifo", |b| {
+        let topo = Topology::uniform_constant(
+            2,
+            NetParams::clean(Duration::from_millis(50)).with_jitter(0.2),
+        );
+        let mut net = Network::new(2, &Rng::new(4), CongestionConfig::disabled(), |f, t| {
+            topo.schedule(f, t)
+        });
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(net.send(SimTime::from_micros(i * 100), 0, 1, Channel::Tcp))
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_kernel);
+criterion_main!(benches);

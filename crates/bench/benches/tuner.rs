@@ -1,0 +1,81 @@
+//! Micro-benchmarks of the Dynatune core: the per-heartbeat tuning path
+//! whose overhead the paper trades against peak throughput (§IV-E).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dynatune_core::{
+    required_heartbeats, FollowerTuner, HeartbeatMeta, LossEstimator, RttEstimator, TuningConfig,
+};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_tuner_on_heartbeat(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tuner");
+    g.bench_function("on_heartbeat_warmed", |b| {
+        let mut tuner = FollowerTuner::new(TuningConfig::dynatune());
+        for i in 0..1000u64 {
+            tuner.on_heartbeat(&HeartbeatMeta {
+                id: i,
+                sent_at_nanos: i * 100_000_000,
+                rtt_sample: Some(Duration::from_millis(100)),
+            });
+        }
+        let mut id = 1000u64;
+        b.iter(|| {
+            let meta = HeartbeatMeta {
+                id,
+                sent_at_nanos: id * 100_000_000,
+                rtt_sample: Some(Duration::from_millis(100 + (id % 7))),
+            };
+            id += 1;
+            black_box(tuner.on_heartbeat(&meta))
+        });
+    });
+    g.bench_function("required_heartbeats", |b| {
+        let mut p = 0.0f64;
+        b.iter(|| {
+            p = (p + 0.001) % 0.95;
+            black_box(required_heartbeats(black_box(p), 0.999, 100))
+        });
+    });
+    g.finish();
+}
+
+fn bench_estimators(c: &mut Criterion) {
+    let mut g = c.benchmark_group("estimators");
+    g.bench_function("rtt_record", |b| {
+        let mut e = RttEstimator::new(10, 1000);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            e.record(Duration::from_micros(100_000 + (i % 997) * 10));
+            black_box(e.mean())
+        });
+    });
+    g.bench_function("loss_record_in_order", |b| {
+        let mut e = LossEstimator::new(10, 1000);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(e.record(i))
+        });
+    });
+    g.bench_function("loss_record_reordered", |b| {
+        b.iter_batched(
+            || LossEstimator::new(10, 1000),
+            |mut e| {
+                // Pairs arrive swapped: 2,1,4,3,...
+                for k in 0..500u64 {
+                    let base = k * 2;
+                    e.record(base + 2);
+                    e.record(base + 1);
+                }
+                black_box(e.loss_rate())
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_tuner_on_heartbeat, bench_estimators);
+criterion_main!(benches);

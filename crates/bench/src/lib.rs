@@ -1,0 +1,172 @@
+//! Shared plumbing for the figure-regeneration binaries.
+//!
+//! Every binary accepts:
+//!
+//! * `--quick` — scaled-down run (fewer trials, shorter holds) for smoke
+//!   testing; the full defaults match the paper's §IV settings.
+//! * `--trials N` / `--repeats N` — override trial counts.
+//! * `--out DIR` — where to write CSV series (default `results/`).
+//! * `--seed N` — master seed (default 42).
+//!
+//! Output convention: a human-readable "paper vs measured" table on stdout
+//! plus machine-readable CSVs under the output directory. EXPERIMENTS.md
+//! records one run of each.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::path::{Path, PathBuf};
+
+/// Parsed command-line options for figure binaries.
+#[derive(Debug, Clone)]
+pub struct FigArgs {
+    /// Scaled-down run.
+    pub quick: bool,
+    /// Trial-count override.
+    pub trials: Option<usize>,
+    /// Repeat-count override.
+    pub repeats: Option<usize>,
+    /// Output directory for CSVs.
+    pub out: PathBuf,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for FigArgs {
+    fn default() -> Self {
+        Self {
+            quick: false,
+            trials: None,
+            repeats: None,
+            out: PathBuf::from("results"),
+            seed: 42,
+        }
+    }
+}
+
+impl FigArgs {
+    /// Parse from `std::env::args`, panicking with usage on bad input.
+    #[must_use]
+    pub fn parse() -> Self {
+        let mut out = Self::default();
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--quick" => out.quick = true,
+                "--trials" => {
+                    out.trials = Some(
+                        args.next()
+                            .and_then(|v| v.parse().ok())
+                            .expect("--trials needs a number"),
+                    );
+                }
+                "--repeats" => {
+                    out.repeats = Some(
+                        args.next()
+                            .and_then(|v| v.parse().ok())
+                            .expect("--repeats needs a number"),
+                    );
+                }
+                "--out" => {
+                    out.out = PathBuf::from(args.next().expect("--out needs a path"));
+                }
+                "--seed" => {
+                    out.seed = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--seed needs a number");
+                }
+                "--help" | "-h" => {
+                    eprintln!("usage: [--quick] [--trials N] [--repeats N] [--out DIR] [--seed N]");
+                    std::process::exit(0);
+                }
+                other => panic!("unknown argument {other}"),
+            }
+        }
+        out
+    }
+
+    /// Pick between the full (paper-scale) and quick values.
+    #[must_use]
+    pub fn scale(&self, full: usize, quick: usize) -> usize {
+        if self.quick {
+            quick
+        } else {
+            full
+        }
+    }
+}
+
+/// Write a CSV file under the output directory, creating it if needed.
+pub fn write_csv(dir: &Path, name: &str, content: &str) {
+    std::fs::create_dir_all(dir).expect("create output dir");
+    let path = dir.join(name);
+    std::fs::write(&path, content).expect("write csv");
+    println!("  wrote {}", path.display());
+}
+
+/// Format a paper-vs-measured row with a deviation note.
+#[must_use]
+pub fn compare_row(metric: &str, paper: f64, measured: f64) -> Vec<String> {
+    let ratio = if paper.abs() > 1e-12 {
+        measured / paper
+    } else {
+        f64::NAN
+    };
+    vec![
+        metric.to_string(),
+        format!("{paper:.0}"),
+        format!("{measured:.0}"),
+        format!("{ratio:.2}x"),
+    ]
+}
+
+/// Percentage reduction from `from` to `to` (the paper's headline metric
+/// style: "reduces detection time by 80%").
+#[must_use]
+pub fn reduction_pct(from: f64, to: f64) -> f64 {
+    if from.abs() < 1e-12 {
+        0.0
+    } else {
+        (1.0 - to / from) * 100.0
+    }
+}
+
+/// Standard banner for figure binaries.
+pub fn banner(fig: &str, description: &str, quick: bool) {
+    println!("================================================================");
+    println!("{fig}: {description}");
+    if quick {
+        println!("(QUICK mode: scaled-down parameters; use full run for EXPERIMENTS.md)");
+    }
+    println!("================================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduction_math() {
+        assert!((reduction_pct(1205.0, 237.0) - 80.33).abs() < 0.1);
+        assert!((reduction_pct(1449.0, 797.0) - 45.0).abs() < 0.1);
+        assert_eq!(reduction_pct(0.0, 5.0), 0.0);
+    }
+
+    #[test]
+    fn scale_picks_by_mode() {
+        let mut a = FigArgs::default();
+        assert_eq!(a.scale(1000, 50), 1000);
+        a.quick = true;
+        assert_eq!(a.scale(1000, 50), 50);
+    }
+
+    #[test]
+    fn compare_row_formats() {
+        let row = compare_row("detection (ms)", 1205.0, 1100.0);
+        assert_eq!(row[0], "detection (ms)");
+        assert_eq!(row[1], "1205");
+        assert_eq!(row[2], "1100");
+        assert_eq!(row[3], "0.91x");
+    }
+}

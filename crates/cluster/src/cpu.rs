@@ -1,0 +1,291 @@
+//! CPU cost model and utilization metering.
+//!
+//! The paper measures container CPU utilization with `docker stats` in 5 s
+//! windows, capped at 200 % for the 2-core allocation (Fig. 7b), and finds
+//! peak request throughput limited by the leader's processing power
+//! (Fig. 5). The simulator reproduces both with a simple cost model: every
+//! simulated action charges busy time onto one of `cores` virtual cores;
+//! request admission is *delayed* until a core is free, which is what makes
+//! offered load beyond capacity queue up (latency) and saturate
+//! (throughput), exactly the Fig. 5 hockey stick.
+//!
+//! Cost calibration (documented in DESIGN.md): per-message costs are sized
+//! so that a 2-core leader pushing 64 followers at Fix-K cadence pegs near
+//! 100 %+ (paper Fig. 7b) and a 4-core leader saturates near the paper's
+//! ~13.7 k req/s peak (Fig. 5). The `tuning_per_request` tax encodes the
+//! paper's measured 6.4 % peak-throughput overhead of the tuning machinery,
+//! which the paper reports but does not decompose.
+
+use dynatune_simnet::SimTime;
+use dynatune_stats::TimeSeries;
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// Per-action busy-time costs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Handling one received protocol message.
+    pub per_message_recv: Duration,
+    /// Serializing/sending one protocol message.
+    pub per_message_send: Duration,
+    /// Full client-request handling on the leader (parse, propose, respond).
+    pub per_request: Duration,
+    /// Per log entry replicated into an outgoing append batch.
+    pub per_append_entry: Duration,
+    /// Applying one committed entry to the state machine.
+    pub per_apply: Duration,
+    /// Extra per protocol message when tuning is active (measurement
+    /// bookkeeping in the hot path).
+    pub tuning_per_message: Duration,
+    /// Extra per client request when tuning is active (per-follower timer
+    /// and tuning-state bookkeeping; calibrated to the paper's 6.4 % peak
+    /// throughput overhead).
+    pub tuning_per_request: Duration,
+    /// Cost of servicing one timer wake-up (scheduler churn). Zero by
+    /// default; the §IV-E consolidated-timer extension study sets it to
+    /// expose the n−1-timers overhead the paper attributes to Dynatune.
+    pub per_timer_wake: Duration,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self {
+            per_message_recv: Duration::from_micros(150),
+            per_message_send: Duration::from_micros(150),
+            per_request: Duration::from_micros(250),
+            per_apply: Duration::from_micros(30),
+            per_append_entry: Duration::from_micros(5),
+            tuning_per_message: Duration::from_micros(15),
+            tuning_per_request: Duration::from_micros(18),
+            per_timer_wake: Duration::ZERO,
+        }
+    }
+}
+
+impl CostModel {
+    /// A zero-cost model (infinitely fast servers) for experiments where
+    /// CPU effects are irrelevant (e.g. pure election timing studies).
+    #[must_use]
+    pub fn free() -> Self {
+        Self {
+            per_message_recv: Duration::ZERO,
+            per_message_send: Duration::ZERO,
+            per_request: Duration::ZERO,
+            per_apply: Duration::ZERO,
+            per_append_entry: Duration::ZERO,
+            tuning_per_message: Duration::ZERO,
+            tuning_per_request: Duration::ZERO,
+            per_timer_wake: Duration::ZERO,
+        }
+    }
+}
+
+/// Multi-core busy-time meter with windowed utilization reporting.
+#[derive(Debug, Clone)]
+pub struct CpuMeter {
+    /// Next-free instant per virtual core.
+    cores: Vec<SimTime>,
+    window: Duration,
+    /// Busy seconds per window index.
+    window_busy: BTreeMap<u64, f64>,
+    total_busy: Duration,
+}
+
+impl CpuMeter {
+    /// Create a meter with `cores` virtual cores and the given utilization
+    /// sampling window (the paper samples every 5 s).
+    #[must_use]
+    pub fn new(cores: usize, window: Duration) -> Self {
+        assert!(cores > 0, "need at least one core");
+        assert!(window > Duration::ZERO, "zero sampling window");
+        Self {
+            cores: vec![SimTime::ZERO; cores],
+            window,
+            window_busy: BTreeMap::new(),
+            total_busy: Duration::ZERO,
+        }
+    }
+
+    /// Charge `cost` of busy time starting no earlier than `now` on the
+    /// least-loaded core. Returns the completion instant (used to delay
+    /// request admission under load).
+    pub fn charge(&mut self, now: SimTime, cost: Duration) -> SimTime {
+        if cost.is_zero() {
+            return now;
+        }
+        // Pick the earliest-free core.
+        let (idx, &free_at) = self
+            .cores
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &t)| t)
+            .expect("at least one core");
+        let start = free_at.max(now);
+        let end = start + cost;
+        self.cores[idx] = end;
+        self.total_busy += cost;
+        self.attribute(start, end);
+        end
+    }
+
+    /// Spread the busy interval across utilization windows.
+    fn attribute(&mut self, start: SimTime, end: SimTime) {
+        let w = self.window.as_secs_f64();
+        let mut t = start.as_secs_f64();
+        let end_s = end.as_secs_f64();
+        while t < end_s {
+            let widx = (t / w) as u64;
+            let wend = (widx + 1) as f64 * w;
+            let slice = end_s.min(wend) - t;
+            *self.window_busy.entry(widx).or_insert(0.0) += slice;
+            t = wend;
+        }
+    }
+
+    /// The instant the least-loaded core becomes free.
+    #[must_use]
+    pub fn earliest_free(&self) -> SimTime {
+        *self.cores.iter().min().expect("at least one core")
+    }
+
+    /// Cumulative busy time.
+    #[must_use]
+    pub fn total_busy(&self) -> Duration {
+        self.total_busy
+    }
+
+    /// Utilization time series in percent of one core (docker-stats style:
+    /// up to `cores * 100`). One point per window, at the window start, in
+    /// seconds.
+    #[must_use]
+    pub fn utilization_series(&self) -> TimeSeries {
+        let mut ts = TimeSeries::new();
+        let w = self.window.as_secs_f64();
+        for (&widx, &busy) in &self.window_busy {
+            ts.push(widx as f64 * w, busy / w * 100.0);
+        }
+        ts
+    }
+
+    /// Mean utilization (percent of one core) over `[from, to)`.
+    #[must_use]
+    pub fn mean_utilization(&self, from: SimTime, to: SimTime) -> f64 {
+        let w = self.window.as_secs_f64();
+        let lo = (from.as_secs_f64() / w) as u64;
+        let hi = (to.as_secs_f64() / w).ceil() as u64;
+        if hi <= lo {
+            return 0.0;
+        }
+        let busy: f64 = (lo..hi)
+            .map(|i| self.window_busy.get(&i).copied().unwrap_or(0.0))
+            .sum();
+        busy / ((hi - lo) as f64 * w) * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> SimTime {
+        SimTime::from_millis(v)
+    }
+
+    #[test]
+    fn zero_cost_is_instant() {
+        let mut m = CpuMeter::new(2, Duration::from_secs(5));
+        assert_eq!(m.charge(ms(10), Duration::ZERO), ms(10));
+        assert_eq!(m.total_busy(), Duration::ZERO);
+    }
+
+    #[test]
+    fn idle_core_completes_after_cost() {
+        let mut m = CpuMeter::new(1, Duration::from_secs(5));
+        let end = m.charge(ms(100), Duration::from_millis(10));
+        assert_eq!(end, ms(110));
+    }
+
+    #[test]
+    fn saturated_core_queues() {
+        let mut m = CpuMeter::new(1, Duration::from_secs(5));
+        let a = m.charge(ms(0), Duration::from_millis(30));
+        let b = m.charge(ms(0), Duration::from_millis(30));
+        assert_eq!(a, ms(30));
+        assert_eq!(b, ms(60), "second job waits for the first");
+    }
+
+    #[test]
+    fn two_cores_run_in_parallel() {
+        let mut m = CpuMeter::new(2, Duration::from_secs(5));
+        let a = m.charge(ms(0), Duration::from_millis(30));
+        let b = m.charge(ms(0), Duration::from_millis(30));
+        let c = m.charge(ms(0), Duration::from_millis(30));
+        assert_eq!(a, ms(30));
+        assert_eq!(b, ms(30), "second core absorbs the second job");
+        assert_eq!(c, ms(60), "third job queues behind the first");
+    }
+
+    #[test]
+    fn utilization_window_accounting() {
+        let mut m = CpuMeter::new(2, Duration::from_secs(5));
+        // 2 seconds of busy inside window 0 (two cores, 1s each).
+        m.charge(ms(0), Duration::from_secs(1));
+        m.charge(ms(0), Duration::from_secs(1));
+        let ts = m.utilization_series();
+        assert_eq!(ts.points().len(), 1);
+        let (t, pct) = ts.points()[0];
+        assert_eq!(t, 0.0);
+        assert!((pct - 40.0).abs() < 1e-9, "2 busy-sec / 5s = 40%: {pct}");
+    }
+
+    #[test]
+    fn busy_interval_spans_windows() {
+        let mut m = CpuMeter::new(1, Duration::from_secs(5));
+        // 4s of work starting at t=3s: 2s in window 0, 2s in window 1.
+        m.charge(SimTime::from_secs(3), Duration::from_secs(4));
+        let ts = m.utilization_series();
+        let pts = ts.points();
+        assert_eq!(pts.len(), 2);
+        assert!((pts[0].1 - 40.0).abs() < 1e-9);
+        assert!((pts[1].1 - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn utilization_capped_by_core_count() {
+        let mut m = CpuMeter::new(2, Duration::from_secs(5));
+        // Offer far more work than 2 cores can do in the first window.
+        for _ in 0..100 {
+            m.charge(ms(0), Duration::from_millis(500));
+        }
+        let ts = m.utilization_series();
+        // Every window's utilization is at most 200%.
+        for &(_, pct) in ts.points() {
+            assert!(pct <= 200.0 + 1e-9, "window exceeded 2 cores: {pct}");
+        }
+        // And the first windows are fully saturated.
+        assert!((ts.points()[0].1 - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_utilization_over_range() {
+        let mut m = CpuMeter::new(1, Duration::from_secs(5));
+        m.charge(ms(0), Duration::from_secs(5)); // window 0 fully busy
+        assert!((m.mean_utilization(SimTime::ZERO, SimTime::from_secs(5)) - 100.0).abs() < 1e-9);
+        assert!((m.mean_utilization(SimTime::ZERO, SimTime::from_secs(10)) - 50.0).abs() < 1e-9);
+        assert_eq!(m.mean_utilization(SimTime::from_secs(5), SimTime::from_secs(5)), 0.0);
+    }
+
+    #[test]
+    fn default_cost_model_scale_check() {
+        // Sanity-check the calibration story: 64 followers at 20ms cadence
+        // (Fix-K at Et=200ms) cost the leader ~96% of one core per second.
+        let c = CostModel::default();
+        let msgs_per_sec = 64.0 * 50.0 * 2.0; // sends + receipts
+        let busy = msgs_per_sec * (c.per_message_send.as_secs_f64() + c.per_message_recv.as_secs_f64()) / 2.0;
+        assert!(busy > 0.8 && busy < 1.2, "Fix-K N=65 leader busy {busy}/s");
+        // And a request costs ~300µs all-in, so 4 cores peak near 13k req/s.
+        let per_req = c.per_request.as_secs_f64() + c.per_apply.as_secs_f64() + 4.0 * c.per_append_entry.as_secs_f64();
+        let peak = 4.0 / per_req;
+        assert!(peak > 10_000.0 && peak < 16_000.0, "peak {peak}");
+    }
+}

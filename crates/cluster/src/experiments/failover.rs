@@ -1,0 +1,229 @@
+//! Repeated leader-failure trials: detection and OTS time distributions
+//! (paper Fig. 4 on a uniform mesh, Fig. 8 on the geo topology).
+//!
+//! Each trial builds a fresh cluster with a derived seed, lets it elect a
+//! leader and (for tuning modes) warm up the estimators, pauses the leader
+//! at a random phase within the heartbeat cycle, and extracts detection and
+//! OTS times from the event log — exactly the paper's §IV-B1 procedure
+//! (1000 intentional leader failures, means and CDFs reported). Trials run
+//! in parallel with rayon; every trial is deterministic in its seed.
+
+use crate::observers::extract_failover;
+use crate::sim::{ClusterConfig, ClusterSim};
+use dynatune_simnet::rng::splitmix64;
+use dynatune_simnet::{Rng, SimTime};
+use dynatune_stats::{EmpiricalCdf, OnlineStats};
+use rayon::prelude::*;
+use std::time::Duration;
+
+/// Configuration of a failover study.
+#[derive(Debug, Clone)]
+pub struct FailoverConfig {
+    /// The cluster to study (workload-free).
+    pub cluster: ClusterConfig,
+    /// Settle/warm-up time before injecting the failure.
+    pub warmup: Duration,
+    /// Number of independent trials.
+    pub trials: usize,
+    /// Observation window after the failure.
+    pub observe: Duration,
+}
+
+impl FailoverConfig {
+    /// Paper defaults: 30 s warm-up, 30 s observation.
+    #[must_use]
+    pub fn new(cluster: ClusterConfig, trials: usize) -> Self {
+        Self {
+            cluster,
+            warmup: Duration::from_secs(30),
+            trials,
+            observe: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Outcome of one trial.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrialOutcome {
+    /// Trial index.
+    pub trial: usize,
+    /// Failure → first election-timer expiry (ms).
+    pub detection_ms: f64,
+    /// Failure → new leader (ms). The paper's OTS time.
+    pub ots_ms: f64,
+    /// randomizedTimeout that expired at detection (ms).
+    pub rto_at_detection_ms: f64,
+    /// Mean randomizedTimeout across live followers just before failure
+    /// (the paper's "mean randomizedTimeout at the time of detection").
+    pub mean_rto_before_ms: f64,
+}
+
+/// Aggregated study result.
+#[derive(Debug, Clone)]
+pub struct FailoverResult {
+    /// Per-trial outcomes (successful trials only).
+    pub outcomes: Vec<TrialOutcome>,
+    /// Trials that failed to produce a failover within the window.
+    pub incomplete: usize,
+}
+
+impl FailoverResult {
+    /// Detection-time statistics (ms).
+    #[must_use]
+    pub fn detection_stats(&self) -> OnlineStats {
+        OnlineStats::from_slice(
+            &self
+                .outcomes
+                .iter()
+                .map(|o| o.detection_ms)
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// OTS-time statistics (ms).
+    #[must_use]
+    pub fn ots_stats(&self) -> OnlineStats {
+        OnlineStats::from_slice(&self.outcomes.iter().map(|o| o.ots_ms).collect::<Vec<_>>())
+    }
+
+    /// Mean randomizedTimeout before failure (ms).
+    #[must_use]
+    pub fn mean_rto_ms(&self) -> f64 {
+        OnlineStats::from_slice(
+            &self
+                .outcomes
+                .iter()
+                .map(|o| o.mean_rto_before_ms)
+                .collect::<Vec<_>>(),
+        )
+        .mean()
+    }
+
+    /// Election time = OTS − detection (ms), the §IV-E decomposition.
+    #[must_use]
+    pub fn election_time_ms(&self) -> f64 {
+        self.ots_stats().mean() - self.detection_stats().mean()
+    }
+
+    /// CDF of detection times.
+    #[must_use]
+    pub fn detection_cdf(&self) -> EmpiricalCdf {
+        EmpiricalCdf::new(self.outcomes.iter().map(|o| o.detection_ms).collect())
+    }
+
+    /// CDF of OTS times.
+    #[must_use]
+    pub fn ots_cdf(&self) -> EmpiricalCdf {
+        EmpiricalCdf::new(self.outcomes.iter().map(|o| o.ots_ms).collect())
+    }
+}
+
+/// Run one trial; `None` when no leader emerged or no failover completed.
+#[must_use]
+pub fn run_single_trial(cfg: &FailoverConfig, trial: usize) -> Option<TrialOutcome> {
+    let mut cluster_cfg = cfg.cluster.clone();
+    let mut seed = cfg.cluster.seed ^ (trial as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    cluster_cfg.seed = splitmix64(&mut seed);
+    let mut sim = ClusterSim::new(&cluster_cfg);
+    sim.run_until(SimTime::ZERO + cfg.warmup);
+    // Random failure phase within ~1 heartbeat cycle, so the paper's
+    // phase-averaging over 1000 failures is reproduced.
+    let mut phase_rng = Rng::new(cluster_cfg.seed ^ 0xFA11);
+    let phase = Duration::from_nanos(phase_rng.below(1_000_000_000));
+    sim.run_for(phase);
+    let leader = sim.leader()?;
+    let t_fail = sim.now();
+    // Mean randomizedTimeout across live followers just before failing.
+    let rtos = sim.randomized_timeouts();
+    let mut mean_rto = OnlineStats::new();
+    for (id, rto) in rtos.iter().enumerate() {
+        if id != leader {
+            if let Some(d) = rto {
+                mean_rto.push(d.as_secs_f64() * 1e3);
+            }
+        }
+    }
+    sim.pause(leader);
+    sim.run_for(cfg.observe);
+    let times = extract_failover(&sim.events(), t_fail, leader);
+    let (detection, ots) = (times.detection?, times.ots?);
+    Some(TrialOutcome {
+        trial,
+        detection_ms: detection.as_secs_f64() * 1e3,
+        ots_ms: ots.as_secs_f64() * 1e3,
+        rto_at_detection_ms: times.detection_rto_ms.unwrap_or(f64::NAN),
+        mean_rto_before_ms: mean_rto.mean(),
+    })
+}
+
+/// Run the full study, trials in parallel.
+#[must_use]
+pub fn run_trials(cfg: &FailoverConfig) -> FailoverResult {
+    let results: Vec<Option<TrialOutcome>> = (0..cfg.trials)
+        .into_par_iter()
+        .map(|trial| run_single_trial(cfg, trial))
+        .collect();
+    let incomplete = results.iter().filter(|r| r.is_none()).count();
+    FailoverResult {
+        outcomes: results.into_iter().flatten().collect(),
+        incomplete,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynatune_core::TuningConfig;
+
+    fn quick_cfg(tuning: TuningConfig, trials: usize) -> FailoverConfig {
+        let cluster = ClusterConfig::stable(5, tuning, Duration::from_millis(100), 99);
+        FailoverConfig {
+            cluster,
+            warmup: Duration::from_secs(20),
+            trials,
+            observe: Duration::from_secs(20),
+        }
+    }
+
+    #[test]
+    fn raft_failover_times_match_paper_scale() {
+        let res = run_trials(&quick_cfg(TuningConfig::raft_default(), 12));
+        assert!(res.outcomes.len() >= 10, "incomplete: {}", res.incomplete);
+        let det = res.detection_stats().mean();
+        let ots = res.ots_stats().mean();
+        // Paper: detection ≈ 1205 ms, OTS ≈ 1449 ms. Shape check: detection
+        // within [900, 1700], OTS above detection.
+        assert!((900.0..1700.0).contains(&det), "raft detection {det}ms");
+        assert!(ots > det, "ots {ots} > detection {det}");
+        // Mean randomizedTimeout ~1.5 Et = 1500ms (paper: 1454 ms).
+        let rto = res.mean_rto_ms();
+        assert!((1300.0..1700.0).contains(&rto), "raft rto {rto}ms");
+    }
+
+    #[test]
+    fn dynatune_detects_much_faster_than_raft() {
+        let raft = run_trials(&quick_cfg(TuningConfig::raft_default(), 12));
+        let dt = run_trials(&quick_cfg(TuningConfig::dynatune(), 12));
+        assert!(dt.outcomes.len() >= 10, "incomplete: {}", dt.incomplete);
+        let raft_det = raft.detection_stats().mean();
+        let dt_det = dt.detection_stats().mean();
+        // Paper: 80% reduction. Accept anything beyond 50% for a smoke test.
+        assert!(
+            dt_det < raft_det * 0.5,
+            "dynatune {dt_det}ms vs raft {raft_det}ms"
+        );
+        // Dynatune OTS also improves (paper: 45%).
+        assert!(dt.ots_stats().mean() < raft.ots_stats().mean());
+        // Dynatune's randomizedTimeout reflects the tuned Et (~100-200ms).
+        let rto = dt.mean_rto_ms();
+        assert!((100.0..350.0).contains(&rto), "dynatune rto {rto}ms");
+    }
+
+    #[test]
+    fn trials_are_deterministic() {
+        let cfg = quick_cfg(TuningConfig::dynatune(), 3);
+        let a = run_single_trial(&cfg, 1);
+        let b = run_single_trial(&cfg, 1);
+        assert_eq!(a, b);
+    }
+}

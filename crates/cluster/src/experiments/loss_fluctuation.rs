@@ -1,0 +1,217 @@
+//! Packet-loss adaptivity of the heartbeat interval (paper Fig. 7, §IV-C2).
+//!
+//! RTT fixed at 200 ms; the loss rate climbs 0→30 % in 5-point steps and
+//! back down, each level held (paper: 3 minutes). Dynatune (h = Et/K(p,x))
+//! is compared against Fix-K (K = 10). We record the leader's mean applied
+//! heartbeat interval and the CPU utilization of the leader and one
+//! follower in 5 s windows (docker-stats style, 2-core cap → 200 %).
+
+use crate::sim::{ClusterConfig, ClusterSim};
+use dynatune_core::TuningConfig;
+use dynatune_simnet::{LinkSchedule, NetParams, SimTime, Topology};
+use dynatune_stats::TimeSeries;
+use std::time::Duration;
+
+/// Configuration of a loss-fluctuation run.
+#[derive(Debug, Clone)]
+pub struct LossFlucConfig {
+    /// Cluster size (paper: 5, 17, 65).
+    pub n: usize,
+    /// The system under test (Dynatune or Fix-K; both tune Et).
+    pub tuning: TuningConfig,
+    /// Loss levels on the way up (mirrored down, peak not repeated).
+    pub levels: Vec<f64>,
+    /// Hold per level (paper: 180 s).
+    pub hold: Duration,
+    /// Fixed base RTT (paper: 200 ms).
+    pub rtt: Duration,
+    /// Cores per server (paper: 2 for this experiment).
+    pub cores: usize,
+    /// Sampling interval for h (paper samples performance every 5 s).
+    pub sample_every: Duration,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl LossFlucConfig {
+    /// Paper defaults for the given size and system.
+    #[must_use]
+    pub fn new(n: usize, tuning: TuningConfig, seed: u64) -> Self {
+        Self {
+            n,
+            tuning,
+            levels: vec![0.0, 0.05, 0.10, 0.15, 0.20, 0.25, 0.30],
+            hold: Duration::from_secs(180),
+            rtt: Duration::from_millis(200),
+            cores: 2,
+            sample_every: Duration::from_secs(5),
+            seed,
+        }
+    }
+
+    /// Total experiment duration.
+    #[must_use]
+    pub fn duration(&self) -> Duration {
+        LinkSchedule::staircase_duration(self.levels.len(), self.hold)
+    }
+}
+
+/// Output series of one run.
+#[derive(Debug, Clone)]
+pub struct LossFlucSeries {
+    /// `(t_secs, leader mean heartbeat interval ms)` samples.
+    pub h_ms: Vec<(f64, f64)>,
+    /// `(t_secs, loss rate)` of the schedule at each sample.
+    pub loss: Vec<(f64, f64)>,
+    /// Leader CPU utilization series (percent of one core, 5 s windows).
+    pub leader_cpu: TimeSeries,
+    /// One follower's CPU utilization series.
+    pub follower_cpu: TimeSeries,
+    /// Elections (BecameLeader) after warm-up — the paper reports zero
+    /// unnecessary elections for both systems.
+    pub elections_after_warmup: usize,
+    /// The node that led during the run.
+    pub leader: usize,
+}
+
+/// Run one loss-fluctuation experiment.
+#[must_use]
+pub fn run(cfg: &LossFlucConfig) -> LossFlucSeries {
+    let base = NetParams::clean(cfg.rtt).with_jitter(0.03);
+    let schedule = LinkSchedule::loss_staircase(base, &cfg.levels, cfg.hold);
+    let mut cluster_cfg = ClusterConfig::stable(cfg.n, cfg.tuning, cfg.rtt, cfg.seed);
+    cluster_cfg.topology = Topology::uniform(cfg.n, schedule);
+    cluster_cfg.cores = cfg.cores;
+    let mut sim = ClusterSim::new(&cluster_cfg);
+
+    let horizon = SimTime::ZERO + cfg.duration();
+    let mut h_ms = Vec::new();
+    let mut loss = Vec::new();
+    let mut t = SimTime::ZERO;
+    while t < horizon {
+        t += cfg.sample_every;
+        sim.run_until(t);
+        if let Some(h) = sim.leader_mean_heartbeat_interval() {
+            h_ms.push((t.as_secs_f64(), h.as_secs_f64() * 1e3));
+        }
+        loss.push((t.as_secs_f64(), sim.probe_loss()));
+    }
+    let leader = sim.leader().unwrap_or(0);
+    let follower = (0..cfg.n).find(|&i| i != leader).unwrap_or(0);
+    let leader_cpu = sim.with_server(leader, |s| s.cpu().utilization_series());
+    let follower_cpu = sim.with_server(follower, |s| s.cpu().utilization_series());
+    let events = sim.events();
+    let elections_after_warmup = crate::observers::count_events(
+        &events,
+        SimTime::from_secs(10),
+        horizon,
+        |e| matches!(e, dynatune_raft::RaftEvent::BecameLeader { .. }),
+    );
+    LossFlucSeries {
+        h_ms,
+        loss,
+        leader_cpu,
+        follower_cpu,
+        elections_after_warmup,
+        leader,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(n: usize, mut tuning: TuningConfig, seed: u64) -> LossFlucSeries {
+        // Shrink holds for test speed; shrink the id window accordingly so
+        // the loss estimate's recovery lag (window × h) fits the shrunk
+        // schedule, preserving the paper-scale dynamics.
+        tuning.max_list_size = 200;
+        let mut cfg = LossFlucConfig::new(n, tuning, seed);
+        cfg.hold = Duration::from_secs(20);
+        run(&cfg)
+    }
+
+    #[test]
+    fn dynatune_shrinks_h_under_loss_and_recovers() {
+        let s = quick(5, TuningConfig::dynatune(), 31);
+        assert!(!s.h_ms.is_empty());
+        // Partition samples into the clean head, the lossy middle and the
+        // clean tail.
+        let dur = 20.0 * 13.0;
+        let head: Vec<f64> = s
+            .h_ms
+            .iter()
+            .filter(|(t, _)| *t > 10.0 && *t < 20.0)
+            .map(|&(_, h)| h)
+            .collect();
+        let mid: Vec<f64> = s
+            .h_ms
+            .iter()
+            .filter(|(t, _)| *t > dur / 2.0 - 10.0 && *t < dur / 2.0 + 10.0)
+            .map(|&(_, h)| h)
+            .collect();
+        let tail: Vec<f64> = s
+            .h_ms
+            .iter()
+            .filter(|(t, _)| *t > dur - 15.0)
+            .map(|&(_, h)| h)
+            .collect();
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+        // Clean network: K=1 ⇒ h ≈ Et ≈ 200ms.
+        assert!(mean(&head) > 120.0, "head h {}", mean(&head));
+        // 30% loss: K=6 ⇒ h ≈ Et/6 ≈ 35ms.
+        assert!(
+            mean(&mid) < mean(&head) / 3.0,
+            "mid {} vs head {}",
+            mean(&mid),
+            mean(&head)
+        );
+        // Recovery at the end.
+        assert!(
+            mean(&tail) > mean(&mid) * 2.0,
+            "tail {} vs mid {}",
+            mean(&tail),
+            mean(&mid)
+        );
+    }
+
+    #[test]
+    fn fix_k_holds_the_ratio() {
+        let s = quick(5, TuningConfig::fix_k(10), 32);
+        // Fix-K: h = Et/10 ≈ 20ms regardless of loss.
+        let hs: Vec<f64> = s.h_ms.iter().skip(5).map(|&(_, h)| h).collect();
+        let mean = hs.iter().sum::<f64>() / hs.len() as f64;
+        assert!((10.0..40.0).contains(&mean), "fix-k mean h {mean}");
+        // Flat: no sample deviates wildly from the mean.
+        let max = hs.iter().copied().fold(0.0, f64::max);
+        assert!(max < mean * 2.5, "fix-k h spiked to {max}");
+    }
+
+    #[test]
+    fn fix_k_leader_burns_more_cpu_than_dynatune() {
+        let dt = quick(9, TuningConfig::dynatune(), 33);
+        let fk = quick(9, TuningConfig::fix_k(10), 33);
+        let mean_cpu = |ts: &TimeSeries| {
+            let pts = ts.points();
+            pts.iter().map(|&(_, v)| v).sum::<f64>() / pts.len().max(1) as f64
+        };
+        let dt_cpu = mean_cpu(&dt.leader_cpu);
+        let fk_cpu = mean_cpu(&fk.leader_cpu);
+        assert!(
+            fk_cpu > dt_cpu * 1.5,
+            "fix-k leader {fk_cpu}% vs dynatune {dt_cpu}%"
+        );
+        // Followers are cheap for both.
+        let dt_f = mean_cpu(&dt.follower_cpu);
+        assert!(dt_f < dt_cpu + 5.0, "follower {dt_f}% leader {dt_cpu}%");
+    }
+
+    #[test]
+    fn no_unnecessary_elections() {
+        let s = quick(5, TuningConfig::dynatune(), 34);
+        assert_eq!(
+            s.elections_after_warmup, 0,
+            "loss adaptation must not trigger elections"
+        );
+    }
+}

@@ -1,0 +1,15 @@
+//! The paper's experiments (§IV), one module per figure.
+//!
+//! | Module | Paper | What it regenerates |
+//! |--------|-------|---------------------|
+//! | [`failover`] | Fig. 4, Fig. 8 | detection/OTS CDFs over repeated leader pauses |
+//! | [`throughput`] | Fig. 5 | latency-vs-throughput curve, peak throughput |
+//! | [`rtt_fluctuation`] | Fig. 6a/6b | randomizedTimeout / RTT / OTS time series |
+//! | [`loss_fluctuation`] | Fig. 7a/7b | heartbeat interval + CPU series under loss ramps |
+//! | [`ablation`] | (ours) | quantization, safety factor, arrival probability, list sizes, transport |
+
+pub mod ablation;
+pub mod failover;
+pub mod loss_fluctuation;
+pub mod rtt_fluctuation;
+pub mod throughput;

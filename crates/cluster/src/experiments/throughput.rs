@@ -1,0 +1,199 @@
+//! Peak throughput under open-loop load (paper Fig. 5, §IV-B2).
+//!
+//! Clients ramp the offered rate in fixed increments, holding each level;
+//! for every level we record the completed throughput and the mean latency
+//! of requests sent in that level. The paper repeats the ramp 10 times and
+//! reports average latency vs. average throughput with throughput standard
+//! deviation; peak throughput is the highest completed rate.
+
+use crate::sim::{ClusterConfig, ClusterSim, WorkloadSpec};
+use dynatune_kv::{OpMix, WorkloadGen};
+use dynatune_simnet::rng::splitmix64;
+use dynatune_simnet::SimTime;
+use dynatune_stats::OnlineStats;
+use rayon::prelude::*;
+use std::time::Duration;
+
+/// Configuration of a throughput study.
+#[derive(Debug, Clone)]
+pub struct ThroughputConfig {
+    /// Base cluster (workload attached internally).
+    pub cluster: ClusterConfig,
+    /// Peak offered rate of the ramp (req/s).
+    pub peak_rps: f64,
+    /// Ramp increment (paper: 1000 req/s).
+    pub increment: f64,
+    /// Hold per level (paper: 10 s).
+    pub hold: Duration,
+    /// Number of ramp repetitions (paper: 10).
+    pub repeats: usize,
+    /// Leader-settle time before the ramp starts.
+    pub settle: Duration,
+}
+
+impl ThroughputConfig {
+    /// Paper-like defaults scaled by a peak estimate.
+    #[must_use]
+    pub fn new(cluster: ClusterConfig, peak_rps: f64) -> Self {
+        Self {
+            cluster,
+            peak_rps,
+            increment: 1000.0,
+            hold: Duration::from_secs(10),
+            repeats: 10,
+            settle: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Aggregated per-level result.
+#[derive(Debug, Clone)]
+pub struct LevelResult {
+    /// Offered rate (req/s).
+    pub offered_rps: f64,
+    /// Completed throughput across repeats (req/s).
+    pub throughput: OnlineStats,
+    /// Mean latency across repeats (ms).
+    pub latency_ms: OnlineStats,
+}
+
+/// Full study result.
+#[derive(Debug, Clone)]
+pub struct ThroughputResult {
+    /// One entry per offered-load level.
+    pub levels: Vec<LevelResult>,
+}
+
+impl ThroughputResult {
+    /// Peak completed throughput (req/s): the paper's headline number.
+    #[must_use]
+    pub fn peak_throughput(&self) -> f64 {
+        self.levels
+            .iter()
+            .map(|l| l.throughput.mean())
+            .fold(0.0, f64::max)
+    }
+
+    /// `(throughput, latency)` points for the Fig. 5 curve.
+    #[must_use]
+    pub fn curve(&self) -> Vec<(f64, f64)> {
+        self.levels
+            .iter()
+            .map(|l| (l.throughput.mean(), l.latency_ms.mean()))
+            .collect()
+    }
+}
+
+/// Run one ramp repetition; returns per-level `(offered, completed/s,
+/// mean latency ms)`.
+#[must_use]
+pub fn run_single_ramp(cfg: &ThroughputConfig, repeat: usize) -> Vec<(f64, f64, f64)> {
+    let mut cluster_cfg = cfg.cluster.clone();
+    let mut seed = cfg.cluster.seed ^ (repeat as u64).wrapping_mul(0xA076_1D64_78BD_642F);
+    cluster_cfg.seed = splitmix64(&mut seed);
+    let steps = WorkloadGen::paper_ramp(cfg.peak_rps, cfg.increment, cfg.hold);
+    let total: Duration = cfg.settle + cfg.hold * steps.len() as u32;
+    cluster_cfg.workload = Some(WorkloadSpec {
+        steps,
+        mix: OpMix::write_heavy(),
+        key_space: 100_000,
+        zipf_theta: 0.99,
+        value_size: 128,
+        start_offset: cfg.settle,
+        // No failures in this experiment; timeouts would only duplicate
+        // requests under saturation and distort the measured throughput.
+        request_timeout: None,
+    });
+    let mut sim = ClusterSim::new(&cluster_cfg);
+    // Run through the whole ramp plus a drain period for in-flight requests.
+    sim.run_until(SimTime::ZERO + total + Duration::from_secs(5));
+    let steps = sim.client_steps().expect("client attached");
+    steps
+        .iter()
+        .map(|s| (s.offered_rps, s.throughput(), s.latency_ms.mean()))
+        .collect()
+}
+
+/// Run the full study (repeats in parallel).
+#[must_use]
+pub fn run(cfg: &ThroughputConfig) -> ThroughputResult {
+    let runs: Vec<Vec<(f64, f64, f64)>> = (0..cfg.repeats)
+        .into_par_iter()
+        .map(|r| run_single_ramp(cfg, r))
+        .collect();
+    let n_levels = runs.first().map_or(0, Vec::len);
+    let mut levels = Vec::with_capacity(n_levels);
+    for level in 0..n_levels {
+        let mut throughput = OnlineStats::new();
+        let mut latency = OnlineStats::new();
+        let mut offered = 0.0;
+        for run in &runs {
+            let (o, tput, lat) = run[level];
+            offered = o;
+            throughput.push(tput);
+            if lat.is_finite() && lat > 0.0 {
+                latency.push(lat);
+            }
+        }
+        levels.push(LevelResult {
+            offered_rps: offered,
+            throughput,
+            latency_ms: latency,
+        });
+    }
+    ThroughputResult { levels }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynatune_core::TuningConfig;
+
+    #[test]
+    fn small_ramp_saturates() {
+        // A miniature version of Fig. 5: 3 servers, ramp to 20k in 5k steps,
+        // 2s holds, single repeat. The default cost model saturates around
+        // 13-14k req/s, so the last levels must stop tracking offered load.
+        let cluster = ClusterConfig::stable(
+            3,
+            TuningConfig::raft_default(),
+            Duration::from_millis(10),
+            11,
+        );
+        let cfg = ThroughputConfig {
+            cluster,
+            peak_rps: 20_000.0,
+            increment: 5_000.0,
+            hold: Duration::from_secs(2),
+            repeats: 1,
+            settle: Duration::from_secs(5),
+        };
+        let res = run(&cfg);
+        assert_eq!(res.levels.len(), 4);
+        // Low levels keep up with offered load.
+        let l0 = &res.levels[0];
+        assert!(
+            l0.throughput.mean() > l0.offered_rps * 0.85,
+            "level 0: offered {} got {}",
+            l0.offered_rps,
+            l0.throughput.mean()
+        );
+        // The top level is far beyond capacity.
+        let top = res.levels.last().unwrap();
+        assert!(
+            top.throughput.mean() < top.offered_rps * 0.9,
+            "top level should saturate: offered {} got {}",
+            top.offered_rps,
+            top.throughput.mean()
+        );
+        let peak = res.peak_throughput();
+        assert!(
+            (8_000.0..18_000.0).contains(&peak),
+            "peak should be near the CPU-model capacity: {peak}"
+        );
+        // Latency grows with saturation.
+        let lat_low = res.levels[0].latency_ms.mean();
+        let lat_high = res.levels[3].latency_ms.mean();
+        assert!(lat_high > lat_low, "latency {lat_low} -> {lat_high}");
+    }
+}

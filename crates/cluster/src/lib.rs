@@ -1,0 +1,28 @@
+//! Simulation harness for the Dynatune reproduction.
+//!
+//! Assembles clusters of Raft/KV servers (plus optional open-loop clients)
+//! on the `dynatune-simnet` fabric, injects the paper's failure modes
+//! (container pause, crash), observes elections and tuning state, models
+//! CPU cost, and implements every experiment of the paper's evaluation
+//! (§IV): see [`experiments`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod cpu;
+pub mod experiments;
+pub mod msg;
+pub mod observers;
+pub mod server;
+pub mod sim;
+
+pub use client::{ClientHost, StepRecord};
+pub use cpu::{CostModel, CpuMeter};
+pub use msg::ClusterMsg;
+pub use observers::{
+    count_events, extract_failover, kth_smallest_timeout_ms, leaderless_intervals,
+    total_leaderless_secs, FailoverTimes,
+};
+pub use server::ServerHost;
+pub use sim::{ClusterConfig, ClusterHost, ClusterSim, WorkloadSpec};

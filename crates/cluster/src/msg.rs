@@ -1,0 +1,72 @@
+//! Messages exchanged inside a simulated cluster (servers + clients).
+
+use dynatune_kv::{KvCommand, KvResponse};
+use dynatune_raft::{NodeId, Payload};
+
+/// Everything that can travel over the simulated network.
+#[derive(Debug, Clone)]
+pub enum ClusterMsg {
+    /// Raft protocol traffic between servers.
+    Raft(Payload<KvCommand>),
+    /// Client → server request.
+    ClientReq {
+        /// Client-chosen request id (unique per client).
+        req_id: u64,
+        /// The command to execute.
+        cmd: KvCommand,
+    },
+    /// Server → client completion.
+    ClientResp {
+        /// Echoed request id.
+        req_id: u64,
+        /// The result, if the command committed and applied; `None` when the
+        /// proposal was lost to a leadership change.
+        result: Option<KvResponse>,
+    },
+    /// Server → client redirect: the contacted server is not the leader.
+    /// Carries the command back so the client can retry elsewhere.
+    ClientRedirect {
+        /// Echoed request id.
+        req_id: u64,
+        /// The server's current leader hint, if it has one.
+        hint: Option<NodeId>,
+        /// The original command, returned for retry.
+        cmd: KvCommand,
+    },
+}
+
+impl ClusterMsg {
+    /// Short tag for tracing.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ClusterMsg::Raft(p) => p.kind(),
+            ClusterMsg::ClientReq { .. } => "client_req",
+            ClusterMsg::ClientResp { .. } => "client_resp",
+            ClusterMsg::ClientRedirect { .. } => "client_redirect",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    #[test]
+    fn kinds() {
+        let m = ClusterMsg::ClientReq {
+            req_id: 1,
+            cmd: KvCommand::Get {
+                key: Bytes::from_static(b"k"),
+            },
+        };
+        assert_eq!(m.kind(), "client_req");
+        let r = ClusterMsg::Raft(Payload::AppendResp(dynatune_raft::AppendResp {
+            term: 1,
+            success: true,
+            match_or_hint: 3,
+        }));
+        assert_eq!(r.kind(), "append_resp");
+    }
+}

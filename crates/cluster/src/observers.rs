@@ -1,0 +1,288 @@
+//! Event-log analysis: the measurements the paper extracts from server logs.
+//!
+//! §IV-A: "we measured the time of the leader's failure, the time when the
+//! failure was detected, and the time when a new leader was elected from
+//! each server's log files in order to calculate the detection and OTS
+//! times." These functions are the structured equivalent over the
+//! simulator's event log.
+
+use dynatune_raft::{NodeId, RaftEvent};
+use dynatune_simnet::SimTime;
+use std::time::Duration;
+
+/// Timing extracted from one leader-failure trial.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct FailoverTimes {
+    /// Failure → first election-timer expiry on a live server.
+    pub detection: Option<Duration>,
+    /// Failure → new leader elected (the paper's out-of-service time).
+    pub ots: Option<Duration>,
+    /// The randomized timeout that expired at detection (ms).
+    pub detection_rto_ms: Option<f64>,
+    /// The server that detected first.
+    pub detector: Option<NodeId>,
+    /// The new leader.
+    pub new_leader: Option<NodeId>,
+}
+
+/// Extract detection and OTS times for a failure injected at `t_fail` on
+/// `failed` from the merged event log.
+#[must_use]
+pub fn extract_failover(
+    events: &[(SimTime, NodeId, RaftEvent)],
+    t_fail: SimTime,
+    failed: NodeId,
+) -> FailoverTimes {
+    let mut out = FailoverTimes::default();
+    for &(t, node, ev) in events {
+        if t < t_fail || node == failed {
+            continue;
+        }
+        match ev {
+            RaftEvent::ElectionTimeout {
+                randomized_timeout, ..
+            } if out.detection.is_none() => {
+                out.detection = Some(t - t_fail);
+                out.detection_rto_ms = Some(randomized_timeout.as_secs_f64() * 1e3);
+                out.detector = Some(node);
+            }
+            RaftEvent::BecameLeader { .. } if out.ots.is_none() => {
+                out.ots = Some(t - t_fail);
+                out.new_leader = Some(node);
+            }
+            _ => {}
+        }
+        if out.detection.is_some() && out.ots.is_some() {
+            break;
+        }
+    }
+    out
+}
+
+/// Compute the intervals (in seconds since simulation start) during which
+/// no server held leadership — the paper's OTS shading in Fig. 6.
+///
+/// A node's leadership starts at `BecameLeader` and ends at its next
+/// `SteppedDown` or `BecameFollower` (or `horizon`). The cluster is
+/// leaderless wherever no node's leadership interval covers the instant.
+/// The initial interval before the first-ever leader is *not* reported
+/// (startup is not an outage).
+#[must_use]
+pub fn leaderless_intervals(
+    events: &[(SimTime, NodeId, RaftEvent)],
+    horizon: SimTime,
+) -> Vec<(f64, f64)> {
+    // Build per-node leadership intervals.
+    let mut intervals: Vec<(SimTime, SimTime)> = Vec::new();
+    let max_node = events.iter().map(|&(_, n, _)| n).max().unwrap_or(0);
+    let mut open: Vec<Option<SimTime>> = vec![None; max_node + 1];
+    for &(t, node, ev) in events {
+        match ev {
+            RaftEvent::BecameLeader { .. } => {
+                open[node] = Some(t);
+            }
+            RaftEvent::SteppedDown { .. } | RaftEvent::BecameFollower { .. } => {
+                if let Some(start) = open[node].take() {
+                    intervals.push((start, t));
+                }
+            }
+            _ => {}
+        }
+    }
+    for slot in open.iter_mut() {
+        if let Some(start) = slot.take() {
+            intervals.push((start, horizon));
+        }
+    }
+    if intervals.is_empty() {
+        return Vec::new();
+    }
+    intervals.sort_by_key(|&(s, _)| s);
+    // Merge the led intervals, then take gaps between them.
+    let mut merged: Vec<(SimTime, SimTime)> = Vec::new();
+    for (s, e) in intervals {
+        match merged.last_mut() {
+            Some(last) if s <= last.1 => last.1 = last.1.max(e),
+            _ => merged.push((s, e)),
+        }
+    }
+    let mut gaps = Vec::new();
+    for pair in merged.windows(2) {
+        let (_, end_a) = pair[0];
+        let (start_b, _) = pair[1];
+        if start_b > end_a {
+            gaps.push((end_a.as_secs_f64(), start_b.as_secs_f64()));
+        }
+    }
+    // Tail gap: leadership ended before the horizon.
+    if let Some(&(_, last_end)) = merged.last() {
+        if last_end < horizon {
+            gaps.push((last_end.as_secs_f64(), horizon.as_secs_f64()));
+        }
+    }
+    gaps
+}
+
+/// Total leaderless seconds from [`leaderless_intervals`].
+#[must_use]
+pub fn total_leaderless_secs(gaps: &[(f64, f64)]) -> f64 {
+    // fold instead of sum: `Iterator::sum` over an empty f64 iterator
+    // yields -0.0, which leaks into reports as "-0.0 s".
+    gaps.iter().fold(0.0, |acc, &(s, e)| acc + (e - s).max(0.0))
+}
+
+/// Count events matching a predicate in a time range.
+#[must_use]
+pub fn count_events(
+    events: &[(SimTime, NodeId, RaftEvent)],
+    from: SimTime,
+    to: SimTime,
+    pred: impl Fn(&RaftEvent) -> bool,
+) -> usize {
+    events
+        .iter()
+        .filter(|&&(t, _, ref e)| t >= from && t < to && pred(e))
+        .count()
+}
+
+/// The third-smallest (f+1-th) value among per-node randomized timeouts —
+/// the paper's Fig. 6 majority-representative metric.
+#[must_use]
+pub fn kth_smallest_timeout_ms(timeouts: &[Option<Duration>], k: usize) -> Option<f64> {
+    let mut values: Vec<f64> = timeouts
+        .iter()
+        .flatten()
+        .map(|d| d.as_secs_f64() * 1e3)
+        .collect();
+    if values.len() < k {
+        return None;
+    }
+    values.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    Some(values[k - 1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    fn timeout(ms: u64) -> RaftEvent {
+        RaftEvent::ElectionTimeout {
+            term: 1,
+            randomized_timeout: Duration::from_millis(ms),
+        }
+    }
+
+    #[test]
+    fn failover_extraction_basic() {
+        let events = vec![
+            (t(100), 0, RaftEvent::BecameLeader { term: 1 }),
+            // failure at 1000 on node 0
+            (t(1200), 2, timeout(150)),
+            (t(1250), 3, timeout(180)),
+            (t(1500), 2, RaftEvent::ElectionStarted { term: 2 }),
+            (t(1700), 2, RaftEvent::BecameLeader { term: 2 }),
+        ];
+        let f = extract_failover(&events, t(1000), 0);
+        assert_eq!(f.detection, Some(Duration::from_millis(200)));
+        assert_eq!(f.detection_rto_ms, Some(150.0));
+        assert_eq!(f.detector, Some(2));
+        assert_eq!(f.ots, Some(Duration::from_millis(700)));
+        assert_eq!(f.new_leader, Some(2));
+    }
+
+    #[test]
+    fn failover_ignores_failed_node_and_prior_events() {
+        let events = vec![
+            (t(500), 1, timeout(100)), // before failure: ignored
+            (t(1100), 0, timeout(100)), // failed node: ignored
+            (t(1300), 1, timeout(100)),
+            (t(1900), 1, RaftEvent::BecameLeader { term: 2 }),
+        ];
+        let f = extract_failover(&events, t(1000), 0);
+        assert_eq!(f.detection, Some(Duration::from_millis(300)));
+        assert_eq!(f.ots, Some(Duration::from_millis(900)));
+    }
+
+    #[test]
+    fn failover_handles_missing_outcome() {
+        let f = extract_failover(&[], t(0), 0);
+        assert_eq!(f.detection, None);
+        assert_eq!(f.ots, None);
+    }
+
+    #[test]
+    fn leaderless_gaps_between_leaders() {
+        let events = vec![
+            (t(1000), 0, RaftEvent::BecameLeader { term: 1 }),
+            (t(5000), 0, RaftEvent::SteppedDown { term: 1 }),
+            (t(5000), 0, RaftEvent::BecameFollower { term: 2, leader: None }),
+            (t(7000), 1, RaftEvent::BecameLeader { term: 2 }),
+        ];
+        let gaps = leaderless_intervals(&events, t(10_000));
+        assert_eq!(gaps, vec![(5.0, 7.0)]);
+        assert!((total_leaderless_secs(&gaps) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn leaderless_tail_gap_counts() {
+        let events = vec![
+            (t(1000), 0, RaftEvent::BecameLeader { term: 1 }),
+            (t(4000), 0, RaftEvent::BecameFollower { term: 2, leader: None }),
+        ];
+        let gaps = leaderless_intervals(&events, t(6000));
+        assert_eq!(gaps, vec![(4.0, 6.0)]);
+    }
+
+    #[test]
+    fn overlapping_leaderships_merge() {
+        // Transiently two leaders (old one hasn't heard the new term yet).
+        let events = vec![
+            (t(1000), 0, RaftEvent::BecameLeader { term: 1 }),
+            (t(3000), 1, RaftEvent::BecameLeader { term: 2 }),
+            (t(3500), 0, RaftEvent::BecameFollower { term: 2, leader: Some(1) }),
+        ];
+        let gaps = leaderless_intervals(&events, t(5000));
+        assert!(gaps.is_empty(), "no gap while either node led: {gaps:?}");
+    }
+
+    #[test]
+    fn startup_is_not_an_outage() {
+        let events = vec![(t(1500), 0, RaftEvent::BecameLeader { term: 1 })];
+        let gaps = leaderless_intervals(&events, t(3000));
+        assert!(gaps.is_empty());
+    }
+
+    #[test]
+    fn kth_smallest_skips_paused() {
+        let timeouts = vec![
+            Some(Duration::from_millis(120)),
+            None, // paused
+            Some(Duration::from_millis(80)),
+            Some(Duration::from_millis(200)),
+            Some(Duration::from_millis(150)),
+        ];
+        assert_eq!(kth_smallest_timeout_ms(&timeouts, 3), Some(150.0));
+        assert_eq!(kth_smallest_timeout_ms(&timeouts, 5), None);
+    }
+
+    #[test]
+    fn count_events_filters() {
+        let events = vec![
+            (t(100), 0, RaftEvent::TunerReset),
+            (t(200), 1, RaftEvent::TunerReset),
+            (t(300), 0, RaftEvent::BecameLeader { term: 1 }),
+        ];
+        let n = count_events(&events, t(0), t(250), |e| {
+            matches!(e, RaftEvent::TunerReset)
+        });
+        assert_eq!(n, 2);
+        let n = count_events(&events, t(150), t(1000), |e| {
+            matches!(e, RaftEvent::TunerReset)
+        });
+        assert_eq!(n, 1);
+    }
+}

@@ -1,0 +1,332 @@
+//! The server host: a Raft node + KV store + CPU meter behind the
+//! simulator's [`Host`](dynatune_simnet::Host) interface.
+
+use crate::cpu::{CostModel, CpuMeter};
+use crate::msg::ClusterMsg;
+use dynatune_kv::{KvCommand, KvStore};
+use dynatune_raft::{
+    LogIndex, NodeEffects, NodeId, Payload, RaftConfig, RaftEvent, RaftNode, Role, Term,
+};
+use dynatune_simnet::{Channel, HostCtx, SimTime};
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// A proposal made on behalf of a client, waiting for its entry to apply.
+#[derive(Debug, Clone)]
+struct PendingReq {
+    term: Term,
+    client: NodeId,
+    req_id: u64,
+}
+
+/// A client request admitted through the CPU queue, waiting to execute.
+#[derive(Debug, Clone)]
+struct AdmittedReq {
+    ready_at: SimTime,
+    client: NodeId,
+    req_id: u64,
+    cmd: KvCommand,
+}
+
+/// Compact when the live log exceeds this many entries.
+const COMPACT_THRESHOLD: usize = 131_072;
+/// Keep this many recent entries when compacting.
+const COMPACT_TAIL: u64 = 8_192;
+
+/// One simulated etcd-like server.
+pub struct ServerHost {
+    node: RaftNode<KvStore>,
+    cost: CostModel,
+    cpu: CpuMeter,
+    tunes: bool,
+    /// Observable event log: `(time, event)`.
+    events: Vec<(SimTime, RaftEvent)>,
+    /// Proposals awaiting application, keyed by log index.
+    pending: BTreeMap<LogIndex, PendingReq>,
+    /// CPU-admitted client requests not yet proposed (FIFO by ready_at).
+    admit: std::collections::VecDeque<AdmittedReq>,
+}
+
+impl ServerHost {
+    /// Build a server from its Raft config and cost model.
+    #[must_use]
+    pub fn new(config: RaftConfig, cost: CostModel, cores: usize, window: Duration) -> Self {
+        let tunes = config.tuning.mode.tunes();
+        Self {
+            node: RaftNode::new(config, KvStore::new(), SimTime::ZERO),
+            cost,
+            cpu: CpuMeter::new(cores, window),
+            tunes,
+            events: Vec::new(),
+            pending: BTreeMap::new(),
+            admit: std::collections::VecDeque::new(),
+        }
+    }
+
+    /// The wrapped Raft node (observers).
+    #[must_use]
+    pub fn node(&self) -> &RaftNode<KvStore> {
+        &self.node
+    }
+
+    /// Mutable access for failure injection (crash/restart).
+    pub fn node_mut(&mut self) -> &mut RaftNode<KvStore> {
+        &mut self.node
+    }
+
+    /// Recorded events (time-stamped).
+    #[must_use]
+    pub fn events(&self) -> &[(SimTime, RaftEvent)] {
+        &self.events
+    }
+
+    /// The CPU meter (utilization series).
+    #[must_use]
+    pub fn cpu(&self) -> &CpuMeter {
+        &self.cpu
+    }
+
+    /// Crash this server: persistent Raft state survives, everything else
+    /// (state machine, pending requests, admission queue) is lost.
+    pub fn crash_restart(&mut self, now: SimTime) {
+        self.node.restart(now, KvStore::new());
+        self.pending.clear();
+        self.admit.clear();
+    }
+
+    fn msg_recv_cost(&self) -> Duration {
+        let mut c = self.cost.per_message_recv;
+        if self.tunes {
+            c += self.cost.tuning_per_message;
+        }
+        c
+    }
+
+    fn msg_send_cost(&self, payload: &Payload<KvCommand>) -> Duration {
+        let mut c = self.cost.per_message_send;
+        if self.tunes {
+            c += self.cost.tuning_per_message;
+        }
+        if let Payload::AppendEntries(ae) = payload {
+            c += self.cost.per_append_entry * ae.entries.len() as u32;
+        }
+        c
+    }
+
+    /// Route node effects out to the network and bookkeeping.
+    fn route_effects(
+        &mut self,
+        ctx: &mut HostCtx<'_, ClusterMsg>,
+        fx: NodeEffects<KvStore>,
+    ) {
+        let now = ctx.now;
+        for ev in &fx.events {
+            self.events.push((now, *ev));
+        }
+        for m in fx.messages {
+            self.cpu.charge(now, self.msg_send_cost(&m.payload));
+            ctx.send(m.to, m.channel, ClusterMsg::Raft(m.payload));
+        }
+        for applied in fx.applied {
+            self.cpu.charge(now, self.cost.per_apply);
+            if let Some(p) = self.pending.remove(&applied.index) {
+                let result = if p.term == applied.term {
+                    applied.response
+                } else {
+                    None // our proposal was displaced by another leader's entry
+                };
+                ctx.send(
+                    p.client,
+                    Channel::Tcp,
+                    ClusterMsg::ClientResp {
+                        req_id: p.req_id,
+                        result,
+                    },
+                );
+            }
+        }
+        // If leadership was lost, fail whatever is still pending.
+        if self.node.role() != Role::Leader && !self.pending.is_empty() {
+            let pending = std::mem::take(&mut self.pending);
+            for (_, p) in pending {
+                ctx.send(
+                    p.client,
+                    Channel::Tcp,
+                    ClusterMsg::ClientResp {
+                        req_id: p.req_id,
+                        result: None,
+                    },
+                );
+            }
+        }
+        // Opportunistic log compaction keeps long experiments bounded.
+        if self.node.log().len() > COMPACT_THRESHOLD {
+            let upto = self.node.safe_compact_index().saturating_sub(COMPACT_TAIL);
+            self.node.compact_log(upto);
+        }
+    }
+
+    /// Propose admitted requests whose CPU-queue delay has elapsed.
+    fn drain_admitted(&mut self, ctx: &mut HostCtx<'_, ClusterMsg>) {
+        let now = ctx.now;
+        while let Some(front) = self.admit.front() {
+            if front.ready_at > now {
+                break;
+            }
+            let req = self.admit.pop_front().expect("non-empty");
+            let (result, fx) = self.node.propose(now, req.cmd.clone());
+            match result {
+                Ok((term, index)) => {
+                    self.pending.insert(
+                        index,
+                        PendingReq {
+                            term,
+                            client: req.client,
+                            req_id: req.req_id,
+                        },
+                    );
+                }
+                Err(not_leader) => {
+                    ctx.send(
+                        req.client,
+                        Channel::Tcp,
+                        ClusterMsg::ClientRedirect {
+                            req_id: req.req_id,
+                            hint: not_leader.hint,
+                            cmd: req.cmd,
+                        },
+                    );
+                }
+            }
+            self.route_effects(ctx, fx);
+        }
+    }
+
+    /// Deliver a message to this server.
+    pub fn handle_message(
+        &mut self,
+        ctx: &mut HostCtx<'_, ClusterMsg>,
+        from: NodeId,
+        msg: ClusterMsg,
+    ) {
+        match msg {
+            ClusterMsg::Raft(payload) => {
+                self.cpu.charge(ctx.now, self.msg_recv_cost());
+                let fx = self.node.step(ctx.now, from, payload);
+                self.route_effects(ctx, fx);
+                self.drain_admitted(ctx);
+            }
+            ClusterMsg::ClientReq { req_id, cmd } => {
+                let mut cost = self.cost.per_request;
+                if self.tunes {
+                    cost += self.cost.tuning_per_request;
+                }
+                let ready_at = self.cpu.charge(ctx.now, cost);
+                self.admit.push_back(AdmittedReq {
+                    ready_at,
+                    client: from,
+                    req_id,
+                    cmd,
+                });
+                self.drain_admitted(ctx);
+            }
+            // Servers never receive client-bound messages.
+            ClusterMsg::ClientResp { .. } | ClusterMsg::ClientRedirect { .. } => {}
+        }
+    }
+
+    /// Timer wake-up.
+    pub fn handle_wake(&mut self, ctx: &mut HostCtx<'_, ClusterMsg>) {
+        self.cpu.charge(ctx.now, self.cost.per_timer_wake);
+        self.drain_admitted(ctx);
+        let fx = self.node.tick(ctx.now);
+        self.route_effects(ctx, fx);
+    }
+
+    /// Earliest instant this server needs a wake-up.
+    #[must_use]
+    pub fn wake_deadline(&self) -> Option<SimTime> {
+        let node_wake = self.node.next_wake();
+        let admit_wake = self.admit.front().map(|a| a.ready_at);
+        match (node_wake, admit_wake) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynatune_core::TuningConfig;
+
+    // ServerHost is exercised end-to-end through ClusterSim (sim.rs tests
+    // and the integration suite); here we test the pieces that don't need a
+    // network.
+
+    fn server() -> ServerHost {
+        ServerHost::new(
+            RaftConfig::new(0, 1, TuningConfig::raft_default()),
+            CostModel::free(),
+            2,
+            Duration::from_secs(5),
+        )
+    }
+
+    #[test]
+    fn single_node_server_elects_itself_and_serves() {
+        let mut s = server();
+        let mut outbox = Vec::new();
+        // Let its election timer fire: single-node cluster becomes leader.
+        let deadline = s.wake_deadline().unwrap();
+        let mut ctx = HostCtx::test_ctx(deadline, 0, &mut outbox);
+        s.handle_wake(&mut ctx);
+        assert_eq!(s.node().role(), Role::Leader);
+        // A client request commits immediately.
+        let mut ctx = HostCtx::test_ctx(deadline + Duration::from_millis(1), 0, &mut outbox);
+        s.handle_message(
+            &mut ctx,
+            7,
+            ClusterMsg::ClientReq {
+                req_id: 42,
+                cmd: KvCommand::Put {
+                    key: bytes::Bytes::from_static(b"k"),
+                    value: bytes::Bytes::from_static(b"v"),
+                },
+            },
+        );
+        let resp = outbox
+            .iter()
+            .find(|(to, _, m)| *to == 7 && matches!(m, ClusterMsg::ClientResp { .. }));
+        assert!(resp.is_some(), "client got a response: {outbox:?}");
+    }
+
+    #[test]
+    fn events_are_recorded_with_timestamps() {
+        let mut s = server();
+        let mut outbox = Vec::new();
+        let deadline = s.wake_deadline().unwrap();
+        let mut ctx = HostCtx::test_ctx(deadline, 0, &mut outbox);
+        s.handle_wake(&mut ctx);
+        assert!(!s.events().is_empty());
+        assert!(s
+            .events()
+            .iter()
+            .any(|(_, e)| matches!(e, RaftEvent::BecameLeader { .. })));
+        assert!(s.events().iter().all(|(t, _)| *t == deadline));
+    }
+
+    #[test]
+    fn crash_restart_clears_volatile_state() {
+        let mut s = server();
+        let mut outbox = Vec::new();
+        let deadline = s.wake_deadline().unwrap();
+        let mut ctx = HostCtx::test_ctx(deadline, 0, &mut outbox);
+        s.handle_wake(&mut ctx);
+        let term_before = s.node().term();
+        s.crash_restart(deadline + Duration::from_secs(1));
+        assert_eq!(s.node().role(), Role::Follower);
+        assert_eq!(s.node().term(), term_before, "term is persistent");
+        assert!(s.node().state_machine().is_empty());
+    }
+}

@@ -1,0 +1,509 @@
+//! Cluster assembly and simulation driver.
+
+use crate::client::{ClientHost, StepRecord};
+use crate::cpu::CostModel;
+use crate::msg::ClusterMsg;
+use crate::server::ServerHost;
+use dynatune_core::{TuningConfig, TuningSnapshot};
+use dynatune_kv::{OpMix, RateStep, WorkloadGen};
+use dynatune_raft::{NodeId, RaftConfig, RaftEvent, Role, TimerQuantization};
+use dynatune_simnet::{
+    CongestionConfig, Host, HostCtx, LinkSchedule, NetParams, Network, Rng, SimTime, Topology,
+    World,
+};
+use std::time::Duration;
+
+/// Client workload specification.
+#[derive(Debug, Clone)]
+pub struct WorkloadSpec {
+    /// Offered-load schedule.
+    pub steps: Vec<RateStep>,
+    /// Operation mix.
+    pub mix: OpMix,
+    /// Number of distinct keys.
+    pub key_space: usize,
+    /// Zipf skew (0 = uniform).
+    pub zipf_theta: f64,
+    /// Value size in bytes.
+    pub value_size: usize,
+    /// Delay before the first arrival (lets the cluster elect a leader).
+    pub start_offset: Duration,
+    /// Client-side response timeout (`None` disables retries-on-silence).
+    pub request_timeout: Option<Duration>,
+}
+
+impl WorkloadSpec {
+    /// A steady-rate workload.
+    #[must_use]
+    pub fn steady(rps: f64, hold: Duration) -> Self {
+        Self {
+            steps: vec![RateStep { rps, hold }],
+            mix: OpMix::write_heavy(),
+            key_space: 10_000,
+            zipf_theta: 0.99,
+            value_size: 128,
+            start_offset: Duration::ZERO,
+            request_timeout: Some(Duration::from_secs(1)),
+        }
+    }
+
+    /// Builder: delay the workload start.
+    #[must_use]
+    pub fn starting_at(mut self, offset: Duration) -> Self {
+        self.start_offset = offset;
+        self
+    }
+}
+
+/// Full description of one simulated cluster run.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of Raft servers.
+    pub n: usize,
+    /// Tuning mode + parameters (selects Raft / Raft-Low / Fix-K / Dynatune).
+    pub tuning: TuningConfig,
+    /// Server-to-server network topology (must have exactly `n` nodes).
+    pub topology: Topology,
+    /// Congestion-burst model applied per egress.
+    pub congestion: CongestionConfig,
+    /// Election-timer quantization.
+    pub quantization: TimerQuantization,
+    /// Heartbeats over UDP (the paper's hybrid transport) or TCP (ablation).
+    pub udp_heartbeats: bool,
+    /// Pre-vote enabled (etcd default: yes).
+    pub pre_vote: bool,
+    /// Check-quorum enabled (etcd default: yes).
+    pub check_quorum: bool,
+    /// §IV-E extension 1: suppress heartbeats while replicating.
+    pub suppress_heartbeats: bool,
+    /// §IV-E extension 2: single consolidated heartbeat timer.
+    pub consolidated_timer: bool,
+    /// CPU cost model.
+    pub cost: CostModel,
+    /// Cores per server (paper: 4 for Figs. 4–6, 2 for Fig. 7).
+    pub cores: usize,
+    /// Utilization sampling window (paper: 5 s).
+    pub cpu_window: Duration,
+    /// Master seed; all randomness derives from it.
+    pub seed: u64,
+    /// Optional client workload (adds one client node to the fabric).
+    pub workload: Option<WorkloadSpec>,
+    /// Network parameters of client↔server links.
+    pub client_link: NetParams,
+}
+
+impl ClusterConfig {
+    /// A stable-network cluster matching the paper's §IV-A setup: `n`
+    /// servers, uniform RTT, no loss, 4 cores each.
+    #[must_use]
+    pub fn stable(n: usize, tuning: TuningConfig, rtt: Duration, seed: u64) -> Self {
+        // "Without intentionally introducing jitter" (§IV-B) — still a real
+        // kernel/bridge, so a small residual jitter remains.
+        let params = NetParams::clean(rtt).with_jitter(0.02);
+        Self {
+            n,
+            tuning,
+            topology: Topology::uniform_constant(n, params),
+            congestion: CongestionConfig::disabled(),
+            quantization: TimerQuantization::Tick,
+            udp_heartbeats: true,
+            pre_vote: true,
+            check_quorum: true,
+            suppress_heartbeats: false,
+            consolidated_timer: false,
+            cost: CostModel::default(),
+            cores: 4,
+            cpu_window: Duration::from_secs(5),
+            seed,
+            workload: None,
+            client_link: NetParams::lan(),
+        }
+    }
+
+    /// Attach a client workload.
+    #[must_use]
+    pub fn with_workload(mut self, spec: WorkloadSpec) -> Self {
+        self.workload = Some(spec);
+        self
+    }
+}
+
+/// A node in the simulated world: server or benchmark client.
+pub enum ClusterHost {
+    /// A Raft/KV server.
+    Server(Box<ServerHost>),
+    /// An open-loop client.
+    Client(Box<ClientHost>),
+}
+
+impl Host for ClusterHost {
+    type Msg = ClusterMsg;
+
+    fn on_message(&mut self, ctx: &mut HostCtx<'_, ClusterMsg>, from: usize, msg: ClusterMsg) {
+        match self {
+            ClusterHost::Server(s) => s.handle_message(ctx, from, msg),
+            ClusterHost::Client(c) => c.handle_message(ctx, from, msg),
+        }
+    }
+
+    fn on_wake(&mut self, ctx: &mut HostCtx<'_, ClusterMsg>) {
+        match self {
+            ClusterHost::Server(s) => s.handle_wake(ctx),
+            ClusterHost::Client(c) => c.handle_wake(ctx),
+        }
+    }
+
+    fn next_wake(&self) -> Option<SimTime> {
+        match self {
+            ClusterHost::Server(s) => s.wake_deadline(),
+            ClusterHost::Client(c) => c.wake_deadline(),
+        }
+    }
+}
+
+/// A running simulated cluster.
+pub struct ClusterSim {
+    world: World<ClusterHost>,
+    n_servers: usize,
+}
+
+impl ClusterSim {
+    /// Build the cluster.
+    ///
+    /// # Panics
+    /// Panics when the topology size does not match `config.n`.
+    #[must_use]
+    pub fn new(config: &ClusterConfig) -> Self {
+        assert_eq!(
+            config.topology.len(),
+            config.n,
+            "topology must cover exactly the servers"
+        );
+        let master = Rng::new(config.seed);
+        let n_total = config.n + usize::from(config.workload.is_some());
+        // Extend the topology with the client node if needed.
+        let topology = if config.workload.is_some() {
+            config
+                .topology
+                .extend_with(1, LinkSchedule::constant(config.client_link))
+        } else {
+            config.topology.clone()
+        };
+        let net = Network::new(n_total, &master.child(1), config.congestion, |f, t| {
+            topology.schedule(f, t)
+        });
+        let node_seed_root = master.child(2);
+        let mut hosts: Vec<ClusterHost> = (0..config.n)
+            .map(|id| {
+                let mut rc = RaftConfig::new(id, config.n, config.tuning);
+                rc.pre_vote = config.pre_vote;
+                rc.check_quorum = config.check_quorum;
+                rc.quantization = config.quantization;
+                rc.udp_heartbeats = config.udp_heartbeats;
+                rc.suppress_heartbeats_when_replicating = config.suppress_heartbeats;
+                rc.consolidated_heartbeat_timer = config.consolidated_timer;
+                let mut stream = node_seed_root.child(id as u64);
+                rc.seed = stream.next_u64();
+                ClusterHost::Server(Box::new(ServerHost::new(
+                    rc,
+                    config.cost,
+                    config.cores,
+                    config.cpu_window,
+                )))
+            })
+            .collect();
+        if let Some(spec) = &config.workload {
+            let wl = WorkloadGen::new(
+                spec.steps.clone(),
+                spec.mix,
+                spec.key_space,
+                spec.zipf_theta,
+                spec.value_size,
+                master.child(3),
+                SimTime::ZERO + spec.start_offset,
+            );
+            hosts.push(ClusterHost::Client(Box::new(
+                ClientHost::new(wl, config.n, SimTime::ZERO + spec.start_offset)
+                    .with_request_timeout(spec.request_timeout),
+            )));
+        }
+        Self {
+            world: World::new(hosts, net),
+            n_servers: config.n,
+        }
+    }
+
+    /// Current simulated time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.world.now()
+    }
+
+    /// Number of servers (clients excluded).
+    #[must_use]
+    pub fn n_servers(&self) -> usize {
+        self.n_servers
+    }
+
+    /// Advance the simulation to `deadline`.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        self.world.run_until(deadline);
+    }
+
+    /// Advance by `delta`.
+    pub fn run_for(&mut self, delta: Duration) {
+        let target = self.world.now() + delta;
+        self.world.run_until(target);
+    }
+
+    fn server(&self, id: NodeId) -> &ServerHost {
+        match self.world.host(id) {
+            ClusterHost::Server(s) => s,
+            ClusterHost::Client(_) => panic!("node {id} is a client"),
+        }
+    }
+
+    /// Run a closure against a server (observers).
+    pub fn with_server<T>(&self, id: NodeId, f: impl FnOnce(&ServerHost) -> T) -> T {
+        f(self.server(id))
+    }
+
+    /// Run a closure against the client host, if one exists.
+    #[must_use]
+    pub fn client_steps(&self) -> Option<Vec<StepRecord>> {
+        match self.world.host(self.world.len() - 1) {
+            ClusterHost::Client(c) => Some(c.steps().to_vec()),
+            ClusterHost::Server(_) => None,
+        }
+    }
+
+    /// The live leader (not paused), if exactly one exists at the highest
+    /// leading term.
+    #[must_use]
+    pub fn leader(&self) -> Option<NodeId> {
+        let mut best: Option<(u64, NodeId)> = None;
+        for id in 0..self.n_servers {
+            if self.world.is_paused(id) {
+                continue;
+            }
+            let node = self.server(id).node();
+            if node.role() == Role::Leader {
+                let term = node.term();
+                if best.is_none_or(|(t, _)| term > t) {
+                    best = Some((term, id));
+                }
+            }
+        }
+        best.map(|(_, id)| id)
+    }
+
+    /// Pause a server (the paper's container-sleep failure).
+    pub fn pause(&mut self, id: NodeId) {
+        self.world.pause(id);
+    }
+
+    /// Resume a paused server.
+    pub fn resume(&mut self, id: NodeId) {
+        self.world.resume(id);
+    }
+
+    /// Whether a server is paused.
+    #[must_use]
+    pub fn is_paused(&self, id: NodeId) -> bool {
+        self.world.is_paused(id)
+    }
+
+    /// Crash a server: drops buffered traffic and volatile state; the node
+    /// rejoins as follower with its persistent log.
+    pub fn crash(&mut self, id: NodeId) {
+        self.world.clear_pause_buffer(id);
+        let now = self.world.now();
+        match self.world.host_mut(id) {
+            ClusterHost::Server(s) => s.crash_restart(now),
+            ClusterHost::Client(_) => panic!("node {id} is a client"),
+        }
+        self.world.reschedule_wake(id);
+    }
+
+    /// All recorded events, merged and sorted by time.
+    #[must_use]
+    pub fn events(&self) -> Vec<(SimTime, NodeId, RaftEvent)> {
+        let mut out = Vec::new();
+        for id in 0..self.n_servers {
+            for &(t, e) in self.server(id).events() {
+                out.push((t, id, e));
+            }
+        }
+        out.sort_by_key(|&(t, id, _)| (t, id));
+        out
+    }
+
+    /// Randomized timeout of each live server (paused servers excluded →
+    /// `None`), for the paper's Fig. 6 third-smallest metric.
+    #[must_use]
+    pub fn randomized_timeouts(&self) -> Vec<Option<Duration>> {
+        (0..self.n_servers)
+            .map(|id| {
+                (!self.world.is_paused(id)).then(|| self.server(id).node().randomized_timeout())
+            })
+            .collect()
+    }
+
+    /// Tuning snapshot of one server.
+    #[must_use]
+    pub fn tuning_snapshot(&self, id: NodeId) -> TuningSnapshot {
+        self.server(id).node().tuning_snapshot()
+    }
+
+    /// Mean heartbeat interval the leader currently applies across its
+    /// followers (Fig. 7a metric). `None` when there is no leader.
+    #[must_use]
+    pub fn leader_mean_heartbeat_interval(&self) -> Option<Duration> {
+        let leader = self.leader()?;
+        let node = self.server(leader).node();
+        let mut total = Duration::ZERO;
+        let mut count = 0u32;
+        for id in 0..self.n_servers {
+            if id != leader {
+                if let Some(h) = node.pacer_interval(id) {
+                    total += h;
+                    count += 1;
+                }
+            }
+        }
+        (count > 0).then(|| total / count)
+    }
+
+    /// Current scheduled RTT of the 0→1 link (the uniform-topology probe
+    /// used for Fig. 6's RTT trace).
+    #[must_use]
+    pub fn probe_rtt(&self) -> Duration {
+        self.world.network().params_at(0, 1, self.world.now()).rtt
+    }
+
+    /// Current scheduled loss rate of the 0→1 link (Fig. 7's loss trace).
+    #[must_use]
+    pub fn probe_loss(&self) -> f64 {
+        self.world.network().params_at(0, 1, self.world.now()).loss
+    }
+
+    /// Network counters (sent/delivered/dropped).
+    #[must_use]
+    pub fn net_counters(&self) -> dynatune_simnet::NetCounters {
+        self.world.counters()
+    }
+
+    /// Partition the network: `group` forms one side, the rest the other.
+    pub fn partition(&mut self, group: &[NodeId]) {
+        self.world.partition(group);
+    }
+
+    /// Heal all partitions.
+    pub fn heal_partition(&mut self) {
+        self.world.heal_partition();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stable_cluster(tuning: TuningConfig, seed: u64) -> ClusterSim {
+        let cfg = ClusterConfig::stable(5, tuning, Duration::from_millis(100), seed);
+        ClusterSim::new(&cfg)
+    }
+
+    #[test]
+    fn cluster_elects_a_leader() {
+        let mut sim = stable_cluster(TuningConfig::raft_default(), 1);
+        sim.run_until(SimTime::from_secs(10));
+        let leader = sim.leader().expect("a leader must emerge");
+        assert!(leader < 5);
+        // Exactly one BecameLeader event chain; all servers agree.
+        for id in 0..5 {
+            let node_leader = sim.with_server(id, |s| s.node().leader_id());
+            assert_eq!(node_leader, Some(leader), "server {id} agrees on leader");
+        }
+    }
+
+    #[test]
+    fn dynatune_cluster_warms_up_tuners() {
+        let mut sim = stable_cluster(TuningConfig::dynatune(), 2);
+        sim.run_until(SimTime::from_secs(30));
+        let leader = sim.leader().expect("leader");
+        for id in 0..5 {
+            if id == leader {
+                continue;
+            }
+            let snap = sim.tuning_snapshot(id);
+            assert!(snap.warmed, "follower {id} tuner warmed: {snap:?}");
+            // RTT 100ms, tiny jitter: Et close to 100ms, far below default.
+            let et_ms = snap.election_timeout.as_secs_f64() * 1e3;
+            assert!((90.0..200.0).contains(&et_ms), "follower {id} Et {et_ms}ms");
+        }
+        // The leader paces followers at the tuned interval (K=1 ⇒ h=Et).
+        let h = sim.leader_mean_heartbeat_interval().unwrap();
+        assert!(h >= Duration::from_millis(90), "tuned h = {h:?}");
+    }
+
+    #[test]
+    fn static_raft_keeps_default_parameters() {
+        let mut sim = stable_cluster(TuningConfig::raft_default(), 3);
+        sim.run_until(SimTime::from_secs(20));
+        for id in 0..5 {
+            let snap = sim.tuning_snapshot(id);
+            assert!(!snap.warmed);
+            assert_eq!(snap.election_timeout, Duration::from_millis(1000));
+        }
+        let h = sim.leader_mean_heartbeat_interval().unwrap();
+        assert_eq!(h, Duration::from_millis(100));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed| {
+            let mut sim = stable_cluster(TuningConfig::dynatune(), seed);
+            sim.run_until(SimTime::from_secs(15));
+            (sim.leader(), sim.events().len(), sim.net_counters())
+        };
+        assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn pause_and_failover() {
+        let mut sim = stable_cluster(TuningConfig::raft_default(), 4);
+        sim.run_until(SimTime::from_secs(10));
+        let old_leader = sim.leader().expect("initial leader");
+        sim.pause(old_leader);
+        sim.run_for(Duration::from_secs(10));
+        let new_leader = sim.leader().expect("failover leader");
+        assert_ne!(new_leader, old_leader);
+        // Resume: the old leader rejoins as follower.
+        sim.resume(old_leader);
+        sim.run_for(Duration::from_secs(5));
+        let role = sim.with_server(old_leader, |s| s.node().role());
+        assert_eq!(role, Role::Follower);
+    }
+
+    #[test]
+    fn workload_flows_end_to_end() {
+        let cfg = ClusterConfig::stable(
+            3,
+            TuningConfig::raft_default(),
+            Duration::from_millis(10),
+            5,
+        )
+        .with_workload(WorkloadSpec::steady(200.0, Duration::from_secs(5)));
+        let mut sim = ClusterSim::new(&cfg);
+        // Schedule starts at t=0; leader takes ~1-2s to emerge, so early
+        // requests are redirected/failed; later ones complete.
+        sim.run_until(SimTime::from_secs(10));
+        let steps = sim.client_steps().expect("client attached");
+        assert_eq!(steps.len(), 1);
+        let s = &steps[0];
+        assert!(s.sent > 800, "sent {}", s.sent);
+        assert!(s.completed > 500, "completed {}", s.completed);
+        // Latency at 10ms RTT and light load: a few tens of ms tops.
+        assert!(s.latency_ms.mean() < 100.0, "latency {}", s.latency_ms.mean());
+    }
+}

@@ -1,0 +1,184 @@
+//! The tuning formulas of §III-D.
+
+use std::time::Duration;
+
+/// Number of heartbeats `K` that must be sent within one election timeout so
+/// that at least one arrives with probability ≥ `x` under i.i.d. loss rate
+/// `p` (§III-D2):
+///
+/// `1 − p^K ≥ x  ⇒  K = ⌈log_p(1 − x)⌉`
+///
+/// Guard rails:
+/// * `p ≤ 0` (no loss): one heartbeat suffices, `K = 1`.
+/// * `p ≥ 1`: the formula diverges; clamp to `k_max`.
+/// * result is always in `[1, k_max]`.
+#[must_use]
+pub fn required_heartbeats(loss: f64, x: f64, k_max: u32) -> u32 {
+    let k_max = k_max.max(1);
+    if loss <= 0.0 || loss.is_nan() {
+        return 1;
+    }
+    if loss >= 1.0 {
+        return k_max;
+    }
+    let x = x.clamp(0.0, 1.0 - f64::EPSILON);
+    if x <= 0.0 {
+        return 1;
+    }
+    // log_p(1-x) = ln(1-x) / ln(p); both logs negative, ratio positive.
+    let k = ((1.0 - x).ln() / loss.ln()).ceil();
+    if !k.is_finite() {
+        return k_max;
+    }
+    (k as i64).clamp(1, i64::from(k_max)) as u32
+}
+
+/// Election timeout from RTT statistics (§III-D1):
+/// `Et = µ_RTT + s·σ_RTT`, clamped to `[floor, ceiling]`.
+#[must_use]
+pub fn election_timeout_from_rtt(
+    mean_rtt: Duration,
+    std_rtt: Duration,
+    safety_factor: f64,
+    floor: Duration,
+    ceiling: Duration,
+) -> Duration {
+    let et = mean_rtt.as_secs_f64() + safety_factor * std_rtt.as_secs_f64();
+    let et = Duration::from_secs_f64(et.max(0.0));
+    et.clamp(floor, ceiling)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn k_is_one_without_loss() {
+        assert_eq!(required_heartbeats(0.0, 0.999, 100), 1);
+        assert_eq!(required_heartbeats(-0.1, 0.999, 100), 1);
+    }
+
+    #[test]
+    fn k_matches_paper_examples() {
+        // x = 0.999: p=0.05 -> ceil(ln(0.001)/ln(0.05)) = ceil(2.31) = 3
+        assert_eq!(required_heartbeats(0.05, 0.999, 100), 3);
+        // p=0.10 -> ceil(3.0) = 3
+        assert_eq!(required_heartbeats(0.10, 0.999, 100), 3);
+        // p=0.30 -> ceil(5.74) = 6 (the Fig. 7a dip to ~Et/6)
+        assert_eq!(required_heartbeats(0.30, 0.999, 100), 6);
+        // p=0.50 -> ceil(9.97) = 10
+        assert_eq!(required_heartbeats(0.50, 0.999, 100), 10);
+    }
+
+    #[test]
+    fn k_exact_boundary_is_not_overshot() {
+        // p=0.1, x=0.999: p^3 = 1e-3 exactly meets 1-p^K >= x, so K=3.
+        assert_eq!(required_heartbeats(0.1, 0.999, 100), 3);
+        // Slightly stricter x forces K=4.
+        assert_eq!(required_heartbeats(0.1, 0.9991, 100), 4);
+    }
+
+    #[test]
+    fn k_clamps_at_k_max() {
+        assert_eq!(required_heartbeats(0.999_999, 0.999, 100), 100);
+        assert_eq!(required_heartbeats(1.0, 0.999, 64), 64);
+        assert_eq!(required_heartbeats(2.0, 0.999, 64), 64);
+    }
+
+    #[test]
+    fn degenerate_x_values() {
+        assert_eq!(required_heartbeats(0.5, 0.0, 100), 1);
+        assert_eq!(required_heartbeats(0.5, -1.0, 100), 1);
+        // x = 1.0 is clamped just below 1 (1 - eps): K = ceil(ln(eps)/ln(0.5)) = 52.
+        assert_eq!(required_heartbeats(0.5, 1.0, 100), 52);
+        // With a small k_max the clamp engages.
+        assert_eq!(required_heartbeats(0.5, 1.0, 16), 16);
+    }
+
+    #[test]
+    fn et_formula_and_clamps() {
+        let floor = Duration::from_millis(10);
+        let ceiling = Duration::from_secs(60);
+        // 100ms mean, 5ms std, s=2 -> 110ms
+        assert_eq!(
+            election_timeout_from_rtt(
+                Duration::from_millis(100),
+                Duration::from_millis(5),
+                2.0,
+                floor,
+                ceiling
+            ),
+            Duration::from_millis(110)
+        );
+        // tiny values clamp to the floor
+        assert_eq!(
+            election_timeout_from_rtt(Duration::from_micros(100), Duration::ZERO, 2.0, floor, ceiling),
+            floor
+        );
+        // huge values clamp to the ceiling
+        assert_eq!(
+            election_timeout_from_rtt(Duration::from_secs(120), Duration::ZERO, 2.0, floor, ceiling),
+            ceiling
+        );
+    }
+
+    proptest! {
+        /// The defining property: K heartbeats reach the follower with
+        /// probability >= x (unless clamped by k_max).
+        #[test]
+        fn prop_k_guarantees_arrival_probability(
+            loss in 0.0f64..0.95,
+            x in 0.5f64..0.9999,
+        ) {
+            let k = required_heartbeats(loss, x, 1000);
+            if k < 1000 {
+                let arrival = 1.0 - loss.powi(k as i32);
+                prop_assert!(arrival >= x - 1e-12, "p={loss} x={x} k={k} arrival={arrival}");
+            }
+        }
+
+        /// Minimality: K-1 heartbeats would NOT meet the target.
+        #[test]
+        fn prop_k_is_minimal(
+            loss in 0.01f64..0.95,
+            x in 0.5f64..0.9999,
+        ) {
+            let k = required_heartbeats(loss, x, 1000);
+            if k > 1 {
+                let arrival_with_less = 1.0 - loss.powi(k as i32 - 1);
+                prop_assert!(arrival_with_less < x + 1e-9, "p={loss} x={x} k={k}");
+            }
+        }
+
+        /// K is monotone in the loss rate.
+        #[test]
+        fn prop_k_monotone_in_loss(a in 0.0f64..0.95, b in 0.0f64..0.95) {
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(required_heartbeats(lo, 0.999, 1000) <= required_heartbeats(hi, 0.999, 1000));
+        }
+
+        /// Et is monotone in both mean and std, and always within clamps.
+        #[test]
+        fn prop_et_monotone_and_clamped(
+            mean_ms in 0.0f64..10_000.0,
+            std_ms in 0.0f64..5_000.0,
+            s in 0.0f64..10.0,
+        ) {
+            let floor = Duration::from_millis(10);
+            let ceiling = Duration::from_secs(60);
+            let et = election_timeout_from_rtt(
+                Duration::from_secs_f64(mean_ms / 1e3),
+                Duration::from_secs_f64(std_ms / 1e3),
+                s, floor, ceiling,
+            );
+            prop_assert!(et >= floor && et <= ceiling);
+            let et_bigger_mean = election_timeout_from_rtt(
+                Duration::from_secs_f64((mean_ms + 1.0) / 1e3),
+                Duration::from_secs_f64(std_ms / 1e3),
+                s, floor, ceiling,
+            );
+            prop_assert!(et_bigger_mean >= et);
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! Wire metadata carried on heartbeats and their responses (paper Fig. 3).
+//!
+//! Timestamps are opaque `u64` nanosecond readings of the *leader's* local
+//! clock; the follower never interprets them, it only echoes them back.
+//! This is what makes the measurement correct under partial synchrony: the
+//! RTT is computed as the difference of two readings of one clock.
+
+use std::time::Duration;
+
+/// Metadata the leader attaches to each heartbeat sent to one follower.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HeartbeatMeta {
+    /// Sequential heartbeat id on this leader→follower path (per term).
+    /// Gaps in the sequence let the follower measure the loss rate.
+    pub id: u64,
+    /// Leader-local send timestamp (nanoseconds, opaque to the follower).
+    pub sent_at_nanos: u64,
+    /// The most recent RTT the leader measured for this follower, delivered
+    /// to the follower one heartbeat late (Fig. 3a, step 3). `None` until
+    /// the first response has been observed.
+    pub rtt_sample: Option<Duration>,
+}
+
+/// Metadata the follower piggybacks on its heartbeat response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HeartbeatReply {
+    /// The id of the heartbeat being acknowledged.
+    pub id: u64,
+    /// Echo of [`HeartbeatMeta::sent_at_nanos`]; the leader subtracts this
+    /// from its current clock to obtain the RTT without per-heartbeat state,
+    /// immune to reordering and loss.
+    pub echo_sent_at_nanos: u64,
+    /// The follower's newly tuned heartbeat interval `h`, if tuning is
+    /// active and warmed up (§III-D2). The leader applies it to this
+    /// follower's pacer.
+    pub tuned_interval: Option<Duration>,
+}
+
+impl HeartbeatReply {
+    /// Construct the reply a measurement-oblivious follower would send
+    /// (echo only, no tuning directive).
+    #[must_use]
+    pub fn echo_only(meta: &HeartbeatMeta) -> Self {
+        Self {
+            id: meta.id,
+            echo_sent_at_nanos: meta.sent_at_nanos,
+            tuned_interval: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn echo_only_copies_fields() {
+        let meta = HeartbeatMeta {
+            id: 7,
+            sent_at_nanos: 123_456,
+            rtt_sample: Some(Duration::from_millis(80)),
+        };
+        let reply = HeartbeatReply::echo_only(&meta);
+        assert_eq!(reply.id, 7);
+        assert_eq!(reply.echo_sent_at_nanos, 123_456);
+        assert_eq!(reply.tuned_interval, None);
+    }
+}

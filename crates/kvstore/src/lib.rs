@@ -1,0 +1,19 @@
+//! Replicated key-value store for the Dynatune reproduction.
+//!
+//! The paper evaluates Dynatune inside etcd, a Raft-replicated KV store.
+//! This crate provides the service layer:
+//!
+//! * [`KvStore`] — the deterministic state machine (put/get/delete/range/CAS
+//!   with etcd-style create/mod revisions) replicated by `dynatune-raft`;
+//! * [`WorkloadGen`] — open-loop client load with Poisson arrivals, rate
+//!   ramp schedules (the paper's §IV-B2 peak-throughput methodology) and
+//!   Zipf-skewed keys.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod store;
+pub mod workload;
+
+pub use store::{KvCommand, KvResponse, KvStore, VersionedValue};
+pub use workload::{OpMix, RateStep, WorkloadGen};

@@ -1,0 +1,350 @@
+//! The key-value state machine replicated by Raft (etcd-like semantics).
+
+use bytes::Bytes;
+use dynatune_raft::{LogIndex, StateMachine};
+use std::collections::BTreeMap;
+
+/// Commands accepted by the KV store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KvCommand {
+    /// Store `value` under `key`.
+    Put {
+        /// Key bytes.
+        key: Bytes,
+        /// Value bytes.
+        value: Bytes,
+    },
+    /// Linearizable read of `key` (goes through the log, like etcd's
+    /// quorum reads).
+    Get {
+        /// Key bytes.
+        key: Bytes,
+    },
+    /// Remove `key`.
+    Delete {
+        /// Key bytes.
+        key: Bytes,
+    },
+    /// Read up to `limit` keys in `[start, end)`.
+    Range {
+        /// Inclusive start key.
+        start: Bytes,
+        /// Exclusive end key.
+        end: Bytes,
+        /// Maximum entries returned.
+        limit: usize,
+    },
+    /// Compare-and-swap: set `value` only if the current value equals
+    /// `expect` (`None` = key must be absent).
+    Cas {
+        /// Key bytes.
+        key: Bytes,
+        /// Expected current value (`None` expects absence).
+        expect: Option<Bytes>,
+        /// New value on success.
+        value: Bytes,
+    },
+}
+
+/// One stored value with etcd-style revision bookkeeping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VersionedValue {
+    /// The value bytes.
+    pub value: Bytes,
+    /// Log index of the write that created the key (etcd `create_revision`).
+    pub create_revision: LogIndex,
+    /// Log index of the last write (etcd `mod_revision`).
+    pub mod_revision: LogIndex,
+    /// Number of writes to this key since creation.
+    pub version: u64,
+}
+
+/// Responses produced by applying commands.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KvResponse {
+    /// Put succeeded; carries the previous value if any.
+    Put {
+        /// Previous value, if the key existed.
+        prev: Option<Bytes>,
+    },
+    /// Get result.
+    Get {
+        /// The value, if present.
+        value: Option<VersionedValue>,
+    },
+    /// Delete result.
+    Delete {
+        /// True when a key was actually removed.
+        existed: bool,
+    },
+    /// Range result.
+    Range {
+        /// Matching key/value pairs in key order.
+        entries: Vec<(Bytes, Bytes)>,
+        /// Total matches (may exceed `entries.len()` when limited).
+        more: bool,
+    },
+    /// CAS result.
+    Cas {
+        /// Whether the swap happened.
+        success: bool,
+    },
+}
+
+/// The replicated store: an ordered map plus revision metadata.
+///
+/// Determinism: state depends only on the applied command sequence, which is
+/// the SMR contract Raft provides. `PartialEq` compares full state —
+/// integration tests use it to assert replica convergence.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct KvStore {
+    map: BTreeMap<Bytes, VersionedValue>,
+}
+
+impl KvStore {
+    /// Empty store.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of live keys.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no keys are stored.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Direct (non-linearizable) read, for observers and tests.
+    #[must_use]
+    pub fn peek(&self, key: &[u8]) -> Option<&VersionedValue> {
+        self.map.get(key)
+    }
+
+    /// Iterate over all live keys in order (observers and tests).
+    pub fn iter(&self) -> impl Iterator<Item = (&Bytes, &VersionedValue)> {
+        self.map.iter()
+    }
+
+    /// Order-sensitive FNV-1a digest of the full state; replicas that
+    /// applied the same command sequence produce identical digests.
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+        };
+        for (k, v) in &self.map {
+            eat(k);
+            eat(&v.value);
+            eat(&v.create_revision.to_le_bytes());
+            eat(&v.mod_revision.to_le_bytes());
+            eat(&v.version.to_le_bytes());
+        }
+        h
+    }
+
+    fn put(&mut self, index: LogIndex, key: Bytes, value: Bytes) -> Option<Bytes> {
+        match self.map.get_mut(&key) {
+            Some(v) => {
+                let prev = std::mem::replace(&mut v.value, value);
+                v.mod_revision = index;
+                v.version += 1;
+                Some(prev)
+            }
+            None => {
+                self.map.insert(
+                    key,
+                    VersionedValue {
+                        value,
+                        create_revision: index,
+                        mod_revision: index,
+                        version: 1,
+                    },
+                );
+                None
+            }
+        }
+    }
+}
+
+impl StateMachine for KvStore {
+    type Command = KvCommand;
+    type Response = KvResponse;
+
+    fn apply(&mut self, index: LogIndex, command: &KvCommand) -> KvResponse {
+        match command {
+            KvCommand::Put { key, value } => KvResponse::Put {
+                prev: self.put(index, key.clone(), value.clone()),
+            },
+            KvCommand::Get { key } => KvResponse::Get {
+                value: self.map.get(key).cloned(),
+            },
+            KvCommand::Delete { key } => KvResponse::Delete {
+                existed: self.map.remove(key).is_some(),
+            },
+            KvCommand::Range { start, end, limit } => {
+                let mut entries = Vec::new();
+                let mut more = false;
+                for (k, v) in self.map.range(start.clone()..end.clone()) {
+                    if entries.len() >= *limit {
+                        more = true;
+                        break;
+                    }
+                    entries.push((k.clone(), v.value.clone()));
+                }
+                KvResponse::Range { entries, more }
+            }
+            KvCommand::Cas { key, expect, value } => {
+                let current = self.map.get(key).map(|v| &v.value);
+                let success = match (current, expect) {
+                    (None, None) => true,
+                    (Some(c), Some(e)) => c == e,
+                    _ => false,
+                };
+                if success {
+                    self.put(index, key.clone(), value.clone());
+                }
+                KvResponse::Cas { success }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(s: &str) -> Bytes {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+
+    #[test]
+    fn put_get_roundtrip() {
+        let mut kv = KvStore::new();
+        let r = kv.apply(1, &KvCommand::Put { key: b("a"), value: b("1") });
+        assert_eq!(r, KvResponse::Put { prev: None });
+        let r = kv.apply(2, &KvCommand::Get { key: b("a") });
+        match r {
+            KvResponse::Get { value: Some(v) } => {
+                assert_eq!(v.value, b("1"));
+                assert_eq!(v.create_revision, 1);
+                assert_eq!(v.mod_revision, 1);
+                assert_eq!(v.version, 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn put_overwrites_and_tracks_revisions() {
+        let mut kv = KvStore::new();
+        kv.apply(1, &KvCommand::Put { key: b("a"), value: b("1") });
+        let r = kv.apply(5, &KvCommand::Put { key: b("a"), value: b("2") });
+        assert_eq!(r, KvResponse::Put { prev: Some(b("1")) });
+        let v = kv.peek(b"a").unwrap();
+        assert_eq!(v.create_revision, 1);
+        assert_eq!(v.mod_revision, 5);
+        assert_eq!(v.version, 2);
+    }
+
+    #[test]
+    fn get_missing_is_none() {
+        let mut kv = KvStore::new();
+        let r = kv.apply(1, &KvCommand::Get { key: b("nope") });
+        assert_eq!(r, KvResponse::Get { value: None });
+    }
+
+    #[test]
+    fn delete_semantics() {
+        let mut kv = KvStore::new();
+        kv.apply(1, &KvCommand::Put { key: b("a"), value: b("1") });
+        assert_eq!(
+            kv.apply(2, &KvCommand::Delete { key: b("a") }),
+            KvResponse::Delete { existed: true }
+        );
+        assert_eq!(
+            kv.apply(3, &KvCommand::Delete { key: b("a") }),
+            KvResponse::Delete { existed: false }
+        );
+        assert!(kv.is_empty());
+    }
+
+    #[test]
+    fn range_respects_bounds_and_limit() {
+        let mut kv = KvStore::new();
+        for (i, k) in ["a", "b", "c", "d"].iter().enumerate() {
+            kv.apply(i as u64 + 1, &KvCommand::Put { key: b(k), value: b(&i.to_string()) });
+        }
+        let r = kv.apply(9, &KvCommand::Range { start: b("b"), end: b("d"), limit: 10 });
+        match r {
+            KvResponse::Range { entries, more } => {
+                assert_eq!(entries.len(), 2);
+                assert_eq!(entries[0].0, b("b"));
+                assert_eq!(entries[1].0, b("c"));
+                assert!(!more);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let r = kv.apply(10, &KvCommand::Range { start: b("a"), end: b("z"), limit: 2 });
+        match r {
+            KvResponse::Range { entries, more } => {
+                assert_eq!(entries.len(), 2);
+                assert!(more);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cas_success_and_failure() {
+        let mut kv = KvStore::new();
+        // Create-if-absent.
+        assert_eq!(
+            kv.apply(1, &KvCommand::Cas { key: b("k"), expect: None, value: b("v1") }),
+            KvResponse::Cas { success: true }
+        );
+        // Wrong expectation fails and leaves the value alone.
+        assert_eq!(
+            kv.apply(2, &KvCommand::Cas { key: b("k"), expect: Some(b("zzz")), value: b("v2") }),
+            KvResponse::Cas { success: false }
+        );
+        assert_eq!(kv.peek(b"k").unwrap().value, b("v1"));
+        // Correct expectation succeeds.
+        assert_eq!(
+            kv.apply(3, &KvCommand::Cas { key: b("k"), expect: Some(b("v1")), value: b("v2") }),
+            KvResponse::Cas { success: true }
+        );
+        assert_eq!(kv.peek(b"k").unwrap().value, b("v2"));
+        assert_eq!(kv.peek(b"k").unwrap().version, 2);
+        // CAS expecting absence fails on a live key.
+        assert_eq!(
+            kv.apply(4, &KvCommand::Cas { key: b("k"), expect: None, value: b("v3") }),
+            KvResponse::Cas { success: false }
+        );
+    }
+
+    #[test]
+    fn replicas_converge_under_same_command_sequence() {
+        let cmds = [KvCommand::Put { key: b("x"), value: b("1") },
+            KvCommand::Cas { key: b("x"), expect: Some(b("1")), value: b("2") },
+            KvCommand::Delete { key: b("y") },
+            KvCommand::Put { key: b("y"), value: b("3") },
+            KvCommand::Delete { key: b("x") }];
+        let mut a = KvStore::new();
+        let mut c = KvStore::new();
+        for (i, cmd) in cmds.iter().enumerate() {
+            a.apply(i as u64 + 1, cmd);
+            c.apply(i as u64 + 1, cmd);
+        }
+        assert_eq!(a.map, c.map);
+    }
+}

@@ -1,0 +1,136 @@
+//! Node configuration.
+
+use crate::types::NodeId;
+use dynatune_core::TuningConfig;
+use std::time::Duration;
+
+/// How election-timer expiry interacts with the tick clock.
+///
+/// etcd counts election timeouts in ticks whose period is the heartbeat
+/// interval: expiry is only observed on a tick boundary. The paper's
+/// measured detection times (≈ 2·Et for Dynatune, whose tick equals Et
+/// because K = 1 at zero loss) only make sense under this quantization, so
+/// it is the default; `Continuous` is provided for ablation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimerQuantization {
+    /// Expiry observed at the first tick boundary at or after the deadline
+    /// (tick period = the node's current expected heartbeat interval).
+    Tick,
+    /// Expiry observed exactly at `last_reset + randomized_timeout`.
+    Continuous,
+}
+
+/// Static configuration of one Raft node.
+#[derive(Debug, Clone)]
+pub struct RaftConfig {
+    /// This node's id.
+    pub id: NodeId,
+    /// All cluster members (including this node).
+    pub peers: Vec<NodeId>,
+    /// Election-parameter tuning configuration (mode selects the paper's
+    /// Raft / Raft-Low / Fix-K / Dynatune variants).
+    pub tuning: TuningConfig,
+    /// Run the pre-vote phase before real elections (etcd ≥ 3.4 default).
+    pub pre_vote: bool,
+    /// Reject (pre-)votes while a current leader lease is active, and have
+    /// leaders step down when a quorum has been silent for an election
+    /// timeout (etcd's CheckQuorum).
+    pub check_quorum: bool,
+    /// Election-timer quantization discipline.
+    pub quantization: TimerQuantization,
+    /// Send heartbeats over the UDP-like channel (the paper's hybrid
+    /// transport). When false everything uses TCP (stock etcd; ablation).
+    pub udp_heartbeats: bool,
+    /// Maximum entries per `AppendEntries` message.
+    pub max_entries_per_append: usize,
+    /// Resend an unacknowledged `AppendEntries` after this long.
+    pub append_resend: Duration,
+    /// §IV-E extension 1: skip a follower's heartbeat when replication
+    /// traffic was sent to it within the current heartbeat interval —
+    /// appends already reset the follower's election timer, so under load
+    /// the heartbeats are redundant CPU/bandwidth. Off by default (the
+    /// paper leaves it as future work).
+    pub suppress_heartbeats_when_replicating: bool,
+    /// §IV-E extension 2: fire all followers' heartbeats together on the
+    /// smallest tuned interval, so the leader manages one timer instead of
+    /// n−1. Off by default (future work in the paper).
+    pub consolidated_heartbeat_timer: bool,
+    /// Seed for the node's randomized-timeout stream.
+    pub seed: u64,
+}
+
+impl RaftConfig {
+    /// Standard configuration for node `id` in a cluster of `n` nodes.
+    #[must_use]
+    pub fn new(id: NodeId, n: usize, tuning: TuningConfig) -> Self {
+        assert!(id < n, "node id {id} out of range for cluster of {n}");
+        Self {
+            id,
+            peers: (0..n).collect(),
+            tuning,
+            pre_vote: true,
+            check_quorum: true,
+            quantization: TimerQuantization::Tick,
+            udp_heartbeats: true,
+            // etcd's default message budget (~1 MB) holds thousands of small
+            // entries; with one append in flight per follower, throughput is
+            // bounded by batch/RTT, so the batch must comfortably exceed
+            // peak-rate × RTT (≈ 14k req/s × 100 ms ≈ 1400 entries).
+            max_entries_per_append: 8192,
+            append_resend: Duration::from_millis(200),
+            suppress_heartbeats_when_replicating: false,
+            consolidated_heartbeat_timer: false,
+            seed: 0xD15_EA5E ^ id as u64,
+        }
+    }
+
+    /// Number of cluster members.
+    #[must_use]
+    pub fn cluster_size(&self) -> usize {
+        self.peers.len()
+    }
+
+    /// Validate invariants.
+    ///
+    /// # Panics
+    /// Panics when the config is inconsistent.
+    pub fn validate(&self) {
+        assert!(
+            self.peers.contains(&self.id),
+            "peers must include the node itself"
+        );
+        assert!(!self.peers.is_empty(), "empty cluster");
+        assert!(self.max_entries_per_append > 0, "zero append batch size");
+        assert!(self.append_resend > Duration::ZERO, "zero resend timeout");
+        self.tuning.validate();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_builds_full_peer_set() {
+        let c = RaftConfig::new(2, 5, TuningConfig::dynatune());
+        assert_eq!(c.peers, vec![0, 1, 2, 3, 4]);
+        assert_eq!(c.cluster_size(), 5);
+        assert!(c.pre_vote);
+        assert!(c.check_quorum);
+        assert_eq!(c.quantization, TimerQuantization::Tick);
+        c.validate();
+    }
+
+    #[test]
+    fn per_node_seeds_differ() {
+        let a = RaftConfig::new(0, 3, TuningConfig::dynatune());
+        let b = RaftConfig::new(1, 3, TuningConfig::dynatune());
+        assert_ne!(a.seed, b.seed);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn id_out_of_range_panics() {
+        let _ = RaftConfig::new(5, 5, TuningConfig::dynatune());
+    }
+}

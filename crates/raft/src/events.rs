@@ -1,0 +1,107 @@
+//! Observable events emitted by a node, consumed by experiment observers.
+//!
+//! The paper extracts detection and out-of-service times from server log
+//! files (§IV-A); this enum is the structured equivalent.
+
+use crate::types::{NodeId, Term};
+use std::time::Duration;
+
+/// Noteworthy state transitions of a Raft node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RaftEvent {
+    /// The election timer expired — the node *detected* a (suspected)
+    /// leader failure. Carries the randomized timeout that just expired,
+    /// which is what the paper's Fig. 4/6 `randomizedTimeout` refers to.
+    ElectionTimeout {
+        /// Term at the moment of expiry (before any campaign bump).
+        term: Term,
+        /// The randomized timeout value that expired.
+        randomized_timeout: Duration,
+    },
+    /// Pre-vote phase started.
+    PreVoteStarted {
+        /// Prospective campaign term (current + 1).
+        campaign_term: Term,
+    },
+    /// A pre-vote or election round timed out without resolution and is
+    /// being retried (split vote or unreachable quorum).
+    CampaignRetry {
+        /// Term of the abandoned round.
+        term: Term,
+    },
+    /// Pre-vote aborted because the current leader made contact (the
+    /// paper's Fig. 6b "false detection without OTS" path).
+    PreVoteAborted {
+        /// The node's (unchanged) term.
+        term: Term,
+    },
+    /// A real election started (term incremented, votes requested).
+    ElectionStarted {
+        /// The new candidate term.
+        term: Term,
+    },
+    /// This node won an election.
+    BecameLeader {
+        /// The leadership term.
+        term: Term,
+    },
+    /// This node became (or reverted to) follower.
+    BecameFollower {
+        /// The follower's term.
+        term: Term,
+        /// The known leader, if any.
+        leader: Option<NodeId>,
+    },
+    /// A leader stepped down (deposed by a higher term or check-quorum).
+    SteppedDown {
+        /// Term at step-down.
+        term: Term,
+    },
+    /// The Dynatune tuner was reset to defaults (measurements discarded).
+    TunerReset,
+}
+
+impl RaftEvent {
+    /// Short tag for logs and traces.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            RaftEvent::ElectionTimeout { .. } => "election_timeout",
+            RaftEvent::PreVoteStarted { .. } => "pre_vote_started",
+            RaftEvent::CampaignRetry { .. } => "campaign_retry",
+            RaftEvent::PreVoteAborted { .. } => "pre_vote_aborted",
+            RaftEvent::ElectionStarted { .. } => "election_started",
+            RaftEvent::BecameLeader { .. } => "became_leader",
+            RaftEvent::BecameFollower { .. } => "became_follower",
+            RaftEvent::SteppedDown { .. } => "stepped_down",
+            RaftEvent::TunerReset => "tuner_reset",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_are_distinct() {
+        let events = [
+            RaftEvent::ElectionTimeout {
+                term: 1,
+                randomized_timeout: Duration::from_millis(150),
+            },
+            RaftEvent::PreVoteStarted { campaign_term: 2 },
+            RaftEvent::CampaignRetry { term: 2 },
+            RaftEvent::PreVoteAborted { term: 1 },
+            RaftEvent::ElectionStarted { term: 2 },
+            RaftEvent::BecameLeader { term: 2 },
+            RaftEvent::BecameFollower { term: 2, leader: Some(1) },
+            RaftEvent::SteppedDown { term: 2 },
+            RaftEvent::TunerReset,
+        ];
+        let mut kinds: Vec<&str> = events.iter().map(RaftEvent::kind).collect();
+        kinds.sort_unstable();
+        kinds.dedup();
+        assert_eq!(kinds.len(), events.len());
+    }
+}

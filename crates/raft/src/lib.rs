@@ -1,0 +1,45 @@
+//! From-scratch etcd-style Raft with pluggable Dynatune tuning.
+//!
+//! This crate is the consensus substrate of the reproduction: the paper
+//! builds Dynatune into etcd's Raft, so we rebuild the relevant slice of
+//! etcd's Raft semantics in Rust:
+//!
+//! * leader / follower / candidate / **pre-candidate** roles with the
+//!   pre-vote phase (§II-A of the paper);
+//! * randomized election timeouts `U[Et, 2·Et)` with etcd's tick
+//!   quantization (tick = heartbeat interval);
+//! * check-quorum: vote requests are ignored inside an active leader lease,
+//!   and leaders step down when a quorum goes silent;
+//! * log replication with conflict back-off, commit by majority match in
+//!   the current term, prefix compaction;
+//! * per-follower heartbeat pacing carrying Dynatune measurement metadata
+//!   over the UDP-like channel (the paper's hybrid transport, §III-E);
+//! * pause (container-sleep) and crash-recovery failure modes.
+//!
+//! The node is a pure state machine ([`RaftNode::step`] / [`RaftNode::tick`]
+//! / [`RaftNode::propose`] → [`Effects`]) so the discrete-event simulator
+//! and property tests can drive it deterministically.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod events;
+pub mod log;
+pub mod message;
+pub mod node;
+pub mod progress;
+pub mod state_machine;
+pub mod types;
+
+pub use config::{RaftConfig, TimerQuantization};
+pub use events::RaftEvent;
+pub use log::{AppendOutcome, Entry, RaftLog};
+pub use message::{
+    AppendEntries, AppendResp, Heartbeat, HeartbeatResp, OutMsg, Payload, RequestVote,
+    RequestVoteResp,
+};
+pub use node::{NodeEffects, NotLeader, RaftNode};
+pub use progress::Progress;
+pub use state_machine::{Applied, Effects, NullStateMachine, StateMachine};
+pub use types::{quorum, LogIndex, NodeId, Role, Term};

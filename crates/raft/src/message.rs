@@ -1,0 +1,208 @@
+//! Raft RPC payloads.
+//!
+//! Following the paper's hybrid transport (§III-E), heartbeats and their
+//! responses travel over the UDP-like channel (loss-tolerant, measurable),
+//! while log replication and votes use the TCP-like channel. The
+//! [`Payload::channel`] method encodes that mapping.
+
+use crate::log::Entry;
+use crate::types::{LogIndex, NodeId, Term};
+use dynatune_core::{HeartbeatMeta, HeartbeatReply};
+use dynatune_simnet::Channel;
+
+/// Leader → follower keep-alive with Dynatune measurement metadata.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Heartbeat {
+    /// Leader's term.
+    pub term: Term,
+    /// The leader's id (authoritative; equals the sender).
+    pub leader: NodeId,
+    /// Per-follower commit index: `min(match[follower], leader_commit)`, so
+    /// the follower never commits entries it does not have verified.
+    pub commit: LogIndex,
+    /// Dynatune measurement metadata (id, send timestamp, last RTT).
+    pub meta: HeartbeatMeta,
+}
+
+/// Follower → leader heartbeat acknowledgement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HeartbeatResp {
+    /// Responder's term (lets a deposed leader learn it must step down).
+    pub term: Term,
+    /// Echo + tuned interval piggyback.
+    pub reply: HeartbeatReply,
+}
+
+/// Leader → follower log replication.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AppendEntries<C> {
+    /// Leader's term.
+    pub term: Term,
+    /// The leader's id.
+    pub leader: NodeId,
+    /// Index of the entry immediately preceding `entries`.
+    pub prev_log_index: LogIndex,
+    /// Term of that entry.
+    pub prev_log_term: Term,
+    /// Entries to replicate (empty = pure commit-index carrier).
+    pub entries: Vec<Entry<C>>,
+    /// Leader's commit index (clamped by the follower to its own log).
+    pub leader_commit: LogIndex,
+}
+
+/// Follower → leader replication acknowledgement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AppendResp {
+    /// Responder's term.
+    pub term: Term,
+    /// Whether the consistency check passed and entries were stored.
+    pub success: bool,
+    /// On success: highest index matching the leader. On failure: the
+    /// follower's back-off hint (probe at `prev = hint`).
+    pub match_or_hint: LogIndex,
+}
+
+/// Vote request, used for both the pre-vote phase (`pre_vote == true`,
+/// term is the *prospective* term, voter's term unchanged) and real
+/// elections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RequestVote {
+    /// Candidate's term (for pre-vote: current term + 1, not yet adopted).
+    pub term: Term,
+    /// True for the pre-vote phase.
+    pub pre_vote: bool,
+    /// Candidate's last log index.
+    pub last_log_index: LogIndex,
+    /// Candidate's last log term.
+    pub last_log_term: Term,
+}
+
+/// Vote response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RequestVoteResp {
+    /// The term the response refers to (the campaign term when granted; the
+    /// voter's own term when rejecting from a higher term).
+    pub term: Term,
+    /// True when answering a pre-vote.
+    pub pre_vote: bool,
+    /// Whether the (pre-)vote was granted.
+    pub granted: bool,
+}
+
+/// All Raft messages, generic over the state-machine command type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Payload<C> {
+    /// Keep-alive with measurement metadata (UDP).
+    Heartbeat(Heartbeat),
+    /// Keep-alive acknowledgement (UDP).
+    HeartbeatResp(HeartbeatResp),
+    /// Log replication (TCP).
+    AppendEntries(AppendEntries<C>),
+    /// Replication acknowledgement (TCP).
+    AppendResp(AppendResp),
+    /// Pre-vote or vote request (TCP).
+    RequestVote(RequestVote),
+    /// Pre-vote or vote response (TCP).
+    RequestVoteResp(RequestVoteResp),
+}
+
+impl<C> Payload<C> {
+    /// The transport channel this payload uses (§III-E hybrid transport).
+    /// When `udp_heartbeats` is false (ablation: stock etcd transport),
+    /// everything rides on TCP.
+    #[must_use]
+    pub fn channel(&self, udp_heartbeats: bool) -> Channel {
+        match self {
+            Payload::Heartbeat(_) | Payload::HeartbeatResp(_) if udp_heartbeats => Channel::Udp,
+            _ => Channel::Tcp,
+        }
+    }
+
+    /// The message's term, for generic stale-message filtering.
+    #[must_use]
+    pub fn term(&self) -> Term {
+        match self {
+            Payload::Heartbeat(m) => m.term,
+            Payload::HeartbeatResp(m) => m.term,
+            Payload::AppendEntries(m) => m.term,
+            Payload::AppendResp(m) => m.term,
+            Payload::RequestVote(m) => m.term,
+            Payload::RequestVoteResp(m) => m.term,
+        }
+    }
+
+    /// Short kind tag for tracing and cost accounting.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Payload::Heartbeat(_) => "heartbeat",
+            Payload::HeartbeatResp(_) => "heartbeat_resp",
+            Payload::AppendEntries(_) => "append",
+            Payload::AppendResp(_) => "append_resp",
+            Payload::RequestVote(m) if m.pre_vote => "pre_vote",
+            Payload::RequestVote(_) => "vote",
+            Payload::RequestVoteResp(m) if m.pre_vote => "pre_vote_resp",
+            Payload::RequestVoteResp(_) => "vote_resp",
+        }
+    }
+}
+
+/// An addressed outbound message produced by the node.
+#[derive(Debug, Clone)]
+pub struct OutMsg<C> {
+    /// Destination node.
+    pub to: NodeId,
+    /// Transport channel.
+    pub channel: Channel,
+    /// The payload.
+    pub payload: Payload<C>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn heartbeat() -> Payload<u32> {
+        Payload::Heartbeat(Heartbeat {
+            term: 3,
+            leader: 0,
+            commit: 5,
+            meta: HeartbeatMeta {
+                id: 1,
+                sent_at_nanos: 0,
+                rtt_sample: None,
+            },
+        })
+    }
+
+    #[test]
+    fn hybrid_channel_mapping() {
+        assert_eq!(heartbeat().channel(true), Channel::Udp);
+        assert_eq!(heartbeat().channel(false), Channel::Tcp);
+        let vote: Payload<u32> = Payload::RequestVote(RequestVote {
+            term: 1,
+            pre_vote: false,
+            last_log_index: 0,
+            last_log_term: 0,
+        });
+        assert_eq!(vote.channel(true), Channel::Tcp);
+        assert_eq!(vote.channel(false), Channel::Tcp);
+    }
+
+    #[test]
+    fn term_extraction() {
+        assert_eq!(heartbeat().term(), 3);
+    }
+
+    #[test]
+    fn kind_tags() {
+        assert_eq!(heartbeat().kind(), "heartbeat");
+        let pv: Payload<u32> = Payload::RequestVote(RequestVote {
+            term: 2,
+            pre_vote: true,
+            last_log_index: 0,
+            last_log_term: 0,
+        });
+        assert_eq!(pv.kind(), "pre_vote");
+    }
+}

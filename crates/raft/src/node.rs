@@ -1,0 +1,1842 @@
+//! The Raft node state machine.
+//!
+//! A [`RaftNode`] is a pure reactor: `step` (message), `tick` (timer) and
+//! `propose` (client command) mutate it and return [`Effects`] — messages to
+//! send, events to observe, entries applied. It owns no I/O and no clock;
+//! the harness supplies `now` on every call, which is what lets the
+//! discrete-event simulator (and property tests) drive it deterministically
+//! through adversarial schedules.
+//!
+//! Faithfulness notes (matched to etcd's raft, the paper's base system):
+//!
+//! * **Randomized election timeout**: a factor `f ~ U[1, 2)` is drawn on
+//!   every role change / campaign round; the effective timeout is
+//!   `f · Et(t)` where `Et(t)` is the *current* (possibly tuned) election
+//!   timeout — so Dynatune's adapted Et immediately shifts the timeout, as
+//!   in the paper's Fig. 6 randomizedTimeout traces.
+//! * **Tick quantization** (default): expiry is observed at the first
+//!   multiple of the tick period (= expected heartbeat interval) at or
+//!   after the deadline, like etcd's tick-driven timers.
+//! * **Pre-vote + check-quorum lease**: pre-votes do not disturb terms;
+//!   votes are ignored while a leader lease is active; a pre-candidate
+//!   reverts to follower on leader contact (the paper's Fig. 6b "false
+//!   detection without OTS" path); leaders step down when a quorum has been
+//!   silent for an election timeout.
+//! * **Dynatune integration**: followers run a [`FollowerTuner`] fed by
+//!   heartbeat metadata; leaders run one [`LeaderPacer`] per follower
+//!   (n−1 independent heartbeat timers, §III-B); on election-timer expiry
+//!   the tuner is reset to conservative defaults (§III-B fallback).
+
+use crate::config::{RaftConfig, TimerQuantization};
+use crate::events::RaftEvent;
+use crate::log::{AppendOutcome, RaftLog};
+use crate::message::{
+    AppendEntries, AppendResp, Heartbeat, HeartbeatResp, OutMsg, Payload, RequestVote,
+    RequestVoteResp,
+};
+use crate::progress::Progress;
+use crate::state_machine::{Applied, Effects, StateMachine};
+use crate::types::{quorum, LogIndex, NodeId, Role, Term};
+use dynatune_core::{FollowerTuner, LeaderPacer, TuningSnapshot};
+use dynatune_simnet::rng::Rng;
+use dynatune_simnet::SimTime;
+use std::collections::{BTreeMap, BTreeSet};
+use std::time::Duration;
+
+/// Error returned when proposing to a non-leader.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NotLeader {
+    /// The leader this node believes in, if any (client redirect hint).
+    pub hint: Option<NodeId>,
+}
+
+/// Effects alias bound to a state machine.
+pub type NodeEffects<SM> =
+    Effects<<SM as StateMachine>::Command, <SM as StateMachine>::Response>;
+
+/// A single Raft server.
+pub struct RaftNode<SM: StateMachine> {
+    config: RaftConfig,
+    // --- persistent state (survives crash-recovery) ---
+    term: Term,
+    voted_for: Option<NodeId>,
+    log: RaftLog<SM::Command>,
+    // --- volatile state ---
+    role: Role,
+    leader_id: Option<NodeId>,
+    commit_index: LogIndex,
+    last_applied: LogIndex,
+    sm: SM,
+    // --- election timer ---
+    timer_reset_at: SimTime,
+    timeout_factor: f64,
+    /// Phase of this node's free-running tick grid, as a fraction of the
+    /// tick period. etcd's ticker runs from process start, so different
+    /// servers observe expiry on differently-phased grids — without this,
+    /// identically-paced followers would expire in lock step and every
+    /// election would split.
+    tick_phase: f64,
+    // --- Dynatune follower side ---
+    tuner: FollowerTuner,
+    // --- campaign state ---
+    votes: BTreeSet<NodeId>,
+    campaign_term: Term,
+    /// Consecutive campaign rounds since leaving Follower (split-vote
+    /// retries). After `CAMPAIGN_FALLBACK_ROUNDS` the tuner falls back to
+    /// the conservative defaults (§III-B availability guarantee).
+    campaign_rounds: u32,
+    // --- leader state ---
+    progress: BTreeMap<NodeId, Progress>,
+    pacers: BTreeMap<NodeId, LeaderPacer>,
+    lease_check_at: SimTime,
+    rng: Rng,
+}
+
+impl<SM: StateMachine> RaftNode<SM> {
+    /// Create a node at term 0, follower, election timer armed from `now`.
+    ///
+    /// # Panics
+    /// Panics when the configuration is invalid.
+    pub fn new(config: RaftConfig, sm: SM, now: SimTime) -> Self {
+        config.validate();
+        let mut rng = Rng::new(config.seed);
+        let timeout_factor = 1.0 + rng.f64();
+        let tick_phase = rng.f64();
+        Self {
+            tuner: FollowerTuner::new(config.tuning),
+            term: 0,
+            voted_for: None,
+            log: RaftLog::new(),
+            role: Role::Follower,
+            leader_id: None,
+            commit_index: 0,
+            last_applied: 0,
+            sm,
+            timer_reset_at: now,
+            timeout_factor,
+            tick_phase,
+            votes: BTreeSet::new(),
+            campaign_term: 0,
+            campaign_rounds: 0,
+            progress: BTreeMap::new(),
+            pacers: BTreeMap::new(),
+            lease_check_at: SimTime::MAX,
+            rng,
+            config,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection (observers)
+    // ------------------------------------------------------------------
+
+    /// This node's id.
+    #[must_use]
+    pub fn id(&self) -> NodeId {
+        self.config.id
+    }
+
+    /// Current role.
+    #[must_use]
+    pub fn role(&self) -> Role {
+        self.role
+    }
+
+    /// Current term.
+    #[must_use]
+    pub fn term(&self) -> Term {
+        self.term
+    }
+
+    /// The leader this node currently recognises.
+    #[must_use]
+    pub fn leader_id(&self) -> Option<NodeId> {
+        self.leader_id
+    }
+
+    /// Current commit index.
+    #[must_use]
+    pub fn commit_index(&self) -> LogIndex {
+        self.commit_index
+    }
+
+    /// Index of the last applied entry.
+    #[must_use]
+    pub fn last_applied(&self) -> LogIndex {
+        self.last_applied
+    }
+
+    /// The application state machine.
+    #[must_use]
+    pub fn state_machine(&self) -> &SM {
+        &self.sm
+    }
+
+    /// The replicated log (read-only).
+    #[must_use]
+    pub fn log(&self) -> &RaftLog<SM::Command> {
+        &self.log
+    }
+
+    /// The node's configuration.
+    #[must_use]
+    pub fn config(&self) -> &RaftConfig {
+        &self.config
+    }
+
+    /// Current (possibly tuned) base election timeout `Et`.
+    #[must_use]
+    pub fn election_timeout(&self) -> Duration {
+        self.tuner.election_timeout()
+    }
+
+    /// Current randomized timeout `f · Et` — the quantity the paper's
+    /// Figure 6 plots per second.
+    #[must_use]
+    pub fn randomized_timeout(&self) -> Duration {
+        Duration::from_secs_f64(self.election_timeout().as_secs_f64() * self.timeout_factor)
+    }
+
+    /// Snapshot of the Dynatune tuner state.
+    #[must_use]
+    pub fn tuning_snapshot(&self) -> TuningSnapshot {
+        self.tuner.snapshot()
+    }
+
+    /// Heartbeat interval currently applied towards `follower` (leader only).
+    #[must_use]
+    pub fn pacer_interval(&self, follower: NodeId) -> Option<Duration> {
+        self.pacers.get(&follower).map(LeaderPacer::interval)
+    }
+
+    fn cluster_size(&self) -> usize {
+        self.config.peers.len()
+    }
+
+    fn majority(&self) -> usize {
+        quorum(self.cluster_size())
+    }
+
+    fn tick_period(&self) -> Duration {
+        self.tuner.expected_heartbeat_interval()
+    }
+
+    /// The instant the election timer (or campaign retry timer) fires:
+    /// the first boundary of this node's free-running tick grid at or after
+    /// `reset + randomizedTimeout` (etcd observes expiry only on ticks).
+    #[must_use]
+    pub fn election_deadline(&self) -> SimTime {
+        let rto = self.randomized_timeout();
+        match self.config.quantization {
+            TimerQuantization::Continuous => self.timer_reset_at + rto,
+            TimerQuantization::Tick => {
+                let tick = self.tick_period().as_nanos().max(1) as u64;
+                let raw = (self.timer_reset_at + rto).as_nanos();
+                let offset = (self.tick_phase * tick as f64) as u64;
+                let k = raw.saturating_sub(offset).div_ceil(tick);
+                SimTime::from_nanos(k * tick + offset)
+            }
+        }
+    }
+
+    /// Earliest instant this node needs a `tick` call.
+    #[must_use]
+    pub fn next_wake(&self) -> Option<SimTime> {
+        match self.role {
+            Role::Follower | Role::PreCandidate | Role::Candidate => Some(self.election_deadline()),
+            Role::Leader => {
+                let mut earliest = self.lease_check_at;
+                for (&peer, pacer) in &self.pacers {
+                    earliest = earliest.min(SimTime::from_nanos(pacer.next_send_nanos()));
+                    if let Some(p) = self.progress.get(&peer) {
+                        if p.inflight {
+                            earliest = earliest.min(p.sent_at + self.config.append_resend);
+                        }
+                    }
+                }
+                Some(earliest)
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Timer handling
+    // ------------------------------------------------------------------
+
+    fn reset_election_timer(&mut self, now: SimTime, redraw: bool) {
+        self.timer_reset_at = now;
+        if redraw {
+            self.timeout_factor = 1.0 + self.rng.f64();
+        }
+    }
+
+    /// Timer-driven processing. The harness calls this at `next_wake`.
+    pub fn tick(&mut self, now: SimTime) -> NodeEffects<SM> {
+        let mut fx = Effects::new();
+        match self.role {
+            Role::Leader => self.leader_tick(now, &mut fx),
+            _ => {
+                if now >= self.election_deadline() {
+                    self.handle_election_timeout(now, &mut fx);
+                }
+            }
+        }
+        fx
+    }
+
+    fn handle_election_timeout(&mut self, now: SimTime, fx: &mut NodeEffects<SM>) {
+        fx.events.push(RaftEvent::ElectionTimeout {
+            term: self.term,
+            randomized_timeout: self.randomized_timeout(),
+        });
+        match self.role {
+            Role::Follower => {
+                // §III-B: discard the measurement data at the timeout; the
+                // tuned Et keeps pacing the campaign so split-vote retries
+                // stay cheap. Conservative defaults return either when Step
+                // 0 restarts under a (new) leader, or via the escalation
+                // below if the election refuses to resolve.
+                if self.config.tuning.mode.tunes() {
+                    self.tuner.reset_measurements();
+                    fx.events.push(RaftEvent::TunerReset);
+                }
+                self.leader_id = None;
+                self.campaign_rounds = 1;
+                if self.config.pre_vote {
+                    self.become_pre_candidate(now, fx);
+                } else {
+                    self.become_candidate(now, fx);
+                }
+            }
+            Role::PreCandidate => {
+                fx.events.push(RaftEvent::CampaignRetry {
+                    term: self.campaign_term,
+                });
+                self.escalate_campaign(fx);
+                self.become_pre_candidate(now, fx);
+            }
+            Role::Candidate => {
+                fx.events.push(RaftEvent::CampaignRetry { term: self.term });
+                self.escalate_campaign(fx);
+                self.become_candidate(now, fx);
+            }
+            Role::Leader => unreachable!("leaders have no election timer"),
+        }
+    }
+
+    /// After `CAMPAIGN_FALLBACK_ROUNDS` unresolved campaign rounds, revert
+    /// the election parameters to the conservative defaults: if the tuned
+    /// `Et` turned out smaller than the (possibly spiked) RTT, retry timers
+    /// would keep expiring before vote responses return and the cluster
+    /// would stay leaderless — the availability hazard §III-B's fallback
+    /// exists to prevent.
+    fn escalate_campaign(&mut self, fx: &mut NodeEffects<SM>) {
+        const CAMPAIGN_FALLBACK_ROUNDS: u32 = 3;
+        self.campaign_rounds = self.campaign_rounds.saturating_add(1);
+        if self.campaign_rounds == CAMPAIGN_FALLBACK_ROUNDS && self.config.tuning.mode.tunes() {
+            self.tuner.reset();
+            fx.events.push(RaftEvent::TunerReset);
+        }
+    }
+
+    fn leader_tick(&mut self, now: SimTime, fx: &mut NodeEffects<SM>) {
+        let peers: Vec<NodeId> = self
+            .config
+            .peers
+            .iter()
+            .copied()
+            .filter(|&p| p != self.config.id)
+            .collect();
+        // Heartbeats: per-follower cadence, or one consolidated burst at
+        // the smallest interval (§IV-E extension 2).
+        let consolidated_due = self.config.consolidated_heartbeat_timer
+            && self
+                .pacers
+                .values()
+                .map(LeaderPacer::next_send_nanos)
+                .min()
+                .is_some_and(|min| now.as_nanos() >= min);
+        for &peer in &peers {
+            let commit = self
+                .progress
+                .get(&peer)
+                .map_or(0, |p| p.match_index.min(self.commit_index));
+            // §IV-E extension 1: recent replication traffic already reset
+            // this follower's election timer; skip the redundant heartbeat.
+            let suppress = self.config.suppress_heartbeats_when_replicating
+                && self.progress.get(&peer).is_some_and(|p| {
+                    let interval = self.pacers[&peer].interval();
+                    p.sent_at + interval > now && p.sent_at > SimTime::ZERO
+                });
+            if let Some(pacer) = self.pacers.get_mut(&peer) {
+                let meta = if suppress {
+                    pacer.defer(now.as_nanos());
+                    None
+                } else if consolidated_due {
+                    Some(pacer.emit_now(now.as_nanos()))
+                } else {
+                    pacer.maybe_emit(now.as_nanos())
+                };
+                if let Some(meta) = meta {
+                    let hb = Heartbeat {
+                        term: self.term,
+                        leader: self.config.id,
+                        commit,
+                        meta,
+                    };
+                    let payload = Payload::Heartbeat(hb);
+                    let channel = payload.channel(self.config.udp_heartbeats);
+                    fx.messages.push(OutMsg {
+                        to: peer,
+                        channel,
+                        payload,
+                    });
+                }
+            }
+        }
+        // Replication resends for stuck followers.
+        for &peer in &peers {
+            let resend = {
+                let p = &self.progress[&peer];
+                p.inflight && now >= p.sent_at + self.config.append_resend
+            };
+            if resend {
+                if let Some(p) = self.progress.get_mut(&peer) {
+                    // Fall back to proven ground and probe again.
+                    p.next_index = p.match_index + 1;
+                    p.inflight = false;
+                }
+                self.send_append(now, peer, fx);
+            }
+        }
+        // Check-quorum lease: step down if a majority has gone silent.
+        if self.config.check_quorum && now >= self.lease_check_at {
+            let lease = self.config.tuning.default_election_timeout;
+            let active = 1 + peers
+                .iter()
+                .filter(|&&p| self.progress[&p].last_active + lease >= now)
+                .count();
+            if active < self.majority() {
+                // become_follower emits the SteppedDown event.
+                let term = self.term;
+                self.become_follower(now, term, None, fx);
+                return;
+            }
+            self.lease_check_at = now + lease;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Role transitions
+    // ------------------------------------------------------------------
+
+    fn become_follower(
+        &mut self,
+        now: SimTime,
+        term: Term,
+        leader: Option<NodeId>,
+        fx: &mut NodeEffects<SM>,
+    ) {
+        let was_leader = self.role == Role::Leader;
+        let leader_changed = leader != self.leader_id || term != self.term;
+        if term > self.term {
+            self.term = term;
+            self.voted_for = None;
+        }
+        self.role = Role::Follower;
+        self.leader_id = leader;
+        self.votes.clear();
+        self.campaign_rounds = 0;
+        self.progress.clear();
+        self.pacers.clear();
+        self.lease_check_at = SimTime::MAX;
+        if was_leader {
+            fx.events.push(RaftEvent::SteppedDown { term: self.term });
+        }
+        if leader_changed && self.config.tuning.mode.tunes() {
+            // New leader→follower path: measurements start over (§III-B).
+            self.tuner.reset();
+            fx.events.push(RaftEvent::TunerReset);
+        }
+        self.reset_election_timer(now, true);
+        fx.events.push(RaftEvent::BecameFollower {
+            term: self.term,
+            leader,
+        });
+    }
+
+    fn become_pre_candidate(&mut self, now: SimTime, fx: &mut NodeEffects<SM>) {
+        self.role = Role::PreCandidate;
+        self.campaign_term = self.term + 1;
+        self.votes.clear();
+        self.votes.insert(self.config.id);
+        self.reset_election_timer(now, true);
+        fx.events.push(RaftEvent::PreVoteStarted {
+            campaign_term: self.campaign_term,
+        });
+        if self.votes.len() >= self.majority() {
+            // Single-node cluster: skip straight to the real election.
+            self.become_candidate(now, fx);
+            return;
+        }
+        let req = RequestVote {
+            term: self.campaign_term,
+            pre_vote: true,
+            last_log_index: self.log.last_index(),
+            last_log_term: self.log.last_term(),
+        };
+        self.broadcast_vote_request(req, fx);
+    }
+
+    fn become_candidate(&mut self, now: SimTime, fx: &mut NodeEffects<SM>) {
+        self.term += 1;
+        self.voted_for = Some(self.config.id);
+        self.role = Role::Candidate;
+        self.leader_id = None;
+        self.votes.clear();
+        self.votes.insert(self.config.id);
+        self.reset_election_timer(now, true);
+        fx.events.push(RaftEvent::ElectionStarted { term: self.term });
+        if self.votes.len() >= self.majority() {
+            self.become_leader(now, fx);
+            return;
+        }
+        let req = RequestVote {
+            term: self.term,
+            pre_vote: false,
+            last_log_index: self.log.last_index(),
+            last_log_term: self.log.last_term(),
+        };
+        self.broadcast_vote_request(req, fx);
+    }
+
+    fn broadcast_vote_request(&mut self, req: RequestVote, fx: &mut NodeEffects<SM>) {
+        for &peer in &self.config.peers {
+            if peer == self.config.id {
+                continue;
+            }
+            let payload: Payload<SM::Command> = Payload::RequestVote(req);
+            let channel = payload.channel(self.config.udp_heartbeats);
+            fx.messages.push(OutMsg {
+                to: peer,
+                channel,
+                payload,
+            });
+        }
+    }
+
+    fn become_leader(&mut self, now: SimTime, fx: &mut NodeEffects<SM>) {
+        debug_assert!(matches!(self.role, Role::Candidate));
+        self.role = Role::Leader;
+        self.leader_id = Some(self.config.id);
+        self.votes.clear();
+        self.campaign_rounds = 0;
+        fx.events.push(RaftEvent::BecameLeader { term: self.term });
+        // Leader does not measure as a follower; drop stale path state.
+        if self.config.tuning.mode.tunes() {
+            self.tuner.reset();
+        }
+        self.progress.clear();
+        self.pacers.clear();
+        for &peer in &self.config.peers {
+            if peer == self.config.id {
+                continue;
+            }
+            self.progress
+                .insert(peer, Progress::new(self.log.last_index(), now));
+            self.pacers
+                .insert(peer, LeaderPacer::new(self.config.tuning, now.as_nanos()));
+        }
+        self.lease_check_at = now + self.config.tuning.default_election_timeout;
+        // Commit entries from prior terms via a no-op (etcd convention).
+        self.log.append_new(self.term, None);
+        let peers: Vec<NodeId> = self.progress.keys().copied().collect();
+        for peer in peers {
+            self.send_append(now, peer, fx);
+        }
+        self.try_advance_commit(fx);
+    }
+
+    // ------------------------------------------------------------------
+    // Client proposals
+    // ------------------------------------------------------------------
+
+    /// Propose a command. On the leader this appends to the log, starts
+    /// replication, and returns the assigned `(term, index)`; otherwise
+    /// returns a redirect hint.
+    pub fn propose(
+        &mut self,
+        now: SimTime,
+        command: SM::Command,
+    ) -> (Result<(Term, LogIndex), NotLeader>, NodeEffects<SM>) {
+        let mut fx = Effects::new();
+        if self.role != Role::Leader {
+            return (
+                Err(NotLeader {
+                    hint: self.leader_id,
+                }),
+                fx,
+            );
+        }
+        let index = self.log.append_new(self.term, Some(command));
+        let peers: Vec<NodeId> = self.progress.keys().copied().collect();
+        for peer in peers {
+            if !self.progress[&peer].inflight {
+                self.send_append(now, peer, &mut fx);
+            }
+        }
+        self.try_advance_commit(&mut fx); // single-node commits instantly
+        (Ok((self.term, index)), fx)
+    }
+
+    // ------------------------------------------------------------------
+    // Replication plumbing (leader)
+    // ------------------------------------------------------------------
+
+    fn send_append(&mut self, now: SimTime, to: NodeId, fx: &mut NodeEffects<SM>) {
+        let Some(p) = self.progress.get_mut(&to) else {
+            return;
+        };
+        let prev = p.next_index - 1;
+        let Some(prev_term) = self.log.term_at(prev) else {
+            // prev was compacted away; with bounded compaction (below the
+            // minimum match index) this cannot happen — skip defensively.
+            return;
+        };
+        let entries = self
+            .log
+            .entries_from(p.next_index, self.config.max_entries_per_append);
+        p.inflight = true;
+        p.sent_at = now;
+        let msg = AppendEntries {
+            term: self.term,
+            leader: self.config.id,
+            prev_log_index: prev,
+            prev_log_term: prev_term,
+            entries,
+            leader_commit: self.commit_index,
+        };
+        let payload = Payload::AppendEntries(msg);
+        let channel = payload.channel(self.config.udp_heartbeats);
+        fx.messages.push(OutMsg {
+            to,
+            channel,
+            payload,
+        });
+    }
+
+    fn try_advance_commit(&mut self, fx: &mut NodeEffects<SM>) {
+        if self.role != Role::Leader {
+            return;
+        }
+        let mut matches: Vec<LogIndex> = self
+            .config
+            .peers
+            .iter()
+            .map(|&p| {
+                if p == self.config.id {
+                    self.log.last_index()
+                } else {
+                    self.progress[&p].match_index
+                }
+            })
+            .collect();
+        matches.sort_unstable_by(|a, b| b.cmp(a));
+        let candidate = matches[self.majority() - 1];
+        // Raft §5.4.2: only entries of the current term commit by counting.
+        if candidate > self.commit_index && self.log.term_at(candidate) == Some(self.term) {
+            self.commit_index = candidate;
+            self.apply_committed(fx);
+        }
+    }
+
+    fn apply_committed(&mut self, fx: &mut NodeEffects<SM>) {
+        while self.last_applied < self.commit_index {
+            let index = self.last_applied + 1;
+            let entry = self
+                .log
+                .entry_at(index)
+                .expect("committed entry must be live");
+            let term = entry.term;
+            let response = entry.data.clone().map(|cmd| self.sm.apply(index, &cmd));
+            fx.applied.push(Applied {
+                index,
+                term,
+                response,
+            });
+            self.last_applied = index;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Message handling
+    // ------------------------------------------------------------------
+
+    /// Process one inbound message.
+    pub fn step(&mut self, now: SimTime, from: NodeId, payload: Payload<SM::Command>) -> NodeEffects<SM> {
+        let mut fx = Effects::new();
+        // Generic higher-term handling (pre-vote traffic excluded: pre-vote
+        // requests carry a *prospective* term; pre-vote rejections carry the
+        // rejecter's real term and do depose stale state).
+        match &payload {
+            Payload::RequestVote(rv) if rv.pre_vote => {}
+            Payload::RequestVote(rv) => {
+                // etcd's in-lease check runs BEFORE term adoption: a vote at
+                // a higher term must not even bump our term while a live
+                // leader lease holds, or disruptive servers could force
+                // unnecessary elections.
+                if self.in_lease(now) {
+                    return fx;
+                }
+                if rv.term > self.term {
+                    self.become_follower(now, rv.term, None, &mut fx);
+                }
+            }
+            Payload::RequestVoteResp(r) if r.pre_vote => {
+                if r.term > self.term && !r.granted {
+                    self.become_follower(now, r.term, None, &mut fx);
+                }
+            }
+            other => {
+                let msg_term = other.term();
+                if msg_term > self.term {
+                    let leader = match other {
+                        Payload::Heartbeat(_) | Payload::AppendEntries(_) => Some(from),
+                        _ => None,
+                    };
+                    self.become_follower(now, msg_term, leader, &mut fx);
+                }
+            }
+        }
+        match payload {
+            Payload::Heartbeat(hb) => self.on_heartbeat(now, from, hb, &mut fx),
+            Payload::HeartbeatResp(resp) => self.on_heartbeat_resp(now, from, resp, &mut fx),
+            Payload::AppendEntries(ae) => self.on_append_entries(now, from, ae, &mut fx),
+            Payload::AppendResp(resp) => self.on_append_resp(now, from, resp, &mut fx),
+            Payload::RequestVote(rv) => self.on_request_vote(now, from, rv, &mut fx),
+            Payload::RequestVoteResp(resp) => self.on_vote_resp(now, from, resp, &mut fx),
+        }
+        fx
+    }
+
+    fn on_heartbeat(
+        &mut self,
+        now: SimTime,
+        from: NodeId,
+        hb: Heartbeat,
+        fx: &mut NodeEffects<SM>,
+    ) {
+        if hb.term < self.term {
+            // Stale leader: tell it the new term so it steps down.
+            let payload: Payload<SM::Command> = Payload::HeartbeatResp(HeartbeatResp {
+                term: self.term,
+                reply: dynatune_core::HeartbeatReply::echo_only(&hb.meta),
+            });
+            let channel = payload.channel(self.config.udp_heartbeats);
+            fx.messages.push(OutMsg {
+                to: from,
+                channel,
+                payload,
+            });
+            return;
+        }
+        // hb.term == self.term here (higher terms were adopted above).
+        match self.role {
+            Role::PreCandidate => {
+                // Leader is alive: abort the pre-vote (Fig. 6b behaviour).
+                fx.events.push(RaftEvent::PreVoteAborted { term: self.term });
+                self.become_follower(now, hb.term, Some(from), fx);
+            }
+            Role::Candidate | Role::Leader => {
+                // Same-term contact from a leader while campaigning at a
+                // *higher* term is impossible (we bumped); while Candidate at
+                // the same term it means we lost the race.
+                if self.role == Role::Candidate {
+                    self.become_follower(now, hb.term, Some(from), fx);
+                }
+            }
+            Role::Follower => {
+                if self.leader_id != Some(from) {
+                    self.become_follower(now, hb.term, Some(from), fx);
+                }
+            }
+        }
+        if self.role != Role::Follower {
+            return; // defensive: leader at same term ignores
+        }
+        self.reset_election_timer(now, false);
+        let reply = self.tuner.on_heartbeat(&hb.meta);
+        // Commit what the leader has verified we hold.
+        let new_commit = hb.commit.min(self.log.last_index());
+        if new_commit > self.commit_index {
+            self.commit_index = new_commit;
+            self.apply_committed(fx);
+        }
+        let payload: Payload<SM::Command> = Payload::HeartbeatResp(HeartbeatResp {
+            term: self.term,
+            reply,
+        });
+        let channel = payload.channel(self.config.udp_heartbeats);
+        fx.messages.push(OutMsg {
+            to: from,
+            channel,
+            payload,
+        });
+    }
+
+    fn on_heartbeat_resp(
+        &mut self,
+        now: SimTime,
+        from: NodeId,
+        resp: HeartbeatResp,
+        _fx: &mut NodeEffects<SM>,
+    ) {
+        if self.role != Role::Leader || resp.term != self.term {
+            return;
+        }
+        if let Some(p) = self.progress.get_mut(&from) {
+            p.last_active = now;
+        }
+        if let Some(pacer) = self.pacers.get_mut(&from) {
+            pacer.on_reply(now.as_nanos(), &resp.reply);
+        }
+    }
+
+    fn on_append_entries(
+        &mut self,
+        now: SimTime,
+        from: NodeId,
+        ae: AppendEntries<SM::Command>,
+        fx: &mut NodeEffects<SM>,
+    ) {
+        if ae.term < self.term {
+            let payload: Payload<SM::Command> = Payload::AppendResp(AppendResp {
+                term: self.term,
+                success: false,
+                match_or_hint: 0,
+            });
+            let channel = payload.channel(self.config.udp_heartbeats);
+            fx.messages.push(OutMsg {
+                to: from,
+                channel,
+                payload,
+            });
+            return;
+        }
+        match self.role {
+            Role::PreCandidate => {
+                fx.events.push(RaftEvent::PreVoteAborted { term: self.term });
+                self.become_follower(now, ae.term, Some(from), fx);
+            }
+            Role::Candidate => {
+                self.become_follower(now, ae.term, Some(from), fx);
+            }
+            Role::Follower => {
+                if self.leader_id != Some(from) {
+                    self.become_follower(now, ae.term, Some(from), fx);
+                }
+            }
+            Role::Leader => return, // impossible at same term
+        }
+        self.reset_election_timer(now, false);
+        let outcome = self
+            .log
+            .try_append(ae.prev_log_index, ae.prev_log_term, &ae.entries);
+        let resp = match outcome {
+            AppendOutcome::Success { last_index } => {
+                let new_commit = ae.leader_commit.min(last_index).min(self.log.last_index());
+                if new_commit > self.commit_index {
+                    self.commit_index = new_commit;
+                    self.apply_committed(fx);
+                }
+                AppendResp {
+                    term: self.term,
+                    success: true,
+                    match_or_hint: last_index,
+                }
+            }
+            AppendOutcome::Conflict { hint } => AppendResp {
+                term: self.term,
+                success: false,
+                match_or_hint: hint,
+            },
+        };
+        let payload: Payload<SM::Command> = Payload::AppendResp(resp);
+        let channel = payload.channel(self.config.udp_heartbeats);
+        fx.messages.push(OutMsg {
+            to: from,
+            channel,
+            payload,
+        });
+    }
+
+    fn on_append_resp(
+        &mut self,
+        now: SimTime,
+        from: NodeId,
+        resp: AppendResp,
+        fx: &mut NodeEffects<SM>,
+    ) {
+        if self.role != Role::Leader || resp.term != self.term {
+            return;
+        }
+        let Some(p) = self.progress.get_mut(&from) else {
+            return;
+        };
+        p.last_active = now;
+        if resp.success {
+            p.on_success(resp.match_or_hint);
+            self.try_advance_commit(fx);
+            let more = self.progress[&from].has_pending(self.log.last_index());
+            if more {
+                self.send_append(now, from, fx);
+            }
+        } else {
+            p.on_conflict(resp.match_or_hint);
+            self.send_append(now, from, fx);
+        }
+    }
+
+    /// Check-quorum leader lease: true while this follower has heard from a
+    /// live leader within one election timeout (etcd's `inLease`).
+    fn in_lease(&self, now: SimTime) -> bool {
+        self.config.check_quorum
+            && self.role == Role::Follower
+            && self.leader_id.is_some()
+            && now < self.timer_reset_at + self.election_timeout()
+    }
+
+    fn on_request_vote(
+        &mut self,
+        now: SimTime,
+        from: NodeId,
+        rv: RequestVote,
+        fx: &mut NodeEffects<SM>,
+    ) {
+        // Lease check for pre-votes (real votes were filtered in `step`).
+        if self.in_lease(now) {
+            return;
+        }
+        let up_to_date = self
+            .log
+            .candidate_up_to_date(rv.last_log_index, rv.last_log_term);
+        let (granted, resp_term) = if rv.pre_vote {
+            // Pre-vote: grant for a higher prospective term + fresh log;
+            // our own term/vote are untouched.
+            let grant = rv.term > self.term && up_to_date;
+            (grant, if grant { rv.term } else { self.term })
+        } else {
+            if rv.term < self.term {
+                (false, self.term)
+            } else {
+                // rv.term == self.term (higher was adopted in `step`).
+                let can_vote = self.voted_for.is_none() || self.voted_for == Some(from);
+                let grant = self.role == Role::Follower && can_vote && up_to_date;
+                if grant {
+                    self.voted_for = Some(from);
+                    // Granting a vote re-arms the election timer.
+                    self.reset_election_timer(now, false);
+                }
+                (grant, self.term)
+            }
+        };
+        let payload: Payload<SM::Command> = Payload::RequestVoteResp(RequestVoteResp {
+            term: resp_term,
+            pre_vote: rv.pre_vote,
+            granted,
+        });
+        let channel = payload.channel(self.config.udp_heartbeats);
+        fx.messages.push(OutMsg {
+            to: from,
+            channel,
+            payload,
+        });
+    }
+
+    fn on_vote_resp(
+        &mut self,
+        now: SimTime,
+        from: NodeId,
+        resp: RequestVoteResp,
+        fx: &mut NodeEffects<SM>,
+    ) {
+        if resp.pre_vote {
+            if self.role == Role::PreCandidate && resp.granted && resp.term == self.campaign_term {
+                self.votes.insert(from);
+                if self.votes.len() >= self.majority() {
+                    self.become_candidate(now, fx);
+                }
+            }
+            return;
+        }
+        if self.role == Role::Candidate && resp.granted && resp.term == self.term {
+            self.votes.insert(from);
+            if self.votes.len() >= self.majority() {
+                self.become_leader(now, fx);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Crash-recovery
+    // ------------------------------------------------------------------
+
+    /// Restart after a crash: persistent state (term, vote, log) survives;
+    /// volatile state resets and the state machine is rebuilt by replay as
+    /// entries re-commit.
+    pub fn restart(&mut self, now: SimTime, fresh_sm: SM) {
+        self.role = Role::Follower;
+        self.leader_id = None;
+        self.commit_index = 0;
+        self.last_applied = 0;
+        self.sm = fresh_sm;
+        self.votes.clear();
+        self.progress.clear();
+        self.pacers.clear();
+        self.lease_check_at = SimTime::MAX;
+        self.tuner.reset();
+        self.reset_election_timer(now, true);
+    }
+
+    /// Compact the log prefix up to `index` (must be ≤ `last_applied`).
+    pub fn compact_log(&mut self, index: LogIndex) {
+        let index = index.min(self.safe_compact_index());
+        self.log.compact(index);
+    }
+
+    /// Highest index that can be compacted without breaking replication: a
+    /// leader must keep everything its slowest follower still needs.
+    #[must_use]
+    pub fn safe_compact_index(&self) -> LogIndex {
+        let mut safe = self.last_applied;
+        if self.role == Role::Leader {
+            for p in self.progress.values() {
+                safe = safe.min(p.match_index);
+            }
+        }
+        safe
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state_machine::NullStateMachine;
+    use dynatune_core::TuningConfig;
+
+    type Node = RaftNode<NullStateMachine>;
+
+    fn node(id: NodeId, n: usize) -> Node {
+        let config = RaftConfig::new(id, n, TuningConfig::raft_default());
+        RaftNode::new(config, NullStateMachine::default(), SimTime::ZERO)
+    }
+
+    fn ms(v: u64) -> SimTime {
+        SimTime::from_millis(v)
+    }
+
+    /// Drive `node` through a full self-election by faking peer responses.
+    fn elect(node: &mut Node, now: SimTime) -> NodeEffects<NullStateMachine> {
+        let mut fx = Effects::new();
+        // Fire the election timer.
+        let deadline = node.election_deadline();
+        let t = deadline.max(now);
+        fx.extend(node.tick(t));
+        assert_eq!(node.role(), Role::PreCandidate);
+        let campaign = node.term() + 1;
+        // Grant pre-votes from a majority of peers.
+        for peer in 1..node.cluster_size() {
+            fx.extend(node.step(
+                t,
+                peer,
+                Payload::RequestVoteResp(RequestVoteResp {
+                    term: campaign,
+                    pre_vote: true,
+                    granted: true,
+                }),
+            ));
+            if node.role() != Role::PreCandidate {
+                break;
+            }
+        }
+        assert!(matches!(node.role(), Role::Candidate | Role::Leader));
+        let term = node.term();
+        for peer in 1..node.cluster_size() {
+            if node.role() == Role::Leader {
+                break;
+            }
+            fx.extend(node.step(
+                t,
+                peer,
+                Payload::RequestVoteResp(RequestVoteResp {
+                    term,
+                    pre_vote: false,
+                    granted: true,
+                }),
+            ));
+        }
+        assert_eq!(node.role(), Role::Leader);
+        fx
+    }
+
+    #[test]
+    fn starts_as_follower_with_armed_timer() {
+        let n = node(0, 5);
+        assert_eq!(n.role(), Role::Follower);
+        assert_eq!(n.term(), 0);
+        assert_eq!(n.leader_id(), None);
+        let wake = n.next_wake().unwrap();
+        // Raft defaults: Et=1000ms, tick=100ms, factor in [1,2) → deadline
+        // within one tick above the randomized timeout.
+        assert!(wake >= ms(1000) && wake <= ms(2100), "wake = {wake}");
+        assert!(wake >= SimTime::ZERO + n.randomized_timeout());
+        assert!(wake <= SimTime::ZERO + n.randomized_timeout() + Duration::from_millis(100));
+    }
+
+    #[test]
+    fn election_timeout_starts_pre_vote_and_emits_events() {
+        let mut n = node(0, 5);
+        let deadline = n.election_deadline();
+        let fx = n.tick(deadline);
+        assert_eq!(n.role(), Role::PreCandidate);
+        assert_eq!(n.term(), 0, "pre-vote must not bump the term");
+        let kinds: Vec<&str> = fx.events.iter().map(RaftEvent::kind).collect();
+        assert!(kinds.contains(&"election_timeout"));
+        assert!(kinds.contains(&"pre_vote_started"));
+        // Pre-vote requests to all 4 peers.
+        let pre_votes = fx
+            .messages
+            .iter()
+            .filter(|m| m.payload.kind() == "pre_vote")
+            .count();
+        assert_eq!(pre_votes, 4);
+    }
+
+    #[test]
+    fn tick_before_deadline_is_noop() {
+        let mut n = node(0, 5);
+        let fx = n.tick(ms(10));
+        assert!(fx.events.is_empty());
+        assert!(fx.messages.is_empty());
+        assert_eq!(n.role(), Role::Follower);
+    }
+
+    #[test]
+    fn full_election_produces_leader_and_noop_entry() {
+        let mut n = node(0, 5);
+        let fx = elect(&mut n, SimTime::ZERO);
+        assert_eq!(n.role(), Role::Leader);
+        assert_eq!(n.term(), 1);
+        assert_eq!(n.leader_id(), Some(0));
+        assert_eq!(n.log().last_index(), 1, "no-op appended");
+        // Replication of the no-op goes out to every follower.
+        let appends = fx
+            .messages
+            .iter()
+            .filter(|m| m.payload.kind() == "append")
+            .count();
+        assert_eq!(appends, 4);
+        let kinds: Vec<&str> = fx.events.iter().map(RaftEvent::kind).collect();
+        assert!(kinds.contains(&"election_started"));
+        assert!(kinds.contains(&"became_leader"));
+    }
+
+    #[test]
+    fn single_node_cluster_elects_and_commits_alone() {
+        let mut n = node(0, 1);
+        let deadline = n.election_deadline();
+        let _ = n.tick(deadline);
+        assert_eq!(n.role(), Role::Leader);
+        let (res, fx) = n.propose(deadline, 42);
+        let (term, index) = res.unwrap();
+        assert_eq!(term, 1);
+        assert_eq!(index, 2);
+        // Committed immediately (quorum of 1).
+        assert_eq!(n.commit_index(), 2);
+        assert_eq!(fx.applied.len(), 1);
+        assert_eq!(fx.applied[0].response, Some(2));
+    }
+
+    #[test]
+    fn propose_on_follower_returns_redirect() {
+        let mut n = node(1, 3);
+        // Learn about a leader via heartbeat.
+        let hb = Heartbeat {
+            term: 1,
+            leader: 0,
+            commit: 0,
+            meta: dynatune_core::HeartbeatMeta {
+                id: 0,
+                sent_at_nanos: 0,
+                rtt_sample: None,
+            },
+        };
+        let _ = n.step(ms(1), 0, Payload::Heartbeat(hb));
+        assert_eq!(n.leader_id(), Some(0));
+        let (res, _) = n.propose(ms(2), 7);
+        assert_eq!(res, Err(NotLeader { hint: Some(0) }));
+    }
+
+    #[test]
+    fn heartbeat_resets_timer_and_gets_response() {
+        let mut n = node(1, 5);
+        let first_deadline = n.election_deadline();
+        let hb = Heartbeat {
+            term: 3,
+            leader: 0,
+            commit: 0,
+            meta: dynatune_core::HeartbeatMeta {
+                id: 0,
+                sent_at_nanos: 5,
+                rtt_sample: None,
+            },
+        };
+        let fx = n.step(ms(500), 0, Payload::Heartbeat(hb));
+        assert_eq!(n.term(), 3);
+        assert_eq!(n.leader_id(), Some(0));
+        assert!(n.election_deadline() > first_deadline);
+        let resp = fx
+            .messages
+            .iter()
+            .find(|m| m.payload.kind() == "heartbeat_resp")
+            .expect("heartbeat response");
+        assert_eq!(resp.to, 0);
+        match &resp.payload {
+            Payload::HeartbeatResp(r) => {
+                assert_eq!(r.term, 3);
+                assert_eq!(r.reply.echo_sent_at_nanos, 5);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stale_heartbeat_answered_with_higher_term() {
+        let mut n = node(1, 3);
+        // Bring the node to term 5 via a vote request.
+        let _ = n.step(
+            ms(1),
+            2,
+            Payload::RequestVote(RequestVote {
+                term: 5,
+                pre_vote: false,
+                last_log_index: 0,
+                last_log_term: 0,
+            }),
+        );
+        assert_eq!(n.term(), 5);
+        let hb = Heartbeat {
+            term: 3,
+            leader: 0,
+            commit: 0,
+            meta: dynatune_core::HeartbeatMeta {
+                id: 0,
+                sent_at_nanos: 0,
+                rtt_sample: None,
+            },
+        };
+        let fx = n.step(ms(2), 0, Payload::Heartbeat(hb));
+        match &fx.messages[0].payload {
+            Payload::HeartbeatResp(r) => assert_eq!(r.term, 5),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(n.leader_id(), None, "stale leader not adopted");
+    }
+
+    #[test]
+    fn append_entries_replicates_and_commits() {
+        let mut n = node(1, 3);
+        let entries = vec![
+            crate::log::Entry {
+                term: 1,
+                index: 1,
+                data: None,
+            },
+            crate::log::Entry {
+                term: 1,
+                index: 2,
+                data: Some(77),
+            },
+        ];
+        let fx = n.step(
+            ms(1),
+            0,
+            Payload::AppendEntries(AppendEntries {
+                term: 1,
+                leader: 0,
+                prev_log_index: 0,
+                prev_log_term: 0,
+                entries,
+                leader_commit: 2,
+            }),
+        );
+        assert_eq!(n.log().last_index(), 2);
+        assert_eq!(n.commit_index(), 2);
+        // Applied: the no-op yields no response, entry 2 applies command 77.
+        assert_eq!(fx.applied.len(), 2);
+        assert!(fx.applied[0].response.is_none());
+        assert_eq!(fx.applied[1].response, Some(2));
+        assert_eq!(n.state_machine().applied, vec![(2, 77)]);
+        match &fx.messages[0].payload {
+            Payload::AppendResp(r) => {
+                assert!(r.success);
+                assert_eq!(r.match_or_hint, 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn append_conflict_reports_hint() {
+        let mut n = node(1, 3);
+        let fx = n.step(
+            ms(1),
+            0,
+            Payload::AppendEntries(AppendEntries {
+                term: 1,
+                leader: 0,
+                prev_log_index: 7,
+                prev_log_term: 1,
+                entries: vec![],
+                leader_commit: 0,
+            }),
+        );
+        match &fx.messages[0].payload {
+            Payload::AppendResp(r) => {
+                assert!(!r.success);
+                assert_eq!(r.match_or_hint, 0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn leader_replication_round_trip() {
+        let mut leader = node(0, 3);
+        let _ = elect(&mut leader, SimTime::ZERO);
+        let t = leader.election_deadline(); // any time after election
+        let (res, fx) = leader.propose(t, 99);
+        let (term, index) = res.unwrap();
+        assert_eq!(index, 2);
+        // Followers 1 and 2 get appends (they were idle: no-op batch already
+        // in flight, so the proposal rides the next batch for busy peers).
+        let _ = fx;
+        // Simulate follower 1 acking everything through index 2.
+        let fx = leader.step(
+            t,
+            1,
+            Payload::AppendResp(AppendResp {
+                term,
+                success: true,
+                match_or_hint: 2,
+            }),
+        );
+        // Majority (leader + follower 1) -> commit both entries.
+        assert_eq!(leader.commit_index(), 2);
+        assert_eq!(fx.applied.len(), 2);
+        assert_eq!(fx.applied[1].response, Some(2));
+    }
+
+    #[test]
+    fn commit_requires_current_term_entry() {
+        let mut leader = node(0, 5);
+        let _ = elect(&mut leader, SimTime::ZERO);
+        let t = ms(3000);
+        // One follower acks the no-op; that's only 2 of 5.
+        let _ = leader.step(
+            t,
+            1,
+            Payload::AppendResp(AppendResp {
+                term: leader.term(),
+                success: true,
+                match_or_hint: 1,
+            }),
+        );
+        assert_eq!(leader.commit_index(), 0);
+        // Two more make it a majority (leader, 1, 2, 3).
+        let _ = leader.step(
+            t,
+            2,
+            Payload::AppendResp(AppendResp {
+                term: leader.term(),
+                success: true,
+                match_or_hint: 1,
+            }),
+        );
+        assert_eq!(leader.commit_index(), 1);
+    }
+
+    #[test]
+    fn pre_vote_granted_only_for_fresh_logs_and_higher_term() {
+        let mut n = node(1, 3);
+        // Not in lease (no leader known): pre-vote for term 1 granted.
+        let fx = n.step(
+            ms(1),
+            2,
+            Payload::RequestVote(RequestVote {
+                term: 1,
+                pre_vote: true,
+                last_log_index: 0,
+                last_log_term: 0,
+            }),
+        );
+        match &fx.messages[0].payload {
+            Payload::RequestVoteResp(r) => {
+                assert!(r.granted);
+                assert!(r.pre_vote);
+                assert_eq!(r.term, 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(n.term(), 0, "pre-vote leaves term untouched");
+        assert_eq!(n.voted_for, None, "pre-vote does not consume the vote");
+    }
+
+    #[test]
+    fn lease_blocks_disruptive_votes() {
+        let mut n = node(1, 3);
+        // Establish a live leader.
+        let hb = Heartbeat {
+            term: 2,
+            leader: 0,
+            commit: 0,
+            meta: dynatune_core::HeartbeatMeta {
+                id: 0,
+                sent_at_nanos: 0,
+                rtt_sample: None,
+            },
+        };
+        let _ = n.step(ms(100), 0, Payload::Heartbeat(hb));
+        // A pre-vote arriving within the lease window is ignored outright.
+        let fx = n.step(
+            ms(150),
+            2,
+            Payload::RequestVote(RequestVote {
+                term: 3,
+                pre_vote: true,
+                last_log_index: 10,
+                last_log_term: 2,
+            }),
+        );
+        assert!(fx.messages.is_empty(), "lease must silence the request");
+        // Even a real vote at a higher term is ignored within the lease.
+        let fx = n.step(
+            ms(160),
+            2,
+            Payload::RequestVote(RequestVote {
+                term: 9,
+                pre_vote: false,
+                last_log_index: 10,
+                last_log_term: 2,
+            }),
+        );
+        assert!(fx.messages.is_empty());
+        assert_eq!(n.term(), 2, "lease also protects the term");
+    }
+
+    #[test]
+    fn vote_granted_once_per_term() {
+        let mut n = node(0, 3);
+        let rv = RequestVote {
+            term: 4,
+            pre_vote: false,
+            last_log_index: 0,
+            last_log_term: 0,
+        };
+        let fx = n.step(ms(1), 1, Payload::RequestVote(rv));
+        match &fx.messages[0].payload {
+            Payload::RequestVoteResp(r) => assert!(r.granted),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Second candidate, same term: rejected.
+        let fx = n.step(ms(2), 2, Payload::RequestVote(rv));
+        match &fx.messages[0].payload {
+            Payload::RequestVoteResp(r) => assert!(!r.granted),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Re-request from the same candidate: granted (idempotent).
+        let fx = n.step(ms(3), 1, Payload::RequestVote(rv));
+        match &fx.messages[0].payload {
+            Payload::RequestVoteResp(r) => assert!(r.granted),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn vote_rejected_for_stale_log() {
+        let mut n = node(0, 3);
+        // Give ourselves a log entry at term 2.
+        let _ = n.step(
+            ms(1),
+            1,
+            Payload::AppendEntries(AppendEntries {
+                term: 2,
+                leader: 1,
+                prev_log_index: 0,
+                prev_log_term: 0,
+                entries: vec![crate::log::Entry {
+                    term: 2,
+                    index: 1,
+                    data: Some(5),
+                }],
+                leader_commit: 0,
+            }),
+        );
+        // Wait out the lease.
+        let t = ms(5000);
+        let fx = n.step(
+            t,
+            2,
+            Payload::RequestVote(RequestVote {
+                term: 3,
+                pre_vote: false,
+                last_log_index: 0,
+                last_log_term: 0, // candidate's log is older
+            }),
+        );
+        match &fx.messages[0].payload {
+            Payload::RequestVoteResp(r) => assert!(!r.granted),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pre_candidate_aborts_on_leader_contact() {
+        let mut n = node(1, 5);
+        let deadline = n.election_deadline();
+        let _ = n.tick(deadline);
+        assert_eq!(n.role(), Role::PreCandidate);
+        // The leader (same term) makes contact.
+        let hb = Heartbeat {
+            term: 0,
+            leader: 0,
+            commit: 0,
+            meta: dynatune_core::HeartbeatMeta {
+                id: 9,
+                sent_at_nanos: 0,
+                rtt_sample: None,
+            },
+        };
+        let fx = n.step(deadline + Duration::from_millis(10), 0, Payload::Heartbeat(hb));
+        assert_eq!(n.role(), Role::Follower);
+        assert_eq!(n.leader_id(), Some(0));
+        let kinds: Vec<&str> = fx.events.iter().map(RaftEvent::kind).collect();
+        assert!(kinds.contains(&"pre_vote_aborted"), "events: {kinds:?}");
+    }
+
+    #[test]
+    fn campaign_retry_redraws_and_rebroadcasts() {
+        let mut n = node(0, 5);
+        let d1 = n.election_deadline();
+        let _ = n.tick(d1);
+        assert_eq!(n.role(), Role::PreCandidate);
+        let d2 = n.election_deadline();
+        assert!(d2 > d1);
+        let fx = n.tick(d2);
+        assert_eq!(n.role(), Role::PreCandidate);
+        let kinds: Vec<&str> = fx.events.iter().map(RaftEvent::kind).collect();
+        assert!(kinds.contains(&"campaign_retry"));
+        let pre_votes = fx
+            .messages
+            .iter()
+            .filter(|m| m.payload.kind() == "pre_vote")
+            .count();
+        assert_eq!(pre_votes, 4);
+    }
+
+    #[test]
+    fn leader_sends_heartbeats_on_pacer_schedule() {
+        let mut leader = node(0, 3);
+        let _ = elect(&mut leader, SimTime::ZERO);
+        let t0 = leader.next_wake().unwrap();
+        let fx = leader.tick(t0);
+        let hbs = fx
+            .messages
+            .iter()
+            .filter(|m| m.payload.kind() == "heartbeat")
+            .count();
+        assert_eq!(hbs, 2, "one heartbeat per follower");
+        // Default interval 100ms: nothing due 50ms later.
+        let fx = leader.tick(t0 + Duration::from_millis(50));
+        assert_eq!(
+            fx.messages
+                .iter()
+                .filter(|m| m.payload.kind() == "heartbeat")
+                .count(),
+            0
+        );
+        let fx = leader.tick(t0 + Duration::from_millis(100));
+        assert_eq!(
+            fx.messages
+                .iter()
+                .filter(|m| m.payload.kind() == "heartbeat")
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn suppression_skips_heartbeats_while_replicating() {
+        let mut cfg = RaftConfig::new(0, 3, TuningConfig::raft_default());
+        cfg.suppress_heartbeats_when_replicating = true;
+        let mut leader = RaftNode::new(cfg, NullStateMachine::default(), SimTime::ZERO);
+        let _ = elect(&mut leader, SimTime::ZERO);
+        let t0 = leader.next_wake().unwrap();
+        // Replication to both followers just happened (become_leader sent
+        // the no-op batch): the first heartbeat round is suppressed.
+        let fx = leader.tick(t0);
+        assert_eq!(
+            fx.messages.iter().filter(|m| m.payload.kind() == "heartbeat").count(),
+            0,
+            "appends in flight suppress heartbeats"
+        );
+        // After an idle interval with no replication, heartbeats resume.
+        let t1 = leader.next_wake().unwrap();
+        let fx = leader.tick(t1);
+        assert_eq!(
+            fx.messages.iter().filter(|m| m.payload.kind() == "heartbeat").count(),
+            2,
+            "idle leader heartbeats normally"
+        );
+    }
+
+    #[test]
+    fn consolidated_timer_fires_all_pacers_together() {
+        let mut cfg = RaftConfig::new(0, 3, TuningConfig::dynatune());
+        cfg.consolidated_heartbeat_timer = true;
+        let mut leader = RaftNode::new(cfg, NullStateMachine::default(), SimTime::ZERO);
+        let _ = elect(&mut leader, SimTime::ZERO);
+        // Tune follower 1 to a shorter interval via a heartbeat reply.
+        let t0 = leader.next_wake().unwrap();
+        let fx = leader.tick(t0);
+        let hb_to_1 = fx
+            .messages
+            .iter()
+            .find_map(|m| match (&m.payload, m.to) {
+                (Payload::Heartbeat(hb), 1) => Some(hb.clone()),
+                _ => None,
+            })
+            .expect("heartbeat to follower 1");
+        let _ = leader.step(
+            t0 + Duration::from_millis(10),
+            1,
+            Payload::HeartbeatResp(HeartbeatResp {
+                term: leader.term(),
+                reply: dynatune_core::HeartbeatReply {
+                    id: hb_to_1.meta.id,
+                    echo_sent_at_nanos: hb_to_1.meta.sent_at_nanos,
+                    tuned_interval: Some(Duration::from_millis(40)),
+                },
+            }),
+        );
+        assert_eq!(leader.pacer_interval(1), Some(Duration::from_millis(40)));
+        assert_eq!(leader.pacer_interval(2), Some(Duration::from_millis(100)));
+        // The next burst happens when follower 1's 40ms pacer is due — and
+        // it carries heartbeats to BOTH followers (single timer).
+        let due = leader.next_wake().unwrap();
+        let fx = leader.tick(due);
+        let heartbeat_targets: Vec<NodeId> = fx
+            .messages
+            .iter()
+            .filter(|m| m.payload.kind() == "heartbeat")
+            .map(|m| m.to)
+            .collect();
+        assert_eq!(heartbeat_targets.len(), 2, "burst covers all followers: {heartbeat_targets:?}");
+    }
+
+    #[test]
+    fn leader_steps_down_when_quorum_silent() {
+        let mut leader = node(0, 3);
+        let _ = elect(&mut leader, SimTime::ZERO);
+        assert_eq!(leader.role(), Role::Leader);
+        // Nobody ever responds; run ticks past the lease deadline.
+        let mut t = leader.next_wake().unwrap();
+        let mut stepped = false;
+        for _ in 0..100 {
+            let fx = leader.tick(t);
+            if fx
+                .events
+                .iter()
+                .any(|e| matches!(e, RaftEvent::SteppedDown { .. }))
+            {
+                stepped = true;
+                break;
+            }
+            match leader.next_wake() {
+                Some(next) if next > t => t = next,
+                _ => t += Duration::from_millis(10),
+            }
+        }
+        assert!(stepped, "leader should step down without quorum contact");
+        assert_eq!(leader.role(), Role::Follower);
+    }
+
+    #[test]
+    fn leader_keeps_leading_while_quorum_responds() {
+        let mut leader = node(0, 3);
+        let _ = elect(&mut leader, SimTime::ZERO);
+        let mut t = leader.next_wake().unwrap();
+        for _ in 0..100 {
+            let fx = leader.tick(t);
+            // Follower 1 responds to every heartbeat immediately.
+            for m in &fx.messages {
+                if m.to == 1 {
+                    if let Payload::Heartbeat(hb) = &m.payload {
+                        let reply = dynatune_core::HeartbeatReply::echo_only(&hb.meta);
+                        let _ = leader.step(
+                            t,
+                            1,
+                            Payload::HeartbeatResp(HeartbeatResp {
+                                term: hb.term,
+                                reply,
+                            }),
+                        );
+                    }
+                }
+            }
+            assert_eq!(leader.role(), Role::Leader);
+            t = leader.next_wake().unwrap().max(t + Duration::from_millis(1));
+        }
+    }
+
+    #[test]
+    fn higher_term_heartbeat_deposes_leader() {
+        let mut leader = node(0, 3);
+        let _ = elect(&mut leader, SimTime::ZERO);
+        let hb = Heartbeat {
+            term: leader.term() + 5,
+            leader: 2,
+            commit: 0,
+            meta: dynatune_core::HeartbeatMeta {
+                id: 0,
+                sent_at_nanos: 0,
+                rtt_sample: None,
+            },
+        };
+        let fx = leader.step(ms(5000), 2, Payload::Heartbeat(hb));
+        assert_eq!(leader.role(), Role::Follower);
+        assert_eq!(leader.leader_id(), Some(2));
+        let kinds: Vec<&str> = fx.events.iter().map(RaftEvent::kind).collect();
+        assert!(kinds.contains(&"stepped_down"));
+    }
+
+    #[test]
+    fn restart_preserves_log_and_term_but_resets_volatile() {
+        let mut n = node(1, 3);
+        let _ = n.step(
+            ms(1),
+            0,
+            Payload::AppendEntries(AppendEntries {
+                term: 4,
+                leader: 0,
+                prev_log_index: 0,
+                prev_log_term: 0,
+                entries: vec![crate::log::Entry {
+                    term: 4,
+                    index: 1,
+                    data: Some(11),
+                }],
+                leader_commit: 1,
+            }),
+        );
+        assert_eq!(n.commit_index(), 1);
+        assert_eq!(n.state_machine().applied.len(), 1);
+        n.restart(ms(100), NullStateMachine::default());
+        assert_eq!(n.term(), 4, "term persists");
+        assert_eq!(n.log().last_index(), 1, "log persists");
+        assert_eq!(n.commit_index(), 0, "commit is volatile");
+        assert!(n.state_machine().applied.is_empty(), "SM rebuilt");
+        assert_eq!(n.role(), Role::Follower);
+        // Re-commit via a heartbeat from the leader.
+        let hb = Heartbeat {
+            term: 4,
+            leader: 0,
+            commit: 1,
+            meta: dynatune_core::HeartbeatMeta {
+                id: 0,
+                sent_at_nanos: 0,
+                rtt_sample: None,
+            },
+        };
+        let fx = n.step(ms(101), 0, Payload::Heartbeat(hb));
+        assert_eq!(n.commit_index(), 1);
+        assert_eq!(fx.applied.len(), 1);
+    }
+
+    #[test]
+    fn tuner_reset_on_timeout_for_dynatune() {
+        let config = RaftConfig::new(1, 3, TuningConfig::dynatune());
+        let mut n = RaftNode::new(config, NullStateMachine::default(), SimTime::ZERO);
+        // Feed warmed tuner via heartbeats from a leader.
+        let mut t = ms(10);
+        for i in 0..20u64 {
+            let hb = Heartbeat {
+                term: 1,
+                leader: 0,
+                commit: 0,
+                meta: dynatune_core::HeartbeatMeta {
+                    id: i,
+                    sent_at_nanos: t.as_nanos(),
+                    rtt_sample: Some(Duration::from_millis(50)),
+                },
+            };
+            let _ = n.step(t, 0, Payload::Heartbeat(hb));
+            t += Duration::from_millis(100);
+        }
+        assert!(n.tuning_snapshot().warmed);
+        assert_eq!(n.election_timeout(), Duration::from_millis(50));
+        // Let the election timer expire: measurements are discarded but the
+        // tuned Et keeps pacing the campaign (§III-B reading).
+        let deadline = n.election_deadline();
+        let fx = n.tick(deadline);
+        assert!(fx.events.contains(&RaftEvent::TunerReset));
+        assert!(!n.tuning_snapshot().warmed);
+        assert_eq!(n.tuning_snapshot().rtt_samples, 0, "data discarded");
+        assert_eq!(
+            n.election_timeout(),
+            Duration::from_millis(50),
+            "tuned Et survives for the campaign"
+        );
+        // Two unresolved campaign retries escalate to the conservative
+        // defaults (availability fallback).
+        let mut t = n.election_deadline();
+        for _ in 0..2 {
+            let _ = n.tick(t);
+            t = n.election_deadline().max(t + Duration::from_millis(1));
+        }
+        assert_eq!(
+            n.election_timeout(),
+            Duration::from_millis(1000),
+            "escalation falls back to defaults"
+        );
+    }
+
+    #[test]
+    fn quantized_deadline_snaps_to_phased_tick_grid() {
+        let mut cfg = RaftConfig::new(0, 3, TuningConfig::raft_default());
+        cfg.quantization = TimerQuantization::Tick;
+        let n = RaftNode::new(cfg, NullStateMachine::default(), ms(40));
+        let deadline = n.election_deadline();
+        let raw = ms(40) + n.randomized_timeout();
+        // First phased 100ms boundary at or after the raw deadline.
+        assert!(deadline >= raw, "deadline {deadline} >= raw {raw}");
+        assert!(deadline < raw + Duration::from_millis(100));
+        // Different nodes observe differently-phased grids.
+        let other = RaftNode::new(
+            RaftConfig::new(1, 3, TuningConfig::raft_default()),
+            NullStateMachine::default(),
+            ms(40),
+        );
+        assert_ne!(
+            n.election_deadline().as_nanos() % 100_000_000,
+            other.election_deadline().as_nanos() % 100_000_000,
+            "grids should be phase-shifted across nodes"
+        );
+        let mut cfg = RaftConfig::new(0, 3, TuningConfig::raft_default());
+        cfg.quantization = TimerQuantization::Continuous;
+        let n2 = RaftNode::new(cfg, NullStateMachine::default(), ms(40));
+        let d2 = n2.election_deadline();
+        // Continuous deadline equals reset + rto exactly (same seed, same factor).
+        assert_eq!(d2, ms(40) + n2.randomized_timeout());
+    }
+}

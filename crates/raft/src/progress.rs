@@ -1,0 +1,93 @@
+//! Leader-side replication progress tracking (etcd's `Progress`).
+
+use crate::types::LogIndex;
+use dynatune_simnet::SimTime;
+
+/// Replication state the leader keeps per follower.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Progress {
+    /// Highest log index known to be replicated on the follower.
+    pub match_index: LogIndex,
+    /// Next index to send.
+    pub next_index: LogIndex,
+    /// Whether an `AppendEntries` is in flight (one-at-a-time discipline;
+    /// the resend timer recovers from lost messages or responses).
+    pub inflight: bool,
+    /// When the in-flight append was sent (for resend timeout).
+    pub sent_at: SimTime,
+    /// Last time *any* message was received from this follower (check-quorum).
+    pub last_active: SimTime,
+}
+
+impl Progress {
+    /// Fresh progress for a newly-elected leader.
+    #[must_use]
+    pub fn new(last_log_index: LogIndex, now: SimTime) -> Self {
+        Self {
+            match_index: 0,
+            next_index: last_log_index + 1,
+            inflight: false,
+            sent_at: SimTime::ZERO,
+            last_active: now,
+        }
+    }
+
+    /// Record a successful replication up to `index`.
+    pub fn on_success(&mut self, index: LogIndex) {
+        self.match_index = self.match_index.max(index);
+        self.next_index = self.next_index.max(index + 1);
+        self.inflight = false;
+    }
+
+    /// Record a conflict hint: probe at `prev = hint` next.
+    pub fn on_conflict(&mut self, hint: LogIndex) {
+        // Never move next below match+1 (those entries are proven).
+        self.next_index = (hint + 1).max(self.match_index + 1);
+        self.inflight = false;
+    }
+
+    /// Whether entries up to `last_index` remain unsent.
+    #[must_use]
+    pub fn has_pending(&self, last_index: LogIndex) -> bool {
+        self.next_index <= last_index
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_progress_is_optimistic() {
+        let p = Progress::new(10, SimTime::from_millis(5));
+        assert_eq!(p.match_index, 0);
+        assert_eq!(p.next_index, 11);
+        assert!(!p.inflight);
+        assert!(!p.has_pending(10));
+        assert!(p.has_pending(11));
+    }
+
+    #[test]
+    fn success_advances_monotonically() {
+        let mut p = Progress::new(0, SimTime::ZERO);
+        p.on_success(5);
+        assert_eq!(p.match_index, 5);
+        assert_eq!(p.next_index, 6);
+        // A stale (reordered) smaller success must not regress.
+        p.on_success(3);
+        assert_eq!(p.match_index, 5);
+        assert_eq!(p.next_index, 6);
+    }
+
+    #[test]
+    fn conflict_backs_off_but_not_below_match() {
+        let mut p = Progress::new(10, SimTime::ZERO);
+        p.on_success(4);
+        p.next_index = 11;
+        p.on_conflict(7);
+        assert_eq!(p.next_index, 8);
+        // Hint below proven match is clamped.
+        p.on_conflict(1);
+        assert_eq!(p.next_index, 5);
+    }
+}

@@ -1,0 +1,109 @@
+//! The replicated state machine interface and node output effects.
+
+use crate::events::RaftEvent;
+use crate::message::OutMsg;
+use crate::types::{LogIndex, Term};
+
+/// The application state machine commands are applied to once committed.
+///
+/// Implementations must be deterministic: every replica applies the same
+/// committed command sequence and must reach the same state (the SMR
+/// contract, §I of the paper).
+pub trait StateMachine {
+    /// Command type stored in log entries.
+    type Command: Clone;
+    /// Response produced by applying a command (returned to clients by the
+    /// leader).
+    type Response;
+
+    /// Apply a committed command at `index`.
+    fn apply(&mut self, index: LogIndex, command: &Self::Command) -> Self::Response;
+}
+
+/// A committed entry that was just applied.
+#[derive(Debug, Clone)]
+pub struct Applied<R> {
+    /// Log index of the applied entry.
+    pub index: LogIndex,
+    /// Term of the applied entry.
+    pub term: Term,
+    /// The state machine's response (`None` for leader no-op entries).
+    pub response: Option<R>,
+}
+
+/// Everything a node wants the outside world to do after one input.
+#[derive(Debug)]
+pub struct Effects<C, R> {
+    /// Messages to transmit.
+    pub messages: Vec<OutMsg<C>>,
+    /// Observable state transitions (for experiment observers).
+    pub events: Vec<RaftEvent>,
+    /// Entries applied to the state machine by this input.
+    pub applied: Vec<Applied<R>>,
+}
+
+impl<C, R> Default for Effects<C, R> {
+    fn default() -> Self {
+        Self {
+            messages: Vec::new(),
+            events: Vec::new(),
+            applied: Vec::new(),
+        }
+    }
+}
+
+impl<C, R> Effects<C, R> {
+    /// An empty effects bundle.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold another bundle into this one, preserving order.
+    pub fn extend(&mut self, other: Effects<C, R>) {
+        self.messages.extend(other.messages);
+        self.events.extend(other.events);
+        self.applied.extend(other.applied);
+    }
+}
+
+/// A trivial state machine for tests: stores commands, echoes indices.
+#[derive(Debug, Clone, Default)]
+pub struct NullStateMachine {
+    /// Commands applied so far.
+    pub applied: Vec<(LogIndex, u64)>,
+}
+
+impl StateMachine for NullStateMachine {
+    type Command = u64;
+    type Response = LogIndex;
+
+    fn apply(&mut self, index: LogIndex, command: &u64) -> LogIndex {
+        self.applied.push((index, *command));
+        index
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_state_machine_records() {
+        let mut sm = NullStateMachine::default();
+        assert_eq!(sm.apply(1, &10), 1);
+        assert_eq!(sm.apply(2, &20), 2);
+        assert_eq!(sm.applied, vec![(1, 10), (2, 20)]);
+    }
+
+    #[test]
+    fn effects_extend_preserves_order() {
+        let mut a: Effects<u64, LogIndex> = Effects::new();
+        a.events.push(RaftEvent::TunerReset);
+        let mut b: Effects<u64, LogIndex> = Effects::new();
+        b.events.push(RaftEvent::BecameLeader { term: 1 });
+        a.extend(b);
+        assert_eq!(a.events.len(), 2);
+        assert_eq!(a.events[1], RaftEvent::BecameLeader { term: 1 });
+    }
+}

@@ -1,0 +1,225 @@
+//! Congestion-burst model: correlated, transient queueing delay.
+//!
+//! WAN paths do not only have smooth per-packet jitter; they exhibit
+//! *episodes* of elevated queueing delay affecting every packet that crosses
+//! the congested hop during the episode (Høiland-Jørgensen et al. \[16\] report
+//! queueing delays exceeding 200 ms under load; Mok et al. \[19\] observe
+//! congestion episodes on inter-cloud paths). These correlated episodes are
+//! what make a follower's heartbeat-arrival gap occasionally exceed a small
+//! election timeout — the failure mode the paper's Raft-Low baseline
+//! exhibits once the base RTT approaches its static timeout.
+//!
+//! The model: bursts arrive as a Poisson process (mean inter-arrival
+//! `mean_interval`). Each burst lasts `duration ~ U[min, max)` and adds
+//! `extra = scale_factor * base_rtt * U[0.5, 1.5)` of one-way delay to every
+//! packet sent while it is active. Because a burst is attached to a node's
+//! *egress* (the congested uplink), all flows from that node see it
+//! simultaneously — this correlation is essential: it lets a majority of
+//! followers lose heartbeats at once, which is what actually deposes a
+//! leader (a single follower's false timeout is absorbed by pre-vote).
+
+use crate::rng::Rng;
+use crate::time::SimTime;
+use std::time::Duration;
+
+/// Configuration for the burst process on one egress.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CongestionConfig {
+    /// Mean time between burst starts (Poisson arrivals). `None` disables.
+    pub mean_interval: Option<Duration>,
+    /// Burst duration range.
+    pub duration: (Duration, Duration),
+    /// Extra one-way delay = `scale * base_rtt * U[0.5, 1.5)`.
+    pub scale: f64,
+}
+
+impl CongestionConfig {
+    /// No congestion bursts at all.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Self {
+            mean_interval: None,
+            duration: (Duration::ZERO, Duration::ZERO),
+            scale: 0.0,
+        }
+    }
+
+    /// A WAN-like default: a burst roughly every 30 s of simulated time,
+    /// lasting 100–400 ms, adding ~0.3–0.9x the base RTT of one-way delay.
+    #[must_use]
+    pub fn wan_default() -> Self {
+        Self {
+            mean_interval: Some(Duration::from_secs(30)),
+            duration: (Duration::from_millis(100), Duration::from_millis(400)),
+            scale: 0.6,
+        }
+    }
+
+    /// True when bursts can occur.
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.mean_interval.is_some() && self.scale > 0.0
+    }
+}
+
+/// State of the Poisson burst process for one egress.
+///
+/// Packets are sampled in non-decreasing time order (the event loop
+/// processes sends chronologically), so the process advances monotonically.
+#[derive(Debug, Clone)]
+pub struct CongestionProcess {
+    config: CongestionConfig,
+    rng: Rng,
+    /// Start of the next scheduled burst.
+    next_burst: SimTime,
+    /// Currently active burst: (end, extra delay multiplier of base rtt).
+    active: Option<(SimTime, f64)>,
+}
+
+impl CongestionProcess {
+    /// Create a process; the first burst is scheduled exponentially from t=0.
+    #[must_use]
+    pub fn new(config: CongestionConfig, mut rng: Rng) -> Self {
+        let next_burst = match config.mean_interval {
+            Some(mean) if config.enabled() => {
+                SimTime::ZERO + secs(rng.exponential(mean.as_secs_f64()))
+            }
+            _ => SimTime::MAX,
+        };
+        Self {
+            config,
+            rng,
+            next_burst,
+            active: None,
+        }
+    }
+
+    /// Extra one-way delay for a packet sent at `now` over a link whose
+    /// current base RTT is `base_rtt`.
+    pub fn extra_delay(&mut self, now: SimTime, base_rtt: Duration) -> Duration {
+        if !self.config.enabled() {
+            return Duration::ZERO;
+        }
+        // Retire an expired burst.
+        if let Some((end, _)) = self.active {
+            if now >= end {
+                self.active = None;
+            }
+        }
+        // Start any bursts whose time has come (catch up if several elapsed).
+        while now >= self.next_burst {
+            let (dmin, dmax) = self.config.duration;
+            let dur = if dmax > dmin {
+                dmin + secs(self.rng.range_f64(0.0, (dmax - dmin).as_secs_f64()))
+            } else {
+                dmin
+            };
+            let end = self.next_burst + dur;
+            let magnitude = self.config.scale * self.rng.range_f64(0.5, 1.5);
+            // Only keep it if it is still (or will be) active at `now`.
+            if end > now {
+                self.active = Some((end, magnitude));
+            }
+            let mean = self
+                .config
+                .mean_interval
+                .expect("enabled implies interval")
+                .as_secs_f64();
+            self.next_burst += secs(self.rng.exponential(mean));
+        }
+        match self.active {
+            Some((end, magnitude)) if now < end => {
+                Duration::from_secs_f64(base_rtt.as_secs_f64() * magnitude)
+            }
+            _ => Duration::ZERO,
+        }
+    }
+}
+
+fn secs(s: f64) -> Duration {
+    Duration::from_secs_f64(s.max(0.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_process_adds_nothing() {
+        let mut p = CongestionProcess::new(CongestionConfig::disabled(), Rng::new(1));
+        for s in 0..100 {
+            assert_eq!(
+                p.extra_delay(SimTime::from_secs(s), Duration::from_millis(100)),
+                Duration::ZERO
+            );
+        }
+    }
+
+    #[test]
+    fn bursts_occur_and_end() {
+        let cfg = CongestionConfig {
+            mean_interval: Some(Duration::from_secs(5)),
+            duration: (Duration::from_millis(200), Duration::from_millis(200)),
+            scale: 1.0,
+        };
+        let mut p = CongestionProcess::new(cfg, Rng::new(42));
+        let rtt = Duration::from_millis(100);
+        let mut burst_ms = 0u64;
+        let mut clean_ms = 0u64;
+        // Sample every millisecond for 60 simulated seconds.
+        for ms in 0..60_000u64 {
+            let extra = p.extra_delay(SimTime::from_millis(ms), rtt);
+            if extra > Duration::ZERO {
+                burst_ms += 1;
+                // extra is scale * rtt * U[0.5, 1.5) = 50..150 ms
+                assert!(extra >= Duration::from_millis(49), "extra {extra:?}");
+                assert!(extra <= Duration::from_millis(151), "extra {extra:?}");
+            } else {
+                clean_ms += 1;
+            }
+        }
+        // ~12 bursts of 200ms each over 60s => about 2.4s of burst time.
+        assert!(burst_ms > 500, "bursts too rare: {burst_ms}ms");
+        assert!(clean_ms > 40_000, "bursts too common: {clean_ms}ms clean");
+    }
+
+    #[test]
+    fn burst_rate_scales_with_interval() {
+        let make = |interval_s: u64, seed: u64| {
+            let cfg = CongestionConfig {
+                mean_interval: Some(Duration::from_secs(interval_s)),
+                duration: (Duration::from_millis(100), Duration::from_millis(100)),
+                scale: 0.5,
+            };
+            let mut p = CongestionProcess::new(cfg, Rng::new(seed));
+            let mut hits = 0u64;
+            for ms in 0..600_000u64 {
+                if p.extra_delay(SimTime::from_millis(ms), Duration::from_millis(100))
+                    > Duration::ZERO
+                {
+                    hits += 1;
+                }
+            }
+            hits
+        };
+        let frequent = make(5, 7);
+        let rare = make(60, 7);
+        assert!(
+            frequent > rare * 3,
+            "frequent {frequent} should dwarf rare {rare}"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = CongestionConfig::wan_default();
+        let run = |seed| {
+            let mut p = CongestionProcess::new(cfg, Rng::new(seed));
+            (0..10_000u64)
+                .map(|ms| p.extra_delay(SimTime::from_millis(ms * 10), Duration::from_millis(80)))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+}

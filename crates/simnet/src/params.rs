@@ -1,0 +1,133 @@
+//! Instantaneous network parameters for one link.
+
+use std::time::Duration;
+
+/// Network parameters for a (directed or undirected) link at one instant.
+///
+/// These are the quantities the paper manipulates with `tc netem`: base RTT
+/// and packet loss rate, extended with the jitter and congestion-burst knobs
+/// that model real WAN variability (paper §II-C, refs \[15\]–\[19\]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetParams {
+    /// Base round-trip time; one-way base delay is `rtt / 2`.
+    pub rtt: Duration,
+    /// Coefficient of variation of the multiplicative lognormal per-packet
+    /// jitter applied to the one-way delay. 0 disables jitter.
+    pub jitter_cv: f64,
+    /// Independent per-packet loss probability in `[0, 1]` (UDP channel only;
+    /// the TCP channel converts losses into retransmission delay).
+    pub loss: f64,
+    /// Independent per-packet duplication probability (UDP channel only).
+    pub dup: f64,
+}
+
+impl NetParams {
+    /// A perfectly clean link with the given RTT.
+    #[must_use]
+    pub fn clean(rtt: Duration) -> Self {
+        Self {
+            rtt,
+            jitter_cv: 0.0,
+            loss: 0.0,
+            dup: 0.0,
+        }
+    }
+
+    /// A LAN-like link: sub-millisecond RTT, light jitter, no loss.
+    #[must_use]
+    pub fn lan() -> Self {
+        Self {
+            rtt: Duration::from_micros(500),
+            jitter_cv: 0.05,
+            loss: 0.0,
+            dup: 0.0,
+        }
+    }
+
+    /// A WAN-like link with the given base RTT: moderate jitter and a small
+    /// residual loss rate, in line with inter-cloud measurements (\[18\], \[19\]).
+    #[must_use]
+    pub fn wan(rtt: Duration) -> Self {
+        Self {
+            rtt,
+            jitter_cv: 0.08,
+            loss: 0.0005,
+            dup: 0.0,
+        }
+    }
+
+    /// Builder: set jitter coefficient of variation.
+    #[must_use]
+    pub fn with_jitter(mut self, cv: f64) -> Self {
+        self.jitter_cv = cv;
+        self
+    }
+
+    /// Builder: set loss probability.
+    #[must_use]
+    pub fn with_loss(mut self, loss: f64) -> Self {
+        self.loss = loss;
+        self
+    }
+
+    /// Builder: set duplication probability.
+    #[must_use]
+    pub fn with_dup(mut self, dup: f64) -> Self {
+        self.dup = dup;
+        self
+    }
+
+    /// Builder: set the RTT.
+    #[must_use]
+    pub fn with_rtt(mut self, rtt: Duration) -> Self {
+        self.rtt = rtt;
+        self
+    }
+
+    /// Validate ranges; used by schedule builders.
+    ///
+    /// # Panics
+    /// Panics when probabilities are outside `[0, 1]` or jitter is negative.
+    pub fn validate(&self) {
+        assert!((0.0..=1.0).contains(&self.loss), "loss {} out of range", self.loss);
+        assert!((0.0..=1.0).contains(&self.dup), "dup {} out of range", self.dup);
+        assert!(self.jitter_cv >= 0.0, "negative jitter_cv {}", self.jitter_cv);
+    }
+}
+
+impl Default for NetParams {
+    fn default() -> Self {
+        Self::clean(Duration::from_millis(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_compose() {
+        let p = NetParams::clean(Duration::from_millis(100))
+            .with_jitter(0.1)
+            .with_loss(0.05)
+            .with_dup(0.01);
+        assert_eq!(p.rtt, Duration::from_millis(100));
+        assert_eq!(p.jitter_cv, 0.1);
+        assert_eq!(p.loss, 0.05);
+        assert_eq!(p.dup, 0.01);
+        p.validate();
+    }
+
+    #[test]
+    fn presets_are_valid() {
+        NetParams::lan().validate();
+        NetParams::wan(Duration::from_millis(150)).validate();
+        NetParams::default().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn invalid_loss_panics() {
+        NetParams::clean(Duration::ZERO).with_loss(1.5).validate();
+    }
+}

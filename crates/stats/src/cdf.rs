@@ -1,0 +1,180 @@
+//! Exact empirical CDF over a finished sample set.
+//!
+//! Figures 4 and 8 of the paper plot cumulative probability of detection and
+//! out-of-service times; [`EmpiricalCdf`] is the exact analogue built from
+//! per-trial measurements.
+
+/// Exact empirical cumulative distribution function.
+#[derive(Debug, Clone)]
+pub struct EmpiricalCdf {
+    sorted: Vec<f64>,
+}
+
+impl EmpiricalCdf {
+    /// Build a CDF from samples. NaNs are rejected with a panic in debug
+    /// builds and filtered in release builds.
+    #[must_use]
+    pub fn new(mut samples: Vec<f64>) -> Self {
+        debug_assert!(samples.iter().all(|v| !v.is_nan()), "CDF sample is NaN");
+        samples.retain(|v| !v.is_nan());
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN after filter"));
+        Self { sorted: samples }
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True when no samples were provided.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// P(X <= x): fraction of samples at or below `x`.
+    #[must_use]
+    pub fn eval(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let n = self.sorted.partition_point(|&v| v <= x);
+        n as f64 / self.sorted.len() as f64
+    }
+
+    /// Inverse CDF: smallest sample `v` with `eval(v) >= q`.
+    ///
+    /// `q` is clamped to `[0, 1]`. Returns `None` on an empty CDF.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.sorted.is_empty() {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.sorted.len() as f64).ceil() as usize).max(1);
+        Some(self.sorted[rank - 1])
+    }
+
+    /// Mean of the samples.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.sorted.is_empty() {
+            0.0
+        } else {
+            self.sorted.iter().sum::<f64>() / self.sorted.len() as f64
+        }
+    }
+
+    /// Smallest sample.
+    #[must_use]
+    pub fn min(&self) -> Option<f64> {
+        self.sorted.first().copied()
+    }
+
+    /// Largest sample.
+    #[must_use]
+    pub fn max(&self) -> Option<f64> {
+        self.sorted.last().copied()
+    }
+
+    /// Emit `(x, P(X<=x))` pairs suitable for plotting, at every sample point.
+    #[must_use]
+    pub fn points(&self) -> Vec<(f64, f64)> {
+        let n = self.sorted.len();
+        self.sorted
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| (x, (i + 1) as f64 / n as f64))
+            .collect()
+    }
+
+    /// Emit `(x, P)` pairs downsampled to at most `max_points` for compact
+    /// textual output. Always keeps the first and last point.
+    #[must_use]
+    pub fn points_downsampled(&self, max_points: usize) -> Vec<(f64, f64)> {
+        let pts = self.points();
+        if pts.len() <= max_points || max_points < 2 {
+            return pts;
+        }
+        let stride = (pts.len() - 1) as f64 / (max_points - 1) as f64;
+        (0..max_points)
+            .map(|i| pts[(i as f64 * stride).round() as usize])
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_cdf() {
+        let c = EmpiricalCdf::new(vec![]);
+        assert!(c.is_empty());
+        assert_eq!(c.eval(1.0), 0.0);
+        assert_eq!(c.quantile(0.5), None);
+        assert_eq!(c.mean(), 0.0);
+    }
+
+    #[test]
+    fn simple_eval() {
+        let c = EmpiricalCdf::new(vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(c.eval(0.5), 0.0);
+        assert_eq!(c.eval(1.0), 0.25);
+        assert_eq!(c.eval(2.5), 0.5);
+        assert_eq!(c.eval(4.0), 1.0);
+        assert_eq!(c.eval(100.0), 1.0);
+    }
+
+    #[test]
+    fn quantiles() {
+        let c = EmpiricalCdf::new(vec![10.0, 20.0, 30.0, 40.0]);
+        assert_eq!(c.quantile(0.0), Some(10.0));
+        assert_eq!(c.quantile(0.25), Some(10.0));
+        assert_eq!(c.quantile(0.26), Some(20.0));
+        assert_eq!(c.quantile(0.5), Some(20.0));
+        assert_eq!(c.quantile(1.0), Some(40.0));
+    }
+
+    #[test]
+    fn unsorted_input_is_sorted() {
+        let c = EmpiricalCdf::new(vec![3.0, 1.0, 2.0]);
+        assert_eq!(c.min(), Some(1.0));
+        assert_eq!(c.max(), Some(3.0));
+        assert_eq!(c.points(), vec![(1.0, 1.0 / 3.0), (2.0, 2.0 / 3.0), (3.0, 1.0)]);
+    }
+
+    #[test]
+    fn downsample_keeps_endpoints() {
+        let c = EmpiricalCdf::new((0..100).map(f64::from).collect());
+        let pts = c.points_downsampled(10);
+        assert_eq!(pts.len(), 10);
+        assert_eq!(pts[0].0, 0.0);
+        assert_eq!(pts[9].0, 99.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_eval_monotone(samples in proptest::collection::vec(-1e4f64..1e4, 1..200)) {
+            let c = EmpiricalCdf::new(samples);
+            let mut last = 0.0;
+            let (lo, hi) = (c.min().unwrap(), c.max().unwrap());
+            for i in 0..=50 {
+                let x = lo + (hi - lo) * i as f64 / 50.0;
+                let p = c.eval(x);
+                prop_assert!(p >= last - 1e-12);
+                prop_assert!((0.0..=1.0).contains(&p));
+                last = p;
+            }
+        }
+
+        #[test]
+        fn prop_quantile_inverts_eval(samples in proptest::collection::vec(-1e4f64..1e4, 1..100), q in 0.0f64..=1.0) {
+            let c = EmpiricalCdf::new(samples);
+            let v = c.quantile(q).unwrap();
+            prop_assert!(c.eval(v) >= q - 1e-12);
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Statistics utilities for the Dynatune reproduction.
+//!
+//! This crate is dependency-free and provides the numeric building blocks the
+//! rest of the workspace leans on:
+//!
+//! * [`OnlineStats`] — streaming mean/variance/min/max (Welford's algorithm),
+//!   mergeable across parallel workers.
+//! * [`SampleWindow`] — bounded sliding window with running mean and standard
+//!   deviation, used by the Dynatune RTT estimator (`RTTs` list in the paper).
+//! * [`Histogram`] — log-bucketed latency histogram with quantile queries.
+//! * [`EmpiricalCdf`] — exact empirical CDF over a finished sample set; this
+//!   is what the paper's Figures 4 and 8 plot.
+//! * [`TimeSeries`] — append-only `(t, value)` series with fixed-interval
+//!   resampling, used for the Figure 6/7 time plots.
+//! * [`Zipf`] — Zipf-distributed key sampler for KV workloads.
+//! * [`table`] — plain-text aligned table rendering for benchmark reports.
+//!
+//! All floating point summaries are deterministic functions of the inserted
+//! values; nothing here consumes randomness except [`Zipf::sample`], which is
+//! driven by a caller-provided uniform variate so the workspace's
+//! deterministic RNG discipline is preserved.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cdf;
+mod histogram;
+mod online;
+pub mod table;
+mod timeseries;
+mod window;
+mod zipf;
+
+pub use cdf::EmpiricalCdf;
+pub use histogram::Histogram;
+pub use online::OnlineStats;
+pub use timeseries::{ResamplePolicy, TimeSeries};
+pub use window::SampleWindow;
+pub use zipf::Zipf;
+
+/// Round `x` to `digits` decimal digits. Helper for stable report output.
+#[must_use]
+pub fn round_to(x: f64, digits: u32) -> f64 {
+    let p = 10f64.powi(digits as i32);
+    (x * p).round() / p
+}
+
+/// Linear interpolation between `a` and `b` at fraction `t in [0, 1]`.
+#[must_use]
+pub fn lerp(a: f64, b: f64, t: f64) -> f64 {
+    a + (b - a) * t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_to_rounds_half_away_from_zero() {
+        assert_eq!(round_to(1.2345, 2), 1.23);
+        assert_eq!(round_to(1.235, 2), 1.24);
+        assert_eq!(round_to(-1.235, 2), -1.24);
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        assert_eq!(lerp(10.0, 20.0, 0.0), 10.0);
+        assert_eq!(lerp(10.0, 20.0, 1.0), 20.0);
+        assert_eq!(lerp(10.0, 20.0, 0.5), 15.0);
+    }
+}

@@ -1,0 +1,173 @@
+//! End-to-end behaviour of the Dynatune mechanism through the full stack:
+//! measurement over real (simulated) heartbeats, Step 0 → tuned transitions,
+//! fallback semantics, and leader-side application of the piggybacked h.
+
+use dynatune_repro::cluster::{ClusterConfig, ClusterSim};
+use dynatune_repro::core::TuningConfig;
+use dynatune_repro::simnet::{LinkSchedule, NetParams, SimTime, Topology};
+use std::time::Duration;
+
+fn stable(tuning: TuningConfig, rtt_ms: u64, seed: u64) -> ClusterConfig {
+    ClusterConfig::stable(5, tuning, Duration::from_millis(rtt_ms), seed)
+}
+
+#[test]
+fn followers_converge_to_path_rtt() {
+    let mut sim = ClusterSim::new(&stable(TuningConfig::dynatune(), 100, 1));
+    sim.run_until(SimTime::from_secs(30));
+    let leader = sim.leader().expect("leader");
+    for id in 0..5 {
+        if id == leader {
+            continue;
+        }
+        let snap = sim.tuning_snapshot(id);
+        assert!(snap.warmed, "follower {id} warmed");
+        let et_ms = snap.election_timeout.as_secs_f64() * 1e3;
+        // Et = mu + 2 sigma with RTT 100ms and 2% jitter: just above 100ms.
+        assert!((95.0..130.0).contains(&et_ms), "follower {id} Et {et_ms}");
+        let rtt_ms = snap.rtt_mean.as_secs_f64() * 1e3;
+        assert!((95.0..115.0).contains(&rtt_ms), "follower {id} mean RTT {rtt_ms}");
+        assert!(snap.loss_rate < 0.01, "clean network, measured {}", snap.loss_rate);
+    }
+}
+
+#[test]
+fn leader_applies_piggybacked_interval_per_follower() {
+    // Asymmetric topology: follower paths have different RTTs, so each
+    // pacer must converge to a different h (the per-path tuning of §III-B).
+    let mut cfg = stable(TuningConfig::dynatune(), 100, 2);
+    cfg.topology = Topology::from_fn(5, |a, b| {
+        // RTT unique per unordered pair regardless of who leads.
+        let rtt = 40 + 40 * (a + b) as u64;
+        LinkSchedule::constant(NetParams::clean(Duration::from_millis(rtt)).with_jitter(0.02))
+    });
+    let mut sim = ClusterSim::new(&cfg);
+    sim.run_until(SimTime::from_secs(40));
+    let leader = sim.leader().expect("leader");
+    let mut intervals: Vec<(usize, f64)> = Vec::new();
+    for id in 0..5 {
+        if id == leader {
+            continue;
+        }
+        let h = sim.with_server(leader, |s| s.node().pacer_interval(id));
+        intervals.push((id, h.unwrap().as_secs_f64() * 1e3));
+    }
+    // Higher node ids sit behind longer links => larger tuned h.
+    let mut sorted = intervals.clone();
+    sorted.sort_by_key(|a| a.0);
+    for pair in sorted.windows(2) {
+        assert!(
+            pair[1].1 > pair[0].1 * 0.9,
+            "pacer intervals should track per-path RTT: {intervals:?}"
+        );
+    }
+    let spread = sorted.last().unwrap().1 / sorted.first().unwrap().1;
+    assert!(spread > 1.5, "per-path differentiation too weak: {intervals:?}");
+}
+
+#[test]
+fn step0_defaults_return_with_a_new_leader() {
+    let mut sim = ClusterSim::new(&stable(TuningConfig::dynatune(), 100, 3));
+    sim.run_until(SimTime::from_secs(30));
+    let old_leader = sim.leader().expect("leader");
+    // All followers are tuned (~100ms). Fail the leader.
+    sim.pause(old_leader);
+    sim.run_for(Duration::from_secs(5));
+    let new_leader = sim.leader().expect("new leader");
+    // Immediately after failover, followers of the NEW leader restart from
+    // Step 0; within a couple of heartbeats they are still near defaults or
+    // freshly re-warmed — but their estimator windows must be young.
+    for id in 0..5 {
+        if id == new_leader || id == old_leader {
+            continue;
+        }
+        let snap = sim.tuning_snapshot(id);
+        assert!(
+            snap.rtt_samples <= 60,
+            "follower {id} window should have restarted: {} samples",
+            snap.rtt_samples
+        );
+    }
+    // And after a warm-up period they are tuned again.
+    sim.run_for(Duration::from_secs(25));
+    for id in 0..5 {
+        if id == new_leader || id == old_leader {
+            continue;
+        }
+        assert!(sim.tuning_snapshot(id).warmed, "follower {id} re-warmed");
+    }
+}
+
+#[test]
+fn et_adapts_upward_when_rtt_rises() {
+    // Step the RTT from 50ms to 150ms mid-run; tuned Et must follow upward
+    // without losing the leader.
+    let mut cfg = stable(TuningConfig::dynatune(), 50, 4);
+    let base = NetParams::clean(Duration::from_millis(50)).with_jitter(0.03);
+    cfg.topology = Topology::uniform(
+        5,
+        LinkSchedule::piecewise(vec![
+            (SimTime::ZERO, base),
+            (SimTime::from_secs(40), base.with_rtt(Duration::from_millis(150))),
+        ]),
+    );
+    let mut sim = ClusterSim::new(&cfg);
+    sim.run_until(SimTime::from_secs(35));
+    let leader = sim.leader().expect("leader");
+    let follower = (0..5).find(|&i| i != leader).unwrap();
+    let et_before = sim.tuning_snapshot(follower).election_timeout;
+    sim.run_until(SimTime::from_secs(240));
+    assert_eq!(sim.leader(), Some(leader), "RTT rise must not depose the leader");
+    let et_after = sim.tuning_snapshot(follower).election_timeout;
+    assert!(
+        et_after > et_before + Duration::from_millis(50),
+        "Et should track the RTT rise: {et_before:?} -> {et_after:?}"
+    );
+    assert!(et_after > Duration::from_millis(140), "Et after: {et_after:?}");
+}
+
+#[test]
+fn loss_rate_measured_through_the_stack() {
+    let mut cfg = stable(TuningConfig::dynatune(), 100, 5);
+    cfg.topology = Topology::uniform_constant(
+        5,
+        NetParams::clean(Duration::from_millis(100)).with_loss(0.10),
+    );
+    let mut sim = ClusterSim::new(&cfg);
+    sim.run_until(SimTime::from_secs(120));
+    let leader = sim.leader().expect("leader survives 10% loss");
+    let mut measured = Vec::new();
+    for id in 0..5 {
+        if id != leader {
+            measured.push(sim.tuning_snapshot(id).loss_rate);
+        }
+    }
+    let mean = measured.iter().sum::<f64>() / measured.len() as f64;
+    assert!(
+        (0.06..0.14).contains(&mean),
+        "expected ~10% measured loss, got {mean} ({measured:?})"
+    );
+    // K(0.1, 0.999) = 3 ⇒ h ≈ Et/3.
+    let h = sim.leader_mean_heartbeat_interval().unwrap();
+    let et = sim.tuning_snapshot((0..5).find(|&i| i != leader).unwrap()).election_timeout;
+    let ratio = et.as_secs_f64() / h.as_secs_f64();
+    assert!((2.0..4.5).contains(&ratio), "Et/h ratio {ratio}");
+}
+
+#[test]
+fn static_modes_never_touch_parameters() {
+    for (tuning, et_ms, h_ms) in [
+        (TuningConfig::raft_default(), 1000.0, 100.0),
+        (TuningConfig::raft_low(), 100.0, 10.0),
+    ] {
+        let mut sim = ClusterSim::new(&stable(tuning, 20, 6));
+        sim.run_until(SimTime::from_secs(30));
+        for id in 0..5 {
+            let snap = sim.tuning_snapshot(id);
+            assert!(!snap.warmed);
+            assert_eq!(snap.election_timeout.as_secs_f64() * 1e3, et_ms);
+        }
+        let h = sim.leader_mean_heartbeat_interval().unwrap();
+        assert_eq!(h.as_secs_f64() * 1e3, h_ms);
+    }
+}
