@@ -25,7 +25,9 @@ fn main() {
         ]);
     }
     print!("{}", t.render());
-    println!("(tick quantization inflates detection to ~2*Et; continuous sits near ~1.2*Et + phase)");
+    println!(
+        "(tick quantization inflates detection to ~2*Et; continuous sits near ~1.2*Et + phase)"
+    );
 
     println!("\n[2/6] safety factor s in Et = mu + s*sigma ({trials} trials each)");
     let mut t = Table::new(["s", "detection (ms)", "false timeouts/min @20% jitter"]);
@@ -65,19 +67,31 @@ fn main() {
     let mut t = Table::new(["transport", "measured loss", "tuned h (ms)"]);
     for row in ablation::transport(args.seed) {
         t.row([
-            if row.udp_heartbeats { "UDP (paper)" } else { "TCP (stock etcd)" }.to_string(),
+            if row.udp_heartbeats {
+                "UDP (paper)"
+            } else {
+                "TCP (stock etcd)"
+            }
+            .to_string(),
             format!("{:.3}", row.measured_loss),
             format!("{:.0}", row.h_ms),
         ]);
     }
     print!("{}", t.render());
-    println!("(TCP hides loss behind retransmission, blinding the estimator — the §III-E motivation)");
+    println!(
+        "(TCP hides loss behind retransmission, blinding the estimator — the §III-E motivation)"
+    );
 
     println!("\n[6/6] pre-vote on/off under the Fig. 6b radical RTT step (Dynatune)");
     let mut t = Table::new(["pre-vote", "OTS (s)", "timer expiries", "leader changes"]);
     for row in ablation::pre_vote(args.seed) {
         t.row([
-            if row.pre_vote { "on (etcd default)" } else { "off (classic Raft)" }.to_string(),
+            if row.pre_vote {
+                "on (etcd default)"
+            } else {
+                "off (classic Raft)"
+            }
+            .to_string(),
             format!("{:.1}", row.total_ots_secs),
             format!("{}", row.timeouts),
             format!("{}", row.leader_changes),

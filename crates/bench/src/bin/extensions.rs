@@ -110,7 +110,10 @@ fn main() {
     let trials = args.trials.unwrap_or(args.scale(200, 20));
     let mut t = Table::new(["variant", "detection (ms)", "OTS (ms)"]);
     for v in variants() {
-        let res = run_trials(&FailoverConfig::new(cluster_for(&v, args.seed ^ 0xE), trials));
+        let res = run_trials(&FailoverConfig::new(
+            cluster_for(&v, args.seed ^ 0xE),
+            trials,
+        ));
         t.row([
             v.name.to_string(),
             format!("{:.0}", res.detection_stats().mean()),
@@ -124,11 +127,7 @@ fn main() {
     //    consolidated timer's actual saving.
     // ------------------------------------------------------------------
     println!("\n[3/3] leader timer load on a geo cluster (per-path h differs)");
-    let mut t = Table::new([
-        "variant",
-        "leader CPU (%)",
-        "heartbeats sent",
-    ]);
+    let mut t = Table::new(["variant", "leader CPU (%)", "heartbeats sent"]);
     for consolidated in [false, true] {
         let mut cfg = ClusterConfig::stable(
             5,
@@ -152,7 +151,12 @@ fn main() {
         });
         let sent = sim.net_counters().sent;
         t.row([
-            if consolidated { "consolidated" } else { "per-follower timers" }.to_string(),
+            if consolidated {
+                "consolidated"
+            } else {
+                "per-follower timers"
+            }
+            .to_string(),
             format!("{cpu:.1}"),
             format!("{sent}"),
         ]);

@@ -32,7 +32,12 @@ fn main() {
     println!("running {trials} leader-failure trials per system...\n");
 
     let raft = study("Raft", TuningConfig::raft_default(), trials, args.seed);
-    let dynatune = study("Dynatune", TuningConfig::dynatune(), trials, args.seed ^ 0xD1);
+    let dynatune = study(
+        "Dynatune",
+        TuningConfig::dynatune(),
+        trials,
+        args.seed ^ 0xD1,
+    );
 
     let raft_det = raft.detection_stats().mean();
     let raft_ots = raft.ots_stats().mean();
@@ -45,10 +50,26 @@ fn main() {
     t.row(compare_row("Raft OTS mean", 1449.0, raft_ots));
     t.row(compare_row("Dynatune detection mean", 237.0, dt_det));
     t.row(compare_row("Dynatune OTS mean", 797.0, dt_ots));
-    t.row(compare_row("Raft mean randomizedTimeout", 1454.0, raft.mean_rto_ms()));
-    t.row(compare_row("Dynatune mean randomizedTimeout", 152.0, dynatune.mean_rto_ms()));
-    t.row(compare_row("Raft election time (OTS-det)", 244.0, raft.election_time_ms()));
-    t.row(compare_row("Dynatune election time (OTS-det)", 560.0, dynatune.election_time_ms()));
+    t.row(compare_row(
+        "Raft mean randomizedTimeout",
+        1454.0,
+        raft.mean_rto_ms(),
+    ));
+    t.row(compare_row(
+        "Dynatune mean randomizedTimeout",
+        152.0,
+        dynatune.mean_rto_ms(),
+    ));
+    t.row(compare_row(
+        "Raft election time (OTS-det)",
+        244.0,
+        raft.election_time_ms(),
+    ));
+    t.row(compare_row(
+        "Dynatune election time (OTS-det)",
+        560.0,
+        dynatune.election_time_ms(),
+    ));
     print!("{}", t.render());
 
     println!();

@@ -56,8 +56,16 @@ fn main() {
     let dt_peak = dynatune.peak_throughput();
     println!();
     let mut s = Table::new(["metric", "paper (ms)", "measured (ms)", "ratio"]);
-    s.row(compare_row("Raft peak throughput (req/s)", 13_678.0, raft_peak));
-    s.row(compare_row("Dynatune peak throughput (req/s)", 12_800.0, dt_peak));
+    s.row(compare_row(
+        "Raft peak throughput (req/s)",
+        13_678.0,
+        raft_peak,
+    ));
+    s.row(compare_row(
+        "Dynatune peak throughput (req/s)",
+        12_800.0,
+        dt_peak,
+    ));
     print!("{}", s.render());
     println!(
         "tuning overhead at peak: paper 6.4%, measured {:.1}%",

@@ -46,12 +46,11 @@ fn main() {
             format!("{}", s.timeouts_observed),
             format!("{}", s.leader_changes),
         ]);
-        let rto: Vec<(f64, f64)> = s
-            .t
-            .iter()
-            .zip(&s.third_smallest_rto_ms)
-            .map(|(&t, &v)| (t, v))
-            .collect();
+        let rto: Vec<(f64, f64)> =
+            s.t.iter()
+                .zip(&s.third_smallest_rto_ms)
+                .map(|(&t, &v)| (t, v))
+                .collect();
         let rtt: Vec<(f64, f64)> = s.t.iter().zip(&s.rtt_ms).map(|(&t, &v)| (t, v)).collect();
         write_csv(
             &args.out,

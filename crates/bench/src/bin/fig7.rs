@@ -83,12 +83,8 @@ fn main() {
                 &format!("fig7a_{name}_n{n}.csv"),
                 &series_csv(("t_secs", "h_ms"), &s.h_ms),
             );
-            let leader_pts = s
-                .leader_cpu
-                .resample(0.0, dur, 5.0, ResamplePolicy::Last);
-            let follower_pts = s
-                .follower_cpu
-                .resample(0.0, dur, 5.0, ResamplePolicy::Last);
+            let leader_pts = s.leader_cpu.resample(0.0, dur, 5.0, ResamplePolicy::Last);
+            let follower_pts = s.follower_cpu.resample(0.0, dur, 5.0, ResamplePolicy::Last);
             write_csv(
                 &args.out,
                 &format!("fig7b_{name}_n{n}_leader.csv"),

@@ -213,7 +213,11 @@ impl ClientHost {
             );
             self.steps[step].sent += 1;
             self.arm_timeout(ctx.now, req_id);
-            ctx.send(self.leader_guess, Channel::Tcp, ClusterMsg::ClientReq { req_id, cmd });
+            ctx.send(
+                self.leader_guess,
+                Channel::Tcp,
+                ClusterMsg::ClientReq { req_id, cmd },
+            );
         }
     }
 
@@ -380,7 +384,10 @@ mod tests {
         let mut ctx = HostCtx::test_ctx(SimTime::from_millis(100), 0, &mut out);
         c.handle_wake(&mut ctx);
         let sent_initially = out.len();
-        assert!(sent_initially > 0, "100ms at 100rps should produce arrivals");
+        assert!(
+            sent_initially > 0,
+            "100ms at 100rps should produce arrivals"
+        );
         // Next wake must include the timeout deadline (t=300ms).
         let wake = c.wake_deadline().unwrap();
         assert!(wake <= SimTime::from_millis(300), "wake {wake}");

@@ -272,7 +272,10 @@ mod tests {
         m.charge(ms(0), Duration::from_secs(5)); // window 0 fully busy
         assert!((m.mean_utilization(SimTime::ZERO, SimTime::from_secs(5)) - 100.0).abs() < 1e-9);
         assert!((m.mean_utilization(SimTime::ZERO, SimTime::from_secs(10)) - 50.0).abs() < 1e-9);
-        assert_eq!(m.mean_utilization(SimTime::from_secs(5), SimTime::from_secs(5)), 0.0);
+        assert_eq!(
+            m.mean_utilization(SimTime::from_secs(5), SimTime::from_secs(5)),
+            0.0
+        );
     }
 
     #[test]
@@ -281,10 +284,14 @@ mod tests {
         // (Fix-K at Et=200ms) cost the leader ~96% of one core per second.
         let c = CostModel::default();
         let msgs_per_sec = 64.0 * 50.0 * 2.0; // sends + receipts
-        let busy = msgs_per_sec * (c.per_message_send.as_secs_f64() + c.per_message_recv.as_secs_f64()) / 2.0;
+        let busy = msgs_per_sec
+            * (c.per_message_send.as_secs_f64() + c.per_message_recv.as_secs_f64())
+            / 2.0;
         assert!(busy > 0.8 && busy < 1.2, "Fix-K N=65 leader busy {busy}/s");
         // And a request costs ~300µs all-in, so 4 cores peak near 13k req/s.
-        let per_req = c.per_request.as_secs_f64() + c.per_apply.as_secs_f64() + 4.0 * c.per_append_entry.as_secs_f64();
+        let per_req = c.per_request.as_secs_f64()
+            + c.per_apply.as_secs_f64()
+            + 4.0 * c.per_append_entry.as_secs_f64();
         let peak = 4.0 / per_req;
         assert!(peak > 10_000.0 && peak < 16_000.0, "peak {peak}");
     }

@@ -35,8 +35,12 @@ pub fn quantization(trials: usize, seed: u64) -> Vec<QuantizationRow> {
     [TimerQuantization::Tick, TimerQuantization::Continuous]
         .into_iter()
         .map(|q| {
-            let mut cluster =
-                ClusterConfig::stable(5, TuningConfig::dynatune(), Duration::from_millis(100), seed);
+            let mut cluster = ClusterConfig::stable(
+                5,
+                TuningConfig::dynatune(),
+                Duration::from_millis(100),
+                seed,
+            );
             cluster.quantization = q;
             let res = run_trials(&FailoverConfig::new(cluster, trials));
             QuantizationRow {
@@ -92,12 +96,10 @@ pub fn safety_factor(values: &[f64], trials: usize, seed: u64) -> Vec<SafetyFact
             let horizon = SimTime::from_secs(300);
             sim.run_until(horizon);
             let events = sim.events();
-            let false_timeouts = crate::observers::count_events(
-                &events,
-                SimTime::from_secs(10),
-                horizon,
-                |e| matches!(e, dynatune_raft::RaftEvent::ElectionTimeout { .. }),
-            );
+            let false_timeouts =
+                crate::observers::count_events(&events, SimTime::from_secs(10), horizon, |e| {
+                    matches!(e, dynatune_raft::RaftEvent::ElectionTimeout { .. })
+                });
             SafetyFactorRow {
                 s,
                 detection_ms: res.detection_stats().mean(),
@@ -245,8 +247,12 @@ pub fn transport(seed: u64) -> Vec<TransportRow> {
     [true, false]
         .into_iter()
         .map(|udp| {
-            let mut cluster =
-                ClusterConfig::stable(5, TuningConfig::dynatune(), Duration::from_millis(100), seed);
+            let mut cluster = ClusterConfig::stable(
+                5,
+                TuningConfig::dynatune(),
+                Duration::from_millis(100),
+                seed,
+            );
             cluster.topology = Topology::uniform_constant(
                 5,
                 NetParams::clean(Duration::from_millis(100)).with_loss(0.15),
@@ -297,8 +303,16 @@ mod tests {
         let udp = rows.iter().find(|r| r.udp_heartbeats).unwrap();
         let tcp = rows.iter().find(|r| !r.udp_heartbeats).unwrap();
         // UDP heartbeats expose the true ~15% loss; TCP hides it.
-        assert!(udp.measured_loss > 0.08, "udp measured {}", udp.measured_loss);
-        assert!(tcp.measured_loss < 0.05, "tcp measured {}", tcp.measured_loss);
+        assert!(
+            udp.measured_loss > 0.08,
+            "udp measured {}",
+            udp.measured_loss
+        );
+        assert!(
+            tcp.measured_loss < 0.05,
+            "tcp measured {}",
+            tcp.measured_loss
+        );
         // Hence UDP tunes a smaller h (more heartbeats) than TCP.
         assert!(udp.h_ms < tcp.h_ms, "udp {} vs tcp {}", udp.h_ms, tcp.h_ms);
     }

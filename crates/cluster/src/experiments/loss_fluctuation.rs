@@ -101,12 +101,10 @@ pub fn run(cfg: &LossFlucConfig) -> LossFlucSeries {
     let leader_cpu = sim.with_server(leader, |s| s.cpu().utilization_series());
     let follower_cpu = sim.with_server(follower, |s| s.cpu().utilization_series());
     let events = sim.events();
-    let elections_after_warmup = crate::observers::count_events(
-        &events,
-        SimTime::from_secs(10),
-        horizon,
-        |e| matches!(e, dynatune_raft::RaftEvent::BecameLeader { .. }),
-    );
+    let elections_after_warmup =
+        crate::observers::count_events(&events, SimTime::from_secs(10), horizon, |e| {
+            matches!(e, dynatune_raft::RaftEvent::BecameLeader { .. })
+        });
     LossFlucSeries {
         h_ms,
         loss,

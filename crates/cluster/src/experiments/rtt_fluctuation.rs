@@ -11,9 +11,7 @@ use crate::observers::{kth_smallest_timeout_ms, leaderless_intervals, total_lead
 use crate::sim::{ClusterConfig, ClusterSim};
 use dynatune_core::TuningConfig;
 use dynatune_raft::TimerQuantization;
-use dynatune_simnet::{
-    CongestionConfig, LinkSchedule, NetParams, SimTime, Topology,
-};
+use dynatune_simnet::{CongestionConfig, LinkSchedule, NetParams, SimTime, Topology};
 use std::time::Duration;
 
 /// Which fluctuation pattern to run.
@@ -123,12 +121,8 @@ pub struct RttFlucSeries {
 #[must_use]
 pub fn run(cfg: &RttFlucConfig) -> RttFlucSeries {
     let schedule = cfg.schedule();
-    let mut cluster_cfg = ClusterConfig::stable(
-        cfg.n,
-        cfg.tuning,
-        Duration::from_millis(50),
-        cfg.seed,
-    );
+    let mut cluster_cfg =
+        ClusterConfig::stable(cfg.n, cfg.tuning, Duration::from_millis(50), cfg.seed);
     cluster_cfg.topology = Topology::uniform(cfg.n, schedule);
     cluster_cfg.congestion = cfg.congestion;
     cluster_cfg.quantization = TimerQuantization::Tick;
@@ -196,7 +190,11 @@ mod tests {
         let mid = s.t.len() / 2;
         let rto_mid = s.third_smallest_rto_ms[mid];
         assert!((200.0..800.0).contains(&rto_mid), "mid rto {rto_mid}ms");
-        assert!((150.0..250.0).contains(&s.rtt_ms[mid]), "mid rtt {}", s.rtt_ms[mid]);
+        assert!(
+            (150.0..250.0).contains(&s.rtt_ms[mid]),
+            "mid rtt {}",
+            s.rtt_ms[mid]
+        );
         // Early samples (once warmed, RTT 50ms) are smaller than mid ones.
         let early = s.third_smallest_rto_ms[5].min(s.third_smallest_rto_ms[6]);
         assert!(early < rto_mid, "early {early} < mid {rto_mid}");

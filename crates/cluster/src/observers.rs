@@ -197,7 +197,7 @@ mod tests {
     #[test]
     fn failover_ignores_failed_node_and_prior_events() {
         let events = vec![
-            (t(500), 1, timeout(100)), // before failure: ignored
+            (t(500), 1, timeout(100)),  // before failure: ignored
             (t(1100), 0, timeout(100)), // failed node: ignored
             (t(1300), 1, timeout(100)),
             (t(1900), 1, RaftEvent::BecameLeader { term: 2 }),
@@ -219,7 +219,14 @@ mod tests {
         let events = vec![
             (t(1000), 0, RaftEvent::BecameLeader { term: 1 }),
             (t(5000), 0, RaftEvent::SteppedDown { term: 1 }),
-            (t(5000), 0, RaftEvent::BecameFollower { term: 2, leader: None }),
+            (
+                t(5000),
+                0,
+                RaftEvent::BecameFollower {
+                    term: 2,
+                    leader: None,
+                },
+            ),
             (t(7000), 1, RaftEvent::BecameLeader { term: 2 }),
         ];
         let gaps = leaderless_intervals(&events, t(10_000));
@@ -231,7 +238,14 @@ mod tests {
     fn leaderless_tail_gap_counts() {
         let events = vec![
             (t(1000), 0, RaftEvent::BecameLeader { term: 1 }),
-            (t(4000), 0, RaftEvent::BecameFollower { term: 2, leader: None }),
+            (
+                t(4000),
+                0,
+                RaftEvent::BecameFollower {
+                    term: 2,
+                    leader: None,
+                },
+            ),
         ];
         let gaps = leaderless_intervals(&events, t(6000));
         assert_eq!(gaps, vec![(4.0, 6.0)]);
@@ -243,7 +257,14 @@ mod tests {
         let events = vec![
             (t(1000), 0, RaftEvent::BecameLeader { term: 1 }),
             (t(3000), 1, RaftEvent::BecameLeader { term: 2 }),
-            (t(3500), 0, RaftEvent::BecameFollower { term: 2, leader: Some(1) }),
+            (
+                t(3500),
+                0,
+                RaftEvent::BecameFollower {
+                    term: 2,
+                    leader: Some(1),
+                },
+            ),
         ];
         let gaps = leaderless_intervals(&events, t(5000));
         assert!(gaps.is_empty(), "no gap while either node led: {gaps:?}");

@@ -114,11 +114,7 @@ impl ServerHost {
     }
 
     /// Route node effects out to the network and bookkeeping.
-    fn route_effects(
-        &mut self,
-        ctx: &mut HostCtx<'_, ClusterMsg>,
-        fx: NodeEffects<KvStore>,
-    ) {
+    fn route_effects(&mut self, ctx: &mut HostCtx<'_, ClusterMsg>, fx: NodeEffects<KvStore>) {
         let now = ctx.now;
         for ev in &fx.events {
             self.events.push((now, *ev));

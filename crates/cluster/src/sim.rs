@@ -504,6 +504,10 @@ mod tests {
         assert!(s.sent > 800, "sent {}", s.sent);
         assert!(s.completed > 500, "completed {}", s.completed);
         // Latency at 10ms RTT and light load: a few tens of ms tops.
-        assert!(s.latency_ms.mean() < 100.0, "latency {}", s.latency_ms.mean());
+        assert!(
+            s.latency_ms.mean() < 100.0,
+            "latency {}",
+            s.latency_ms.mean()
+        );
     }
 }

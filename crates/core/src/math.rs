@@ -113,12 +113,24 @@ mod tests {
         );
         // tiny values clamp to the floor
         assert_eq!(
-            election_timeout_from_rtt(Duration::from_micros(100), Duration::ZERO, 2.0, floor, ceiling),
+            election_timeout_from_rtt(
+                Duration::from_micros(100),
+                Duration::ZERO,
+                2.0,
+                floor,
+                ceiling
+            ),
             floor
         );
         // huge values clamp to the ceiling
         assert_eq!(
-            election_timeout_from_rtt(Duration::from_secs(120), Duration::ZERO, 2.0, floor, ceiling),
+            election_timeout_from_rtt(
+                Duration::from_secs(120),
+                Duration::ZERO,
+                2.0,
+                floor,
+                ceiling
+            ),
             ceiling
         );
     }

@@ -230,7 +230,13 @@ mod tests {
     #[test]
     fn put_get_roundtrip() {
         let mut kv = KvStore::new();
-        let r = kv.apply(1, &KvCommand::Put { key: b("a"), value: b("1") });
+        let r = kv.apply(
+            1,
+            &KvCommand::Put {
+                key: b("a"),
+                value: b("1"),
+            },
+        );
         assert_eq!(r, KvResponse::Put { prev: None });
         let r = kv.apply(2, &KvCommand::Get { key: b("a") });
         match r {
@@ -247,8 +253,20 @@ mod tests {
     #[test]
     fn put_overwrites_and_tracks_revisions() {
         let mut kv = KvStore::new();
-        kv.apply(1, &KvCommand::Put { key: b("a"), value: b("1") });
-        let r = kv.apply(5, &KvCommand::Put { key: b("a"), value: b("2") });
+        kv.apply(
+            1,
+            &KvCommand::Put {
+                key: b("a"),
+                value: b("1"),
+            },
+        );
+        let r = kv.apply(
+            5,
+            &KvCommand::Put {
+                key: b("a"),
+                value: b("2"),
+            },
+        );
         assert_eq!(r, KvResponse::Put { prev: Some(b("1")) });
         let v = kv.peek(b"a").unwrap();
         assert_eq!(v.create_revision, 1);
@@ -266,7 +284,13 @@ mod tests {
     #[test]
     fn delete_semantics() {
         let mut kv = KvStore::new();
-        kv.apply(1, &KvCommand::Put { key: b("a"), value: b("1") });
+        kv.apply(
+            1,
+            &KvCommand::Put {
+                key: b("a"),
+                value: b("1"),
+            },
+        );
         assert_eq!(
             kv.apply(2, &KvCommand::Delete { key: b("a") }),
             KvResponse::Delete { existed: true }
@@ -282,9 +306,22 @@ mod tests {
     fn range_respects_bounds_and_limit() {
         let mut kv = KvStore::new();
         for (i, k) in ["a", "b", "c", "d"].iter().enumerate() {
-            kv.apply(i as u64 + 1, &KvCommand::Put { key: b(k), value: b(&i.to_string()) });
+            kv.apply(
+                i as u64 + 1,
+                &KvCommand::Put {
+                    key: b(k),
+                    value: b(&i.to_string()),
+                },
+            );
         }
-        let r = kv.apply(9, &KvCommand::Range { start: b("b"), end: b("d"), limit: 10 });
+        let r = kv.apply(
+            9,
+            &KvCommand::Range {
+                start: b("b"),
+                end: b("d"),
+                limit: 10,
+            },
+        );
         match r {
             KvResponse::Range { entries, more } => {
                 assert_eq!(entries.len(), 2);
@@ -294,7 +331,14 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
-        let r = kv.apply(10, &KvCommand::Range { start: b("a"), end: b("z"), limit: 2 });
+        let r = kv.apply(
+            10,
+            &KvCommand::Range {
+                start: b("a"),
+                end: b("z"),
+                limit: 2,
+            },
+        );
         match r {
             KvResponse::Range { entries, more } => {
                 assert_eq!(entries.len(), 2);
@@ -309,36 +353,76 @@ mod tests {
         let mut kv = KvStore::new();
         // Create-if-absent.
         assert_eq!(
-            kv.apply(1, &KvCommand::Cas { key: b("k"), expect: None, value: b("v1") }),
+            kv.apply(
+                1,
+                &KvCommand::Cas {
+                    key: b("k"),
+                    expect: None,
+                    value: b("v1")
+                }
+            ),
             KvResponse::Cas { success: true }
         );
         // Wrong expectation fails and leaves the value alone.
         assert_eq!(
-            kv.apply(2, &KvCommand::Cas { key: b("k"), expect: Some(b("zzz")), value: b("v2") }),
+            kv.apply(
+                2,
+                &KvCommand::Cas {
+                    key: b("k"),
+                    expect: Some(b("zzz")),
+                    value: b("v2")
+                }
+            ),
             KvResponse::Cas { success: false }
         );
         assert_eq!(kv.peek(b"k").unwrap().value, b("v1"));
         // Correct expectation succeeds.
         assert_eq!(
-            kv.apply(3, &KvCommand::Cas { key: b("k"), expect: Some(b("v1")), value: b("v2") }),
+            kv.apply(
+                3,
+                &KvCommand::Cas {
+                    key: b("k"),
+                    expect: Some(b("v1")),
+                    value: b("v2")
+                }
+            ),
             KvResponse::Cas { success: true }
         );
         assert_eq!(kv.peek(b"k").unwrap().value, b("v2"));
         assert_eq!(kv.peek(b"k").unwrap().version, 2);
         // CAS expecting absence fails on a live key.
         assert_eq!(
-            kv.apply(4, &KvCommand::Cas { key: b("k"), expect: None, value: b("v3") }),
+            kv.apply(
+                4,
+                &KvCommand::Cas {
+                    key: b("k"),
+                    expect: None,
+                    value: b("v3")
+                }
+            ),
             KvResponse::Cas { success: false }
         );
     }
 
     #[test]
     fn replicas_converge_under_same_command_sequence() {
-        let cmds = [KvCommand::Put { key: b("x"), value: b("1") },
-            KvCommand::Cas { key: b("x"), expect: Some(b("1")), value: b("2") },
+        let cmds = [
+            KvCommand::Put {
+                key: b("x"),
+                value: b("1"),
+            },
+            KvCommand::Cas {
+                key: b("x"),
+                expect: Some(b("1")),
+                value: b("2"),
+            },
             KvCommand::Delete { key: b("y") },
-            KvCommand::Put { key: b("y"), value: b("3") },
-            KvCommand::Delete { key: b("x") }];
+            KvCommand::Put {
+                key: b("y"),
+                value: b("3"),
+            },
+            KvCommand::Delete { key: b("x") },
+        ];
         let mut a = KvStore::new();
         let mut c = KvStore::new();
         for (i, cmd) in cmds.iter().enumerate() {

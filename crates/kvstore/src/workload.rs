@@ -41,8 +41,14 @@ impl OpMix {
     /// # Panics
     /// Panics when fractions are negative or exceed 1 in total.
     pub fn validate(&self) {
-        assert!(self.put >= 0.0 && self.delete >= 0.0 && self.cas >= 0.0, "negative fraction");
-        assert!(self.put + self.delete + self.cas <= 1.0 + 1e-9, "mix exceeds 1");
+        assert!(
+            self.put >= 0.0 && self.delete >= 0.0 && self.cas >= 0.0,
+            "negative fraction"
+        );
+        assert!(
+            self.put + self.delete + self.cas <= 1.0 + 1e-9,
+            "mix exceeds 1"
+        );
     }
 }
 

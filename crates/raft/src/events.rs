@@ -95,7 +95,10 @@ mod tests {
             RaftEvent::PreVoteAborted { term: 1 },
             RaftEvent::ElectionStarted { term: 2 },
             RaftEvent::BecameLeader { term: 2 },
-            RaftEvent::BecameFollower { term: 2, leader: Some(1) },
+            RaftEvent::BecameFollower {
+                term: 2,
+                leader: Some(1),
+            },
             RaftEvent::SteppedDown { term: 2 },
             RaftEvent::TunerReset,
         ];

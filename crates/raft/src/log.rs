@@ -311,9 +311,15 @@ mod tests {
     fn try_append_is_idempotent_for_duplicates() {
         let mut log = log_from(&[1, 1]);
         let batch = [entry(1, 3, 30)];
-        assert_eq!(log.try_append(2, 1, &batch), AppendOutcome::Success { last_index: 3 });
+        assert_eq!(
+            log.try_append(2, 1, &batch),
+            AppendOutcome::Success { last_index: 3 }
+        );
         // Redelivered (e.g. TCP-level retry after a dropped response).
-        assert_eq!(log.try_append(2, 1, &batch), AppendOutcome::Success { last_index: 3 });
+        assert_eq!(
+            log.try_append(2, 1, &batch),
+            AppendOutcome::Success { last_index: 3 }
+        );
         assert_eq!(log.last_index(), 3);
     }
 

@@ -51,8 +51,7 @@ pub struct NotLeader {
 }
 
 /// Effects alias bound to a state machine.
-pub type NodeEffects<SM> =
-    Effects<<SM as StateMachine>::Command, <SM as StateMachine>::Response>;
+pub type NodeEffects<SM> = Effects<<SM as StateMachine>::Command, <SM as StateMachine>::Response>;
 
 /// A single Raft server.
 pub struct RaftNode<SM: StateMachine> {
@@ -496,7 +495,8 @@ impl<SM: StateMachine> RaftNode<SM> {
         self.votes.clear();
         self.votes.insert(self.config.id);
         self.reset_election_timer(now, true);
-        fx.events.push(RaftEvent::ElectionStarted { term: self.term });
+        fx.events
+            .push(RaftEvent::ElectionStarted { term: self.term });
         if self.votes.len() >= self.majority() {
             self.become_leader(now, fx);
             return;
@@ -673,7 +673,12 @@ impl<SM: StateMachine> RaftNode<SM> {
     // ------------------------------------------------------------------
 
     /// Process one inbound message.
-    pub fn step(&mut self, now: SimTime, from: NodeId, payload: Payload<SM::Command>) -> NodeEffects<SM> {
+    pub fn step(
+        &mut self,
+        now: SimTime,
+        from: NodeId,
+        payload: Payload<SM::Command>,
+    ) -> NodeEffects<SM> {
         let mut fx = Effects::new();
         // Generic higher-term handling (pre-vote traffic excluded: pre-vote
         // requests carry a *prospective* term; pre-vote rejections carry the
@@ -744,7 +749,8 @@ impl<SM: StateMachine> RaftNode<SM> {
         match self.role {
             Role::PreCandidate => {
                 // Leader is alive: abort the pre-vote (Fig. 6b behaviour).
-                fx.events.push(RaftEvent::PreVoteAborted { term: self.term });
+                fx.events
+                    .push(RaftEvent::PreVoteAborted { term: self.term });
                 self.become_follower(now, hb.term, Some(from), fx);
             }
             Role::Candidate | Role::Leader => {
@@ -825,7 +831,8 @@ impl<SM: StateMachine> RaftNode<SM> {
         }
         match self.role {
             Role::PreCandidate => {
-                fx.events.push(RaftEvent::PreVoteAborted { term: self.term });
+                fx.events
+                    .push(RaftEvent::PreVoteAborted { term: self.term });
                 self.become_follower(now, ae.term, Some(from), fx);
             }
             Role::Candidate => {
@@ -1517,7 +1524,11 @@ mod tests {
                 rtt_sample: None,
             },
         };
-        let fx = n.step(deadline + Duration::from_millis(10), 0, Payload::Heartbeat(hb));
+        let fx = n.step(
+            deadline + Duration::from_millis(10),
+            0,
+            Payload::Heartbeat(hb),
+        );
         assert_eq!(n.role(), Role::Follower);
         assert_eq!(n.leader_id(), Some(0));
         let kinds: Vec<&str> = fx.events.iter().map(RaftEvent::kind).collect();
@@ -1586,7 +1597,10 @@ mod tests {
         // the no-op batch): the first heartbeat round is suppressed.
         let fx = leader.tick(t0);
         assert_eq!(
-            fx.messages.iter().filter(|m| m.payload.kind() == "heartbeat").count(),
+            fx.messages
+                .iter()
+                .filter(|m| m.payload.kind() == "heartbeat")
+                .count(),
             0,
             "appends in flight suppress heartbeats"
         );
@@ -1594,7 +1608,10 @@ mod tests {
         let t1 = leader.next_wake().unwrap();
         let fx = leader.tick(t1);
         assert_eq!(
-            fx.messages.iter().filter(|m| m.payload.kind() == "heartbeat").count(),
+            fx.messages
+                .iter()
+                .filter(|m| m.payload.kind() == "heartbeat")
+                .count(),
             2,
             "idle leader heartbeats normally"
         );
@@ -1641,7 +1658,11 @@ mod tests {
             .filter(|m| m.payload.kind() == "heartbeat")
             .map(|m| m.to)
             .collect();
-        assert_eq!(heartbeat_targets.len(), 2, "burst covers all followers: {heartbeat_targets:?}");
+        assert_eq!(
+            heartbeat_targets.len(),
+            2,
+            "burst covers all followers: {heartbeat_targets:?}"
+        );
     }
 
     #[test]
@@ -1695,7 +1716,10 @@ mod tests {
                 }
             }
             assert_eq!(leader.role(), Role::Leader);
-            t = leader.next_wake().unwrap().max(t + Duration::from_millis(1));
+            t = leader
+                .next_wake()
+                .unwrap()
+                .max(t + Duration::from_millis(1));
         }
     }
 

@@ -80,7 +80,11 @@ impl Harness {
         }
     }
 
-    fn absorb(&mut self, from: NodeId, fx: NodeEffects<NullStateMachine>) -> Result<(), TestCaseError> {
+    fn absorb(
+        &mut self,
+        from: NodeId,
+        fx: NodeEffects<NullStateMachine>,
+    ) -> Result<(), TestCaseError> {
         for m in fx.messages {
             self.pool.push(Flight {
                 from,
@@ -120,9 +124,12 @@ impl Harness {
                     let tb = self.nodes[b].log().term_at(i);
                     if let (Some(ta), Some(tb)) = (ta, tb) {
                         prop_assert_eq!(
-                            ta, tb,
+                            ta,
+                            tb,
                             "committed entry {} diverges between {} and {}",
-                            i, a, b
+                            i,
+                            a,
+                            b
                         );
                         let da = self.nodes[a].log().entry_at(i).map(|e| e.data);
                         let db = self.nodes[b].log().entry_at(i).map(|e| e.data);
@@ -140,7 +147,12 @@ impl Harness {
             .iter()
             .filter(|n| n.term() == max_term && n.role() == Role::Leader)
             .count();
-        prop_assert!(leaders_at_max <= 1, "{} leaders at term {}", leaders_at_max, max_term);
+        prop_assert!(
+            leaders_at_max <= 1,
+            "{} leaders at term {}",
+            leaders_at_max,
+            max_term
+        );
         Ok(())
     }
 
@@ -179,9 +191,7 @@ impl Harness {
                 // Give every node a (cheap) tick at the new time: leaders
                 // emit due heartbeats, followers check their deadlines.
                 for id in 0..self.nodes.len() {
-                    let due = self.nodes[id]
-                        .next_wake()
-                        .is_some_and(|w| w <= self.now);
+                    let due = self.nodes[id].next_wake().is_some_and(|w| w <= self.now);
                     if due {
                         let fx = self.nodes[id].tick(self.now);
                         self.absorb(id, fx)?;

@@ -93,7 +93,11 @@ impl Network {
         let congestion = (0..n)
             .map(|node| CongestionProcess::new(congestion, cong_rng_root.child(node as u64)))
             .collect();
-        Self { n, links, congestion }
+        Self {
+            n,
+            links,
+            congestion,
+        }
     }
 
     /// Number of nodes.
@@ -109,18 +113,29 @@ impl Network {
     }
 
     fn link_index(&self, from: NodeId, to: NodeId) -> usize {
-        debug_assert!(from < self.n && to < self.n && from != to, "bad link {from}->{to}");
+        debug_assert!(
+            from < self.n && to < self.n && from != to,
+            "bad link {from}->{to}"
+        );
         from * self.n + to
     }
 
     /// Current scheduled parameters of the directed link (for observers).
     #[must_use]
     pub fn params_at(&self, from: NodeId, to: NodeId, now: SimTime) -> crate::params::NetParams {
-        self.links[self.link_index(from, to)].schedule.params_at(now)
+        self.links[self.link_index(from, to)]
+            .schedule
+            .params_at(now)
     }
 
     /// Offer a message to the fabric at `now`; returns delivery instants.
-    pub fn send(&mut self, now: SimTime, from: NodeId, to: NodeId, channel: Channel) -> SendOutcome {
+    pub fn send(
+        &mut self,
+        now: SimTime,
+        from: NodeId,
+        to: NodeId,
+        channel: Channel,
+    ) -> SendOutcome {
         let idx = self.link_index(from, to);
         let params = self.links[idx].schedule.params_at(now);
         let base_one_way = params.rtt / 2;
@@ -178,7 +193,9 @@ mod tests {
 
     fn fabric(params: NetParams) -> Network {
         let schedule = Arc::new(LinkSchedule::constant(params));
-        Network::new(3, &Rng::new(77), CongestionConfig::disabled(), |_, _| schedule.clone())
+        Network::new(3, &Rng::new(77), CongestionConfig::disabled(), |_, _| {
+            schedule.clone()
+        })
     }
 
     #[test]
@@ -240,7 +257,11 @@ mod tests {
 
     #[test]
     fn tcp_never_drops_and_is_fifo() {
-        let mut net = fabric(NetParams::clean(Duration::from_millis(50)).with_loss(0.4).with_jitter(0.4));
+        let mut net = fabric(
+            NetParams::clean(Duration::from_millis(50))
+                .with_loss(0.4)
+                .with_jitter(0.4),
+        );
         let mut last = SimTime::ZERO;
         for i in 0..5000u64 {
             match net.send(SimTime::from_micros(i * 100), 0, 1, Channel::Tcp) {
@@ -277,7 +298,10 @@ mod tests {
             }
             total
         };
-        assert!(lossy > clean * 15 / 10, "lossy {lossy:?} vs clean {clean:?}");
+        assert!(
+            lossy > clean * 15 / 10,
+            "lossy {lossy:?} vs clean {clean:?}"
+        );
     }
 
     #[test]
@@ -298,11 +322,16 @@ mod tests {
     fn deterministic_given_same_seed() {
         let run = |seed: u64| {
             let schedule = Arc::new(LinkSchedule::constant(
-                NetParams::clean(Duration::from_millis(30)).with_jitter(0.2).with_loss(0.1),
+                NetParams::clean(Duration::from_millis(30))
+                    .with_jitter(0.2)
+                    .with_loss(0.1),
             ));
-            let mut net = Network::new(2, &Rng::new(seed), CongestionConfig::wan_default(), |_, _| {
-                schedule.clone()
-            });
+            let mut net = Network::new(
+                2,
+                &Rng::new(seed),
+                CongestionConfig::wan_default(),
+                |_, _| schedule.clone(),
+            );
             (0..500u64)
                 .map(|i| net.send(SimTime::from_millis(i), 0, 1, Channel::Udp))
                 .collect::<Vec<_>>()

@@ -89,9 +89,21 @@ impl NetParams {
     /// # Panics
     /// Panics when probabilities are outside `[0, 1]` or jitter is negative.
     pub fn validate(&self) {
-        assert!((0.0..=1.0).contains(&self.loss), "loss {} out of range", self.loss);
-        assert!((0.0..=1.0).contains(&self.dup), "dup {} out of range", self.dup);
-        assert!(self.jitter_cv >= 0.0, "negative jitter_cv {}", self.jitter_cv);
+        assert!(
+            (0.0..=1.0).contains(&self.loss),
+            "loss {} out of range",
+            self.loss
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.dup),
+            "dup {} out of range",
+            self.dup
+        );
+        assert!(
+            self.jitter_cv >= 0.0,
+            "negative jitter_cv {}",
+            self.jitter_cv
+        );
     }
 }
 

@@ -38,7 +38,10 @@ impl Rng {
             splitmix64(&mut sm),
             splitmix64(&mut sm),
         ];
-        Self { s, spare_normal: None }
+        Self {
+            s,
+            spare_normal: None,
+        }
     }
 
     /// Derive an independent child stream from this one, labelled by `tag`.
@@ -56,7 +59,10 @@ impl Rng {
             splitmix64(&mut sm),
             splitmix64(&mut sm),
         ];
-        Rng { s, spare_normal: None }
+        Rng {
+            s,
+            spare_normal: None,
+        }
     }
 
     /// Next raw 64-bit value.
@@ -277,7 +283,11 @@ mod tests {
         let mean = samples.iter().sum::<f64>() / n as f64;
         let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
         assert!((mean - 1.0).abs() < 0.01, "mean {mean}");
-        assert!((var.sqrt() / mean - cv).abs() < 0.02, "cv {}", var.sqrt() / mean);
+        assert!(
+            (var.sqrt() / mean - cv).abs() < 0.02,
+            "cv {}",
+            var.sqrt() / mean
+        );
         assert!(samples.iter().all(|&x| x > 0.0));
     }
 

@@ -33,7 +33,11 @@ impl LinkSchedule {
     #[must_use]
     pub fn piecewise(segments: Vec<(SimTime, NetParams)>) -> Self {
         assert!(!segments.is_empty(), "schedule needs at least one segment");
-        assert_eq!(segments[0].0, SimTime::ZERO, "first segment must start at 0");
+        assert_eq!(
+            segments[0].0,
+            SimTime::ZERO,
+            "first segment must start at 0"
+        );
         for pair in segments.windows(2) {
             assert!(pair[0].0 < pair[1].0, "segments must be strictly sorted");
         }
@@ -59,7 +63,10 @@ impl LinkSchedule {
     /// Last change point (or t = 0 for a constant schedule).
     #[must_use]
     pub fn end_of_ramp(&self) -> SimTime {
-        self.segments.last().map(|&(t, _)| t).unwrap_or(SimTime::ZERO)
+        self.segments
+            .last()
+            .map(|&(t, _)| t)
+            .unwrap_or(SimTime::ZERO)
     }
 
     /// The paper's *gradual* RTT fluctuation (Fig. 6a): RTT moves from
@@ -99,7 +106,12 @@ impl LinkSchedule {
     /// The paper's *radical* RTT fluctuation (Fig. 6b): hold `low` for
     /// `hold`, step abruptly to `high` for `hold`, then back to `low`.
     #[must_use]
-    pub fn radical_rtt_step(base: NetParams, low: Duration, high: Duration, hold: Duration) -> Self {
+    pub fn radical_rtt_step(
+        base: NetParams,
+        low: Duration,
+        high: Duration,
+        hold: Duration,
+    ) -> Self {
         Self::piecewise(vec![
             (SimTime::ZERO, base.with_rtt(low)),
             (SimTime::ZERO + hold, base.with_rtt(high)),
@@ -146,7 +158,10 @@ mod tests {
     fn constant_schedule() {
         let s = LinkSchedule::constant(base());
         assert_eq!(s.params_at(SimTime::ZERO).rtt, Duration::from_millis(50));
-        assert_eq!(s.params_at(SimTime::from_secs(1000)).rtt, Duration::from_millis(50));
+        assert_eq!(
+            s.params_at(SimTime::from_secs(1000)).rtt,
+            Duration::from_millis(50)
+        );
         assert!(s.change_points().is_empty());
     }
 
@@ -187,9 +202,15 @@ mod tests {
         assert_eq!(s.change_points().len() + 1, 31);
         assert_eq!(s.params_at(SimTime::ZERO).rtt, Duration::from_millis(50));
         // After 15 minutes the ramp should be at the peak.
-        assert_eq!(s.params_at(SimTime::from_secs(15 * 60 + 1)).rtt, Duration::from_millis(200));
+        assert_eq!(
+            s.params_at(SimTime::from_secs(15 * 60 + 1)).rtt,
+            Duration::from_millis(200)
+        );
         // End of the down ramp is back at 50.
-        assert_eq!(s.params_at(SimTime::from_secs(31 * 60)).rtt, Duration::from_millis(50));
+        assert_eq!(
+            s.params_at(SimTime::from_secs(31 * 60)).rtt,
+            Duration::from_millis(50)
+        );
     }
 
     #[test]
@@ -200,9 +221,18 @@ mod tests {
             Duration::from_millis(500),
             Duration::from_secs(60),
         );
-        assert_eq!(s.params_at(SimTime::from_secs(30)).rtt, Duration::from_millis(50));
-        assert_eq!(s.params_at(SimTime::from_secs(90)).rtt, Duration::from_millis(500));
-        assert_eq!(s.params_at(SimTime::from_secs(150)).rtt, Duration::from_millis(50));
+        assert_eq!(
+            s.params_at(SimTime::from_secs(30)).rtt,
+            Duration::from_millis(50)
+        );
+        assert_eq!(
+            s.params_at(SimTime::from_secs(90)).rtt,
+            Duration::from_millis(500)
+        );
+        assert_eq!(
+            s.params_at(SimTime::from_secs(150)).rtt,
+            Duration::from_millis(50)
+        );
     }
 
     #[test]

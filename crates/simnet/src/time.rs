@@ -49,7 +49,10 @@ impl SimTime {
     /// Panics on negative or non-finite input.
     #[must_use]
     pub fn from_secs_f64(secs: f64) -> Self {
-        assert!(secs.is_finite() && secs >= 0.0, "invalid SimTime seconds {secs}");
+        assert!(
+            secs.is_finite() && secs >= 0.0,
+            "invalid SimTime seconds {secs}"
+        );
         SimTime((secs * 1e9).round() as u64)
     }
 
@@ -158,7 +161,10 @@ mod tests {
         assert_eq!(t, SimTime::from_millis(15));
         assert_eq!(t - SimTime::from_millis(10), Duration::from_millis(5));
         // saturating semantics for reversed order
-        assert_eq!(SimTime::from_millis(1) - SimTime::from_millis(5), Duration::ZERO);
+        assert_eq!(
+            SimTime::from_millis(1) - SimTime::from_millis(5),
+            Duration::ZERO
+        );
     }
 
     #[test]

@@ -197,7 +197,11 @@ mod tests {
     #[test]
     fn set_pair_overrides_both_directions() {
         let mut t = Topology::uniform_constant(3, NetParams::clean(Duration::from_millis(10)));
-        t.set_pair(0, 2, LinkSchedule::constant(NetParams::clean(Duration::from_millis(99))));
+        t.set_pair(
+            0,
+            2,
+            LinkSchedule::constant(NetParams::clean(Duration::from_millis(99))),
+        );
         assert_eq!(
             t.schedule(0, 2).params_at(SimTime::ZERO).rtt,
             Duration::from_millis(99)
@@ -234,12 +238,24 @@ mod tests {
     #[test]
     fn extend_with_adds_client_nodes() {
         let t = Topology::uniform_constant(3, NetParams::clean(Duration::from_millis(10)));
-        let t2 = t.extend_with(2, LinkSchedule::constant(NetParams::clean(Duration::from_millis(1))));
+        let t2 = t.extend_with(
+            2,
+            LinkSchedule::constant(NetParams::clean(Duration::from_millis(1))),
+        );
         assert_eq!(t2.len(), 5);
         // original links intact
-        assert_eq!(t2.schedule(0, 1).params_at(SimTime::ZERO).rtt, Duration::from_millis(10));
+        assert_eq!(
+            t2.schedule(0, 1).params_at(SimTime::ZERO).rtt,
+            Duration::from_millis(10)
+        );
         // new links use the client schedule
-        assert_eq!(t2.schedule(0, 4).params_at(SimTime::ZERO).rtt, Duration::from_millis(1));
-        assert_eq!(t2.schedule(4, 2).params_at(SimTime::ZERO).rtt, Duration::from_millis(1));
+        assert_eq!(
+            t2.schedule(0, 4).params_at(SimTime::ZERO).rtt,
+            Duration::from_millis(1)
+        );
+        assert_eq!(
+            t2.schedule(4, 2).params_at(SimTime::ZERO).rtt,
+            Duration::from_millis(1)
+        );
     }
 }

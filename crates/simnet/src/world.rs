@@ -332,7 +332,14 @@ impl<H: Host> World<H> {
             SendOutcome::Deliver(at) => self.push(at, Event::Deliver { from, to, msg }),
             SendOutcome::DeliverDup(a, b) => {
                 self.counters.duplicated += 1;
-                self.push(a, Event::Deliver { from, to, msg: msg.clone() });
+                self.push(
+                    a,
+                    Event::Deliver {
+                        from,
+                        to,
+                        msg: msg.clone(),
+                    },
+                );
                 self.push(b, Event::Deliver { from, to, msg });
             }
         }
@@ -493,12 +500,18 @@ mod tests {
             .iter()
             .filter(|(t, _)| *t > SimTime::from_millis(20) && *t < SimTime::from_millis(60))
             .collect();
-        assert!(during_pause.is_empty(), "paused host processed {during_pause:?}");
+        assert!(
+            during_pause.is_empty(),
+            "paused host processed {during_pause:?}"
+        );
         let at_resume = received
             .iter()
             .filter(|(t, _)| *t == SimTime::from_millis(60))
             .count();
-        assert!(at_resume >= 3, "expected buffered replay at resume, got {at_resume}");
+        assert!(
+            at_resume >= 3,
+            "expected buffered replay at resume, got {at_resume}"
+        );
     }
 
     #[test]
@@ -569,11 +582,16 @@ mod tests {
     fn deterministic_trace_for_equal_seeds() {
         let run = |seed: u64| {
             let schedule = Arc::new(LinkSchedule::constant(
-                NetParams::clean(Duration::from_millis(20)).with_jitter(0.3).with_loss(0.05),
+                NetParams::clean(Duration::from_millis(20))
+                    .with_jitter(0.3)
+                    .with_loss(0.05),
             ));
-            let net = Network::new(2, &Rng::new(seed), CongestionConfig::wan_default(), |_, _| {
-                schedule.clone()
-            });
+            let net = Network::new(
+                2,
+                &Rng::new(seed),
+                CongestionConfig::wan_default(),
+                |_, _| schedule.clone(),
+            );
             let sender = Pinger {
                 peer: 1,
                 interval: Duration::from_millis(7),

@@ -143,7 +143,10 @@ mod tests {
         let c = EmpiricalCdf::new(vec![3.0, 1.0, 2.0]);
         assert_eq!(c.min(), Some(1.0));
         assert_eq!(c.max(), Some(3.0));
-        assert_eq!(c.points(), vec![(1.0, 1.0 / 3.0), (2.0, 2.0 / 3.0), (3.0, 1.0)]);
+        assert_eq!(
+            c.points(),
+            vec![(1.0, 1.0 / 3.0), (2.0, 2.0 / 3.0), (3.0, 1.0)]
+        );
     }
 
     #[test]

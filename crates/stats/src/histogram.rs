@@ -188,7 +188,17 @@ mod tests {
     #[test]
     fn index_value_roundtrip_is_within_relative_error() {
         for v in [
-            0u64, 1, 31, 32, 33, 100, 1_000, 12_345, 1_000_000, 123_456_789, u32::MAX as u64,
+            0u64,
+            1,
+            31,
+            32,
+            33,
+            100,
+            1_000,
+            12_345,
+            1_000_000,
+            123_456_789,
+            u32::MAX as u64,
         ] {
             let idx = Histogram::index_for(v);
             let lo = Histogram::value_for(idx);

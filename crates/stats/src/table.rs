@@ -100,7 +100,8 @@ pub fn multi_series_csv(t_name: &str, series: &[(&str, &[(f64, f64)])]) -> Strin
     let key = |t: f64| (t * 1e6).round() as u64;
     for (si, (_, pts)) in series.iter().enumerate() {
         for &(t, v) in *pts {
-            grid.entry(key(t)).or_insert_with(|| vec![None; series.len()])[si] = Some(v);
+            grid.entry(key(t))
+                .or_insert_with(|| vec![None; series.len()])[si] = Some(v);
         }
     }
     let mut out = String::from(t_name);

@@ -74,7 +74,13 @@ impl TimeSeries {
     /// yield the previous value for [`ResamplePolicy::Last`] (sample-and-hold)
     /// and are skipped for the other policies.
     #[must_use]
-    pub fn resample(&self, start: f64, end: f64, step: f64, policy: ResamplePolicy) -> Vec<(f64, f64)> {
+    pub fn resample(
+        &self,
+        start: f64,
+        end: f64,
+        step: f64,
+        policy: ResamplePolicy,
+    ) -> Vec<(f64, f64)> {
         assert!(step > 0.0, "resample step must be positive");
         let mut out = Vec::new();
         let mut idx = 0usize;

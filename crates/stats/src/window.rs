@@ -120,17 +120,19 @@ impl SampleWindow {
     /// Smallest sample currently in the window (O(n)).
     #[must_use]
     pub fn min(&self) -> Option<f64> {
-        self.ring.iter().copied().fold(None, |acc, v| {
-            Some(acc.map_or(v, |a: f64| a.min(v)))
-        })
+        self.ring
+            .iter()
+            .copied()
+            .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.min(v))))
     }
 
     /// Largest sample currently in the window (O(n)).
     #[must_use]
     pub fn max(&self) -> Option<f64> {
-        self.ring.iter().copied().fold(None, |acc, v| {
-            Some(acc.map_or(v, |a: f64| a.max(v)))
-        })
+        self.ring
+            .iter()
+            .copied()
+            .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.max(v))))
     }
 
     /// Iterate over samples from oldest to newest.

@@ -22,7 +22,10 @@ impl Zipf {
     #[must_use]
     pub fn new(n: usize, theta: f64) -> Self {
         assert!(n > 0, "Zipf requires at least one item");
-        assert!(theta.is_finite() && theta >= 0.0, "invalid Zipf theta {theta}");
+        assert!(
+            theta.is_finite() && theta >= 0.0,
+            "invalid Zipf theta {theta}"
+        );
         let mut cumulative = Vec::with_capacity(n);
         let mut total = 0.0;
         for rank in 0..n {
@@ -54,14 +57,20 @@ impl Zipf {
     #[must_use]
     pub fn sample(&self, u: f64) -> usize {
         let u = u.clamp(0.0, 1.0 - f64::EPSILON);
-        self.cumulative.partition_point(|&c| c <= u).min(self.cumulative.len() - 1)
+        self.cumulative
+            .partition_point(|&c| c <= u)
+            .min(self.cumulative.len() - 1)
     }
 
     /// Probability mass of a given rank.
     #[must_use]
     pub fn pmf(&self, rank: usize) -> f64 {
         let hi = self.cumulative[rank];
-        let lo = if rank == 0 { 0.0 } else { self.cumulative[rank - 1] };
+        let lo = if rank == 0 {
+            0.0
+        } else {
+            self.cumulative[rank - 1]
+        };
         hi - lo
     }
 }

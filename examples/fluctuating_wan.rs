@@ -9,9 +9,7 @@
 
 use dynatune_repro::cluster::{leaderless_intervals, ClusterConfig, ClusterSim};
 use dynatune_repro::core::TuningConfig;
-use dynatune_repro::simnet::{
-    CongestionConfig, LinkSchedule, NetParams, SimTime, Topology,
-};
+use dynatune_repro::simnet::{CongestionConfig, LinkSchedule, NetParams, SimTime, Topology};
 use std::time::Duration;
 
 fn main() {
@@ -20,13 +18,22 @@ fn main() {
     let base = NetParams::clean(Duration::from_millis(50)).with_jitter(0.08);
     let schedule = LinkSchedule::piecewise(vec![
         (SimTime::ZERO, base),
-        (SimTime::from_secs(60), base.with_rtt(Duration::from_millis(120))),
-        (SimTime::from_secs(120), base.with_rtt(Duration::from_millis(200))),
+        (
+            SimTime::from_secs(60),
+            base.with_rtt(Duration::from_millis(120)),
+        ),
+        (
+            SimTime::from_secs(120),
+            base.with_rtt(Duration::from_millis(200)),
+        ),
         (
             SimTime::from_secs(180),
             base.with_rtt(Duration::from_millis(200)).with_loss(0.20),
         ),
-        (SimTime::from_secs(240), base.with_rtt(Duration::from_millis(200))),
+        (
+            SimTime::from_secs(240),
+            base.with_rtt(Duration::from_millis(200)),
+        ),
         (SimTime::from_secs(300), base),
     ]);
     let mut config = ClusterConfig::stable(

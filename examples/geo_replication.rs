@@ -29,13 +29,13 @@ fn main() {
 
     sim.run_until(SimTime::from_secs(60));
     let leader = sim.leader().expect("leader after 60s");
-    println!(
-        "leader: server {leader} ({})\n",
-        regions[leader].name()
-    );
+    println!("leader: server {leader} ({})\n", regions[leader].name());
 
     println!("per-path tuned parameters (follower side):");
-    println!("{:<13} {:>10} {:>12} {:>12} {:>10}", "follower", "RTT (ms)", "Et (ms)", "h (ms)", "loss est");
+    println!(
+        "{:<13} {:>10} {:>12} {:>12} {:>10}",
+        "follower", "RTT (ms)", "Et (ms)", "h (ms)", "loss est"
+    );
     for id in 0..5 {
         if id == leader {
             continue;

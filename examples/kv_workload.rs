@@ -25,8 +25,8 @@ fn run(name: &str, tuning: TuningConfig) {
         start_offset: Duration::from_secs(5),
         request_timeout: Some(Duration::from_millis(500)),
     };
-    let config = ClusterConfig::stable(5, tuning, Duration::from_millis(50), 90_210)
-        .with_workload(spec);
+    let config =
+        ClusterConfig::stable(5, tuning, Duration::from_millis(50), 90_210).with_workload(spec);
     let mut sim = ClusterSim::new(&config);
 
     sim.run_until(SimTime::from_secs(30));

@@ -65,5 +65,7 @@ fn main() {
         "out-of-service: {raft_ots:.0} ms -> {dt_ots:.0} ms  ({:.0}% shorter)",
         (1.0 - dt_ots / raft_ots) * 100.0
     );
-    println!("(paper reports 80% and 45% over 1000 trials; run the fig4 binary for the full study)");
+    println!(
+        "(paper reports 80% and 45% over 1000 trials; run the fig4 binary for the full study)"
+    );
 }

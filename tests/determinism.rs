@@ -14,24 +14,15 @@ fn fingerprint(sim: &ClusterSim) -> (Option<usize>, usize, u64, Vec<u64>) {
     let digests: Vec<u64> = (0..sim.n_servers())
         .map(|id| sim.with_server(id, |s| s.node().state_machine().digest()))
         .collect();
-    (
-        sim.leader(),
-        events.len(),
-        sim.net_counters().sent,
-        digests,
-    )
+    (sim.leader(), events.len(), sim.net_counters().sent, digests)
 }
 
 #[test]
 fn identical_seeds_identical_universes() {
     let run = |seed: u64| {
-        let cfg = ClusterConfig::stable(
-            5,
-            TuningConfig::dynatune(),
-            Duration::from_millis(80),
-            seed,
-        )
-        .with_workload(WorkloadSpec::steady(300.0, Duration::from_secs(15)));
+        let cfg =
+            ClusterConfig::stable(5, TuningConfig::dynatune(), Duration::from_millis(80), seed)
+                .with_workload(WorkloadSpec::steady(300.0, Duration::from_secs(15)));
         let mut sim = ClusterSim::new(&cfg);
         sim.run_until(SimTime::from_secs(25));
         fingerprint(&sim)
@@ -42,29 +33,24 @@ fn identical_seeds_identical_universes() {
 
 #[test]
 fn identical_seeds_identical_failovers() {
-    let cluster = ClusterConfig::stable(
-        5,
-        TuningConfig::dynatune(),
-        Duration::from_millis(100),
-        777,
-    );
+    let cluster =
+        ClusterConfig::stable(5, TuningConfig::dynatune(), Duration::from_millis(100), 777);
     let cfg = FailoverConfig::new(cluster, 1);
     let a = run_single_trial(&cfg, 3);
     let b = run_single_trial(&cfg, 3);
     assert_eq!(a, b);
     let c = run_single_trial(&cfg, 4);
-    assert_ne!(a, c, "different trial indices must draw different universes");
+    assert_ne!(
+        a, c,
+        "different trial indices must draw different universes"
+    );
 }
 
 #[test]
 fn event_streams_are_bit_identical() {
     let run = |seed: u64| {
-        let cfg = ClusterConfig::stable(
-            5,
-            TuningConfig::raft_low(),
-            Duration::from_millis(50),
-            seed,
-        );
+        let cfg =
+            ClusterConfig::stable(5, TuningConfig::raft_low(), Duration::from_millis(50), seed);
         let mut sim = ClusterSim::new(&cfg);
         sim.run_until(SimTime::from_secs(20));
         let leader = sim.leader();

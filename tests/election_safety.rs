@@ -115,12 +115,8 @@ fn safety_under_lossy_jittery_network() {
     // 20% loss + heavy jitter + congestion bursts: elections will churn,
     // but never two leaders in one term and never diverging logs.
     for seed in [7u64, 77, 777] {
-        let mut cfg = ClusterConfig::stable(
-            5,
-            TuningConfig::dynatune(),
-            Duration::from_millis(80),
-            seed,
-        );
+        let mut cfg =
+            ClusterConfig::stable(5, TuningConfig::dynatune(), Duration::from_millis(80), seed);
         cfg.topology = Topology::uniform_constant(
             5,
             NetParams::clean(Duration::from_millis(80))
@@ -141,12 +137,7 @@ fn safety_under_lossy_jittery_network() {
 
 #[test]
 fn quorum_loss_stops_progress_and_recovery_restores_it() {
-    let cfg = ClusterConfig::stable(
-        5,
-        TuningConfig::dynatune(),
-        Duration::from_millis(50),
-        99,
-    );
+    let cfg = ClusterConfig::stable(5, TuningConfig::dynatune(), Duration::from_millis(50), 99);
     let mut sim = ClusterSim::new(&cfg);
     sim.run_until(SimTime::from_secs(20));
     // Pause three servers: quorum gone.
@@ -165,7 +156,10 @@ fn quorum_loss_stops_progress_and_recovery_restores_it() {
     // Resume one paused server: quorum of 3 restored, leadership returns.
     sim.resume(paused[2]);
     sim.run_for(Duration::from_secs(30));
-    assert!(sim.leader().is_some(), "quorum restored but no leader elected");
+    assert!(
+        sim.leader().is_some(),
+        "quorum restored but no leader elected"
+    );
     assert_election_safety(&sim.events());
 }
 

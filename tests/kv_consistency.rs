@@ -44,27 +44,23 @@ fn assert_replicas_converged(sim: &ClusterSim) {
     let reference = caught_up[0].1;
     for (applied, digest) in &states {
         if *applied == max_applied {
-            assert_eq!(
-                *digest, reference,
-                "replicas at applied={applied} diverged"
-            );
+            assert_eq!(*digest, reference, "replicas at applied={applied} diverged");
         }
     }
 }
 
 #[test]
 fn replicas_converge_under_clean_load() {
-    let cfg = ClusterConfig::stable(
-        3,
-        TuningConfig::dynatune(),
-        Duration::from_millis(20),
-        11,
-    )
-    .with_workload(workload(500.0, 20));
+    let cfg = ClusterConfig::stable(3, TuningConfig::dynatune(), Duration::from_millis(20), 11)
+        .with_workload(workload(500.0, 20));
     let mut sim = ClusterSim::new(&cfg);
     sim.run_until(SimTime::from_secs(35)); // drain
     let steps = sim.client_steps().unwrap();
-    assert!(steps[0].completed > 8_000, "completed {}", steps[0].completed);
+    assert!(
+        steps[0].completed > 8_000,
+        "completed {}",
+        steps[0].completed
+    );
     assert_replicas_converged(&sim);
     // Every replica actually holds data.
     for id in 0..3 {
@@ -75,13 +71,8 @@ fn replicas_converge_under_clean_load() {
 
 #[test]
 fn replicas_converge_through_failover_and_retries() {
-    let cfg = ClusterConfig::stable(
-        5,
-        TuningConfig::dynatune(),
-        Duration::from_millis(50),
-        22,
-    )
-    .with_workload(workload(800.0, 40));
+    let cfg = ClusterConfig::stable(5, TuningConfig::dynatune(), Duration::from_millis(50), 22)
+        .with_workload(workload(800.0, 40));
     let mut sim = ClusterSim::new(&cfg);
     // Fail the leader mid-workload (twice), resuming each after a while.
     sim.run_until(SimTime::from_secs(15));
@@ -109,13 +100,8 @@ fn replicas_converge_through_failover_and_retries() {
 
 #[test]
 fn replicas_converge_under_loss() {
-    let mut cfg = ClusterConfig::stable(
-        3,
-        TuningConfig::dynatune(),
-        Duration::from_millis(40),
-        33,
-    )
-    .with_workload(workload(300.0, 20));
+    let mut cfg = ClusterConfig::stable(3, TuningConfig::dynatune(), Duration::from_millis(40), 33)
+        .with_workload(workload(300.0, 20));
     cfg.topology = Topology::uniform_constant(
         3,
         NetParams::clean(Duration::from_millis(40))
@@ -129,13 +115,8 @@ fn replicas_converge_under_loss() {
 
 #[test]
 fn crash_recovery_replays_to_the_same_state() {
-    let cfg = ClusterConfig::stable(
-        3,
-        TuningConfig::dynatune(),
-        Duration::from_millis(20),
-        44,
-    )
-    .with_workload(workload(400.0, 15));
+    let cfg = ClusterConfig::stable(3, TuningConfig::dynatune(), Duration::from_millis(20), 44)
+        .with_workload(workload(400.0, 15));
     let mut sim = ClusterSim::new(&cfg);
     sim.run_until(SimTime::from_secs(10));
     // Crash a follower (loses its state machine, keeps its log).

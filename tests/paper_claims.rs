@@ -15,7 +15,10 @@ fn failover(tuning: TuningConfig, trials: usize, seed: u64) -> (f64, f64) {
     cfg.warmup = Duration::from_secs(20);
     cfg.observe = Duration::from_secs(20);
     let res = run_trials(&cfg);
-    assert!(res.outcomes.len() >= trials * 8 / 10, "too many incomplete trials");
+    assert!(
+        res.outcomes.len() >= trials * 8 / 10,
+        "too many incomplete trials"
+    );
     (res.detection_stats().mean(), res.ots_stats().mean())
 }
 
@@ -31,7 +34,10 @@ fn claim_detection_and_ots_reduction_stable_network() {
         "detection {dt_det:.0}ms vs raft {raft_det:.0}ms"
     );
     // OTS: paper 45% reduction; accept >= 20%.
-    assert!(dt_ots < raft_ots * 0.8, "ots {dt_ots:.0} vs raft {raft_ots:.0}");
+    assert!(
+        dt_ots < raft_ots * 0.8,
+        "ots {dt_ots:.0} vs raft {raft_ots:.0}"
+    );
     // Raft's absolute scale: Et=1000ms defaults put detection near 1.2s.
     assert!((900.0..1700.0).contains(&raft_det), "raft det {raft_det}");
 }
@@ -59,7 +65,11 @@ fn claim_rtt_fluctuation_availability() {
     let mut dt = RttFlucConfig::new(TuningConfig::dynatune(), RttPattern::Radical, 5);
     dt.hold = Duration::from_secs(12);
     let dt_series = rtt_fluctuation::run(&dt);
-    assert_eq!(dt_series.total_ots_secs, 0.0, "{:?}", dt_series.ots_intervals);
+    assert_eq!(
+        dt_series.total_ots_secs, 0.0,
+        "{:?}",
+        dt_series.ots_intervals
+    );
 
     let mut raft = RttFlucConfig::new(TuningConfig::raft_default(), RttPattern::Radical, 5);
     raft.hold = Duration::from_secs(12);

@@ -68,7 +68,11 @@ fn minority_partition_never_elects() {
     }
     // The majority side kept its leader the whole time (pre-vote means the
     // minority's campaigns never even bump terms on the majority).
-    assert_eq!(sim.leader(), Some(leader), "majority leadership undisturbed");
+    assert_eq!(
+        sim.leader(),
+        Some(leader),
+        "majority leadership undisturbed"
+    );
     assert_one_leader_per_term(&sim);
 }
 

@@ -26,8 +26,15 @@ fn followers_converge_to_path_rtt() {
         // Et = mu + 2 sigma with RTT 100ms and 2% jitter: just above 100ms.
         assert!((95.0..130.0).contains(&et_ms), "follower {id} Et {et_ms}");
         let rtt_ms = snap.rtt_mean.as_secs_f64() * 1e3;
-        assert!((95.0..115.0).contains(&rtt_ms), "follower {id} mean RTT {rtt_ms}");
-        assert!(snap.loss_rate < 0.01, "clean network, measured {}", snap.loss_rate);
+        assert!(
+            (95.0..115.0).contains(&rtt_ms),
+            "follower {id} mean RTT {rtt_ms}"
+        );
+        assert!(
+            snap.loss_rate < 0.01,
+            "clean network, measured {}",
+            snap.loss_rate
+        );
     }
 }
 
@@ -62,7 +69,10 @@ fn leader_applies_piggybacked_interval_per_follower() {
         );
     }
     let spread = sorted.last().unwrap().1 / sorted.first().unwrap().1;
-    assert!(spread > 1.5, "per-path differentiation too weak: {intervals:?}");
+    assert!(
+        spread > 1.5,
+        "per-path differentiation too weak: {intervals:?}"
+    );
 }
 
 #[test]
@@ -108,7 +118,10 @@ fn et_adapts_upward_when_rtt_rises() {
         5,
         LinkSchedule::piecewise(vec![
             (SimTime::ZERO, base),
-            (SimTime::from_secs(40), base.with_rtt(Duration::from_millis(150))),
+            (
+                SimTime::from_secs(40),
+                base.with_rtt(Duration::from_millis(150)),
+            ),
         ]),
     );
     let mut sim = ClusterSim::new(&cfg);
@@ -117,13 +130,20 @@ fn et_adapts_upward_when_rtt_rises() {
     let follower = (0..5).find(|&i| i != leader).unwrap();
     let et_before = sim.tuning_snapshot(follower).election_timeout;
     sim.run_until(SimTime::from_secs(240));
-    assert_eq!(sim.leader(), Some(leader), "RTT rise must not depose the leader");
+    assert_eq!(
+        sim.leader(),
+        Some(leader),
+        "RTT rise must not depose the leader"
+    );
     let et_after = sim.tuning_snapshot(follower).election_timeout;
     assert!(
         et_after > et_before + Duration::from_millis(50),
         "Et should track the RTT rise: {et_before:?} -> {et_after:?}"
     );
-    assert!(et_after > Duration::from_millis(140), "Et after: {et_after:?}");
+    assert!(
+        et_after > Duration::from_millis(140),
+        "Et after: {et_after:?}"
+    );
 }
 
 #[test]
@@ -149,7 +169,9 @@ fn loss_rate_measured_through_the_stack() {
     );
     // K(0.1, 0.999) = 3 ⇒ h ≈ Et/3.
     let h = sim.leader_mean_heartbeat_interval().unwrap();
-    let et = sim.tuning_snapshot((0..5).find(|&i| i != leader).unwrap()).election_timeout;
+    let et = sim
+        .tuning_snapshot((0..5).find(|&i| i != leader).unwrap())
+        .election_timeout;
     let ratio = et.as_secs_f64() / h.as_secs_f64();
     assert!((2.0..4.5).contains(&ratio), "Et/h ratio {ratio}");
 }

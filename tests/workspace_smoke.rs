@@ -1,0 +1,115 @@
+//! Workspace wiring smoke test: the umbrella crate's re-exports must
+//! resolve, and the simulator's determinism contract must hold at the
+//! `World` level (two equal-seed runs produce identical traces).
+
+use dynatune_repro::simnet::{
+    Channel, CongestionConfig, Host, HostCtx, NetParams, Network, NodeId, Rng, SimTime, Topology,
+    World,
+};
+use std::time::Duration;
+
+/// Every workspace crate is reachable through the umbrella re-exports.
+#[test]
+fn umbrella_reexports_resolve() {
+    // One load-bearing item per crate: constructing (or naming) these
+    // fails to compile if the re-export wiring regresses.
+    let _stats = dynatune_repro::stats::OnlineStats::new();
+    let _tuning = dynatune_repro::core::TuningConfig::dynatune();
+    let _raft_cfg =
+        dynatune_repro::raft::RaftConfig::new(0, 3, dynatune_repro::core::TuningConfig::dynatune());
+    let _store = dynatune_repro::kv::KvStore::default();
+    let _time = dynatune_repro::simnet::SimTime::ZERO;
+    let _cluster_cfg = dynatune_repro::cluster::ClusterConfig::stable(
+        3,
+        dynatune_repro::core::TuningConfig::dynatune(),
+        Duration::from_millis(100),
+        1,
+    );
+}
+
+/// Minimal protocol endpoint: pings a peer on a fixed cadence and records
+/// everything it receives, so a run leaves a complete observable trace.
+struct Pinger {
+    peer: NodeId,
+    interval: Duration,
+    next: SimTime,
+    sent: u64,
+    trace: Vec<(u64, String)>,
+}
+
+impl Pinger {
+    fn new(peer: NodeId, interval: Duration) -> Self {
+        Pinger {
+            peer,
+            interval,
+            next: SimTime::ZERO,
+            sent: 0,
+            trace: Vec::new(),
+        }
+    }
+}
+
+impl Host for Pinger {
+    type Msg = String;
+
+    fn on_message(&mut self, ctx: &mut HostCtx<'_, String>, from: NodeId, msg: String) {
+        self.trace.push((ctx.now.as_nanos(), msg.clone()));
+        if msg.starts_with("ping") {
+            ctx.send(from, Channel::Udp, msg.replace("ping", "pong"));
+        }
+    }
+
+    fn on_wake(&mut self, ctx: &mut HostCtx<'_, String>) {
+        if self.interval > Duration::ZERO {
+            ctx.send(self.peer, Channel::Udp, format!("ping{}", self.sent));
+            self.sent += 1;
+            self.next = ctx.now + self.interval;
+        }
+    }
+
+    fn next_wake(&self) -> Option<SimTime> {
+        (self.interval > Duration::ZERO).then_some(self.next)
+    }
+}
+
+/// Everything observable about one run: both hosts' receive traces plus
+/// the fabric's sent/delivered counters.
+type RunTrace = (Vec<(u64, String)>, Vec<(u64, String)>, u64, u64);
+
+fn run_world(seed: u64) -> RunTrace {
+    // A lossy, jittery WAN so the trace actually exercises the stochastic
+    // parts of the fabric (delay sampling, drops) — exactly what must be
+    // reproducible from the seed alone.
+    let params = NetParams::wan(Duration::from_millis(40))
+        .with_jitter(0.3)
+        .with_loss(0.05);
+    let topo = Topology::uniform_constant(2, params);
+    let net = Network::new(2, &Rng::new(seed), CongestionConfig::disabled(), |f, t| {
+        topo.schedule(f, t)
+    });
+    let hosts = vec![
+        Pinger::new(1, Duration::from_millis(10)),
+        Pinger::new(0, Duration::ZERO),
+    ];
+    let mut world = World::new(hosts, net);
+    world.run_until(SimTime::from_secs(5));
+    let counters = world.counters();
+    (
+        world.host(0).trace.clone(),
+        world.host(1).trace.clone(),
+        counters.sent,
+        counters.delivered,
+    )
+}
+
+/// Two equal-seed `World` runs yield bit-identical traces; a different
+/// seed diverges.
+#[test]
+fn equal_seed_world_runs_produce_identical_traces() {
+    let a = run_world(42);
+    let b = run_world(42);
+    assert_eq!(a, b, "same seed must replay the same universe");
+    assert!(!a.1.is_empty(), "receiver saw no traffic; trace is vacuous");
+    let c = run_world(43);
+    assert_ne!(a, c, "different seeds must diverge");
+}

@@ -1,0 +1,319 @@
+//! Offline shim for the `criterion` crate.
+//!
+//! Provides the API slice this workspace's benches use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `Bencher::{iter, iter_batched}`,
+//! `BatchSize`, `Throughput`, and the `criterion_group!`/`criterion_main!`
+//! macros — backed by a small wall-clock harness: per benchmark it runs a
+//! warm-up pass, then `sample_size` timed samples, and prints mean/min/max
+//! per-iteration times (plus throughput when configured). When invoked with
+//! `--test`, each benchmark runs exactly once as a smoke test. (This
+//! workspace sets `test = false` on its bench targets, so `cargo test`
+//! skips them and bench rot is caught by CI's `cargo bench --no-run`
+//! compile check instead; the `--test` path remains for manual smoke runs.)
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How batched inputs are sized. The shim times one batch per sample
+/// regardless of the variant; the variants exist for API compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// Fresh input for every iteration.
+    PerIteration,
+    /// Explicit number of batches.
+    NumBatches(u64),
+    /// Explicit number of iterations per batch.
+    NumIterations(u64),
+}
+
+/// Units processed per iteration, used to report throughput.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut test_mode = false;
+        let mut filter = None;
+        // cargo bench passes "--bench"; cargo test --benches passes "--test".
+        // The first free argument is a name filter, like real criterion.
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                "--bench" | "--nocapture" | "--quiet" | "-q" => {}
+                a if a.starts_with('-') => {}
+                a => {
+                    if filter.is_none() {
+                        filter = Some(a.to_string());
+                    }
+                }
+            }
+        }
+        Criterion {
+            sample_size: 10,
+            test_mode,
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    /// Set the default number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            throughput: None,
+            criterion: self,
+        }
+    }
+
+    /// Run a single benchmark outside of any group.
+    pub fn bench_function(
+        &mut self,
+        name: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let sample_size = self.sample_size;
+        self.run_one(&name.into(), sample_size, None, f);
+        self
+    }
+
+    fn run_one(
+        &self,
+        name: &str,
+        sample_size: usize,
+        throughput: Option<Throughput>,
+        mut f: impl FnMut(&mut Bencher),
+    ) {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut b = Bencher {
+            samples: Vec::new(),
+            iters_per_sample: 1,
+            sample_size: if self.test_mode { 1 } else { sample_size },
+            test_mode: self.test_mode,
+        };
+        f(&mut b);
+        b.report(name, throughput);
+    }
+}
+
+/// A group of related benchmarks sharing sample-size/throughput settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    criterion: &'a Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples for subsequent benchmarks.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Set the throughput used to report rates for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function(
+        &mut self,
+        name: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, name.into());
+        self.criterion
+            .run_one(&full, self.sample_size, self.throughput, f);
+        self
+    }
+
+    /// Finish the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures to time the routine.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl Bencher {
+    /// Time `routine` repeatedly.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        if self.test_mode {
+            black_box(routine());
+            self.samples.push(Duration::ZERO);
+            return;
+        }
+        // Warm-up and iteration-count calibration: aim for samples of at
+        // least ~1ms so Instant overhead stays in the noise.
+        let start = Instant::now();
+        black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let iters = (Duration::from_millis(1).as_nanos() / once.as_nanos()).clamp(1, 100_000);
+        self.iters_per_sample = iters as u64;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    /// Time `routine` over inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+        _size: BatchSize,
+    ) {
+        if self.test_mode {
+            black_box(routine(setup()));
+            self.samples.push(Duration::ZERO);
+            return;
+        }
+        self.iters_per_sample = 1;
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    fn report(&self, name: &str, throughput: Option<Throughput>) {
+        if self.test_mode {
+            println!("test {name} ... ok (bench smoke)");
+            return;
+        }
+        if self.samples.is_empty() {
+            println!("{name:<48} (no samples)");
+            return;
+        }
+        let per_iter: Vec<f64> = self
+            .samples
+            .iter()
+            .map(|d| d.as_secs_f64() / self.iters_per_sample as f64)
+            .collect();
+        let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+        let min = per_iter.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = per_iter.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let rate = match throughput {
+            Some(Throughput::Elements(n)) => format!("  {:>12.0} elem/s", n as f64 / mean),
+            Some(Throughput::Bytes(n)) => format!("  {:>12.0} B/s", n as f64 / mean),
+            None => String::new(),
+        };
+        println!(
+            "{name:<48} mean {}  [min {} .. max {}]{rate}",
+            fmt_time(mean),
+            fmt_time(min),
+            fmt_time(max),
+        );
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Define a bench group function, like real criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Define `main` running the given bench groups, like real criterion.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plain() -> Criterion {
+        Criterion {
+            sample_size: 2,
+            test_mode: true,
+            filter: None,
+        }
+    }
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut c = plain();
+        let mut ran = 0u32;
+        c.sample_size(2).bench_function("shim_smoke", |b| {
+            b.iter(|| {
+                ran += 1;
+            });
+        });
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        let mut c = plain();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2).throughput(Throughput::Elements(1));
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput);
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,38 @@
+//! Boolean strategies (`prop::bool::ANY`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy producing either boolean with equal probability.
+#[derive(Debug, Clone, Copy)]
+pub struct Any;
+
+/// The canonical instance of [`Any`], mirroring `proptest::bool::ANY`.
+pub const ANY: Any = Any;
+
+impl Strategy for Any {
+    type Value = bool;
+    fn sample(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn any_produces_both_values() {
+        let mut rng = TestRng::new(21);
+        let mut t = false;
+        let mut f = false;
+        for _ in 0..100 {
+            if ANY.sample(&mut rng) {
+                t = true;
+            } else {
+                f = true;
+            }
+        }
+        assert!(t && f);
+    }
+}

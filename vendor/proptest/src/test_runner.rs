@@ -1,0 +1,224 @@
+//! Deterministic case runner and its RNG.
+
+use std::fmt;
+
+/// Deterministic splitmix64 generator driving all strategy sampling.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Create a generator from a seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Next raw 64-bit value (splitmix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        // 53 mantissa bits of entropy, exactly like rand's Standard f64.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `usize` in `[lo, hi]` (inclusive).
+    pub fn usize_inclusive(&mut self, lo: usize, hi: usize) -> usize {
+        debug_assert!(lo <= hi);
+        let span = (hi - lo) as u128 + 1;
+        lo + (u128::from(self.next_u64()) % span) as usize
+    }
+}
+
+/// Why a test case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The property was violated.
+    Fail(String),
+    /// The inputs were rejected by an assumption; the case is re-drawn.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failed property.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A rejected case.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "property failed: {m}"),
+            TestCaseError::Reject(m) => write!(f, "input rejected: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Runner configuration. Field names mirror real proptest so
+/// `ProptestConfig { cases: 64, ..ProptestConfig::default() }` works.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the property to pass.
+    pub cases: u32,
+    /// Accepted for compatibility; the shim does not shrink.
+    pub max_shrink_iters: u32,
+    /// Give up after this many rejected cases.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64);
+        ProptestConfig {
+            cases,
+            max_shrink_iters: 1024,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+/// Runs the configured number of sampled cases for one property.
+#[derive(Debug)]
+pub struct TestRunner {
+    config: ProptestConfig,
+}
+
+impl TestRunner {
+    /// Create a runner.
+    #[must_use]
+    pub fn new(config: ProptestConfig) -> Self {
+        TestRunner { config }
+    }
+
+    /// Run `f` for each case, panicking (so the surrounding `#[test]`
+    /// fails) on the first property violation.
+    pub fn run_named<F>(&mut self, name: &str, mut f: F)
+    where
+        F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    {
+        let base = Self::seed_for(name);
+        let mut rejects: u32 = 0;
+        let mut case: u32 = 0;
+        // Seeds advance with every draw (accepted or rejected) so a
+        // rejection never replays an already-rejected input and no two
+        // accepted cases share a seed.
+        let mut draw: u64 = 0;
+        while case < self.config.cases {
+            let mut rng = TestRng::new(base ^ draw.wrapping_mul(0xA076_1D64_78BD_642F));
+            draw += 1;
+            match f(&mut rng) {
+                Ok(()) => case += 1,
+                Err(TestCaseError::Reject(why)) => {
+                    rejects += 1;
+                    assert!(
+                        rejects <= self.config.max_global_rejects,
+                        "proptest-shim `{name}`: too many rejected cases (last: {why})"
+                    );
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!(
+                        "proptest-shim `{name}`: case {case} failed \
+                         (base seed {base:#018x}, draw {}, rejects {rejects}):\n{msg}",
+                        draw - 1
+                    );
+                }
+            }
+        }
+    }
+
+    /// Stable per-test seed: FNV-1a over the test name, xor an optional
+    /// `PROPTEST_SHIM_SEED` override so failures can be replayed.
+    fn seed_for(name: &str) -> u64 {
+        let user: u64 = std::env::var("PROPTEST_SHIM_SEED")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0);
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h ^ user
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = TestRng::new(7);
+        let mut b = TestRng::new(7);
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn unit_f64_in_range() {
+        let mut rng = TestRng::new(42);
+        for _ in 0..1000 {
+            let x = rng.unit_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn runner_counts_cases() {
+        let mut n = 0u32;
+        let mut runner = TestRunner::new(ProptestConfig {
+            cases: 10,
+            ..ProptestConfig::default()
+        });
+        runner.run_named("counting", |_| {
+            n += 1;
+            Ok(())
+        });
+        assert_eq!(n, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn runner_panics_on_failure() {
+        let mut runner = TestRunner::new(ProptestConfig::default());
+        runner.run_named("failing", |_| Err(TestCaseError::fail("boom")));
+    }
+
+    #[test]
+    fn rejects_redraw_with_fresh_seed() {
+        let mut seen = std::collections::HashSet::new();
+        let mut runner = TestRunner::new(ProptestConfig {
+            cases: 1,
+            ..ProptestConfig::default()
+        });
+        runner.run_named("rejecting", |rng| {
+            let v = rng.next_u64();
+            if seen.insert(v) && seen.len() < 4 {
+                Err(TestCaseError::reject("want variety"))
+            } else {
+                Ok(())
+            }
+        });
+        assert!(seen.len() >= 4, "rejection must re-seed: {seen:?}");
+    }
+}

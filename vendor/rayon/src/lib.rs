@@ -1,0 +1,152 @@
+//! Offline shim for the `rayon` crate.
+//!
+//! Implements the slice of the rayon API this workspace uses —
+//! `into_par_iter().map(f).collect()` — with genuine parallelism over
+//! `std::thread::scope`. Work is distributed via an atomic index counter
+//! (work stealing degenerates to striding, which is fine for the
+//! embarrassingly-parallel trial sweeps this repo runs) and results are
+//! written back by index, so output order matches input order exactly
+//! like real rayon's indexed collect.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::thread;
+
+/// Rayon-style prelude: `use rayon::prelude::*;`.
+pub mod prelude {
+    pub use crate::IntoParallelIterator;
+}
+
+/// Types that can be turned into a "parallel iterator".
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item: Send;
+    /// Convert into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<I> IntoParallelIterator for I
+where
+    I: IntoIterator,
+    I::Item: Send,
+{
+    type Item = I::Item;
+    fn into_par_iter(self) -> ParIter<I::Item> {
+        ParIter {
+            items: self.into_iter().collect(),
+        }
+    }
+}
+
+/// A materialized parallel iterator (the shim collects sources eagerly).
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Map each element through `f`, to be evaluated in parallel at
+    /// `collect` time.
+    pub fn map<R, F>(self, f: F) -> ParMap<T, F>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Collect the (unmapped) elements in order.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+}
+
+/// The result of [`ParIter::map`]; evaluation happens in [`ParMap::collect`].
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T, F, R> ParMap<T, F>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    /// Evaluate the map in parallel and collect results in input order.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        run_parallel(self.items, &self.f).into_iter().collect()
+    }
+}
+
+fn run_parallel<T, R, F>(items: Vec<T>, f: &F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = thread::available_parallelism()
+        .map_or(1, std::num::NonZeroUsize::get)
+        .min(n.max(1));
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|x| Mutex::new(Some(x))).collect();
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = slots[i]
+                    .lock()
+                    .expect("input slot poisoned")
+                    .take()
+                    .expect("input slot taken twice");
+                let out = f(item);
+                *results[i].lock().expect("result slot poisoned") = Some(out);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker skipped a slot")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let out: Vec<usize> = (0..1000usize).into_par_iter().map(|x| x * 2).collect();
+        let expect: Vec<usize> = (0..1000).map(|x| x * 2).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn collect_without_map_works() {
+        let out: Vec<u32> = vec![3u32, 1, 2].into_par_iter().collect();
+        assert_eq!(out, vec![3, 1, 2]);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let out: Vec<u8> = Vec::<u8>::new().into_par_iter().map(|x| x).collect();
+        assert!(out.is_empty());
+    }
+}
