@@ -76,5 +76,43 @@ fn bench_failover_trial(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_cluster_second, bench_failover_trial);
+fn bench_scenario_driver(c: &mut Criterion) {
+    use dynatune_cluster::scenario::{
+        FaultPlan, Horizon, PartitionSpec, ScenarioBuilder, ScenarioDriver,
+    };
+    let mut g = c.benchmark_group("scenario_driver");
+    g.sample_size(10);
+    // A churn cycle through the declarative driver: the cost of plan
+    // resolution + trace recording on top of the raw simulation.
+    g.bench_function("partition_churn_cycle", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let config = ScenarioBuilder::cluster(5)
+                .tuning(TuningConfig::dynatune())
+                .seed(seed)
+                .build();
+            let plan = FaultPlan::new().flapping_partition(
+                Duration::from_secs(20),
+                PartitionSpec::LeaderPlusFollowers(1),
+                Duration::from_secs(5),
+                Duration::from_secs(5),
+                2,
+            );
+            let run = ScenarioDriver::new(config)
+                .plan(plan)
+                .horizon(Horizon::AfterLastFault(Duration::from_secs(5)))
+                .run();
+            black_box(run.trace.len())
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_cluster_second,
+    bench_failover_trial,
+    bench_scenario_driver
+);
 criterion_main!(benches);

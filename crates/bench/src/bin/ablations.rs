@@ -1,102 +1,7 @@
-//! Ablation studies over Dynatune's design knobs (DESIGN.md §5): timer
-//! quantization, safety factor s, arrival probability x, minListSize
-//! warm-up, and the hybrid UDP/TCP heartbeat transport.
-
-use dynatune_bench::{banner, FigArgs};
-use dynatune_cluster::experiments::ablation;
-use dynatune_stats::table::Table;
+//! Ablation studies over Dynatune's design knobs — thin wrapper over the
+//! registered `ablations` experiment
+//! (`dynatune_cluster::scenario::catalog::Ablations`).
 
 fn main() {
-    let args = FigArgs::parse();
-    banner(
-        "Ablations",
-        "quantization / safety factor / arrival probability / warm-up / transport",
-        args.quick,
-    );
-    let trials = args.trials.unwrap_or(args.scale(100, 12));
-
-    println!("\n[1/6] election-timer quantization (Dynatune, {trials} trials each)");
-    let mut t = Table::new(["quantization", "detection (ms)", "OTS (ms)"]);
-    for row in ablation::quantization(trials, args.seed) {
-        t.row([
-            format!("{:?}", row.quantization),
-            format!("{:.0}", row.detection_ms),
-            format!("{:.0}", row.ots_ms),
-        ]);
-    }
-    print!("{}", t.render());
-    println!(
-        "(tick quantization inflates detection to ~2*Et; continuous sits near ~1.2*Et + phase)"
-    );
-
-    println!("\n[2/6] safety factor s in Et = mu + s*sigma ({trials} trials each)");
-    let mut t = Table::new(["s", "detection (ms)", "false timeouts/min @20% jitter"]);
-    for row in ablation::safety_factor(&[0.5, 1.0, 2.0, 4.0], trials, args.seed) {
-        t.row([
-            format!("{:.1}", row.s),
-            format!("{:.0}", row.detection_ms),
-            format!("{:.2}", row.false_timeouts_per_min),
-        ]);
-    }
-    print!("{}", t.render());
-    println!("(smaller s detects faster but false-detects under jitter; the paper picks s=2)");
-
-    println!("\n[3/6] arrival probability x at 20% loss (pure formula)");
-    let mut t = Table::new(["x", "K", "h for Et=200ms (ms)"]);
-    for row in ablation::arrival_probability(&[0.9, 0.99, 0.999, 0.9999, 0.99999], 0.20) {
-        t.row([
-            format!("{}", row.x),
-            format!("{}", row.k),
-            format!("{:.1}", row.h_ms),
-        ]);
-    }
-    print!("{}", t.render());
-
-    println!("\n[4/6] minListSize warm-up after leader election");
-    let mut t = Table::new(["minListSize", "warm-up (s)"]);
-    for row in ablation::min_list_size(&[5, 10, 50, 100], args.seed) {
-        t.row([
-            format!("{}", row.min_list_size),
-            format!("{:.1}", row.warmup_secs),
-        ]);
-    }
-    print!("{}", t.render());
-    println!("(paper default 10: tuned parameters engage ~1s after a leader appears)");
-
-    println!("\n[5/6] UDP vs TCP heartbeats at 15% link loss");
-    let mut t = Table::new(["transport", "measured loss", "tuned h (ms)"]);
-    for row in ablation::transport(args.seed) {
-        t.row([
-            if row.udp_heartbeats {
-                "UDP (paper)"
-            } else {
-                "TCP (stock etcd)"
-            }
-            .to_string(),
-            format!("{:.3}", row.measured_loss),
-            format!("{:.0}", row.h_ms),
-        ]);
-    }
-    print!("{}", t.render());
-    println!(
-        "(TCP hides loss behind retransmission, blinding the estimator — the §III-E motivation)"
-    );
-
-    println!("\n[6/6] pre-vote on/off under the Fig. 6b radical RTT step (Dynatune)");
-    let mut t = Table::new(["pre-vote", "OTS (s)", "timer expiries", "leader changes"]);
-    for row in ablation::pre_vote(args.seed) {
-        t.row([
-            if row.pre_vote {
-                "on (etcd default)"
-            } else {
-                "off (classic Raft)"
-            }
-            .to_string(),
-            format!("{:.1}", row.total_ots_secs),
-            format!("{}", row.timeouts),
-            format!("{}", row.leader_changes),
-        ]);
-    }
-    print!("{}", t.render());
-    println!("(without pre-vote, false detections at the RTT step bump terms and depose the healthy leader)");
+    dynatune_bench::fig_main("ablations");
 }

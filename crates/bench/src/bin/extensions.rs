@@ -1,170 +1,7 @@
-//! §IV-E future-work extensions study: the paper sketches two ways to
-//! recover Dynatune's ~6 % peak-throughput overhead —
-//!
-//! 1. **Suppress heartbeats while replicating**: client-request replication
-//!    already resets follower election timers, so heartbeats under load are
-//!    redundant.
-//! 2. **Consolidated heartbeat timer**: fire every follower's heartbeat on
-//!    the smallest tuned interval so the leader manages one timer instead
-//!    of n−1.
-//!
-//! This binary implements and evaluates both: peak throughput for each
-//! variant, plus a failover check that the extensions do not hurt
-//! detection/OTS times, plus a wake-rate comparison for the consolidated
-//! timer on a size-17 cluster with per-path (geo-like) intervals.
-
-use dynatune_bench::{banner, FigArgs};
-use dynatune_cluster::experiments::failover::{run_trials, FailoverConfig};
-use dynatune_cluster::experiments::throughput::{run, ThroughputConfig};
-use dynatune_cluster::{ClusterConfig, ClusterSim, CostModel};
-use dynatune_core::TuningConfig;
-use dynatune_simnet::{geo_topology, Region, SimTime};
-use dynatune_stats::table::Table;
-use std::time::Duration;
-
-struct Variant {
-    name: &'static str,
-    tuning: TuningConfig,
-    suppress: bool,
-    consolidated: bool,
-}
-
-fn variants() -> Vec<Variant> {
-    vec![
-        Variant {
-            name: "raft",
-            tuning: TuningConfig::raft_default(),
-            suppress: false,
-            consolidated: false,
-        },
-        Variant {
-            name: "dynatune",
-            tuning: TuningConfig::dynatune(),
-            suppress: false,
-            consolidated: false,
-        },
-        Variant {
-            name: "dynatune+suppress",
-            tuning: TuningConfig::dynatune(),
-            suppress: true,
-            consolidated: false,
-        },
-        Variant {
-            name: "dynatune+consolidated",
-            tuning: TuningConfig::dynatune(),
-            suppress: false,
-            consolidated: true,
-        },
-        Variant {
-            name: "dynatune+both",
-            tuning: TuningConfig::dynatune(),
-            suppress: true,
-            consolidated: true,
-        },
-    ]
-}
-
-fn cluster_for(v: &Variant, seed: u64) -> ClusterConfig {
-    let mut cfg = ClusterConfig::stable(5, v.tuning, Duration::from_millis(100), seed);
-    cfg.suppress_heartbeats = v.suppress;
-    cfg.consolidated_timer = v.consolidated;
-    cfg
-}
+//! §IV-E future-work extensions study — thin wrapper over the registered
+//! `extensions` experiment
+//! (`dynatune_cluster::scenario::catalog::Extensions`).
 
 fn main() {
-    let args = FigArgs::parse();
-    banner(
-        "Extensions (§IV-E)",
-        "heartbeat suppression under load + consolidated heartbeat timer",
-        args.quick,
-    );
-
-    // ------------------------------------------------------------------
-    // 1. Peak throughput per variant.
-    // ------------------------------------------------------------------
-    println!("\n[1/3] peak throughput (the overhead the extensions target)");
-    let repeats = args.repeats.unwrap_or(args.scale(5, 2));
-    let mut t = Table::new(["variant", "peak (req/s)", "vs raft"]);
-    let mut raft_peak = None;
-    for v in variants() {
-        let mut cfg = ThroughputConfig::new(cluster_for(&v, args.seed), 16_000.0);
-        cfg.repeats = repeats;
-        if args.quick {
-            cfg.increment = 4_000.0;
-            cfg.hold = Duration::from_secs(4);
-        }
-        let peak = run(&cfg).peak_throughput();
-        let baseline = *raft_peak.get_or_insert(peak);
-        t.row([
-            v.name.to_string(),
-            format!("{peak:.0}"),
-            format!("{:+.1}%", (peak / baseline - 1.0) * 100.0),
-        ]);
-    }
-    print!("{}", t.render());
-
-    // ------------------------------------------------------------------
-    // 2. Failover sanity: the extensions must not slow detection.
-    // ------------------------------------------------------------------
-    println!("\n[2/3] failover under the extensions (must not regress)");
-    let trials = args.trials.unwrap_or(args.scale(200, 20));
-    let mut t = Table::new(["variant", "detection (ms)", "OTS (ms)"]);
-    for v in variants() {
-        let res = run_trials(&FailoverConfig::new(
-            cluster_for(&v, args.seed ^ 0xE),
-            trials,
-        ));
-        t.row([
-            v.name.to_string(),
-            format!("{:.0}", res.detection_stats().mean()),
-            format!("{:.0}", res.ots_stats().mean()),
-        ]);
-    }
-    print!("{}", t.render());
-
-    // ------------------------------------------------------------------
-    // 3. Leader wake rate with per-path intervals (geo topology): the
-    //    consolidated timer's actual saving.
-    // ------------------------------------------------------------------
-    println!("\n[3/3] leader timer load on a geo cluster (per-path h differs)");
-    let mut t = Table::new(["variant", "leader CPU (%)", "heartbeats sent"]);
-    for consolidated in [false, true] {
-        let mut cfg = ClusterConfig::stable(
-            5,
-            TuningConfig::dynatune(),
-            Duration::from_millis(100),
-            args.seed ^ 0xC0,
-        );
-        cfg.topology = geo_topology(&Region::ALL);
-        cfg.consolidated_timer = consolidated;
-        cfg.cost = CostModel {
-            per_timer_wake: Duration::from_micros(200),
-            ..CostModel::default()
-        };
-        cfg.cores = 2;
-        let mut sim = ClusterSim::new(&cfg);
-        sim.run_until(SimTime::from_secs(120));
-        let leader = sim.leader().expect("leader");
-        let cpu = sim.with_server(leader, |s| {
-            s.cpu()
-                .mean_utilization(SimTime::from_secs(60), SimTime::from_secs(120))
-        });
-        let sent = sim.net_counters().sent;
-        t.row([
-            if consolidated {
-                "consolidated"
-            } else {
-                "per-follower timers"
-            }
-            .to_string(),
-            format!("{cpu:.1}"),
-            format!("{sent}"),
-        ]);
-    }
-    print!("{}", t.render());
-    println!(
-        "\n(consolidated mode aligns all heartbeats on the smallest tuned interval:\n\
-         fewer leader wake-ups at the cost of extra heartbeats on slow paths —\n\
-         the trade-off §IV-E describes)"
-    );
+    dynatune_bench::fig_main("extensions");
 }

@@ -1,109 +1,7 @@
 //! Figure 4 + §IV-B1 table: CDF of detection and OTS times under stable
-//! network conditions (RTT 100 ms, no loss), repeated leader failures,
-//! Raft vs Dynatune. Also prints the §IV-E election-time decomposition.
-
-use dynatune_bench::{banner, compare_row, reduction_pct, write_csv, FigArgs};
-use dynatune_cluster::experiments::failover::{run_trials, FailoverConfig, FailoverResult};
-use dynatune_cluster::ClusterConfig;
-use dynatune_core::TuningConfig;
-use dynatune_stats::table::{multi_series_csv, Table};
-use std::time::Duration;
-
-fn study(name: &str, tuning: TuningConfig, trials: usize, seed: u64) -> FailoverResult {
-    let cluster = ClusterConfig::stable(5, tuning, Duration::from_millis(100), seed);
-    let cfg = FailoverConfig::new(cluster, trials);
-    let res = run_trials(&cfg);
-    println!(
-        "  {name}: {} trials ok, {} incomplete",
-        res.outcomes.len(),
-        res.incomplete
-    );
-    res
-}
+//! network conditions — thin wrapper over the registered `fig4`
+//! experiment (`dynatune_cluster::scenario::catalog::Fig4Failover`).
 
 fn main() {
-    let args = FigArgs::parse();
-    banner(
-        "Figure 4",
-        "detection & OTS time CDFs, stable network (5 servers, RTT 100ms, p=0)",
-        args.quick,
-    );
-    let trials = args.trials.unwrap_or(args.scale(1000, 50));
-    println!("running {trials} leader-failure trials per system...\n");
-
-    let raft = study("Raft", TuningConfig::raft_default(), trials, args.seed);
-    let dynatune = study(
-        "Dynatune",
-        TuningConfig::dynatune(),
-        trials,
-        args.seed ^ 0xD1,
-    );
-
-    let raft_det = raft.detection_stats().mean();
-    let raft_ots = raft.ots_stats().mean();
-    let dt_det = dynatune.detection_stats().mean();
-    let dt_ots = dynatune.ots_stats().mean();
-
-    println!();
-    let mut t = Table::new(["metric", "paper (ms)", "measured (ms)", "ratio"]);
-    t.row(compare_row("Raft detection mean", 1205.0, raft_det));
-    t.row(compare_row("Raft OTS mean", 1449.0, raft_ots));
-    t.row(compare_row("Dynatune detection mean", 237.0, dt_det));
-    t.row(compare_row("Dynatune OTS mean", 797.0, dt_ots));
-    t.row(compare_row(
-        "Raft mean randomizedTimeout",
-        1454.0,
-        raft.mean_rto_ms(),
-    ));
-    t.row(compare_row(
-        "Dynatune mean randomizedTimeout",
-        152.0,
-        dynatune.mean_rto_ms(),
-    ));
-    t.row(compare_row(
-        "Raft election time (OTS-det)",
-        244.0,
-        raft.election_time_ms(),
-    ));
-    t.row(compare_row(
-        "Dynatune election time (OTS-det)",
-        560.0,
-        dynatune.election_time_ms(),
-    ));
-    print!("{}", t.render());
-
-    println!();
-    let mut r = Table::new(["headline", "paper", "measured"]);
-    r.row([
-        "detection reduction".to_string(),
-        "80%".to_string(),
-        format!("{:.0}%", reduction_pct(raft_det, dt_det)),
-    ]);
-    r.row([
-        "OTS reduction".to_string(),
-        "45%".to_string(),
-        format!("{:.0}%", reduction_pct(raft_ots, dt_ots)),
-    ]);
-    print!("{}", r.render());
-
-    // CDF series, downsampled for the CSV.
-    let series = [
-        ("raft_detection", raft.detection_cdf()),
-        ("raft_ots", raft.ots_cdf()),
-        ("dynatune_detection", dynatune.detection_cdf()),
-        ("dynatune_ots", dynatune.ots_cdf()),
-    ];
-    let pts: Vec<(String, Vec<(f64, f64)>)> = series
-        .iter()
-        .map(|(name, cdf)| (name.to_string(), cdf.points_downsampled(200)))
-        .collect();
-    let borrowed: Vec<(&str, &[(f64, f64)])> = pts
-        .iter()
-        .map(|(n, p)| (n.as_str(), p.as_slice()))
-        .collect();
-    write_csv(
-        &args.out,
-        "fig4_cdf.csv",
-        &multi_series_csv("time_ms", &borrowed),
-    );
+    dynatune_bench::fig_main("fig4");
 }

@@ -1,85 +1,7 @@
-//! Figure 5 + §IV-B2: throughput vs latency under open-loop ramp load,
-//! Raft vs Dynatune; reports peak throughput and the tuning overhead.
-
-use dynatune_bench::{banner, compare_row, write_csv, FigArgs};
-use dynatune_cluster::experiments::throughput::{run, ThroughputConfig, ThroughputResult};
-use dynatune_cluster::ClusterConfig;
-use dynatune_core::TuningConfig;
-use dynatune_stats::table::{series_csv, Table};
-use std::time::Duration;
-
-fn study(tuning: TuningConfig, args: &FigArgs, seed: u64) -> ThroughputResult {
-    let cluster = ClusterConfig::stable(5, tuning, Duration::from_millis(100), seed);
-    let mut cfg = ThroughputConfig::new(cluster, 16_000.0);
-    if args.quick {
-        cfg.increment = 4_000.0;
-        cfg.hold = Duration::from_secs(4);
-        cfg.repeats = 2;
-    }
-    if let Some(r) = args.repeats {
-        cfg.repeats = r;
-    }
-    run(&cfg)
-}
+//! Figure 5 + §IV-B2: throughput vs latency under open-loop ramp load —
+//! thin wrapper over the registered `fig5` experiment
+//! (`dynatune_cluster::scenario::catalog::Fig5Throughput`).
 
 fn main() {
-    let args = FigArgs::parse();
-    banner(
-        "Figure 5",
-        "throughput vs latency (open-loop ramp, 5 servers, RTT 100ms)",
-        args.quick,
-    );
-    println!("running ramps (this is the heaviest figure)...\n");
-
-    let raft = study(TuningConfig::raft_default(), &args, args.seed);
-    let dynatune = study(TuningConfig::dynatune(), &args, args.seed ^ 0xD1);
-
-    let mut t = Table::new([
-        "offered (req/s)",
-        "raft tput",
-        "raft lat (ms)",
-        "dynatune tput",
-        "dynatune lat (ms)",
-    ]);
-    for (r, d) in raft.levels.iter().zip(dynatune.levels.iter()) {
-        t.row([
-            format!("{:.0}", r.offered_rps),
-            format!("{:.0}", r.throughput.mean()),
-            format!("{:.1}", r.latency_ms.mean()),
-            format!("{:.0}", d.throughput.mean()),
-            format!("{:.1}", d.latency_ms.mean()),
-        ]);
-    }
-    print!("{}", t.render());
-
-    let raft_peak = raft.peak_throughput();
-    let dt_peak = dynatune.peak_throughput();
-    println!();
-    let mut s = Table::new(["metric", "paper (ms)", "measured (ms)", "ratio"]);
-    s.row(compare_row(
-        "Raft peak throughput (req/s)",
-        13_678.0,
-        raft_peak,
-    ));
-    s.row(compare_row(
-        "Dynatune peak throughput (req/s)",
-        12_800.0,
-        dt_peak,
-    ));
-    print!("{}", s.render());
-    println!(
-        "tuning overhead at peak: paper 6.4%, measured {:.1}%",
-        (1.0 - dt_peak / raft_peak) * 100.0
-    );
-
-    write_csv(
-        &args.out,
-        "fig5_raft.csv",
-        &series_csv(("throughput_rps", "latency_ms"), &raft.curve()),
-    );
-    write_csv(
-        &args.out,
-        "fig5_dynatune.csv",
-        &series_csv(("throughput_rps", "latency_ms"), &dynatune.curve()),
-    );
+    dynatune_bench::fig_main("fig5");
 }

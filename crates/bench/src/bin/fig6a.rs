@@ -1,75 +1,7 @@
-//! Figure 6a: gradual RTT fluctuation (50→200→50 ms in 10 ms steps),
-//! third-smallest randomizedTimeout + RTT + OTS shading, for Dynatune,
-//! Raft and Raft-Low.
-
-use dynatune_bench::{banner, write_csv, FigArgs};
-use dynatune_cluster::experiments::rtt_fluctuation::{run, RttFlucConfig, RttPattern};
-use dynatune_core::TuningConfig;
-use dynatune_stats::table::{multi_series_csv, Table};
-use std::time::Duration;
+//! Figure 6a: gradual RTT fluctuation (50→200→50 ms in 10 ms steps) —
+//! thin wrapper over the registered `fig6a` experiment
+//! (`dynatune_cluster::scenario::catalog::Fig6aGradualRtt`).
 
 fn main() {
-    let args = FigArgs::parse();
-    banner(
-        "Figure 6a",
-        "gradual RTT fluctuation 50->200->50ms (10ms steps)",
-        args.quick,
-    );
-    let hold = if args.quick {
-        Duration::from_secs(10)
-    } else {
-        Duration::from_secs(60) // paper: one minute per step
-    };
-    let systems = [
-        ("dynatune", TuningConfig::dynatune()),
-        ("raft", TuningConfig::raft_default()),
-        ("raft_low", TuningConfig::raft_low()),
-    ];
-    let mut summary = Table::new([
-        "system",
-        "total OTS (s)",
-        "timer expiries",
-        "leader changes",
-    ]);
-    for (name, tuning) in systems {
-        let mut cfg = RttFlucConfig::new(tuning, RttPattern::Gradual, args.seed);
-        cfg.hold = hold;
-        let s = run(&cfg);
-        println!(
-            "{name}: {} samples, OTS intervals: {:?}",
-            s.t.len(),
-            s.ots_intervals
-        );
-        summary.row([
-            name.to_string(),
-            format!("{:.1}", s.total_ots_secs),
-            format!("{}", s.timeouts_observed),
-            format!("{}", s.leader_changes),
-        ]);
-        let rto: Vec<(f64, f64)> =
-            s.t.iter()
-                .zip(&s.third_smallest_rto_ms)
-                .map(|(&t, &v)| (t, v))
-                .collect();
-        let rtt: Vec<(f64, f64)> = s.t.iter().zip(&s.rtt_ms).map(|(&t, &v)| (t, v)).collect();
-        write_csv(
-            &args.out,
-            &format!("fig6a_{name}.csv"),
-            &multi_series_csv(
-                "t_secs",
-                &[("randomized_timeout_ms", &rto), ("rtt_ms", &rtt)],
-            ),
-        );
-        let ots_csv: String = std::iter::once("start_s,end_s\n".to_string())
-            .chain(s.ots_intervals.iter().map(|(a, b)| format!("{a},{b}\n")))
-            .collect();
-        write_csv(&args.out, &format!("fig6a_{name}_ots.csv"), &ots_csv);
-    }
-    println!();
-    print!("{}", summary.render());
-    println!(
-        "\npaper expectation: Dynatune tracks RTT with zero OTS; Raft flat ~1700ms,\n\
-         zero OTS; Raft-Low suffers OTS once RTT approaches its 100-200ms timeout\n\
-         band (paper: ~15s outage near t=500s, then ~10 minutes as RTT keeps rising)."
-    );
+    dynatune_bench::fig_main("fig6a");
 }

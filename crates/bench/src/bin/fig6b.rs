@@ -1,80 +1,7 @@
-//! Figure 6b: radical RTT fluctuation (50→500→50 ms, one minute each),
-//! third-smallest randomizedTimeout + RTT + OTS shading, for Dynatune,
-//! Raft and Raft-Low.
-
-use dynatune_bench::{banner, write_csv, FigArgs};
-use dynatune_cluster::experiments::rtt_fluctuation::{run, RttFlucConfig, RttPattern};
-use dynatune_core::TuningConfig;
-use dynatune_stats::table::{multi_series_csv, Table};
-use std::time::Duration;
+//! Figure 6b: radical RTT fluctuation (50→500→50 ms, one minute each) —
+//! thin wrapper over the registered `fig6b` experiment
+//! (`dynatune_cluster::scenario::catalog::Fig6bRadicalRtt`).
 
 fn main() {
-    let args = FigArgs::parse();
-    banner(
-        "Figure 6b",
-        "radical RTT fluctuation 50->500->50ms (1 minute holds)",
-        args.quick,
-    );
-    let hold = if args.quick {
-        Duration::from_secs(15)
-    } else {
-        Duration::from_secs(60)
-    };
-    let systems = [
-        ("dynatune", TuningConfig::dynatune()),
-        ("raft", TuningConfig::raft_default()),
-        ("raft_low", TuningConfig::raft_low()),
-    ];
-    let mut summary = Table::new([
-        "system",
-        "total OTS (s)",
-        "timer expiries",
-        "pre-vote aborts",
-        "leader changes",
-    ]);
-    for (name, tuning) in systems {
-        let mut cfg = RttFlucConfig::new(tuning, RttPattern::Radical, args.seed);
-        cfg.hold = hold;
-        let s = run(&cfg);
-        println!(
-            "{name}: {} samples, OTS intervals: {:?}",
-            s.t.len(),
-            s.ots_intervals
-        );
-        summary.row([
-            name.to_string(),
-            format!("{:.1}", s.total_ots_secs),
-            format!("{}", s.timeouts_observed),
-            // pre-vote aborts are folded into timeouts for the summary; the
-            // CSV/event log carries the detail.
-            String::new(),
-            format!("{}", s.leader_changes),
-        ]);
-        let rto: Vec<(f64, f64)> =
-            s.t.iter()
-                .zip(&s.third_smallest_rto_ms)
-                .map(|(&t, &v)| (t, v))
-                .collect();
-        let rtt: Vec<(f64, f64)> = s.t.iter().zip(&s.rtt_ms).map(|(&t, &v)| (t, v)).collect();
-        write_csv(
-            &args.out,
-            &format!("fig6b_{name}.csv"),
-            &multi_series_csv(
-                "t_secs",
-                &[("randomized_timeout_ms", &rto), ("rtt_ms", &rtt)],
-            ),
-        );
-        let ots_csv: String = std::iter::once("start_s,end_s\n".to_string())
-            .chain(s.ots_intervals.iter().map(|(a, b)| format!("{a},{b}\n")))
-            .collect();
-        write_csv(&args.out, &format!("fig6b_{name}_ots.csv"), &ots_csv);
-    }
-    println!();
-    print!("{}", summary.render());
-    println!(
-        "\npaper expectation: Dynatune false-detects at the step but pre-vote\n\
-         aborts on leader contact -> no OTS; Raft rides it out (large Et);\n\
-         Raft-Low is leaderless for most of the 500ms minute (vote RTT exceeds\n\
-         its randomized timeout, so elections repeat until RTT drops)."
-    );
+    dynatune_bench::fig_main("fig6b");
 }

@@ -1,108 +1,7 @@
-//! Figure 7: heartbeat-interval adaptation (7a) and CPU utilization (7b)
-//! under packet-loss fluctuation 0→30→0 %, RTT 200 ms, for N = 5, 17, 65,
-//! Dynatune vs Fix-K (K = 10).
-
-use dynatune_bench::{banner, write_csv, FigArgs};
-use dynatune_cluster::experiments::loss_fluctuation::{run, LossFlucConfig};
-use dynatune_core::TuningConfig;
-use dynatune_stats::table::{series_csv, Table};
-use dynatune_stats::{ResamplePolicy, TimeSeries};
-use std::time::Duration;
-
-fn mean_between(series: &[(f64, f64)], from: f64, to: f64) -> f64 {
-    let vals: Vec<f64> = series
-        .iter()
-        .filter(|(t, _)| *t >= from && *t < to)
-        .map(|&(_, v)| v)
-        .collect();
-    if vals.is_empty() {
-        f64::NAN
-    } else {
-        vals.iter().sum::<f64>() / vals.len() as f64
-    }
-}
-
-fn cpu_mean(ts: &TimeSeries) -> f64 {
-    let pts = ts.points();
-    if pts.is_empty() {
-        return f64::NAN;
-    }
-    pts.iter().map(|&(_, v)| v).sum::<f64>() / pts.len() as f64
-}
+//! Figure 7: heartbeat-interval adaptation and CPU utilization under
+//! packet-loss fluctuation — thin wrapper over the registered `fig7`
+//! experiment (`dynatune_cluster::scenario::catalog::Fig7LossFluctuation`).
 
 fn main() {
-    let args = FigArgs::parse();
-    banner(
-        "Figure 7",
-        "heartbeat interval + CPU under loss ramp 0->30->0% (RTT 200ms, 2 cores)",
-        args.quick,
-    );
-    let sizes: &[usize] = if args.quick { &[5, 17] } else { &[5, 17, 65] };
-    let hold = if args.quick {
-        Duration::from_secs(20)
-    } else {
-        Duration::from_secs(180) // paper: 3 minutes per level
-    };
-    let mut summary = Table::new([
-        "system",
-        "N",
-        "h@0% (ms)",
-        "h@30% (ms)",
-        "leader CPU (%)",
-        "follower CPU (%)",
-        "elections",
-    ]);
-    for &n in sizes {
-        for (name, tuning) in [
-            ("dynatune", TuningConfig::dynatune()),
-            ("fix_k", TuningConfig::fix_k(10)),
-        ] {
-            let mut cfg = LossFlucConfig::new(n, tuning, args.seed ^ n as u64);
-            cfg.hold = hold;
-            if args.quick {
-                // Shrink the id window so loss estimates track the shrunk
-                // schedule (window lag = maxListSize x h).
-                cfg.tuning.max_list_size = 200;
-            }
-            let s = run(&cfg);
-            let dur = cfg.duration().as_secs_f64();
-            // Clean head (after warm-up) and peak-loss middle.
-            let h_clean = mean_between(&s.h_ms, dur * 0.05, dur * 0.077);
-            let h_peak = mean_between(&s.h_ms, dur * 0.46, dur * 0.54);
-            summary.row([
-                name.to_string(),
-                format!("{n}"),
-                format!("{h_clean:.0}"),
-                format!("{h_peak:.0}"),
-                format!("{:.1}", cpu_mean(&s.leader_cpu)),
-                format!("{:.1}", cpu_mean(&s.follower_cpu)),
-                format!("{}", s.elections_after_warmup),
-            ]);
-            write_csv(
-                &args.out,
-                &format!("fig7a_{name}_n{n}.csv"),
-                &series_csv(("t_secs", "h_ms"), &s.h_ms),
-            );
-            let leader_pts = s.leader_cpu.resample(0.0, dur, 5.0, ResamplePolicy::Last);
-            let follower_pts = s.follower_cpu.resample(0.0, dur, 5.0, ResamplePolicy::Last);
-            write_csv(
-                &args.out,
-                &format!("fig7b_{name}_n{n}_leader.csv"),
-                &series_csv(("t_secs", "cpu_pct"), &leader_pts),
-            );
-            write_csv(
-                &args.out,
-                &format!("fig7b_{name}_n{n}_follower.csv"),
-                &series_csv(("t_secs", "cpu_pct"), &follower_pts),
-            );
-        }
-    }
-    println!();
-    print!("{}", summary.render());
-    println!(
-        "\npaper expectation: Dynatune h dips from ~Et (K=1) to ~Et/6 at 30% loss\n\
-         and recovers; Fix-K h stays ~Et/10 flat. Fix-K's N=65 leader pegs\n\
-         ~100%+ CPU while Dynatune uses less than half under clean conditions,\n\
-         peaking with the loss. Neither system triggers unnecessary elections."
-    );
+    dynatune_bench::fig_main("fig7");
 }

@@ -1,91 +1,7 @@
-//! Figure 8: detection & OTS CDFs on the geo-replicated deployment
-//! (Tokyo, London, California, Sydney, São Paulo), Raft vs Dynatune.
-
-use dynatune_bench::{banner, compare_row, reduction_pct, write_csv, FigArgs};
-use dynatune_cluster::experiments::failover::{run_trials, FailoverConfig, FailoverResult};
-use dynatune_cluster::{ClusterConfig, CostModel};
-use dynatune_core::TuningConfig;
-use dynatune_raft::TimerQuantization;
-use dynatune_simnet::{geo_topology, CongestionConfig, Region};
-use dynatune_stats::table::{multi_series_csv, Table};
-use std::time::Duration;
-
-fn study(tuning: TuningConfig, trials: usize, seed: u64) -> FailoverResult {
-    let mut cluster = ClusterConfig::stable(5, tuning, Duration::from_millis(100), seed);
-    cluster.topology = geo_topology(&Region::ALL);
-    cluster.congestion = CongestionConfig::wan_default();
-    cluster.quantization = TimerQuantization::Tick;
-    cluster.cost = CostModel::default();
-    cluster.cores = 2; // m5.large
-    let mut cfg = FailoverConfig::new(cluster, trials);
-    cfg.warmup = Duration::from_secs(40); // WAN warm-up is slower
-    run_trials(&cfg)
-}
+//! Figure 8: detection & OTS CDFs on the geo-replicated deployment —
+//! thin wrapper over the registered `fig8` experiment
+//! (`dynatune_cluster::scenario::catalog::Fig8GeoFailover`).
 
 fn main() {
-    let args = FigArgs::parse();
-    banner(
-        "Figure 8",
-        "geo-replicated failover (Tokyo/London/California/Sydney/Sao Paulo)",
-        args.quick,
-    );
-    let trials = args.trials.unwrap_or(args.scale(300, 30));
-    println!("running {trials} leader-failure trials per system...\n");
-
-    let raft = study(TuningConfig::raft_default(), trials, args.seed);
-    let dynatune = study(TuningConfig::dynatune(), trials, args.seed ^ 0xD1);
-    println!(
-        "  raft: {} ok / {} incomplete; dynatune: {} ok / {} incomplete",
-        raft.outcomes.len(),
-        raft.incomplete,
-        dynatune.outcomes.len(),
-        dynatune.incomplete
-    );
-
-    let raft_det = raft.detection_stats().mean();
-    let raft_ots = raft.ots_stats().mean();
-    let dt_det = dynatune.detection_stats().mean();
-    let dt_ots = dynatune.ots_stats().mean();
-
-    println!();
-    let mut t = Table::new(["metric", "paper (ms)", "measured (ms)", "ratio"]);
-    t.row(compare_row("Raft detection mean", 1137.0, raft_det));
-    t.row(compare_row("Raft OTS mean", 1718.0, raft_ots));
-    t.row(compare_row("Dynatune detection mean", 213.0, dt_det));
-    t.row(compare_row("Dynatune OTS mean", 1145.0, dt_ots));
-    print!("{}", t.render());
-
-    println!();
-    let mut r = Table::new(["headline", "paper", "measured"]);
-    r.row([
-        "detection reduction".to_string(),
-        "81%".to_string(),
-        format!("{:.0}%", reduction_pct(raft_det, dt_det)),
-    ]);
-    r.row([
-        "OTS reduction".to_string(),
-        "33%".to_string(),
-        format!("{:.0}%", reduction_pct(raft_ots, dt_ots)),
-    ]);
-    print!("{}", r.render());
-
-    let series = [
-        ("raft_detection", raft.detection_cdf()),
-        ("raft_ots", raft.ots_cdf()),
-        ("dynatune_detection", dynatune.detection_cdf()),
-        ("dynatune_ots", dynatune.ots_cdf()),
-    ];
-    let pts: Vec<(String, Vec<(f64, f64)>)> = series
-        .iter()
-        .map(|(name, cdf)| (name.to_string(), cdf.points_downsampled(200)))
-        .collect();
-    let borrowed: Vec<(&str, &[(f64, f64)])> = pts
-        .iter()
-        .map(|(n, p)| (n.as_str(), p.as_slice()))
-        .collect();
-    write_csv(
-        &args.out,
-        "fig8_cdf.csv",
-        &multi_series_csv("time_ms", &borrowed),
-    );
+    dynatune_bench::fig_main("fig8");
 }

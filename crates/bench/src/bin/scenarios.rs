@@ -1,0 +1,75 @@
+//! The registry-driven scenario runner.
+//!
+//! ```text
+//! scenarios --list                 # what's registered
+//! scenarios --quick                # smoke-run every scenario
+//! scenarios --only fig4,fig8      # a subset
+//! scenarios --jobs 4               # cap trial fan-out (results identical)
+//! ```
+//!
+//! Every §IV figure, the ablations and the beyond-paper scenarios run
+//! through the same `Experiment` interface; this binary enumerates the
+//! registry, runs the selection, and writes each experiment's CSV
+//! artifacts under `--out` (default `results/`).
+
+use dynatune_bench::{run_and_emit, RunArgs};
+use dynatune_cluster::scenario::registry;
+use dynatune_stats::table::Table;
+use std::time::Instant;
+
+fn main() {
+    let args = RunArgs::parse();
+    let all = registry();
+
+    if args.list {
+        let mut t = Table::new(["name", "description"]);
+        for e in &all {
+            t.row([e.name().to_string(), e.describe().to_string()]);
+        }
+        print!("{}", t.render());
+        return;
+    }
+
+    // Validate the selection before running anything: a typo'd name is a
+    // user error, reported up front with the available names.
+    for name in &args.only {
+        if !all.iter().any(|e| e.name() == name) {
+            eprintln!("error: unknown scenario {name:?}");
+            eprintln!(
+                "registered: {}",
+                all.iter().map(|e| e.name()).collect::<Vec<_>>().join(", ")
+            );
+            std::process::exit(2);
+        }
+    }
+
+    let selected: Vec<_> = all
+        .iter()
+        .filter(|e| args.only.is_empty() || args.only.iter().any(|n| n == e.name()))
+        .collect();
+    println!(
+        "running {} scenario(s){}{}\n",
+        selected.len(),
+        if args.quick { " (quick)" } else { "" },
+        if args.jobs > 0 {
+            format!(" with --jobs {}", args.jobs)
+        } else {
+            String::new()
+        }
+    );
+
+    let mut summary = Table::new(["scenario", "wall (s)", "tables", "artifacts"]);
+    for e in selected {
+        let started = Instant::now();
+        let report = run_and_emit(e.as_ref(), &args);
+        summary.row([
+            e.name().to_string(),
+            format!("{:.1}", started.elapsed().as_secs_f64()),
+            format!("{}", report.tables.len()),
+            format!("{}", report.artifacts.len()),
+        ]);
+        println!();
+    }
+    println!("================================================================");
+    print!("{}", summary.render());
+}

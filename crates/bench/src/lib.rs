@@ -1,25 +1,34 @@
-//! Shared plumbing for the figure-regeneration binaries.
+//! Shared plumbing for the scenario runner and the per-figure wrapper
+//! binaries.
 //!
 //! Every binary accepts:
 //!
 //! * `--quick` — scaled-down run (fewer trials, shorter holds) for smoke
 //!   testing; the full defaults match the paper's §IV settings.
 //! * `--trials N` / `--repeats N` — override trial counts.
+//! * `--jobs N` — cap parallel trial fan-out at N worker threads
+//!   (0/default: all cores). Results are bit-identical for every N.
 //! * `--out DIR` — where to write CSV series (default `results/`).
 //! * `--seed N` — master seed (default 42).
 //!
-//! Output convention: a human-readable "paper vs measured" table on stdout
-//! plus machine-readable CSVs under the output directory. EXPERIMENTS.md
-//! records one run of each.
+//! The `scenarios` binary additionally accepts `--list` (print the
+//! registry) and `--only NAME[,NAME...]` (run a subset).
+//!
+//! Output convention: a human-readable "paper vs measured" report on
+//! stdout plus machine-readable CSVs under the output directory.
+//! EXPERIMENTS.md records one run of each.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use dynatune_cluster::scenario::{Experiment, Report, RunCtx};
 use std::path::{Path, PathBuf};
 
-/// Parsed command-line options for figure binaries.
-#[derive(Debug, Clone)]
-pub struct FigArgs {
+pub use dynatune_cluster::scenario::{compare_row, reduction_pct};
+
+/// Parsed command-line options shared by every runner binary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunArgs {
     /// Scaled-down run.
     pub quick: bool,
     /// Trial-count override.
@@ -30,9 +39,15 @@ pub struct FigArgs {
     pub out: PathBuf,
     /// Master seed.
     pub seed: u64,
+    /// Worker-thread cap for trial fan-out (0 = all cores).
+    pub jobs: usize,
+    /// Restrict `scenarios` to these registry names (empty = all).
+    pub only: Vec<String>,
+    /// List registered scenarios and exit.
+    pub list: bool,
 }
 
-impl Default for FigArgs {
+impl Default for RunArgs {
     fn default() -> Self {
         Self {
             quick: false,
@@ -40,50 +55,77 @@ impl Default for FigArgs {
             repeats: None,
             out: PathBuf::from("results"),
             seed: 42,
+            jobs: 0,
+            only: Vec::new(),
+            list: false,
         }
     }
 }
 
-impl FigArgs {
-    /// Parse from `std::env::args`, panicking with usage on bad input.
+/// The usage string printed on `--help` and on parse errors.
+pub const USAGE: &str = "usage: [--quick] [--trials N] [--repeats N] [--jobs N] [--out DIR] \
+[--seed N] [--list] [--only NAME[,NAME...]]";
+
+impl RunArgs {
+    /// Parse from `std::env::args`. On bad input, prints the error and
+    /// usage to stderr and exits with a nonzero status (no panic, no
+    /// backtrace); `--help` prints usage to stdout and exits 0.
     #[must_use]
     pub fn parse() -> Self {
+        match Self::try_parse(std::env::args().skip(1)) {
+            Ok(Some(args)) => args,
+            Ok(None) => {
+                // --help
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                eprintln!("{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Parse from an explicit argument iterator. `Ok(None)` means help was
+    /// requested; `Err` carries a human-readable message.
+    ///
+    /// # Errors
+    /// Returns a message for unknown flags, missing values, and
+    /// unparsable numbers.
+    pub fn try_parse<I>(args: I) -> Result<Option<Self>, String>
+    where
+        I: IntoIterator<Item = String>,
+    {
         let mut out = Self::default();
-        let mut args = std::env::args().skip(1);
+        let mut args = args.into_iter();
         while let Some(a) = args.next() {
             match a.as_str() {
                 "--quick" => out.quick = true,
-                "--trials" => {
-                    out.trials = Some(
-                        args.next()
-                            .and_then(|v| v.parse().ok())
-                            .expect("--trials needs a number"),
-                    );
-                }
-                "--repeats" => {
-                    out.repeats = Some(
-                        args.next()
-                            .and_then(|v| v.parse().ok())
-                            .expect("--repeats needs a number"),
-                    );
-                }
+                "--list" => out.list = true,
+                "--trials" => out.trials = Some(number(&mut args, "--trials")?),
+                "--repeats" => out.repeats = Some(number(&mut args, "--repeats")?),
+                "--jobs" => out.jobs = number(&mut args, "--jobs")?,
+                "--seed" => out.seed = number(&mut args, "--seed")?,
                 "--out" => {
-                    out.out = PathBuf::from(args.next().expect("--out needs a path"));
+                    let dir = args.next().ok_or("--out needs a path")?;
+                    out.out = PathBuf::from(dir);
                 }
-                "--seed" => {
-                    out.seed = args
-                        .next()
-                        .and_then(|v| v.parse().ok())
-                        .expect("--seed needs a number");
+                "--only" => {
+                    let names = args.next().ok_or("--only needs a name list")?;
+                    out.only.extend(
+                        names
+                            .split(',')
+                            .map(str::trim)
+                            .filter(|s| !s.is_empty())
+                            .map(String::from),
+                    );
                 }
-                "--help" | "-h" => {
-                    eprintln!("usage: [--quick] [--trials N] [--repeats N] [--out DIR] [--seed N]");
-                    std::process::exit(0);
-                }
-                other => panic!("unknown argument {other}"),
+                "--help" | "-h" => return Ok(None),
+                other => return Err(format!("unknown argument {other}")),
             }
         }
-        out
+        Ok(Some(out))
     }
 
     /// Pick between the full (paper-scale) and quick values.
@@ -95,6 +137,31 @@ impl FigArgs {
             full
         }
     }
+
+    /// The execution context these arguments describe.
+    #[must_use]
+    pub fn ctx(&self) -> RunCtx {
+        RunCtx {
+            seed: self.seed,
+            quick: self.quick,
+            trials: self.trials,
+            repeats: self.repeats,
+            jobs: self.jobs,
+        }
+    }
+}
+
+/// Parse the next argument as a number for `flag`.
+fn number<T: std::str::FromStr>(
+    args: &mut impl Iterator<Item = String>,
+    flag: &str,
+) -> Result<T, String> {
+    let value = args
+        .next()
+        .ok_or_else(|| format!("{flag} needs a number"))?;
+    value
+        .parse()
+        .map_err(|_| format!("{flag} needs a number, got {value:?}"))
 }
 
 /// Write a CSV file under the output directory, creating it if needed.
@@ -105,34 +172,7 @@ pub fn write_csv(dir: &Path, name: &str, content: &str) {
     println!("  wrote {}", path.display());
 }
 
-/// Format a paper-vs-measured row with a deviation note.
-#[must_use]
-pub fn compare_row(metric: &str, paper: f64, measured: f64) -> Vec<String> {
-    let ratio = if paper.abs() > 1e-12 {
-        measured / paper
-    } else {
-        f64::NAN
-    };
-    vec![
-        metric.to_string(),
-        format!("{paper:.0}"),
-        format!("{measured:.0}"),
-        format!("{ratio:.2}x"),
-    ]
-}
-
-/// Percentage reduction from `from` to `to` (the paper's headline metric
-/// style: "reduces detection time by 80%").
-#[must_use]
-pub fn reduction_pct(from: f64, to: f64) -> f64 {
-    if from.abs() < 1e-12 {
-        0.0
-    } else {
-        (1.0 - to / from) * 100.0
-    }
-}
-
-/// Standard banner for figure binaries.
+/// Standard banner for runner binaries.
 pub fn banner(fig: &str, description: &str, quick: bool) {
     println!("================================================================");
     println!("{fig}: {description}");
@@ -142,31 +182,110 @@ pub fn banner(fig: &str, description: &str, quick: bool) {
     println!("================================================================");
 }
 
+/// Run one registered experiment under `args` and print/write everything:
+/// banner, report text, CSV artifacts.
+pub fn run_and_emit(experiment: &dyn Experiment, args: &RunArgs) -> Report {
+    banner(experiment.name(), experiment.describe(), args.quick);
+    let report = args.ctx().run(experiment);
+    print!("{}", report.render());
+    for artifact in &report.artifacts {
+        write_csv(&args.out, &artifact.filename, &artifact.csv);
+    }
+    report
+}
+
+/// Entry point for the thin per-figure wrapper binaries: parse args, look
+/// the experiment up in the registry, run it. Registry-selection flags
+/// (`--list`, `--only`) only make sense on the `scenarios` runner and are
+/// rejected here rather than silently ignored. Exits nonzero when the
+/// name is missing from the registry (a bug, not a user error).
+pub fn fig_main(name: &str) {
+    let args = RunArgs::parse();
+    if args.list || !args.only.is_empty() {
+        eprintln!("error: --list/--only select from the registry; use the `scenarios` binary");
+        std::process::exit(2);
+    }
+    let Some(experiment) = dynatune_cluster::scenario::find(name) else {
+        eprintln!("error: experiment {name:?} is not registered");
+        std::process::exit(1);
+    };
+    run_and_emit(experiment.as_ref(), &args);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn parse(words: &[&str]) -> Result<Option<RunArgs>, String> {
+        RunArgs::try_parse(words.iter().map(ToString::to_string))
+    }
+
     #[test]
-    fn reduction_math() {
-        assert!((reduction_pct(1205.0, 237.0) - 80.33).abs() < 0.1);
-        assert!((reduction_pct(1449.0, 797.0) - 45.0).abs() < 0.1);
-        assert_eq!(reduction_pct(0.0, 5.0), 0.0);
+    fn defaults_and_flags() {
+        let args = parse(&[]).unwrap().unwrap();
+        assert_eq!(args, RunArgs::default());
+        let args = parse(&[
+            "--quick",
+            "--trials",
+            "7",
+            "--jobs",
+            "3",
+            "--seed",
+            "9",
+            "--out",
+            "x",
+            "--only",
+            "fig4,fig8",
+            "--list",
+        ])
+        .unwrap()
+        .unwrap();
+        assert!(args.quick && args.list);
+        assert_eq!(args.trials, Some(7));
+        assert_eq!(args.jobs, 3);
+        assert_eq!(args.seed, 9);
+        assert_eq!(args.out, PathBuf::from("x"));
+        assert_eq!(args.only, vec!["fig4".to_string(), "fig8".to_string()]);
+    }
+
+    #[test]
+    fn malformed_input_is_an_error_not_a_panic() {
+        assert!(parse(&["--frobnicate"]).is_err());
+        assert!(parse(&["--trials"]).is_err());
+        assert!(parse(&["--trials", "many"]).is_err());
+        assert!(parse(&["--seed", "-1"]).is_err());
+        assert!(parse(&["--out"]).is_err());
+    }
+
+    #[test]
+    fn help_short_circuits() {
+        assert_eq!(parse(&["--help"]).unwrap(), None);
+        assert_eq!(parse(&["-h"]).unwrap(), None);
     }
 
     #[test]
     fn scale_picks_by_mode() {
-        let mut a = FigArgs::default();
+        let mut a = RunArgs::default();
         assert_eq!(a.scale(1000, 50), 1000);
         a.quick = true;
         assert_eq!(a.scale(1000, 50), 50);
     }
 
     #[test]
-    fn compare_row_formats() {
+    fn ctx_carries_the_knobs() {
+        let args = parse(&["--quick", "--jobs", "2", "--seed", "5"])
+            .unwrap()
+            .unwrap();
+        let ctx = args.ctx();
+        assert!(ctx.quick);
+        assert_eq!(ctx.jobs, 2);
+        assert_eq!(ctx.seed, 5);
+    }
+
+    #[test]
+    fn reduction_and_compare_reexports() {
+        assert!((reduction_pct(1205.0, 237.0) - 80.33).abs() < 0.1);
         let row = compare_row("detection (ms)", 1205.0, 1100.0);
-        assert_eq!(row[0], "detection (ms)");
-        assert_eq!(row[1], "1205");
-        assert_eq!(row[2], "1100");
         assert_eq!(row[3], "0.91x");
     }
 }

@@ -12,10 +12,10 @@
 //!   visibility (the paper's §III-E motivation for the hybrid transport).
 
 use crate::experiments::failover::{run_trials, FailoverConfig};
-use crate::sim::{ClusterConfig, ClusterSim};
+use crate::scenario::{Horizon, NetPlan, ScenarioBuilder, ScenarioDriver};
 use dynatune_core::{required_heartbeats, TuningConfig};
 use dynatune_raft::TimerQuantization;
-use dynatune_simnet::{NetParams, SimTime, Topology};
+use dynatune_simnet::{NetParams, SimTime};
 use std::time::Duration;
 
 /// One row of the quantization ablation.
@@ -35,13 +35,11 @@ pub fn quantization(trials: usize, seed: u64) -> Vec<QuantizationRow> {
     [TimerQuantization::Tick, TimerQuantization::Continuous]
         .into_iter()
         .map(|q| {
-            let mut cluster = ClusterConfig::stable(
-                5,
-                TuningConfig::dynatune(),
-                Duration::from_millis(100),
-                seed,
-            );
-            cluster.quantization = q;
+            let cluster = ScenarioBuilder::cluster(5)
+                .tuning(TuningConfig::dynatune())
+                .quantization(q)
+                .seed(seed)
+                .build();
             let res = run_trials(&FailoverConfig::new(cluster, trials));
             QuantizationRow {
                 quantization: q,
@@ -71,12 +69,8 @@ pub struct SafetyFactorRow {
 /// `Et ≈ µ` and the sweep is flat.
 #[must_use]
 pub fn safety_factor(values: &[f64], trials: usize, seed: u64) -> Vec<SafetyFactorRow> {
-    let jitter_topology = || {
-        Topology::uniform_constant(
-            5,
-            NetParams::clean(Duration::from_millis(100)).with_jitter(0.2),
-        )
-    };
+    let jitter_net =
+        || NetPlan::uniform(NetParams::clean(Duration::from_millis(100)).with_jitter(0.2));
     values
         .iter()
         .map(|&s| {
@@ -85,17 +79,23 @@ pub fn safety_factor(values: &[f64], trials: usize, seed: u64) -> Vec<SafetyFact
                 ..TuningConfig::dynatune()
             };
             // Detection under failure, jittery network.
-            let mut cluster = ClusterConfig::stable(5, tuning, Duration::from_millis(100), seed);
-            cluster.topology = jitter_topology();
+            let cluster = ScenarioBuilder::cluster(5)
+                .tuning(tuning)
+                .net(jitter_net())
+                .seed(seed)
+                .build();
             let res = run_trials(&FailoverConfig::new(cluster, trials));
             // False-timeout rate without failures under the same jitter.
-            let mut jitter_cfg =
-                ClusterConfig::stable(5, tuning, Duration::from_millis(100), seed ^ 0x1177);
-            jitter_cfg.topology = jitter_topology();
-            let mut sim = ClusterSim::new(&jitter_cfg);
+            let jitter_cfg = ScenarioBuilder::cluster(5)
+                .tuning(tuning)
+                .net(jitter_net())
+                .seed(seed ^ 0x1177)
+                .build();
             let horizon = SimTime::from_secs(300);
-            sim.run_until(horizon);
-            let events = sim.events();
+            let run = ScenarioDriver::new(jitter_cfg)
+                .horizon(Horizon::At(Duration::from_secs(300)))
+                .run();
+            let events = run.sim.events();
             let false_timeouts =
                 crate::observers::count_events(&events, SimTime::from_secs(10), horizon, |e| {
                     matches!(e, dynatune_raft::RaftEvent::ElectionTimeout { .. })
@@ -158,8 +158,13 @@ pub fn min_list_size(values: &[usize], seed: u64) -> Vec<WarmupRow> {
                 max_list_size: 1000.max(m),
                 ..TuningConfig::dynatune()
             };
-            let cluster = ClusterConfig::stable(5, tuning, Duration::from_millis(100), seed);
-            let mut sim = ClusterSim::new(&cluster);
+            // Custom convergence predicate (first time all followers are
+            // warmed), so this one keeps its own polling loop instead of
+            // the driver's fixed-cadence sampler.
+            let mut sim = ScenarioBuilder::cluster(5)
+                .tuning(tuning)
+                .seed(seed)
+                .build_sim();
             // Find when the first leader appears, then when all followers
             // are warmed.
             let mut leader_at = None;
@@ -247,19 +252,18 @@ pub fn transport(seed: u64) -> Vec<TransportRow> {
     [true, false]
         .into_iter()
         .map(|udp| {
-            let mut cluster = ClusterConfig::stable(
-                5,
-                TuningConfig::dynatune(),
-                Duration::from_millis(100),
-                seed,
-            );
-            cluster.topology = Topology::uniform_constant(
-                5,
-                NetParams::clean(Duration::from_millis(100)).with_loss(0.15),
-            );
-            cluster.udp_heartbeats = udp;
-            let mut sim = ClusterSim::new(&cluster);
-            sim.run_until(SimTime::from_secs(120));
+            let cluster = ScenarioBuilder::cluster(5)
+                .tuning(TuningConfig::dynatune())
+                .net(NetPlan::uniform(
+                    NetParams::clean(Duration::from_millis(100)).with_loss(0.15),
+                ))
+                .udp_heartbeats(udp)
+                .seed(seed)
+                .build();
+            let run = ScenarioDriver::new(cluster)
+                .horizon(Horizon::At(Duration::from_secs(120)))
+                .run();
+            let sim = run.sim;
             let leader = sim.leader().unwrap_or(0);
             let mut loss_sum = 0.0;
             let mut n = 0.0;

@@ -5,13 +5,19 @@
 //! leader and (for tuning modes) warm up the estimators, pauses the leader
 //! at a random phase within the heartbeat cycle, and extracts detection and
 //! OTS times from the event log — exactly the paper's §IV-B1 procedure
-//! (1000 intentional leader failures, means and CDFs reported). Trials run
-//! in parallel with rayon; every trial is deterministic in its seed.
+//! (1000 intentional leader failures, means and CDFs reported). The
+//! injection itself is a one-event declarative [`FaultPlan`] (pause the
+//! leader after warm-up, phase-jittered) executed by the
+//! [scenario driver](crate::scenario::ScenarioDriver). Trials run in
+//! parallel with rayon — capped by any installed thread pool, see
+//! [`RunCtx::run`](crate::scenario::RunCtx::run) — and every trial is
+//! deterministic in its seed, so any `--jobs` value merges to identical
+//! results.
 
 use crate::observers::extract_failover;
-use crate::sim::{ClusterConfig, ClusterSim};
+use crate::scenario::{FaultPlan, Horizon, ScenarioDriver};
+use crate::sim::ClusterConfig;
 use dynatune_simnet::rng::splitmix64;
-use dynatune_simnet::{Rng, SimTime};
 use dynatune_stats::{EmpiricalCdf, OnlineStats};
 use rayon::prelude::*;
 use std::time::Duration;
@@ -118,41 +124,37 @@ impl FailoverResult {
     }
 }
 
-/// Run one trial; `None` when no leader emerged or no failover completed.
+/// Derive the cluster config of one trial: an independent seed per trial
+/// index, everything else shared.
 #[must_use]
-pub fn run_single_trial(cfg: &FailoverConfig, trial: usize) -> Option<TrialOutcome> {
+pub fn trial_config(cfg: &FailoverConfig, trial: usize) -> ClusterConfig {
     let mut cluster_cfg = cfg.cluster.clone();
     let mut seed = cfg.cluster.seed ^ (trial as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
     cluster_cfg.seed = splitmix64(&mut seed);
-    let mut sim = ClusterSim::new(&cluster_cfg);
-    sim.run_until(SimTime::ZERO + cfg.warmup);
-    // Random failure phase within ~1 heartbeat cycle, so the paper's
-    // phase-averaging over 1000 failures is reproduced.
-    let mut phase_rng = Rng::new(cluster_cfg.seed ^ 0xFA11);
-    let phase = Duration::from_nanos(phase_rng.below(1_000_000_000));
-    sim.run_for(phase);
-    let leader = sim.leader()?;
-    let t_fail = sim.now();
-    // Mean randomizedTimeout across live followers just before failing.
-    let rtos = sim.randomized_timeouts();
-    let mut mean_rto = OnlineStats::new();
-    for (id, rto) in rtos.iter().enumerate() {
-        if id != leader {
-            if let Some(d) = rto {
-                mean_rto.push(d.as_secs_f64() * 1e3);
-            }
-        }
-    }
-    sim.pause(leader);
-    sim.run_for(cfg.observe);
-    let times = extract_failover(&sim.events(), t_fail, leader);
+    cluster_cfg
+}
+
+/// Run one trial; `None` when no leader emerged or no failover completed.
+#[must_use]
+pub fn run_single_trial(cfg: &FailoverConfig, trial: usize) -> Option<TrialOutcome> {
+    // One declarative event: pause the leader after warm-up, at a random
+    // phase within ~1 heartbeat cycle, so the paper's phase-averaging over
+    // 1000 failures is reproduced; observe for `cfg.observe` afterwards.
+    let plan = FaultPlan::new().pause_leader(cfg.warmup, Duration::from_secs(1));
+    let run = ScenarioDriver::new(trial_config(cfg, trial))
+        .plan(plan)
+        .horizon(Horizon::AfterLastFault(cfg.observe))
+        .run();
+    let fault = run.first_fault()?;
+    let leader = fault.targets[0];
+    let times = extract_failover(&run.sim.events(), fault.at, leader);
     let (detection, ots) = (times.detection?, times.ots?);
     Some(TrialOutcome {
         trial,
         detection_ms: detection.as_secs_f64() * 1e3,
         ots_ms: ots.as_secs_f64() * 1e3,
         rto_at_detection_ms: times.detection_rto_ms.unwrap_or(f64::NAN),
-        mean_rto_before_ms: mean_rto.mean(),
+        mean_rto_before_ms: fault.mean_rto_before_ms(Some(leader)),
     })
 }
 

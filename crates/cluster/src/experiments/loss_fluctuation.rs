@@ -6,9 +6,9 @@
 //! heartbeat interval and the CPU utilization of the leader and one
 //! follower in 5 s windows (docker-stats style, 2-core cap → 200 %).
 
-use crate::sim::{ClusterConfig, ClusterSim};
+use crate::scenario::{Horizon, NetPlan, ScenarioBuilder, ScenarioDriver};
 use dynatune_core::TuningConfig;
-use dynatune_simnet::{LinkSchedule, NetParams, SimTime, Topology};
+use dynatune_simnet::{LinkSchedule, NetParams, SimTime};
 use dynatune_stats::TimeSeries;
 use std::time::Duration;
 
@@ -79,23 +79,27 @@ pub struct LossFlucSeries {
 pub fn run(cfg: &LossFlucConfig) -> LossFlucSeries {
     let base = NetParams::clean(cfg.rtt).with_jitter(0.03);
     let schedule = LinkSchedule::loss_staircase(base, &cfg.levels, cfg.hold);
-    let mut cluster_cfg = ClusterConfig::stable(cfg.n, cfg.tuning, cfg.rtt, cfg.seed);
-    cluster_cfg.topology = Topology::uniform(cfg.n, schedule);
-    cluster_cfg.cores = cfg.cores;
-    let mut sim = ClusterSim::new(&cluster_cfg);
+    let cluster_cfg = ScenarioBuilder::cluster(cfg.n)
+        .tuning(cfg.tuning)
+        .net(NetPlan::uniform_schedule(schedule))
+        .cores(cfg.cores)
+        .seed(cfg.seed)
+        .build();
+    let run = ScenarioDriver::new(cluster_cfg)
+        .sample_every(cfg.sample_every)
+        .horizon(Horizon::At(cfg.duration()))
+        .run();
 
-    let horizon = SimTime::ZERO + cfg.duration();
+    let horizon = run.horizon;
     let mut h_ms = Vec::new();
     let mut loss = Vec::new();
-    let mut t = SimTime::ZERO;
-    while t < horizon {
-        t += cfg.sample_every;
-        sim.run_until(t);
-        if let Some(h) = sim.leader_mean_heartbeat_interval() {
-            h_ms.push((t.as_secs_f64(), h.as_secs_f64() * 1e3));
+    for s in &run.samples {
+        if let Some(h) = s.leader_mean_h_ms {
+            h_ms.push((s.t.as_secs_f64(), h));
         }
-        loss.push((t.as_secs_f64(), sim.probe_loss()));
+        loss.push((s.t.as_secs_f64(), s.loss));
     }
+    let sim = run.sim;
     let leader = sim.leader().unwrap_or(0);
     let follower = (0..cfg.n).find(|&i| i != leader).unwrap_or(0);
     let leader_cpu = sim.with_server(leader, |s| s.cpu().utilization_series());

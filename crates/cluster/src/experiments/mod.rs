@@ -7,6 +7,14 @@
 //! | [`rtt_fluctuation`] | Fig. 6a/6b | randomizedTimeout / RTT / OTS time series |
 //! | [`loss_fluctuation`] | Fig. 7a/7b | heartbeat interval + CPU series under loss ramps |
 //! | [`ablation`] | (ours) | quantization, safety factor, arrival probability, list sizes, transport |
+//!
+//! These modules hold the *measurement* logic (what to record and how to
+//! aggregate it). Cluster assembly and failure injection go through the
+//! declarative [`scenario`](crate::scenario) layer: fault schedules are
+//! [`FaultPlan`](crate::scenario::FaultPlan) data executed by the generic
+//! [`ScenarioDriver`](crate::scenario::ScenarioDriver), and each study is
+//! registered as a named [`Experiment`](crate::scenario::Experiment) in
+//! [`scenario::catalog`](crate::scenario::catalog).
 
 pub mod ablation;
 pub mod failover;

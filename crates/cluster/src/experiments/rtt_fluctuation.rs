@@ -7,11 +7,10 @@
 //! f+1 expiries to depose a leader) plus the scheduled RTT. Out-of-service
 //! shading comes from the leaderless intervals of the event log.
 
-use crate::observers::{kth_smallest_timeout_ms, leaderless_intervals, total_leaderless_secs};
-use crate::sim::{ClusterConfig, ClusterSim};
+use crate::observers::{leaderless_intervals, total_leaderless_secs};
+use crate::scenario::{Horizon, NetPlan, ScenarioBuilder, ScenarioDriver};
 use dynatune_core::TuningConfig;
-use dynatune_raft::TimerQuantization;
-use dynatune_simnet::{CongestionConfig, LinkSchedule, NetParams, SimTime, Topology};
+use dynatune_simnet::{CongestionConfig, LinkSchedule, NetParams, SimTime};
 use std::time::Duration;
 
 /// Which fluctuation pattern to run.
@@ -120,35 +119,33 @@ pub struct RttFlucSeries {
 /// Run one RTT-fluctuation experiment.
 #[must_use]
 pub fn run(cfg: &RttFlucConfig) -> RttFlucSeries {
-    let schedule = cfg.schedule();
-    let mut cluster_cfg =
-        ClusterConfig::stable(cfg.n, cfg.tuning, Duration::from_millis(50), cfg.seed);
-    cluster_cfg.topology = Topology::uniform(cfg.n, schedule);
-    cluster_cfg.congestion = cfg.congestion;
-    cluster_cfg.quantization = TimerQuantization::Tick;
-    cluster_cfg.pre_vote = cfg.pre_vote;
-    let mut sim = ClusterSim::new(&cluster_cfg);
+    // The schedule starts at t=0, so sampling starts immediately and the
+    // figure shows the warm-up, as the paper's plots do.
+    let cluster_cfg = ScenarioBuilder::cluster(cfg.n)
+        .tuning(cfg.tuning)
+        .net(NetPlan::uniform_schedule(cfg.schedule()))
+        .congestion(cfg.congestion)
+        .pre_vote(cfg.pre_vote)
+        .seed(cfg.seed)
+        .build();
+    let run = ScenarioDriver::new(cluster_cfg)
+        .sample_every(cfg.sample_every)
+        .horizon(Horizon::At(cfg.duration()))
+        .run();
 
-    // Warm up: let the initial election and tuning settle before t=0 of the
-    // schedule... the schedule starts at t=0, so instead we simply start
-    // sampling immediately and let the figure show the warm-up, as the
-    // paper's plots do.
-    let horizon = SimTime::ZERO + cfg.duration();
-    let mut t = SimTime::ZERO;
+    let horizon = run.horizon;
     let mut out_t = Vec::new();
     let mut out_rto = Vec::new();
     let mut out_rtt = Vec::new();
-    let k = cfg.n / 2 + 1; // third smallest of five
-    while t < horizon {
-        t += cfg.sample_every;
-        sim.run_until(t);
-        if let Some(rto) = kth_smallest_timeout_ms(&sim.randomized_timeouts(), k) {
+    for s in &run.samples {
+        // The majority-representative (third-smallest of five) timeout.
+        if let Some(rto) = s.majority_rto_ms {
             out_rto.push(rto);
-            out_t.push(t.as_secs_f64());
-            out_rtt.push(sim.probe_rtt().as_secs_f64() * 1e3);
+            out_t.push(s.t.as_secs_f64());
+            out_rtt.push(s.rtt_ms);
         }
     }
-    let events = sim.events();
+    let events = run.sim.events();
     let gaps = leaderless_intervals(&events, horizon);
     // Skip the initial election when counting: warm-up ends once the first
     // leader exists (~2 s in).

@@ -6,10 +6,10 @@
 //! reports average latency vs. average throughput with throughput standard
 //! deviation; peak throughput is the highest completed rate.
 
-use crate::sim::{ClusterConfig, ClusterSim, WorkloadSpec};
+use crate::scenario::{Horizon, ScenarioDriver};
+use crate::sim::{ClusterConfig, WorkloadSpec};
 use dynatune_kv::{OpMix, WorkloadGen};
 use dynatune_simnet::rng::splitmix64;
-use dynatune_simnet::SimTime;
 use dynatune_stats::OnlineStats;
 use rayon::prelude::*;
 use std::time::Duration;
@@ -104,10 +104,12 @@ pub fn run_single_ramp(cfg: &ThroughputConfig, repeat: usize) -> Vec<(f64, f64, 
         // requests under saturation and distort the measured throughput.
         request_timeout: None,
     });
-    let mut sim = ClusterSim::new(&cluster_cfg);
-    // Run through the whole ramp plus a drain period for in-flight requests.
-    sim.run_until(SimTime::ZERO + total + Duration::from_secs(5));
-    let steps = sim.client_steps().expect("client attached");
+    // Run through the whole ramp plus a drain period for in-flight requests
+    // (no faults: an empty plan on the scenario driver).
+    let run = ScenarioDriver::new(cluster_cfg)
+        .horizon(Horizon::At(total + Duration::from_secs(5)))
+        .run();
+    let steps = run.sim.client_steps().expect("client attached");
     steps
         .iter()
         .map(|s| (s.offered_rps, s.throughput(), s.latency_ms.mean()))

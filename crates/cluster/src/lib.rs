@@ -4,7 +4,9 @@
 //! on the `dynatune-simnet` fabric, injects the paper's failure modes
 //! (container pause, crash), observes elections and tuning state, models
 //! CPU cost, and implements every experiment of the paper's evaluation
-//! (§IV): see [`experiments`].
+//! (§IV): see [`experiments`] for the measurement procedures and
+//! [`scenario`] for the declarative layer (builders, fault plans, the
+//! generic driver, and the registry of runnable experiments).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -14,6 +16,7 @@ pub mod cpu;
 pub mod experiments;
 pub mod msg;
 pub mod observers;
+pub mod scenario;
 pub mod server;
 pub mod sim;
 
@@ -21,8 +24,12 @@ pub use client::{ClientHost, StepRecord};
 pub use cpu::{CostModel, CpuMeter};
 pub use msg::ClusterMsg;
 pub use observers::{
-    count_events, extract_failover, kth_smallest_timeout_ms, leaderless_intervals,
-    total_leaderless_secs, FailoverTimes,
+    count_events, election_safety_violations, extract_failover, kth_smallest_timeout_ms,
+    leaderless_intervals, total_leaderless_secs, FailoverTimes,
+};
+pub use scenario::{
+    Experiment, FaultAction, FaultEvent, FaultPlan, Horizon, NetPlan, PartitionSpec, Report,
+    RunCtx, ScenarioBuilder, ScenarioDriver, Target,
 };
 pub use server::ServerHost;
 pub use sim::{ClusterConfig, ClusterHost, ClusterSim, WorkloadSpec};

@@ -131,6 +131,25 @@ pub fn total_leaderless_secs(gaps: &[(f64, f64)]) -> f64 {
     gaps.iter().fold(0.0, |acc, &(s, e)| acc + (e - s).max(0.0))
 }
 
+/// Election Safety (Raft §5.2) over an event log: count `BecameLeader`
+/// announcements that name a *different* node for an already-claimed term.
+/// Zero on every correct run; the scenario experiments and the integration
+/// tests share this check.
+#[must_use]
+pub fn election_safety_violations(events: &[(SimTime, NodeId, RaftEvent)]) -> usize {
+    let mut leaders_by_term: std::collections::HashMap<u64, NodeId> =
+        std::collections::HashMap::new();
+    let mut violations = 0;
+    for &(_, node, ev) in events {
+        if let RaftEvent::BecameLeader { term } = ev {
+            if *leaders_by_term.entry(term).or_insert(node) != node {
+                violations += 1;
+            }
+        }
+    }
+    violations
+}
+
 /// Count events matching a predicate in a time range.
 #[must_use]
 pub fn count_events(
@@ -288,6 +307,22 @@ mod tests {
         ];
         assert_eq!(kth_smallest_timeout_ms(&timeouts, 3), Some(150.0));
         assert_eq!(kth_smallest_timeout_ms(&timeouts, 5), None);
+    }
+
+    #[test]
+    fn election_safety_counts_conflicting_claims() {
+        let clean = vec![
+            (t(100), 0, RaftEvent::BecameLeader { term: 1 }),
+            (t(500), 1, RaftEvent::BecameLeader { term: 2 }),
+            (t(900), 1, RaftEvent::BecameLeader { term: 3 }),
+        ];
+        assert_eq!(election_safety_violations(&clean), 0);
+        let split_brain = vec![
+            (t(100), 0, RaftEvent::BecameLeader { term: 1 }),
+            (t(200), 2, RaftEvent::BecameLeader { term: 1 }),
+        ];
+        assert_eq!(election_safety_violations(&split_brain), 1);
+        assert_eq!(election_safety_violations(&[]), 0);
     }
 
     #[test]

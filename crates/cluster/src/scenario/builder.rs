@@ -1,0 +1,356 @@
+//! Fluent scenario construction: [`NetPlan`] (the network as data) and
+//! [`ScenarioBuilder`] (typed assembly of a [`ClusterConfig`]).
+//!
+//! `ClusterConfig` has sixteen public fields; before this module every
+//! experiment built one with `ClusterConfig::stable(..)` and then mutated
+//! fields ad hoc. The builder composes topology, tuning, workload and
+//! network plans explicitly, and is the single construction path used by
+//! the experiment catalog, the figure binaries and the examples.
+
+use crate::cpu::CostModel;
+use crate::sim::{ClusterConfig, ClusterSim, WorkloadSpec};
+use dynatune_core::TuningConfig;
+use dynatune_raft::TimerQuantization;
+use dynatune_simnet::{geo_topology, CongestionConfig, LinkSchedule, NetParams, Region, Topology};
+use std::time::Duration;
+
+/// Declarative description of the server-to-server network.
+///
+/// A `NetPlan` resolves to a [`Topology`] once the cluster size is known;
+/// until then it is pure data, so scenarios can be described, compared and
+/// listed without building anything.
+#[derive(Debug, Clone)]
+pub enum NetPlan {
+    /// Every pair shares one link schedule (the paper's single-host mesh).
+    Uniform(LinkSchedule),
+    /// One node per region with preset inter-region WAN RTTs (Fig. 8).
+    Geo(Vec<Region>),
+    /// Geo mesh with explicit per-pair overrides — asymmetric degradation
+    /// the uniform plans cannot express. Each `(a, b, schedule)` replaces
+    /// both directions of that pair.
+    GeoDegraded {
+        /// One node per region, as in [`NetPlan::Geo`].
+        regions: Vec<Region>,
+        /// Per-pair schedule overrides (applied to both directions).
+        overrides: Vec<(usize, usize, LinkSchedule)>,
+    },
+    /// A fully custom topology (escape hatch).
+    Custom(Topology),
+}
+
+impl NetPlan {
+    /// The paper's §IV-A stable mesh: uniform constant RTT, no loss, and
+    /// the small residual jitter a real kernel/bridge leaves behind.
+    #[must_use]
+    pub fn stable(rtt: Duration) -> Self {
+        NetPlan::Uniform(LinkSchedule::constant(
+            NetParams::clean(rtt).with_jitter(0.02),
+        ))
+    }
+
+    /// Uniform mesh with explicit constant parameters.
+    #[must_use]
+    pub fn uniform(params: NetParams) -> Self {
+        NetPlan::Uniform(LinkSchedule::constant(params))
+    }
+
+    /// Uniform mesh following a time-varying schedule (RTT ramps, loss
+    /// staircases — see [`LinkSchedule`]).
+    #[must_use]
+    pub fn uniform_schedule(schedule: LinkSchedule) -> Self {
+        NetPlan::Uniform(schedule)
+    }
+
+    /// The five-region geo deployment of Fig. 8.
+    #[must_use]
+    pub fn geo() -> Self {
+        NetPlan::Geo(Region::ALL.to_vec())
+    }
+
+    /// Resolve to a topology for `n` servers.
+    ///
+    /// # Panics
+    /// Panics when a geo plan's region count (or a custom topology's size)
+    /// does not match `n`, or an override index is out of range.
+    #[must_use]
+    pub fn topology(&self, n: usize) -> Topology {
+        match self {
+            NetPlan::Uniform(schedule) => Topology::uniform(n, schedule.clone()),
+            NetPlan::Geo(regions) => {
+                assert_eq!(regions.len(), n, "geo plan must name one region per server");
+                geo_topology(regions)
+            }
+            NetPlan::GeoDegraded { regions, overrides } => {
+                assert_eq!(regions.len(), n, "geo plan must name one region per server");
+                let mut topo = geo_topology(regions);
+                for (a, b, schedule) in overrides {
+                    topo.set_pair(*a, *b, schedule.clone());
+                }
+                topo
+            }
+            NetPlan::Custom(topology) => {
+                assert_eq!(topology.len(), n, "custom topology must cover the servers");
+                topology.clone()
+            }
+        }
+    }
+
+    /// The congestion model this network implies unless overridden: WAN
+    /// bursts on geo plans, nothing on uniform meshes.
+    #[must_use]
+    pub fn default_congestion(&self) -> CongestionConfig {
+        match self {
+            NetPlan::Geo(_) | NetPlan::GeoDegraded { .. } => CongestionConfig::wan_default(),
+            NetPlan::Uniform(_) | NetPlan::Custom(_) => CongestionConfig::disabled(),
+        }
+    }
+}
+
+/// Typed, fluent construction of a [`ClusterConfig`].
+///
+/// Defaults match `ClusterConfig::stable(n, tuning, 100ms, 0)`: etcd-style
+/// tick quantization, pre-vote and check-quorum on, UDP heartbeats, 4
+/// cores, 5 s CPU windows.
+#[derive(Debug, Clone)]
+pub struct ScenarioBuilder {
+    n: usize,
+    tuning: TuningConfig,
+    net: NetPlan,
+    congestion: Option<CongestionConfig>,
+    quantization: TimerQuantization,
+    udp_heartbeats: bool,
+    pre_vote: bool,
+    check_quorum: bool,
+    suppress_heartbeats: bool,
+    consolidated_timer: bool,
+    cost: CostModel,
+    cores: usize,
+    cpu_window: Duration,
+    seed: u64,
+    workload: Option<WorkloadSpec>,
+    client_link: NetParams,
+}
+
+impl ScenarioBuilder {
+    /// Start a scenario with `n` servers on the stable 100 ms mesh.
+    #[must_use]
+    pub fn cluster(n: usize) -> Self {
+        Self {
+            n,
+            tuning: TuningConfig::raft_default(),
+            net: NetPlan::stable(Duration::from_millis(100)),
+            congestion: None,
+            quantization: TimerQuantization::Tick,
+            udp_heartbeats: true,
+            pre_vote: true,
+            check_quorum: true,
+            suppress_heartbeats: false,
+            consolidated_timer: false,
+            cost: CostModel::default(),
+            cores: 4,
+            cpu_window: Duration::from_secs(5),
+            seed: 0,
+            workload: None,
+            client_link: NetParams::lan(),
+        }
+    }
+
+    /// Select the tuning mode (Raft / Raft-Low / Fix-K / Dynatune).
+    #[must_use]
+    pub fn tuning(mut self, tuning: TuningConfig) -> Self {
+        self.tuning = tuning;
+        self
+    }
+
+    /// Set the network plan.
+    #[must_use]
+    pub fn net(mut self, net: NetPlan) -> Self {
+        self.net = net;
+        self
+    }
+
+    /// Override the congestion model (default: the net plan's choice).
+    #[must_use]
+    pub fn congestion(mut self, congestion: CongestionConfig) -> Self {
+        self.congestion = Some(congestion);
+        self
+    }
+
+    /// Election-timer quantization.
+    #[must_use]
+    pub fn quantization(mut self, quantization: TimerQuantization) -> Self {
+        self.quantization = quantization;
+        self
+    }
+
+    /// Heartbeats over UDP (paper hybrid transport) or TCP (ablation).
+    #[must_use]
+    pub fn udp_heartbeats(mut self, udp: bool) -> Self {
+        self.udp_heartbeats = udp;
+        self
+    }
+
+    /// Pre-vote on/off.
+    #[must_use]
+    pub fn pre_vote(mut self, pre_vote: bool) -> Self {
+        self.pre_vote = pre_vote;
+        self
+    }
+
+    /// Check-quorum on/off.
+    #[must_use]
+    pub fn check_quorum(mut self, check_quorum: bool) -> Self {
+        self.check_quorum = check_quorum;
+        self
+    }
+
+    /// §IV-E extensions: suppress heartbeats while replicating and/or the
+    /// consolidated heartbeat timer.
+    #[must_use]
+    pub fn extensions(mut self, suppress: bool, consolidated: bool) -> Self {
+        self.suppress_heartbeats = suppress;
+        self.consolidated_timer = consolidated;
+        self
+    }
+
+    /// CPU cost model.
+    #[must_use]
+    pub fn cost(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Cores per server (paper: 4 for Figs. 4–6, 2 for Fig. 7).
+    #[must_use]
+    pub fn cores(mut self, cores: usize) -> Self {
+        self.cores = cores;
+        self
+    }
+
+    /// Utilization sampling window.
+    #[must_use]
+    pub fn cpu_window(mut self, window: Duration) -> Self {
+        self.cpu_window = window;
+        self
+    }
+
+    /// Master seed; all randomness derives from it.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Attach an open-loop client workload.
+    #[must_use]
+    pub fn workload(mut self, spec: WorkloadSpec) -> Self {
+        self.workload = Some(spec);
+        self
+    }
+
+    /// Network parameters of client↔server links.
+    #[must_use]
+    pub fn client_link(mut self, params: NetParams) -> Self {
+        self.client_link = params;
+        self
+    }
+
+    /// Resolve into the flat [`ClusterConfig`].
+    #[must_use]
+    pub fn build(self) -> ClusterConfig {
+        let congestion = self
+            .congestion
+            .unwrap_or_else(|| self.net.default_congestion());
+        ClusterConfig {
+            n: self.n,
+            tuning: self.tuning,
+            topology: self.net.topology(self.n),
+            congestion,
+            quantization: self.quantization,
+            udp_heartbeats: self.udp_heartbeats,
+            pre_vote: self.pre_vote,
+            check_quorum: self.check_quorum,
+            suppress_heartbeats: self.suppress_heartbeats,
+            consolidated_timer: self.consolidated_timer,
+            cost: self.cost,
+            cores: self.cores,
+            cpu_window: self.cpu_window,
+            seed: self.seed,
+            workload: self.workload,
+            client_link: self.client_link,
+        }
+    }
+
+    /// Build and instantiate the cluster.
+    #[must_use]
+    pub fn build_sim(self) -> ClusterSim {
+        ClusterSim::new(&self.build())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynatune_simnet::SimTime;
+
+    #[test]
+    fn builder_defaults_match_stable_constructor() {
+        let built = ScenarioBuilder::cluster(5)
+            .tuning(TuningConfig::dynatune())
+            .seed(7)
+            .build();
+        let stable =
+            ClusterConfig::stable(5, TuningConfig::dynatune(), Duration::from_millis(100), 7);
+        assert_eq!(built.n, stable.n);
+        assert_eq!(built.cores, stable.cores);
+        assert_eq!(built.pre_vote, stable.pre_vote);
+        assert_eq!(built.check_quorum, stable.check_quorum);
+        assert_eq!(built.udp_heartbeats, stable.udp_heartbeats);
+        assert_eq!(built.seed, stable.seed);
+        assert_eq!(
+            built.topology.schedule(0, 1).params_at(SimTime::ZERO),
+            stable.topology.schedule(0, 1).params_at(SimTime::ZERO)
+        );
+        assert!(!built.congestion.enabled());
+    }
+
+    #[test]
+    fn geo_plan_enables_wan_congestion_by_default() {
+        let cfg = ScenarioBuilder::cluster(5).net(NetPlan::geo()).build();
+        assert!(cfg.congestion.enabled());
+        assert_eq!(
+            cfg.topology.schedule(0, 1).params_at(SimTime::ZERO).rtt,
+            Duration::from_millis(210), // Tokyo–London
+        );
+    }
+
+    #[test]
+    fn geo_degraded_overrides_one_pair() {
+        let slow = LinkSchedule::constant(NetParams::wan(Duration::from_millis(900)));
+        let cfg = ScenarioBuilder::cluster(5)
+            .net(NetPlan::GeoDegraded {
+                regions: Region::ALL.to_vec(),
+                overrides: vec![(0, 1, slow)],
+            })
+            .build();
+        assert_eq!(
+            cfg.topology.schedule(0, 1).params_at(SimTime::ZERO).rtt,
+            Duration::from_millis(900)
+        );
+        assert_eq!(
+            cfg.topology.schedule(1, 0).params_at(SimTime::ZERO).rtt,
+            Duration::from_millis(900)
+        );
+        // Other pairs keep the preset matrix.
+        assert_eq!(
+            cfg.topology.schedule(0, 2).params_at(SimTime::ZERO).rtt,
+            Duration::from_millis(110)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "one region per server")]
+    fn geo_plan_size_mismatch_panics() {
+        let _ = ScenarioBuilder::cluster(3).net(NetPlan::geo()).build();
+    }
+}

@@ -1,0 +1,184 @@
+//! Repeated-leader-failure experiments: Fig. 4 (stable mesh) and Fig. 8
+//! (geo deployment).
+
+use crate::experiments::failover::{run_trials, FailoverConfig, FailoverResult};
+use crate::scenario::{
+    compare_row, reduction_pct, Experiment, NetPlan, Report, RunCtx, ScenarioBuilder,
+};
+use dynatune_core::TuningConfig;
+use dynatune_stats::table::multi_series_csv;
+use std::time::Duration;
+
+/// Append the four detection/OTS CDF series as one CSV artifact.
+pub(crate) fn cdf_artifact(
+    report: &mut Report,
+    filename: &str,
+    raft: &FailoverResult,
+    dynatune: &FailoverResult,
+) {
+    let series = [
+        ("raft_detection", raft.detection_cdf()),
+        ("raft_ots", raft.ots_cdf()),
+        ("dynatune_detection", dynatune.detection_cdf()),
+        ("dynatune_ots", dynatune.ots_cdf()),
+    ];
+    let pts: Vec<(String, Vec<(f64, f64)>)> = series
+        .iter()
+        .map(|(name, cdf)| ((*name).to_string(), cdf.points_downsampled(200)))
+        .collect();
+    let borrowed: Vec<(&str, &[(f64, f64)])> = pts
+        .iter()
+        .map(|(n, p)| (n.as_str(), p.as_slice()))
+        .collect();
+    report.artifact(filename, multi_series_csv("time_ms", &borrowed));
+}
+
+/// Trial-count summary row for a pair of studies.
+pub(crate) fn completeness_note(
+    report: &mut Report,
+    raft: &FailoverResult,
+    dynatune: &FailoverResult,
+) {
+    report.note(format!(
+        "trials: raft {} ok / {} incomplete; dynatune {} ok / {} incomplete",
+        raft.outcomes.len(),
+        raft.incomplete,
+        dynatune.outcomes.len(),
+        dynatune.incomplete
+    ));
+}
+
+/// Fig. 4 + §IV-B1 table: CDFs of detection and OTS times under stable
+/// network conditions, repeated leader failures, Raft vs Dynatune; also
+/// the §IV-E election-time decomposition.
+pub struct Fig4Failover;
+
+impl Experiment for Fig4Failover {
+    fn name(&self) -> &'static str {
+        "fig4"
+    }
+
+    fn describe(&self) -> &'static str {
+        "detection & OTS time CDFs, stable network (5 servers, RTT 100ms, p=0)"
+    }
+
+    fn run(&self, ctx: &RunCtx) -> Report {
+        let trials = ctx.trials_or(1000, 50);
+        let study = |label: &str, tuning: TuningConfig| {
+            let cluster = ScenarioBuilder::cluster(5)
+                .tuning(tuning)
+                .seed(ctx.system_seed(label))
+                .build();
+            run_trials(&FailoverConfig::new(cluster, trials))
+        };
+        let raft = study("raft", TuningConfig::raft_default());
+        let dynatune = study("dynatune", TuningConfig::dynatune());
+
+        let raft_det = raft.detection_stats().mean();
+        let raft_ots = raft.ots_stats().mean();
+        let dt_det = dynatune.detection_stats().mean();
+        let dt_ots = dynatune.ots_stats().mean();
+
+        let mut report = Report::new(self.name());
+        report.table(
+            "paper vs measured",
+            ["metric", "paper (ms)", "measured (ms)", "ratio"],
+            vec![
+                compare_row("Raft detection mean", 1205.0, raft_det),
+                compare_row("Raft OTS mean", 1449.0, raft_ots),
+                compare_row("Dynatune detection mean", 237.0, dt_det),
+                compare_row("Dynatune OTS mean", 797.0, dt_ots),
+                compare_row("Raft mean randomizedTimeout", 1454.0, raft.mean_rto_ms()),
+                compare_row(
+                    "Dynatune mean randomizedTimeout",
+                    152.0,
+                    dynatune.mean_rto_ms(),
+                ),
+                compare_row(
+                    "Raft election time (OTS-det)",
+                    244.0,
+                    raft.election_time_ms(),
+                ),
+                compare_row(
+                    "Dynatune election time (OTS-det)",
+                    560.0,
+                    dynatune.election_time_ms(),
+                ),
+            ],
+        );
+        report.headline(
+            "detection reduction",
+            "80%",
+            &format!("{:.0}%", reduction_pct(raft_det, dt_det)),
+        );
+        report.headline(
+            "OTS reduction",
+            "45%",
+            &format!("{:.0}%", reduction_pct(raft_ots, dt_ots)),
+        );
+        completeness_note(&mut report, &raft, &dynatune);
+        cdf_artifact(&mut report, "fig4_cdf.csv", &raft, &dynatune);
+        report
+    }
+}
+
+/// Fig. 8: detection & OTS CDFs on the geo-replicated deployment (Tokyo,
+/// London, California, Sydney, São Paulo), Raft vs Dynatune.
+pub struct Fig8GeoFailover;
+
+impl Experiment for Fig8GeoFailover {
+    fn name(&self) -> &'static str {
+        "fig8"
+    }
+
+    fn describe(&self) -> &'static str {
+        "geo-replicated failover (Tokyo/London/California/Sydney/Sao Paulo)"
+    }
+
+    fn run(&self, ctx: &RunCtx) -> Report {
+        let trials = ctx.trials_or(300, 30);
+        let study = |label: &str, tuning: TuningConfig| {
+            let cluster = ScenarioBuilder::cluster(5)
+                .tuning(tuning)
+                .net(NetPlan::geo())
+                .cores(2) // m5.large
+                .seed(ctx.system_seed(label))
+                .build();
+            let mut cfg = FailoverConfig::new(cluster, trials);
+            cfg.warmup = Duration::from_secs(40); // WAN warm-up is slower
+            run_trials(&cfg)
+        };
+        let raft = study("raft", TuningConfig::raft_default());
+        let dynatune = study("dynatune", TuningConfig::dynatune());
+
+        let raft_det = raft.detection_stats().mean();
+        let raft_ots = raft.ots_stats().mean();
+        let dt_det = dynatune.detection_stats().mean();
+        let dt_ots = dynatune.ots_stats().mean();
+
+        let mut report = Report::new(self.name());
+        report.table(
+            "paper vs measured",
+            ["metric", "paper (ms)", "measured (ms)", "ratio"],
+            vec![
+                compare_row("Raft detection mean", 1137.0, raft_det),
+                compare_row("Raft OTS mean", 1718.0, raft_ots),
+                compare_row("Dynatune detection mean", 213.0, dt_det),
+                compare_row("Dynatune OTS mean", 1145.0, dt_ots),
+            ],
+        );
+        report.headline(
+            "detection reduction",
+            "81%",
+            &format!("{:.0}%", reduction_pct(raft_det, dt_det)),
+        );
+        report.headline(
+            "OTS reduction",
+            "33%",
+            &format!("{:.0}%", reduction_pct(raft_ots, dt_ots)),
+        );
+        completeness_note(&mut report, &raft, &dynatune);
+        cdf_artifact(&mut report, "fig8_cdf.csv", &raft, &dynatune);
+        report
+    }
+}

@@ -1,0 +1,252 @@
+//! Network-fluctuation adaptivity experiments: Fig. 6a/6b (RTT) and
+//! Fig. 7 (packet loss).
+
+use crate::experiments::loss_fluctuation::{self, LossFlucConfig};
+use crate::experiments::rtt_fluctuation::{self, RttFlucConfig, RttFlucSeries, RttPattern};
+use crate::scenario::{Experiment, Report, RunCtx};
+use dynatune_core::TuningConfig;
+use dynatune_stats::table::{multi_series_csv, series_csv};
+use dynatune_stats::{ResamplePolicy, TimeSeries};
+use std::time::Duration;
+
+/// The three systems the RTT figures compare.
+fn rtt_systems() -> [(&'static str, TuningConfig); 3] {
+    [
+        ("dynatune", TuningConfig::dynatune()),
+        ("raft", TuningConfig::raft_default()),
+        ("raft_low", TuningConfig::raft_low()),
+    ]
+}
+
+/// Run one RTT pattern for every system and assemble the shared report
+/// shape (summary table + per-system series/OTS artifacts).
+fn rtt_report(
+    report_name: &str,
+    ctx: &RunCtx,
+    pattern: RttPattern,
+    hold: Duration,
+    expectation: &str,
+) -> Report {
+    let mut report = Report::new(report_name);
+    let mut rows = Vec::new();
+    for (name, tuning) in rtt_systems() {
+        let mut cfg = RttFlucConfig::new(tuning, pattern, ctx.system_seed(name));
+        cfg.hold = hold;
+        let s = rtt_fluctuation::run(&cfg);
+        rows.push(vec![
+            name.to_string(),
+            format!("{:.1}", s.total_ots_secs),
+            format!("{}", s.timeouts_observed),
+            format!("{}", s.leader_changes),
+            format!("{}", s.t.len()),
+        ]);
+        series_artifacts(&mut report, report_name, name, &s);
+    }
+    report.table(
+        "summary",
+        [
+            "system",
+            "total OTS (s)",
+            "timer expiries",
+            "leader changes",
+            "samples",
+        ],
+        rows,
+    );
+    report.note(expectation.to_string());
+    report
+}
+
+fn series_artifacts(report: &mut Report, fig: &str, system: &str, s: &RttFlucSeries) {
+    let rto: Vec<(f64, f64)> =
+        s.t.iter()
+            .zip(&s.third_smallest_rto_ms)
+            .map(|(&t, &v)| (t, v))
+            .collect();
+    let rtt: Vec<(f64, f64)> = s.t.iter().zip(&s.rtt_ms).map(|(&t, &v)| (t, v)).collect();
+    report.artifact(
+        &format!("{fig}_{system}.csv"),
+        multi_series_csv(
+            "t_secs",
+            &[("randomized_timeout_ms", &rto), ("rtt_ms", &rtt)],
+        ),
+    );
+    let ots_csv: String = std::iter::once("start_s,end_s\n".to_string())
+        .chain(s.ots_intervals.iter().map(|(a, b)| format!("{a},{b}\n")))
+        .collect();
+    report.artifact(&format!("{fig}_{system}_ots.csv"), ots_csv);
+}
+
+/// Fig. 6a: gradual RTT fluctuation (50→200→50 ms in 10 ms steps),
+/// third-smallest randomizedTimeout + RTT + OTS shading, for Dynatune,
+/// Raft and Raft-Low.
+pub struct Fig6aGradualRtt;
+
+impl Experiment for Fig6aGradualRtt {
+    fn name(&self) -> &'static str {
+        "fig6a"
+    }
+
+    fn describe(&self) -> &'static str {
+        "gradual RTT fluctuation 50->200->50ms (10ms steps)"
+    }
+
+    fn run(&self, ctx: &RunCtx) -> Report {
+        let hold = if ctx.quick {
+            Duration::from_secs(10)
+        } else {
+            Duration::from_secs(60) // paper: one minute per step
+        };
+        rtt_report(
+            self.name(),
+            ctx,
+            RttPattern::Gradual,
+            hold,
+            "paper expectation: Dynatune tracks RTT with zero OTS; Raft flat ~1700ms,\n\
+             zero OTS; Raft-Low suffers OTS once RTT approaches its 100-200ms timeout\n\
+             band (paper: ~15s outage near t=500s, then ~10 minutes as RTT keeps rising).",
+        )
+    }
+}
+
+/// Fig. 6b: radical RTT fluctuation (50→500→50 ms, one minute each), for
+/// the same three systems.
+pub struct Fig6bRadicalRtt;
+
+impl Experiment for Fig6bRadicalRtt {
+    fn name(&self) -> &'static str {
+        "fig6b"
+    }
+
+    fn describe(&self) -> &'static str {
+        "radical RTT fluctuation 50->500->50ms (1 minute holds)"
+    }
+
+    fn run(&self, ctx: &RunCtx) -> Report {
+        let hold = if ctx.quick {
+            Duration::from_secs(15)
+        } else {
+            Duration::from_secs(60)
+        };
+        rtt_report(
+            self.name(),
+            ctx,
+            RttPattern::Radical,
+            hold,
+            "paper expectation: Dynatune false-detects at the step but pre-vote\n\
+             aborts on leader contact -> no OTS; Raft rides it out (large Et);\n\
+             Raft-Low is leaderless for most of the 500ms minute (vote RTT exceeds\n\
+             its randomized timeout, so elections repeat until RTT drops).",
+        )
+    }
+}
+
+/// Fig. 7: heartbeat-interval adaptation (7a) and CPU utilization (7b)
+/// under packet-loss fluctuation 0→30→0 %, RTT 200 ms, for N = 5, 17, 65,
+/// Dynatune vs Fix-K (K = 10).
+pub struct Fig7LossFluctuation;
+
+fn mean_between(series: &[(f64, f64)], from: f64, to: f64) -> f64 {
+    let vals: Vec<f64> = series
+        .iter()
+        .filter(|(t, _)| *t >= from && *t < to)
+        .map(|&(_, v)| v)
+        .collect();
+    if vals.is_empty() {
+        f64::NAN
+    } else {
+        vals.iter().sum::<f64>() / vals.len() as f64
+    }
+}
+
+fn cpu_mean(ts: &TimeSeries) -> f64 {
+    let pts = ts.points();
+    if pts.is_empty() {
+        return f64::NAN;
+    }
+    pts.iter().map(|&(_, v)| v).sum::<f64>() / pts.len() as f64
+}
+
+impl Experiment for Fig7LossFluctuation {
+    fn name(&self) -> &'static str {
+        "fig7"
+    }
+
+    fn describe(&self) -> &'static str {
+        "heartbeat interval + CPU under loss ramp 0->30->0% (RTT 200ms, 2 cores)"
+    }
+
+    fn run(&self, ctx: &RunCtx) -> Report {
+        let sizes: &[usize] = if ctx.quick { &[5, 17] } else { &[5, 17, 65] };
+        let hold = if ctx.quick {
+            Duration::from_secs(20)
+        } else {
+            Duration::from_secs(180) // paper: 3 minutes per level
+        };
+        let mut report = Report::new(self.name());
+        let mut rows = Vec::new();
+        for &n in sizes {
+            for (name, tuning) in [
+                ("dynatune", TuningConfig::dynatune()),
+                ("fix_k", TuningConfig::fix_k(10)),
+            ] {
+                let seed = ctx.system_seed(&format!("{name}-n{n}"));
+                let mut cfg = LossFlucConfig::new(n, tuning, seed);
+                cfg.hold = hold;
+                if ctx.quick {
+                    // Shrink the id window so loss estimates track the
+                    // shrunk schedule (window lag = maxListSize x h).
+                    cfg.tuning.max_list_size = 200;
+                }
+                let s = loss_fluctuation::run(&cfg);
+                let dur = cfg.duration().as_secs_f64();
+                // Clean head (after warm-up) and peak-loss middle.
+                let h_clean = mean_between(&s.h_ms, dur * 0.05, dur * 0.077);
+                let h_peak = mean_between(&s.h_ms, dur * 0.46, dur * 0.54);
+                rows.push(vec![
+                    name.to_string(),
+                    format!("{n}"),
+                    format!("{h_clean:.0}"),
+                    format!("{h_peak:.0}"),
+                    format!("{:.1}", cpu_mean(&s.leader_cpu)),
+                    format!("{:.1}", cpu_mean(&s.follower_cpu)),
+                    format!("{}", s.elections_after_warmup),
+                ]);
+                report.artifact(
+                    &format!("fig7a_{name}_n{n}.csv"),
+                    series_csv(("t_secs", "h_ms"), &s.h_ms),
+                );
+                let leader_pts = s.leader_cpu.resample(0.0, dur, 5.0, ResamplePolicy::Last);
+                let follower_pts = s.follower_cpu.resample(0.0, dur, 5.0, ResamplePolicy::Last);
+                report.artifact(
+                    &format!("fig7b_{name}_n{n}_leader.csv"),
+                    series_csv(("t_secs", "cpu_pct"), &leader_pts),
+                );
+                report.artifact(
+                    &format!("fig7b_{name}_n{n}_follower.csv"),
+                    series_csv(("t_secs", "cpu_pct"), &follower_pts),
+                );
+            }
+        }
+        report.table(
+            "summary",
+            [
+                "system",
+                "N",
+                "h@0% (ms)",
+                "h@30% (ms)",
+                "leader CPU (%)",
+                "follower CPU (%)",
+                "elections",
+            ],
+            rows,
+        );
+        report.note(
+            "paper expectation: Dynatune h dips from ~Et (K=1) to ~Et/6 at 30% loss\n\
+             and recovers; Fix-K h stays ~Et/10 flat. Fix-K's N=65 leader pegs\n\
+             ~100%+ CPU while Dynatune uses less than half under clean conditions,\n\
+             peaking with the loss. Neither system triggers unnecessary elections.",
+        );
+        report
+    }
+}

@@ -1,0 +1,24 @@
+//! The experiment catalog: every paper figure, the ablations, and the
+//! beyond-paper scenarios, implemented as [`Experiment`]s over the
+//! scenario API.
+//!
+//! Each type here is a stateless marker struct; all run parameters come
+//! from the [`RunCtx`](crate::scenario::RunCtx) (seed, quick/full scale,
+//! overrides) so that the registry can enumerate and run everything
+//! uniformly.
+//!
+//! [`Experiment`]: crate::scenario::Experiment
+
+mod ablations;
+mod extensions;
+mod failover;
+mod fluctuation;
+mod novel;
+mod throughput;
+
+pub use ablations::Ablations;
+pub use extensions::Extensions;
+pub use failover::{Fig4Failover, Fig8GeoFailover};
+pub use fluctuation::{Fig6aGradualRtt, Fig6bRadicalRtt, Fig7LossFluctuation};
+pub use novel::{GeoAsymmetricFailover, PartitionChurn};
+pub use throughput::Fig5Throughput;

@@ -1,0 +1,95 @@
+//! Fig. 5 + §IV-B2: throughput vs latency under open-loop ramp load.
+
+use crate::experiments::throughput::{run, ThroughputConfig, ThroughputResult};
+use crate::scenario::{compare_row, Experiment, Report, RunCtx, ScenarioBuilder};
+use dynatune_core::TuningConfig;
+use dynatune_stats::table::series_csv;
+use std::time::Duration;
+
+/// Fig. 5: latency-vs-throughput ramps, Raft vs Dynatune; reports peak
+/// throughput and the tuning overhead.
+pub struct Fig5Throughput;
+
+impl Fig5Throughput {
+    fn study(&self, ctx: &RunCtx, label: &str, tuning: TuningConfig) -> ThroughputResult {
+        let cluster = ScenarioBuilder::cluster(5)
+            .tuning(tuning)
+            .seed(ctx.system_seed(label))
+            .build();
+        let mut cfg = ThroughputConfig::new(cluster, 16_000.0);
+        if ctx.quick {
+            cfg.increment = 4_000.0;
+            cfg.hold = Duration::from_secs(4);
+            cfg.repeats = 2;
+        }
+        if let Some(r) = ctx.repeats {
+            cfg.repeats = r;
+        }
+        run(&cfg)
+    }
+}
+
+impl Experiment for Fig5Throughput {
+    fn name(&self) -> &'static str {
+        "fig5"
+    }
+
+    fn describe(&self) -> &'static str {
+        "throughput vs latency (open-loop ramp, 5 servers, RTT 100ms)"
+    }
+
+    fn run(&self, ctx: &RunCtx) -> Report {
+        let raft = self.study(ctx, "raft", TuningConfig::raft_default());
+        let dynatune = self.study(ctx, "dynatune", TuningConfig::dynatune());
+
+        let mut report = Report::new(self.name());
+        report.table(
+            "ramp levels",
+            [
+                "offered (req/s)",
+                "raft tput",
+                "raft lat (ms)",
+                "dynatune tput",
+                "dynatune lat (ms)",
+            ],
+            raft.levels
+                .iter()
+                .zip(dynatune.levels.iter())
+                .map(|(r, d)| {
+                    vec![
+                        format!("{:.0}", r.offered_rps),
+                        format!("{:.0}", r.throughput.mean()),
+                        format!("{:.1}", r.latency_ms.mean()),
+                        format!("{:.0}", d.throughput.mean()),
+                        format!("{:.1}", d.latency_ms.mean()),
+                    ]
+                })
+                .collect(),
+        );
+
+        let raft_peak = raft.peak_throughput();
+        let dt_peak = dynatune.peak_throughput();
+        report.table(
+            "peak throughput",
+            ["metric", "paper", "measured", "ratio"],
+            vec![
+                compare_row("Raft peak throughput (req/s)", 13_678.0, raft_peak),
+                compare_row("Dynatune peak throughput (req/s)", 12_800.0, dt_peak),
+            ],
+        );
+        report.headline(
+            "tuning overhead at peak",
+            "6.4%",
+            &format!("{:.1}%", (1.0 - dt_peak / raft_peak) * 100.0),
+        );
+        report.artifact(
+            "fig5_raft.csv",
+            series_csv(("throughput_rps", "latency_ms"), &raft.curve()),
+        );
+        report.artifact(
+            "fig5_dynatune.csv",
+            series_csv(("throughput_rps", "latency_ms"), &dynatune.curve()),
+        );
+        report
+    }
+}

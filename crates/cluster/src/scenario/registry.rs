@@ -1,0 +1,53 @@
+//! The experiment registry: every runnable scenario, by name.
+//!
+//! `scenarios --list` prints this; `scenarios --only NAME` and the thin
+//! per-figure binaries look names up here. Adding a scenario means adding
+//! a [`catalog`](crate::scenario::catalog) type and one line below.
+
+use crate::scenario::catalog;
+use crate::scenario::experiment::Experiment;
+
+/// All registered experiments, in presentation order.
+#[must_use]
+pub fn registry() -> Vec<Box<dyn Experiment>> {
+    vec![
+        Box::new(catalog::Fig4Failover),
+        Box::new(catalog::Fig5Throughput),
+        Box::new(catalog::Fig6aGradualRtt),
+        Box::new(catalog::Fig6bRadicalRtt),
+        Box::new(catalog::Fig7LossFluctuation),
+        Box::new(catalog::Fig8GeoFailover),
+        Box::new(catalog::Ablations),
+        Box::new(catalog::Extensions),
+        Box::new(catalog::GeoAsymmetricFailover),
+        Box::new(catalog::PartitionChurn),
+    ]
+}
+
+/// Look an experiment up by registry name.
+#[must_use]
+pub fn find(name: &str) -> Option<Box<dyn Experiment>> {
+    registry().into_iter().find(|e| e.name() == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_unique_and_findable() {
+        let all = registry();
+        assert!(all.len() >= 10);
+        let mut names: Vec<&str> = all.iter().map(|e| e.name()).collect();
+        names.sort_unstable();
+        let mut deduped = names.clone();
+        deduped.dedup();
+        assert_eq!(names, deduped, "duplicate registry names");
+        for name in names {
+            let found = find(name).expect("registered name resolves");
+            assert_eq!(found.name(), name);
+            assert!(!found.describe().is_empty());
+        }
+        assert!(find("no_such_experiment").is_none());
+    }
+}

@@ -1,0 +1,208 @@
+//! Structured experiment output: tables, headline comparisons, notes and
+//! CSV artifacts.
+//!
+//! A [`Report`] is plain data (and `PartialEq`), which is what makes the
+//! parallel-trial guarantee testable: running an experiment with
+//! `--jobs 1` and `--jobs N` must produce *equal* reports, not just
+//! similar ones. Rendering to text and writing artifacts to disk are the
+//! binary's job, not the experiment's.
+
+use dynatune_stats::table::Table;
+
+/// A titled text table (rows of pre-formatted cells).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReportTable {
+    /// Table caption.
+    pub title: String,
+    /// Column headers.
+    pub header: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<String>>,
+}
+
+/// One paper-vs-measured headline ("detection reduction: paper 80%,
+/// measured 85%").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Headline {
+    /// What is being compared.
+    pub label: String,
+    /// The paper's value, pre-formatted.
+    pub paper: String,
+    /// Our value, pre-formatted.
+    pub measured: String,
+}
+
+/// A named CSV payload for the output directory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Artifact {
+    /// File name (no directory), e.g. `fig4_cdf.csv`.
+    pub filename: String,
+    /// CSV content.
+    pub csv: String,
+}
+
+/// Everything one experiment run produced.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Report {
+    /// Experiment name (registry key).
+    pub name: String,
+    /// Result tables, in presentation order.
+    pub tables: Vec<ReportTable>,
+    /// Headline paper-vs-measured comparisons.
+    pub headlines: Vec<Headline>,
+    /// Free-form interpretation notes, printed after the tables.
+    pub notes: Vec<String>,
+    /// CSV artifacts to write under the output directory.
+    pub artifacts: Vec<Artifact>,
+}
+
+impl Report {
+    /// An empty report for `name`.
+    #[must_use]
+    pub fn new(name: &str) -> Self {
+        Self {
+            name: name.to_string(),
+            ..Self::default()
+        }
+    }
+
+    /// Append a table.
+    pub fn table<S: Into<String>>(
+        &mut self,
+        title: &str,
+        header: impl IntoIterator<Item = S>,
+        rows: Vec<Vec<String>>,
+    ) {
+        self.tables.push(ReportTable {
+            title: title.to_string(),
+            header: header.into_iter().map(Into::into).collect(),
+            rows,
+        });
+    }
+
+    /// Append a headline comparison.
+    pub fn headline(&mut self, label: &str, paper: &str, measured: &str) {
+        self.headlines.push(Headline {
+            label: label.to_string(),
+            paper: paper.to_string(),
+            measured: measured.to_string(),
+        });
+    }
+
+    /// Append an interpretation note.
+    pub fn note(&mut self, text: impl Into<String>) {
+        self.notes.push(text.into());
+    }
+
+    /// Append a CSV artifact.
+    pub fn artifact(&mut self, filename: &str, csv: String) {
+        self.artifacts.push(Artifact {
+            filename: filename.to_string(),
+            csv,
+        });
+    }
+
+    /// Render tables, headlines and notes as display text (artifacts are
+    /// listed by name only; the binary writes their content to disk).
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for t in &self.tables {
+            out.push_str(&format!("\n{}\n", t.title));
+            let mut table = Table::new(t.header.iter().map(String::as_str));
+            for row in &t.rows {
+                table.row(row.clone());
+            }
+            out.push_str(&table.render());
+        }
+        if !self.headlines.is_empty() {
+            out.push('\n');
+            let mut table = Table::new(["headline", "paper", "measured"]);
+            for h in &self.headlines {
+                table.row([h.label.clone(), h.paper.clone(), h.measured.clone()]);
+            }
+            out.push_str(&table.render());
+        }
+        for note in &self.notes {
+            out.push_str(&format!("\n{note}\n"));
+        }
+        out
+    }
+}
+
+/// Format a paper-vs-measured row with a deviation ratio, for the
+/// four-column `[metric, paper, measured, ratio]` tables the figure
+/// experiments print.
+#[must_use]
+pub fn compare_row(metric: &str, paper: f64, measured: f64) -> Vec<String> {
+    let ratio = if paper.abs() > 1e-12 {
+        measured / paper
+    } else {
+        f64::NAN
+    };
+    vec![
+        metric.to_string(),
+        format!("{paper:.0}"),
+        format!("{measured:.0}"),
+        format!("{ratio:.2}x"),
+    ]
+}
+
+/// Percentage reduction from `from` to `to` (the paper's headline metric
+/// style: "reduces detection time by 80%").
+#[must_use]
+pub fn reduction_pct(from: f64, to: f64) -> f64 {
+    if from.abs() < 1e-12 {
+        0.0
+    } else {
+        (1.0 - to / from) * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduction_math() {
+        assert!((reduction_pct(1205.0, 237.0) - 80.33).abs() < 0.1);
+        assert!((reduction_pct(1449.0, 797.0) - 45.0).abs() < 0.1);
+        assert_eq!(reduction_pct(0.0, 5.0), 0.0);
+    }
+
+    #[test]
+    fn compare_row_formats() {
+        let row = compare_row("detection (ms)", 1205.0, 1100.0);
+        assert_eq!(row, vec!["detection (ms)", "1205", "1100", "0.91x"]);
+    }
+
+    #[test]
+    fn report_renders_all_sections() {
+        let mut r = Report::new("demo");
+        r.table(
+            "numbers",
+            ["a", "b"],
+            vec![vec!["1".to_string(), "2".to_string()]],
+        );
+        r.headline("thing", "80%", "85%");
+        r.note("a note");
+        r.artifact("demo.csv", "x,y\n1,2\n".to_string());
+        let text = r.render();
+        assert!(text.contains("numbers"));
+        assert!(text.contains("thing"));
+        assert!(text.contains("a note"));
+        // Artifacts are data, not display text.
+        assert!(!text.contains("x,y"));
+    }
+
+    #[test]
+    fn reports_compare_by_value() {
+        let mut a = Report::new("x");
+        let mut b = Report::new("x");
+        a.headline("h", "1", "2");
+        b.headline("h", "1", "2");
+        assert_eq!(a, b);
+        b.note("divergence");
+        assert_ne!(a, b);
+    }
+}

@@ -7,9 +7,10 @@
 //! cargo run --release --example fluctuating_wan
 //! ```
 
-use dynatune_repro::cluster::{leaderless_intervals, ClusterConfig, ClusterSim};
+use dynatune_repro::cluster::leaderless_intervals;
+use dynatune_repro::cluster::scenario::{NetPlan, ScenarioBuilder};
 use dynatune_repro::core::TuningConfig;
-use dynatune_repro::simnet::{CongestionConfig, LinkSchedule, NetParams, SimTime, Topology};
+use dynatune_repro::simnet::{CongestionConfig, LinkSchedule, NetParams, SimTime};
 use std::time::Duration;
 
 fn main() {
@@ -36,15 +37,15 @@ fn main() {
         ),
         (SimTime::from_secs(300), base),
     ]);
-    let mut config = ClusterConfig::stable(
-        5,
-        TuningConfig::dynatune(),
-        Duration::from_millis(50),
-        31_337,
-    );
-    config.topology = Topology::uniform(5, schedule);
-    config.congestion = CongestionConfig::wan_default();
-    let mut sim = ClusterSim::new(&config);
+    // The network is data (a NetPlan over the schedule); the polling loop
+    // below stays imperative because this example is about watching the
+    // tuner live, sample by sample.
+    let mut sim = ScenarioBuilder::cluster(5)
+        .tuning(TuningConfig::dynatune())
+        .net(NetPlan::uniform_schedule(schedule))
+        .congestion(CongestionConfig::wan_default())
+        .seed(31_337)
+        .build_sim();
 
     println!(
         "{:>6} {:>9} {:>9} {:>10} {:>10} {:>9}  leader",

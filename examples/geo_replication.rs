@@ -9,23 +9,22 @@
 //! pair gets its own election timeout and heartbeat interval matched to
 //! that path's RTT, instead of one global worst-case constant.
 
-use dynatune_repro::cluster::{extract_failover, ClusterConfig, ClusterSim};
+use dynatune_repro::cluster::extract_failover;
+use dynatune_repro::cluster::scenario::{NetPlan, ScenarioBuilder};
 use dynatune_repro::core::TuningConfig;
-use dynatune_repro::simnet::{geo_rtt, geo_topology, CongestionConfig, Region, SimTime};
+use dynatune_repro::simnet::{geo_rtt, Region, SimTime};
 use std::time::Duration;
 
 fn main() {
     println!("=== Dynatune on a geo-replicated cluster ===\n");
     let regions = Region::ALL;
-    let mut config = ClusterConfig::stable(
-        5,
-        TuningConfig::dynatune(),
-        Duration::from_millis(100),
-        7_777,
-    );
-    config.topology = geo_topology(&regions);
-    config.congestion = CongestionConfig::wan_default();
-    let mut sim = ClusterSim::new(&config);
+    // NetPlan::geo() resolves to the five-region preset mesh and brings
+    // WAN congestion bursts with it by default.
+    let mut sim = ScenarioBuilder::cluster(5)
+        .tuning(TuningConfig::dynatune())
+        .net(NetPlan::geo())
+        .seed(7_777)
+        .build_sim();
 
     sim.run_until(SimTime::from_secs(60));
     let leader = sim.leader().expect("leader after 60s");

@@ -1,18 +1,23 @@
 //! Drive the replicated key-value store with an open-loop client workload
-//! and ride through a leader failure — the paper's service-level view.
+//! and ride through a leader failure — the paper's service-level view,
+//! with the failure window described as a declarative `FaultPlan`.
 //!
 //! ```text
 //! cargo run --release --example kv_workload
 //! ```
 
-use dynatune_repro::cluster::{ClusterConfig, ClusterSim, WorkloadSpec};
+use dynatune_repro::cluster::scenario::{
+    FaultAction, FaultEvent, FaultPlan, Horizon, ScenarioBuilder, ScenarioDriver,
+};
+use dynatune_repro::cluster::WorkloadSpec;
 use dynatune_repro::core::TuningConfig;
 use dynatune_repro::kv::{OpMix, RateStep};
-use dynatune_repro::simnet::SimTime;
+use dynatune_repro::simnet::NetParams;
 use std::time::Duration;
 
 fn run(name: &str, tuning: TuningConfig) {
-    // 2000 req/s for 60 s; the leader gets paused at t = 30 s.
+    // 2000 req/s for 60 s; the leader gets paused at t = 30 s and resumed
+    // 10 s later (it rejoins as a follower and catches up).
     let spec = WorkloadSpec {
         steps: vec![RateStep {
             rps: 2000.0,
@@ -25,18 +30,33 @@ fn run(name: &str, tuning: TuningConfig) {
         start_offset: Duration::from_secs(5),
         request_timeout: Some(Duration::from_millis(500)),
     };
-    let config =
-        ClusterConfig::stable(5, tuning, Duration::from_millis(50), 90_210).with_workload(spec);
-    let mut sim = ClusterSim::new(&config);
+    let config = ScenarioBuilder::cluster(5)
+        .tuning(tuning)
+        .net(dynatune_repro::cluster::NetPlan::stable(
+            Duration::from_millis(50),
+        ))
+        .workload(spec)
+        .client_link(NetParams::lan())
+        .seed(90_210)
+        .build();
+    let plan = FaultPlan::new()
+        .pause_leader(Duration::from_secs(30), Duration::ZERO)
+        .event(FaultEvent::at(
+            Duration::from_secs(40),
+            FaultAction::ResumeAll,
+        ));
+    let run = ScenarioDriver::new(config)
+        .plan(plan)
+        .horizon(Horizon::At(Duration::from_secs(70)))
+        .run();
+    let fault = run.first_fault().expect("the pause fired on a live leader");
+    println!(
+        "[{name}] paused leader {} at t={:.0}s",
+        fault.targets[0],
+        fault.at.as_secs_f64()
+    );
 
-    sim.run_until(SimTime::from_secs(30));
-    let leader = sim.leader().expect("leader");
-    sim.pause(leader);
-    // Resume it later; it rejoins as a follower and catches up.
-    sim.run_for(Duration::from_secs(10));
-    sim.resume(leader);
-    sim.run_until(SimTime::from_secs(70));
-
+    let sim = &run.sim;
     let steps = sim.client_steps().expect("client attached");
     let s = &steps[0];
     println!(

@@ -1,32 +1,46 @@
 //! Quickstart: measure how much faster Dynatune recovers from a leader
-//! failure than statically-configured Raft.
+//! failure than statically-configured Raft — written against the
+//! declarative scenario API.
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 //!
 //! Builds two identical 5-server clusters (RTT 100 ms) — one running etcd
-//! defaults (Et = 1000 ms, h = 100 ms), one running Dynatune — pauses each
-//! leader mid-flight, and reports detection and out-of-service times.
+//! defaults (Et = 1000 ms, h = 100 ms), one running Dynatune — describes
+//! the failure as a one-event `FaultPlan` (pause the leader at t = 30 s),
+//! lets the scenario driver execute it, and reports detection and
+//! out-of-service times from the trace.
 
-use dynatune_repro::cluster::{extract_failover, ClusterConfig, ClusterSim};
+use dynatune_repro::cluster::extract_failover;
+use dynatune_repro::cluster::scenario::{FaultPlan, Horizon, ScenarioBuilder, ScenarioDriver};
 use dynatune_repro::core::TuningConfig;
-use dynatune_repro::simnet::SimTime;
 use std::time::Duration;
 
 fn failover_demo(name: &str, tuning: TuningConfig) -> (f64, f64) {
-    let config = ClusterConfig::stable(5, tuning, Duration::from_millis(100), 2024);
-    let mut sim = ClusterSim::new(&config);
+    // The whole experiment as data: cluster + failure schedule + horizon.
+    let config = ScenarioBuilder::cluster(5)
+        .tuning(tuning)
+        .seed(2024)
+        .build();
+    let plan = FaultPlan::new().pause_leader(Duration::from_secs(30), Duration::ZERO);
+    let run = ScenarioDriver::new(config)
+        .plan(plan)
+        .horizon(Horizon::AfterLastFault(Duration::from_secs(20)))
+        .run();
 
-    // Let the cluster elect a leader and (for Dynatune) warm its estimators.
-    sim.run_until(SimTime::from_secs(30));
-    let leader = sim.leader().expect("a leader after 30s");
-    println!("[{name}] leader is server {leader}");
-    for id in 0..sim.n_servers() {
+    let fault = run.first_fault().expect("the pause fired");
+    let leader = fault.targets[0];
+    println!("[{name}] leader was server {leader}");
+    println!(
+        "[{name}]   mean randomizedTimeout across followers just before the pause: {:.0} ms",
+        fault.mean_rto_before_ms(Some(leader))
+    );
+    for id in 0..run.sim.n_servers() {
         if id == leader {
             continue;
         }
-        let snap = sim.tuning_snapshot(id);
+        let snap = run.sim.tuning_snapshot(id);
         println!(
             "[{name}]   server {id}: Et = {:>7.1} ms, h = {:>7.1} ms ({})",
             snap.election_timeout.as_secs_f64() * 1e3,
@@ -35,12 +49,7 @@ fn failover_demo(name: &str, tuning: TuningConfig) -> (f64, f64) {
         );
     }
 
-    // Fail the leader the way the paper does: freeze its container.
-    let t_fail = sim.now();
-    sim.pause(leader);
-    sim.run_for(Duration::from_secs(20));
-
-    let times = extract_failover(&sim.events(), t_fail, leader);
+    let times = extract_failover(&run.sim.events(), fault.at, leader);
     let detection = times.detection.expect("failure detected").as_secs_f64() * 1e3;
     let ots = times.ots.expect("new leader elected").as_secs_f64() * 1e3;
     println!(
@@ -66,6 +75,7 @@ fn main() {
         (1.0 - dt_ots / raft_ots) * 100.0
     );
     println!(
-        "(paper reports 80% and 45% over 1000 trials; run the fig4 binary for the full study)"
+        "(paper reports 80% and 45% over 1000 trials; run `scenarios --only fig4`\n\
+         or the fig4 binary for the full study)"
     );
 }

@@ -1,0 +1,60 @@
+//! Parallel trial fan-out must be bit-identical to serial execution: the
+//! same `Report` for `--jobs 1` and `--jobs N`, because per-trial seeds
+//! derive from trial indices alone and results merge in input order.
+
+use dynatune_repro::cluster::experiments::failover::{run_trials, FailoverConfig};
+use dynatune_repro::cluster::scenario::{catalog, Experiment, Report, RunCtx};
+use dynatune_repro::cluster::ClusterConfig;
+use dynatune_repro::core::TuningConfig;
+use std::time::Duration;
+
+fn report_with_jobs(experiment: &dyn Experiment, jobs: usize) -> Report {
+    RunCtx::new(1234).quick(true).jobs(jobs).run(experiment)
+}
+
+#[test]
+fn fig4_report_identical_serial_vs_parallel() {
+    let mut ctx = RunCtx::new(77).quick(true);
+    ctx.trials = Some(8); // keep the check fast; 16 clusters per run
+    let serial = ctx.clone().jobs(1).run(&catalog::Fig4Failover);
+    let parallel = ctx.clone().jobs(4).run(&catalog::Fig4Failover);
+    assert_eq!(serial, parallel, "fig4: --jobs must not change the report");
+    // Equality must be meaningful: the report carries real content.
+    assert!(!serial.tables.is_empty() && !serial.artifacts.is_empty());
+    assert_eq!(serial.name, "fig4");
+}
+
+#[test]
+fn churn_report_identical_serial_vs_parallel() {
+    let serial = report_with_jobs(&catalog::PartitionChurn, 1);
+    let parallel = report_with_jobs(&catalog::PartitionChurn, 3);
+    assert_eq!(serial, parallel);
+}
+
+#[test]
+fn failover_trials_identical_across_pool_widths() {
+    let cluster = ClusterConfig::stable(
+        5,
+        TuningConfig::dynatune(),
+        Duration::from_millis(100),
+        4242,
+    );
+    let mut cfg = FailoverConfig::new(cluster, 6);
+    cfg.warmup = Duration::from_secs(20);
+    cfg.observe = Duration::from_secs(20);
+    let widths = [1usize, 2, 5];
+    let results: Vec<_> = widths
+        .iter()
+        .map(|&n| {
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(n)
+                .build()
+                .expect("pool")
+                .install(|| run_trials(&cfg))
+        })
+        .collect();
+    for pair in results.windows(2) {
+        assert_eq!(pair[0].outcomes, pair[1].outcomes);
+        assert_eq!(pair[0].incomplete, pair[1].incomplete);
+    }
+}

@@ -1,19 +1,124 @@
 //! Offline shim for the `rayon` crate.
 //!
 //! Implements the slice of the rayon API this workspace uses —
-//! `into_par_iter().map(f).collect()` — with genuine parallelism over
-//! `std::thread::scope`. Work is distributed via an atomic index counter
-//! (work stealing degenerates to striding, which is fine for the
-//! embarrassingly-parallel trial sweeps this repo runs) and results are
-//! written back by index, so output order matches input order exactly
-//! like real rayon's indexed collect.
+//! `into_par_iter().map(f).collect()` plus
+//! `ThreadPoolBuilder::new().num_threads(n).build()?.install(f)` — with
+//! genuine parallelism over `std::thread::scope`. Work is distributed via
+//! an atomic index counter (work stealing degenerates to striding, which
+//! is fine for the embarrassingly-parallel trial sweeps this repo runs)
+//! and results are written back by index, so output order matches input
+//! order exactly like real rayon's indexed collect.
+//!
+//! `ThreadPool::install` scopes a worker-count override onto the calling
+//! thread (a thread-local, rather than real rayon's dedicated pool
+//! threads): parallel iterators evaluated inside the closure use the
+//! pool's thread count. That is exactly the degree-of-parallelism control
+//! the workspace needs for `--jobs N`, and because results are written
+//! back by input index, any thread count produces identical output.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::cell::Cell;
+use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::thread;
+
+thread_local! {
+    /// Worker-count override installed by [`ThreadPool::install`] on the
+    /// current thread; `None` means "use all available parallelism".
+    static POOL_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Number of threads parallel iterators on this thread will use.
+#[must_use]
+pub fn current_num_threads() -> usize {
+    POOL_THREADS
+        .with(|c| c.get())
+        .unwrap_or_else(|| thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get))
+}
+
+/// Error building a thread pool (the shim never actually fails; the type
+/// exists for signature compatibility with real rayon).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "failed to build thread pool")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a [`ThreadPool`], mirroring rayon's API surface.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Start building a pool with the default (all cores) thread count.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Cap the pool at `n` worker threads; 0 means "all cores", exactly
+    /// like real rayon.
+    #[must_use]
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Build the pool.
+    ///
+    /// # Errors
+    /// Never fails in the shim; the `Result` mirrors real rayon.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
+    }
+}
+
+/// A scoped degree-of-parallelism override (see the crate docs for how
+/// this differs from real rayon's pool threads).
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Run `f` with this pool's thread count governing every parallel
+    /// iterator it evaluates (on the calling thread).
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let previous =
+            POOL_THREADS.with(|c| c.replace((self.num_threads > 0).then_some(self.num_threads)));
+        // Restore on unwind too, so a panicking closure cannot leak the
+        // override into unrelated work on this thread.
+        struct Restore(Option<usize>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                POOL_THREADS.with(|c| c.set(self.0));
+            }
+        }
+        let _restore = Restore(previous);
+        f()
+    }
+
+    /// The configured thread count (0 = all cores).
+    #[must_use]
+    pub fn current_num_threads(&self) -> usize {
+        if self.num_threads == 0 {
+            thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        } else {
+            self.num_threads
+        }
+    }
+}
 
 /// Rayon-style prelude: `use rayon::prelude::*;`.
 pub mod prelude {
@@ -91,9 +196,7 @@ where
     F: Fn(T) -> R + Sync,
 {
     let n = items.len();
-    let threads = thread::available_parallelism()
-        .map_or(1, std::num::NonZeroUsize::get)
-        .min(n.max(1));
+    let threads = current_num_threads().min(n.max(1));
     if threads <= 1 {
         return items.into_iter().map(f).collect();
     }
@@ -148,5 +251,38 @@ mod tests {
     fn empty_input_is_fine() {
         let out: Vec<u8> = Vec::<u8>::new().into_par_iter().map(|x| x).collect();
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn pool_install_caps_and_restores_thread_count() {
+        let pool = crate::ThreadPoolBuilder::new()
+            .num_threads(2)
+            .build()
+            .expect("build pool");
+        assert_eq!(pool.current_num_threads(), 2);
+        let before = crate::current_num_threads();
+        let (inside, out) = pool.install(|| {
+            let out: Vec<usize> = (0..100usize).into_par_iter().map(|x| x + 1).collect();
+            (crate::current_num_threads(), out)
+        });
+        assert_eq!(inside, 2);
+        assert_eq!(out, (1..=100).collect::<Vec<_>>());
+        assert_eq!(crate::current_num_threads(), before, "override restored");
+    }
+
+    #[test]
+    fn single_thread_pool_matches_parallel_output() {
+        let serial_pool = crate::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .expect("build pool");
+        let wide_pool = crate::ThreadPoolBuilder::new()
+            .num_threads(8)
+            .build()
+            .expect("build pool");
+        let f = |x: usize| x.wrapping_mul(0x9E37_79B9).rotate_left(7);
+        let a: Vec<usize> = serial_pool.install(|| (0..500).into_par_iter().map(f).collect());
+        let b: Vec<usize> = wide_pool.install(|| (0..500).into_par_iter().map(f).collect());
+        assert_eq!(a, b);
     }
 }
