@@ -10,9 +10,11 @@
 //! Every §IV figure, the ablations and the beyond-paper scenarios run
 //! through the same `Experiment` interface; this binary enumerates the
 //! registry, runs the selection, and writes each experiment's CSV
-//! artifacts under `--out` (default `results/`).
+//! artifacts under `--out` (default `results/`), plus a machine-readable
+//! `BENCH_scenarios.json` (per-scenario wall time and headline metrics)
+//! that CI uploads so the perf trajectory accumulates across commits.
 
-use dynatune_bench::{run_and_emit, RunArgs};
+use dynatune_bench::{bench_json, run_and_emit, BenchEntry, RunArgs};
 use dynatune_cluster::scenario::registry;
 use dynatune_stats::table::Table;
 use std::time::Instant;
@@ -59,17 +61,33 @@ fn main() {
     );
 
     let mut summary = Table::new(["scenario", "wall (s)", "tables", "artifacts"]);
+    let mut entries = Vec::new();
     for e in selected {
         let started = Instant::now();
         let report = run_and_emit(e.as_ref(), &args);
+        let wall_s = started.elapsed().as_secs_f64();
         summary.row([
             e.name().to_string(),
-            format!("{:.1}", started.elapsed().as_secs_f64()),
+            format!("{wall_s:.1}"),
             format!("{}", report.tables.len()),
             format!("{}", report.artifacts.len()),
         ]);
+        entries.push(BenchEntry {
+            name: e.name().to_string(),
+            wall_s,
+            headlines: report
+                .headlines
+                .iter()
+                .map(|h| (h.label.clone(), h.paper.clone(), h.measured.clone()))
+                .collect(),
+        });
         println!();
     }
+    let json = bench_json(&args, &entries);
+    std::fs::create_dir_all(&args.out).expect("create output dir");
+    let json_path = args.out.join("BENCH_scenarios.json");
+    std::fs::write(&json_path, json).expect("write bench json");
     println!("================================================================");
     print!("{}", summary.render());
+    println!("wrote {}", json_path.display());
 }

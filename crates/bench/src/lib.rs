@@ -172,6 +172,80 @@ pub fn write_csv(dir: &Path, name: &str, content: &str) {
     println!("  wrote {}", path.display());
 }
 
+/// One scenario's entry in the machine-readable benchmark summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchEntry {
+    /// Registry name.
+    pub name: String,
+    /// Wall-clock seconds the run took.
+    pub wall_s: f64,
+    /// The report's headline metrics as `(label, paper, measured)`.
+    pub headlines: Vec<(String, String, String)>,
+}
+
+/// Escape a string for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render the benchmark summary the `scenarios` binary writes as
+/// `BENCH_scenarios.json`: per-scenario wall time plus the headline
+/// metrics, so CI runs accumulate a perf/result trajectory without
+/// scraping stdout tables.
+#[must_use]
+pub fn bench_json(args: &RunArgs, entries: &[BenchEntry]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"schema\": \"dynatune-bench-scenarios/v1\",\n");
+    out.push_str(&format!("  \"quick\": {},\n", args.quick));
+    out.push_str(&format!("  \"seed\": {},\n", args.seed));
+    out.push_str(&format!("  \"jobs\": {},\n", args.jobs));
+    // fold, not sum: an empty f64 `sum()` is -0.0 (std seeds the fold with
+    // -0.0), which would print "-0.000" for an empty run.
+    out.push_str(&format!(
+        "  \"total_wall_s\": {:.3},\n",
+        entries.iter().fold(0.0, |acc, e| acc + e.wall_s)
+    ));
+    out.push_str("  \"scenarios\": [\n");
+    let scenario_entries: Vec<String> = entries
+        .iter()
+        .map(|e| {
+            let headlines: Vec<String> = e
+                .headlines
+                .iter()
+                .map(|(label, paper, measured)| {
+                    format!(
+                        "        {{\"label\": \"{}\", \"paper\": \"{}\", \"measured\": \"{}\"}}",
+                        json_escape(label),
+                        json_escape(paper),
+                        json_escape(measured)
+                    )
+                })
+                .collect();
+            format!(
+                "    {{\n      \"name\": \"{}\",\n      \"wall_s\": {:.3},\n      \"headlines\": [\n{}\n      ]\n    }}",
+                json_escape(&e.name),
+                e.wall_s,
+                headlines.join(",\n")
+            )
+        })
+        .collect();
+    out.push_str(&scenario_entries.join(",\n"));
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
 /// Standard banner for runner binaries.
 pub fn banner(fig: &str, description: &str, quick: bool) {
     println!("================================================================");
@@ -280,6 +354,56 @@ mod tests {
         assert!(ctx.quick);
         assert_eq!(ctx.jobs, 2);
         assert_eq!(ctx.seed, 5);
+    }
+
+    #[test]
+    fn bench_json_shape_and_escaping() {
+        let args = RunArgs {
+            quick: true,
+            jobs: 2,
+            ..RunArgs::default()
+        };
+        let entries = vec![
+            BenchEntry {
+                name: "fig4".to_string(),
+                wall_s: 1.25,
+                headlines: vec![(
+                    "detection \"reduction\"".to_string(),
+                    "80%".to_string(),
+                    "88%\nline2".to_string(),
+                )],
+            },
+            BenchEntry {
+                name: "hot_shard".to_string(),
+                wall_s: 0.5,
+                headlines: vec![],
+            },
+        ];
+        let json = bench_json(&args, &entries);
+        assert!(json.contains("\"schema\": \"dynatune-bench-scenarios/v1\""));
+        assert!(json.contains("\"quick\": true"));
+        assert!(json.contains("\"jobs\": 2"));
+        assert!(json.contains("\"total_wall_s\": 1.750"));
+        assert!(json.contains("\"name\": \"fig4\""));
+        assert!(json.contains("\"wall_s\": 1.250"));
+        // Quotes and newlines inside headline strings are escaped.
+        assert!(json.contains("detection \\\"reduction\\\""));
+        assert!(json.contains("88%\\nline2"));
+        assert!(!json.contains("88%\nline2"));
+        // Balanced braces/brackets — a cheap structural sanity check.
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            let opens = json.matches(open).count();
+            let closes = json.matches(close).count();
+            assert_eq!(opens, closes, "unbalanced {open}{close}");
+        }
+    }
+
+    #[test]
+    fn bench_json_empty_run_is_wellformed() {
+        let json = bench_json(&RunArgs::default(), &[]);
+        assert!(json.contains("\"total_wall_s\": 0.000"));
+        assert!(json.contains("\"scenarios\": ["));
+        assert!(json.trim_end().ends_with('}'));
     }
 
     #[test]

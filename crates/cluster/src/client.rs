@@ -266,7 +266,8 @@ impl ClientHost {
                 self.arm_timeout(ctx.now, req_id);
             }
             // Clients ignore protocol traffic.
-            ClusterMsg::Raft(_) | ClusterMsg::ClientReq { .. } => {}
+            ClusterMsg::Raft(_) | ClusterMsg::ClientReq { .. } | ClusterMsg::ClientBatch { .. } => {
+            }
         }
     }
 

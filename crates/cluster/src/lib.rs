@@ -6,7 +6,10 @@
 //! CPU cost, and implements every experiment of the paper's evaluation
 //! (§IV): see [`experiments`] for the measurement procedures and
 //! [`scenario`] for the declarative layer (builders, fault plans, the
-//! generic driver, and the registry of runnable experiments).
+//! generic driver, and the registry of runnable experiments). The
+//! [`sharded`] module scales the single group out horizontally: N
+//! independent Raft groups (one per hash partition of the keyspace) in one
+//! world, served through a per-shard batching client.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -18,6 +21,8 @@ pub mod msg;
 pub mod observers;
 pub mod scenario;
 pub mod server;
+pub mod shard_client;
+pub mod sharded;
 pub mod sim;
 
 pub use client::{ClientHost, StepRecord};
@@ -32,4 +37,6 @@ pub use scenario::{
     RunCtx, ScenarioBuilder, ScenarioDriver, Target,
 };
 pub use server::ServerHost;
+pub use shard_client::{ShardClient, ShardStats};
+pub use sharded::{ShardedClusterSim, ShardedConfig};
 pub use sim::{ClusterConfig, ClusterHost, ClusterSim, WorkloadSpec};

@@ -15,6 +15,14 @@ pub enum ClusterMsg {
         /// The command to execute.
         cmd: KvCommand,
     },
+    /// Client → server batch: several requests for the *same* Raft group,
+    /// sent as one message. The sharded client coalesces the arrivals of a
+    /// wake per shard; the server admits each item as if it arrived alone
+    /// (same per-request CPU cost) and answers per request.
+    ClientBatch {
+        /// `(req_id, command)` items, in client send order.
+        reqs: Vec<(u64, KvCommand)>,
+    },
     /// Server → client completion.
     ClientResp {
         /// Echoed request id.
@@ -42,6 +50,7 @@ impl ClusterMsg {
         match self {
             ClusterMsg::Raft(p) => p.kind(),
             ClusterMsg::ClientReq { .. } => "client_req",
+            ClusterMsg::ClientBatch { .. } => "client_batch",
             ClusterMsg::ClientResp { .. } => "client_resp",
             ClusterMsg::ClientRedirect { .. } => "client_redirect",
         }

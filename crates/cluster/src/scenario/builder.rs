@@ -8,8 +8,10 @@
 //! the experiment catalog, the figure binaries and the examples.
 
 use crate::cpu::CostModel;
+use crate::sharded::{ShardedClusterSim, ShardedConfig};
 use crate::sim::{ClusterConfig, ClusterSim, WorkloadSpec};
 use dynatune_core::TuningConfig;
+use dynatune_kv::ShardMap;
 use dynatune_raft::TimerQuantization;
 use dynatune_simnet::{geo_topology, CongestionConfig, LinkSchedule, NetParams, Region, Topology};
 use std::time::Duration;
@@ -114,6 +116,7 @@ impl NetPlan {
 #[derive(Debug, Clone)]
 pub struct ScenarioBuilder {
     n: usize,
+    shards: usize,
     tuning: TuningConfig,
     net: NetPlan,
     congestion: Option<CongestionConfig>,
@@ -137,6 +140,7 @@ impl ScenarioBuilder {
     pub fn cluster(n: usize) -> Self {
         Self {
             n,
+            shards: 1,
             tuning: TuningConfig::raft_default(),
             net: NetPlan::stable(Duration::from_millis(100)),
             congestion: None,
@@ -159,6 +163,16 @@ impl ScenarioBuilder {
     #[must_use]
     pub fn tuning(mut self, tuning: TuningConfig) -> Self {
         self.tuning = tuning;
+        self
+    }
+
+    /// The shard dimension: partition the keyspace across `shards`
+    /// independent Raft groups of `n` replicas each (default 1 — the
+    /// classic single group). Resolved by [`Self::build_sharded`]; the net
+    /// plan then covers all `shards * n` servers.
+    #[must_use]
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
         self
     }
 
@@ -256,8 +270,16 @@ impl ScenarioBuilder {
     }
 
     /// Resolve into the flat [`ClusterConfig`].
+    ///
+    /// # Panics
+    /// Panics when a shard dimension was set: a sharded scenario resolves
+    /// through [`Self::build_sharded`], not the single-group config.
     #[must_use]
     pub fn build(self) -> ClusterConfig {
+        assert_eq!(
+            self.shards, 1,
+            "a sharded builder resolves via build_sharded()"
+        );
         let congestion = self
             .congestion
             .unwrap_or_else(|| self.net.default_congestion());
@@ -285,6 +307,38 @@ impl ScenarioBuilder {
     #[must_use]
     pub fn build_sim(self) -> ClusterSim {
         ClusterSim::new(&self.build())
+    }
+
+    /// Resolve into a [`ShardedConfig`]: `shards` independent groups of
+    /// `n` replicas each, the net plan resolved over all servers.
+    #[must_use]
+    pub fn build_sharded(self) -> ShardedConfig {
+        let map = ShardMap::new(self.shards, self.n);
+        let congestion = self
+            .congestion
+            .unwrap_or_else(|| self.net.default_congestion());
+        ShardedConfig {
+            map,
+            tuning: self.tuning,
+            topology: self.net.topology(map.n_servers()),
+            congestion,
+            quantization: self.quantization,
+            udp_heartbeats: self.udp_heartbeats,
+            pre_vote: self.pre_vote,
+            check_quorum: self.check_quorum,
+            cost: self.cost,
+            cores: self.cores,
+            cpu_window: self.cpu_window,
+            seed: self.seed,
+            workload: self.workload,
+            client_link: self.client_link,
+        }
+    }
+
+    /// Build and instantiate the sharded cluster.
+    #[must_use]
+    pub fn build_sharded_sim(self) -> ShardedClusterSim {
+        ShardedClusterSim::new(&self.build_sharded())
     }
 }
 

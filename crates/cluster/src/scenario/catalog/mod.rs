@@ -14,6 +14,7 @@ mod extensions;
 mod failover;
 mod fluctuation;
 mod novel;
+pub mod sharded;
 mod throughput;
 
 pub use ablations::Ablations;
@@ -21,4 +22,5 @@ pub use extensions::Extensions;
 pub use failover::{Fig4Failover, Fig8GeoFailover};
 pub use fluctuation::{Fig6aGradualRtt, Fig6bRadicalRtt, Fig7LossFluctuation};
 pub use novel::{GeoAsymmetricFailover, PartitionChurn};
+pub use sharded::{HotShard, ShardLeaderFailover, ShardedThroughput};
 pub use throughput::Fig5Throughput;

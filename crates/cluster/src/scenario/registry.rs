@@ -21,6 +21,9 @@ pub fn registry() -> Vec<Box<dyn Experiment>> {
         Box::new(catalog::Extensions),
         Box::new(catalog::GeoAsymmetricFailover),
         Box::new(catalog::PartitionChurn),
+        Box::new(catalog::ShardedThroughput),
+        Box::new(catalog::HotShard),
+        Box::new(catalog::ShardLeaderFailover),
     ]
 }
 
@@ -37,7 +40,7 @@ mod tests {
     #[test]
     fn names_are_unique_and_findable() {
         let all = registry();
-        assert!(all.len() >= 10);
+        assert!(all.len() >= 13);
         let mut names: Vec<&str> = all.iter().map(|e| e.name()).collect();
         names.sort_unstable();
         let mut deduped = names.clone();

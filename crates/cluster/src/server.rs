@@ -39,6 +39,12 @@ pub struct ServerHost {
     cost: CostModel,
     cpu: CpuMeter,
     tunes: bool,
+    /// Global host id of this group's first member. Raft node ids are
+    /// group-local (`0..n`); in a multi-group (sharded) world the group
+    /// occupies a contiguous block of host ids starting here, so protocol
+    /// traffic translates by one addition/subtraction. Zero for the
+    /// single-group layout, where host ids and node ids coincide.
+    peer_base: NodeId,
     /// Observable event log: `(time, event)`.
     events: Vec<(SimTime, RaftEvent)>,
     /// Proposals awaiting application, keyed by log index.
@@ -57,10 +63,19 @@ impl ServerHost {
             cost,
             cpu: CpuMeter::new(cores, window),
             tunes,
+            peer_base: 0,
             events: Vec::new(),
             pending: BTreeMap::new(),
             admit: std::collections::VecDeque::new(),
         }
+    }
+
+    /// Place this server's Raft group at a block of host ids starting at
+    /// `base` (sharded worlds; see `peer_base`).
+    #[must_use]
+    pub fn with_peer_base(mut self, base: NodeId) -> Self {
+        self.peer_base = base;
+        self
     }
 
     /// The wrapped Raft node (observers).
@@ -121,7 +136,11 @@ impl ServerHost {
         }
         for m in fx.messages {
             self.cpu.charge(now, self.msg_send_cost(&m.payload));
-            ctx.send(m.to, m.channel, ClusterMsg::Raft(m.payload));
+            ctx.send(
+                self.peer_base + m.to,
+                m.channel,
+                ClusterMsg::Raft(m.payload),
+            );
         }
         for applied in fx.applied {
             self.cpu.charge(now, self.cost.per_apply);
@@ -188,7 +207,9 @@ impl ServerHost {
                         Channel::Tcp,
                         ClusterMsg::ClientRedirect {
                             req_id: req.req_id,
-                            hint: not_leader.hint,
+                            // The node's hint is group-local; clients
+                            // address hosts, so translate it.
+                            hint: not_leader.hint.map(|h| h + self.peer_base),
                             cmd: req.cmd,
                         },
                     );
@@ -208,7 +229,7 @@ impl ServerHost {
         match msg {
             ClusterMsg::Raft(payload) => {
                 self.cpu.charge(ctx.now, self.msg_recv_cost());
-                let fx = self.node.step(ctx.now, from, payload);
+                let fx = self.node.step(ctx.now, from - self.peer_base, payload);
                 self.route_effects(ctx, fx);
                 self.drain_admitted(ctx);
             }
@@ -224,6 +245,24 @@ impl ServerHost {
                     req_id,
                     cmd,
                 });
+                self.drain_admitted(ctx);
+            }
+            ClusterMsg::ClientBatch { reqs } => {
+                // Batching saves network round trips, not CPU: each item
+                // pays the full per-request admission cost.
+                let mut cost = self.cost.per_request;
+                if self.tunes {
+                    cost += self.cost.tuning_per_request;
+                }
+                for (req_id, cmd) in reqs {
+                    let ready_at = self.cpu.charge(ctx.now, cost);
+                    self.admit.push_back(AdmittedReq {
+                        ready_at,
+                        client: from,
+                        req_id,
+                        cmd,
+                    });
+                }
                 self.drain_admitted(ctx);
             }
             // Servers never receive client-bound messages.

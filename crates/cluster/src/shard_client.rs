@@ -1,0 +1,459 @@
+//! Shard-aware open-loop client: hash-routes every command to its owning
+//! Raft group and coalesces the arrivals of each wake into one batch per
+//! shard.
+//!
+//! The single-group [`ClientHost`](crate::client::ClientHost) tracks one
+//! leader guess; this client tracks one per shard, follows redirects per
+//! shard, and retries timeouts round-robin *within* the owning group (a
+//! request must never leave its shard — the data is only there). Per-shard
+//! counters are cumulative, so experiments can snapshot them at any two
+//! instants and difference for a windowed throughput.
+
+use crate::msg::ClusterMsg;
+use dynatune_kv::{KvCommand, ShardId, ShardMap, ShardRouter, WorkloadGen};
+use dynatune_raft::NodeId;
+use dynatune_simnet::{Channel, HostCtx, SimTime};
+use dynatune_stats::OnlineStats;
+use std::collections::{HashMap, VecDeque};
+use std::time::Duration;
+
+/// Maximum redirect/timeout-driven retries per request (matches the
+/// single-group client).
+const MAX_RETRIES: u8 = 3;
+
+/// Default batching window: arrivals within this span of the first pending
+/// arrival ride the same per-shard batch. Small against the 100 ms server
+/// RTT (at most a ~2 ms latency tax) but wide enough to coalesce under
+/// load, where inter-arrival gaps shrink below it.
+pub const DEFAULT_BATCH_WINDOW: Duration = Duration::from_millis(2);
+
+/// Cumulative per-shard outcome counters.
+#[derive(Debug, Clone, Default)]
+pub struct ShardStats {
+    /// Requests routed to this shard.
+    pub sent: u64,
+    /// Requests completed successfully.
+    pub completed: u64,
+    /// Requests that failed (leadership change, retries exhausted).
+    pub failed: u64,
+    /// Batch messages sent to this shard's group.
+    pub batches: u64,
+    /// Latency of completed requests in milliseconds.
+    pub latency_ms: OnlineStats,
+}
+
+#[derive(Debug, Clone)]
+struct Outstanding {
+    sent_at: SimTime,
+    shard: ShardId,
+    retries: u8,
+    cmd: KvCommand,
+}
+
+/// An open-loop client over a sharded cluster.
+pub struct ShardClient {
+    workload: WorkloadGen,
+    router: ShardRouter,
+    map: ShardMap,
+    /// Per-shard leader guess (global host id within the shard's group).
+    leader_guess: Vec<NodeId>,
+    next_req_id: u64,
+    outstanding: HashMap<u64, Outstanding>,
+    stats: Vec<ShardStats>,
+    request_timeout: Option<Duration>,
+    /// FIFO of `(deadline, req_id)`; constant timeout keeps it ordered.
+    timeout_queue: VecDeque<(SimTime, u64)>,
+    timed_out: u64,
+    /// Pending batch buffers, one per shard, flushed together at
+    /// `flush_at`.
+    batch_scratch: Vec<Vec<(u64, KvCommand)>>,
+    /// Flush deadline: first pending arrival's nominal time plus the batch
+    /// window (`None` when nothing is pending). Anchoring on the arrival
+    /// time, not the wake time, keeps a late wake from deferring overdue
+    /// work another window.
+    flush_at: Option<SimTime>,
+    batch_window: Duration,
+}
+
+impl ShardClient {
+    /// Create a client over the placement in `map`; each shard's initial
+    /// leader guess is its replica 0.
+    #[must_use]
+    pub fn new(workload: WorkloadGen, map: ShardMap) -> Self {
+        let shards = map.shards();
+        Self {
+            workload,
+            router: ShardRouter::new(shards),
+            map,
+            leader_guess: (0..shards).map(|s| map.server(s, 0)).collect(),
+            next_req_id: 0,
+            outstanding: HashMap::new(),
+            stats: vec![ShardStats::default(); shards],
+            request_timeout: Some(Duration::from_secs(1)),
+            timeout_queue: VecDeque::new(),
+            timed_out: 0,
+            batch_scratch: vec![Vec::new(); shards],
+            flush_at: None,
+            batch_window: DEFAULT_BATCH_WINDOW,
+        }
+    }
+
+    /// Override (or disable) the per-request response timeout.
+    #[must_use]
+    pub fn with_request_timeout(mut self, timeout: Option<Duration>) -> Self {
+        self.request_timeout = timeout;
+        self
+    }
+
+    /// Override the batching window (`Duration::ZERO` sends every arrival
+    /// unbatched, like the single-group client).
+    #[must_use]
+    pub fn with_batch_window(mut self, window: Duration) -> Self {
+        self.batch_window = window;
+        self
+    }
+
+    /// Per-shard cumulative counters.
+    #[must_use]
+    pub fn shard_stats(&self) -> &[ShardStats] {
+        &self.stats
+    }
+
+    /// Completed requests per shard (snapshot-friendly).
+    #[must_use]
+    pub fn completed_per_shard(&self) -> Vec<u64> {
+        self.stats.iter().map(|s| s.completed).collect()
+    }
+
+    /// Total completed requests across all shards.
+    #[must_use]
+    pub fn total_completed(&self) -> u64 {
+        self.stats.iter().map(|s| s.completed).sum()
+    }
+
+    /// Requests still in flight.
+    #[must_use]
+    pub fn outstanding(&self) -> usize {
+        self.outstanding.len()
+    }
+
+    /// Requests abandoned after exhausting timeout retries.
+    #[must_use]
+    pub fn timed_out(&self) -> u64 {
+        self.timed_out
+    }
+
+    /// Rotate a shard's leader guess to the next replica of its group.
+    fn rotate_guess(&mut self, shard: ShardId) {
+        let base = self.map.group_base(shard);
+        let local = self.leader_guess[shard] - base;
+        self.leader_guess[shard] = base + (local + 1) % self.map.replicas();
+    }
+
+    fn arm_timeout(&mut self, now: SimTime, req_id: u64) {
+        if let Some(t) = self.request_timeout {
+            self.timeout_queue.push_back((now + t, req_id));
+        }
+    }
+
+    /// Retry (or abandon) overdue requests. The guess rotates at most once
+    /// per shard per expiry wave, exactly like the single-group client.
+    fn expire_timeouts(&mut self, ctx: &mut HostCtx<'_, ClusterMsg>) {
+        let mut rotated = vec![false; self.map.shards()];
+        while let Some(&(deadline, req_id)) = self.timeout_queue.front() {
+            if deadline > ctx.now {
+                break;
+            }
+            self.timeout_queue.pop_front();
+            let Some(o) = self.outstanding.get_mut(&req_id) else {
+                continue; // already answered
+            };
+            let shard = o.shard;
+            if o.retries >= MAX_RETRIES {
+                self.outstanding.remove(&req_id);
+                self.stats[shard].failed += 1;
+                self.timed_out += 1;
+                continue;
+            }
+            o.retries += 1;
+            let cmd = o.cmd.clone();
+            if !rotated[shard] {
+                self.rotate_guess(shard);
+                rotated[shard] = true;
+            }
+            let target = self.leader_guess[shard];
+            ctx.send(target, Channel::Tcp, ClusterMsg::ClientReq { req_id, cmd });
+            self.arm_timeout(ctx.now, req_id);
+        }
+    }
+
+    /// Send every due arrival, coalesced into one batch per shard, and
+    /// expire overdue requests.
+    pub fn handle_wake(&mut self, ctx: &mut HostCtx<'_, ClusterMsg>) {
+        self.expire_timeouts(ctx);
+        while let Some(at) = self.workload.peek_next() {
+            if at > ctx.now {
+                break;
+            }
+            let Some((_, cmd)) = self.workload.next_request() else {
+                break;
+            };
+            let shard = self.router.shard_of_command(&cmd);
+            let req_id = self.next_req_id;
+            self.next_req_id += 1;
+            self.outstanding.insert(
+                req_id,
+                Outstanding {
+                    sent_at: ctx.now,
+                    shard,
+                    retries: 0,
+                    cmd: cmd.clone(),
+                },
+            );
+            self.stats[shard].sent += 1;
+            self.arm_timeout(ctx.now, req_id);
+            if self.flush_at.is_none() {
+                self.flush_at = Some(at + self.batch_window);
+            }
+            self.batch_scratch[shard].push((req_id, cmd));
+        }
+        if self.flush_at.is_some_and(|t| t <= ctx.now) {
+            self.flush_at = None;
+            for shard in 0..self.map.shards() {
+                if self.batch_scratch[shard].is_empty() {
+                    continue;
+                }
+                let reqs = std::mem::take(&mut self.batch_scratch[shard]);
+                self.stats[shard].batches += 1;
+                ctx.send(
+                    self.leader_guess[shard],
+                    Channel::Tcp,
+                    ClusterMsg::ClientBatch { reqs },
+                );
+            }
+        }
+    }
+
+    /// Process a server response.
+    pub fn handle_message(
+        &mut self,
+        ctx: &mut HostCtx<'_, ClusterMsg>,
+        _from: NodeId,
+        msg: ClusterMsg,
+    ) {
+        match msg {
+            ClusterMsg::ClientResp { req_id, result } => {
+                if let Some(o) = self.outstanding.remove(&req_id) {
+                    let rec = &mut self.stats[o.shard];
+                    if result.is_some() {
+                        rec.completed += 1;
+                        let ms = (ctx.now - o.sent_at).as_secs_f64() * 1e3;
+                        rec.latency_ms.push(ms);
+                    } else {
+                        rec.failed += 1;
+                    }
+                }
+            }
+            ClusterMsg::ClientRedirect { req_id, hint, cmd } => {
+                let Some(o) = self.outstanding.get_mut(&req_id) else {
+                    return;
+                };
+                let shard = o.shard;
+                let exhausted = o.retries >= MAX_RETRIES;
+                if !exhausted {
+                    o.retries += 1;
+                }
+                match hint {
+                    // Hints are global host ids (the server translates);
+                    // trust only hints that stay inside the shard's group.
+                    Some(h) if self.map.shard_of_server(h) == Some(shard) => {
+                        self.leader_guess[shard] = h;
+                    }
+                    _ => self.rotate_guess(shard),
+                }
+                if exhausted {
+                    self.outstanding.remove(&req_id);
+                    self.stats[shard].failed += 1;
+                    return;
+                }
+                let target = self.leader_guess[shard];
+                ctx.send(target, Channel::Tcp, ClusterMsg::ClientReq { req_id, cmd });
+                self.arm_timeout(ctx.now, req_id);
+            }
+            // Clients ignore protocol traffic.
+            ClusterMsg::Raft(_) | ClusterMsg::ClientReq { .. } | ClusterMsg::ClientBatch { .. } => {
+            }
+        }
+    }
+
+    /// Next workload arrival, batch flush or timeout check, whichever is
+    /// sooner.
+    #[must_use]
+    pub fn wake_deadline(&self) -> Option<SimTime> {
+        let arrival = self.workload.peek_next();
+        let timeout = self.timeout_queue.front().map(|&(d, _)| d);
+        [arrival, timeout, self.flush_at]
+            .into_iter()
+            .flatten()
+            .min()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynatune_kv::{KvResponse, OpMix, RateStep};
+    use dynatune_simnet::rng::Rng;
+
+    fn client(shards: usize, replicas: usize, rps: f64) -> ShardClient {
+        let wl = WorkloadGen::new(
+            vec![RateStep {
+                rps,
+                hold: Duration::from_secs(1),
+            }],
+            OpMix::write_heavy(),
+            1000,
+            0.0,
+            16,
+            Rng::new(5),
+            SimTime::ZERO,
+        );
+        ShardClient::new(wl, ShardMap::new(shards, replicas))
+    }
+
+    #[test]
+    fn wake_batches_per_shard() {
+        let mut c = client(4, 3, 400.0);
+        let mut out = Vec::new();
+        let mut ctx = HostCtx::test_ctx(SimTime::from_millis(500), 0, &mut out);
+        c.handle_wake(&mut ctx);
+        // All arrivals of [0, 500ms) coalesce into at most one batch per
+        // shard, addressed to each shard's replica 0.
+        assert!(!out.is_empty() && out.len() <= 4, "batches: {}", out.len());
+        let map = ShardMap::new(4, 3);
+        let mut items = 0;
+        for (to, _, msg) in &out {
+            let ClusterMsg::ClientBatch { reqs } = msg else {
+                panic!("expected batch, got {msg:?}");
+            };
+            let shard = map.shard_of_server(*to).expect("batch sent to a server");
+            assert_eq!(*to, map.server(shard, 0), "initial guess is replica 0");
+            items += reqs.len();
+        }
+        assert_eq!(items as u64, c.shard_stats().iter().map(|s| s.sent).sum());
+        assert_eq!(c.outstanding(), items);
+    }
+
+    #[test]
+    fn completion_lands_in_the_owning_shard() {
+        let mut c = client(2, 3, 100.0);
+        let mut out = Vec::new();
+        let mut ctx = HostCtx::test_ctx(SimTime::from_millis(200), 0, &mut out);
+        c.handle_wake(&mut ctx);
+        let (to, _, first) = &out[0];
+        let shard = ShardMap::new(2, 3).shard_of_server(*to).unwrap();
+        let ClusterMsg::ClientBatch { reqs } = first else {
+            panic!("unexpected {first:?}");
+        };
+        let req_id = reqs[0].0;
+        let mut out2 = Vec::new();
+        let mut ctx = HostCtx::test_ctx(SimTime::from_millis(250), 0, &mut out2);
+        c.handle_message(
+            &mut ctx,
+            *to,
+            ClusterMsg::ClientResp {
+                req_id,
+                result: Some(KvResponse::Put { prev: None }),
+            },
+        );
+        assert_eq!(c.shard_stats()[shard].completed, 1);
+        assert!(c.shard_stats()[shard].latency_ms.mean() > 0.0);
+        let other = 1 - shard;
+        assert_eq!(c.shard_stats()[other].completed, 0);
+    }
+
+    #[test]
+    fn redirect_stays_inside_the_group() {
+        let mut c = client(2, 3, 100.0);
+        let mut out = Vec::new();
+        let mut ctx = HostCtx::test_ctx(SimTime::from_millis(200), 0, &mut out);
+        c.handle_wake(&mut ctx);
+        let (to, _, first) = &out[0];
+        let map = ShardMap::new(2, 3);
+        let shard = map.shard_of_server(*to).unwrap();
+        let ClusterMsg::ClientBatch { reqs } = first else {
+            panic!("unexpected {first:?}");
+        };
+        let (req_id, _) = reqs[0].clone();
+        // A valid in-group hint is adopted.
+        let hint = map.server(shard, 2);
+        let mut out2 = Vec::new();
+        let mut ctx = HostCtx::test_ctx(SimTime::from_millis(210), 0, &mut out2);
+        c.handle_message(
+            &mut ctx,
+            *to,
+            ClusterMsg::ClientRedirect {
+                req_id,
+                hint: Some(hint),
+                cmd: KvCommand::Get {
+                    key: bytes::Bytes::from_static(b"k"),
+                },
+            },
+        );
+        assert_eq!(out2.len(), 1);
+        assert_eq!(out2[0].0, hint, "resent to the hinted replica");
+        // A hint pointing outside the group is ignored: rotate instead.
+        let foreign = map.server(1 - shard, 0);
+        let mut out3 = Vec::new();
+        let mut ctx = HostCtx::test_ctx(SimTime::from_millis(220), 0, &mut out3);
+        c.handle_message(
+            &mut ctx,
+            hint,
+            ClusterMsg::ClientRedirect {
+                req_id,
+                hint: Some(foreign),
+                cmd: KvCommand::Get {
+                    key: bytes::Bytes::from_static(b"k"),
+                },
+            },
+        );
+        assert_eq!(out3.len(), 1);
+        assert_eq!(
+            map.shard_of_server(out3[0].0),
+            Some(shard),
+            "retry must stay in the owning group"
+        );
+    }
+
+    #[test]
+    fn timeouts_rotate_within_the_group_and_eventually_fail() {
+        let mut c = client(2, 3, 200.0).with_request_timeout(Some(Duration::from_millis(100)));
+        let mut out = Vec::new();
+        let mut ctx = HostCtx::test_ctx(SimTime::from_millis(100), 0, &mut out);
+        c.handle_wake(&mut ctx);
+        assert!(c.outstanding() > 0);
+        let map = ShardMap::new(2, 3);
+        // First expiry wave: retries go out as singles, still in-group.
+        let mut out2 = Vec::new();
+        let mut ctx = HostCtx::test_ctx(SimTime::from_millis(300), 0, &mut out2);
+        c.handle_wake(&mut ctx);
+        let retries: Vec<_> = out2
+            .iter()
+            .filter(|(_, _, m)| matches!(m, ClusterMsg::ClientReq { .. }))
+            .collect();
+        assert!(!retries.is_empty());
+        for (to, _, _) in &retries {
+            assert!(map.shard_of_server(*to).is_some());
+        }
+        // Exhaust every retry budget without a single response.
+        for wave in 1..=10u64 {
+            let mut o = Vec::new();
+            let mut ctx = HostCtx::test_ctx(SimTime::from_millis(300 + wave * 200), 0, &mut o);
+            c.expire_timeouts(&mut ctx);
+        }
+        assert!(c.timed_out() > 0);
+        assert_eq!(c.outstanding(), 0);
+        let failed: u64 = c.shard_stats().iter().map(|s| s.failed).sum();
+        assert_eq!(failed, c.timed_out());
+    }
+}

@@ -1,0 +1,366 @@
+//! Multi-group (sharded) cluster assembly: N independent Raft groups and a
+//! shard-aware client inside one simulated [`World`].
+//!
+//! The single-group [`ClusterSim`](crate::sim::ClusterSim) funnels every
+//! write through one leader, so its throughput is capped by one machine's
+//! CPU no matter how many hosts the fabric models. [`ShardedClusterSim`]
+//! lifts that cap: the keyspace is hash-partitioned by a
+//! [`ShardRouter`](dynatune_kv::ShardRouter), each partition is replicated
+//! by its own Raft group (own leader, own tuner state, own election
+//! timers), and a [`ShardClient`] routes and batches requests per shard.
+//! Groups share nothing but the network fabric — a fault in one group's
+//! leader leaves the other groups' commit pipelines untouched, which the
+//! `shard_leader_failover` scenario measures.
+//!
+//! Host layout (world ids): replicas of shard `g` occupy the contiguous
+//! block `[g·R, (g+1)·R)` per the [`ShardMap`]; the optional client is the
+//! last host. Raft node ids stay group-local (`0..R`); [`ServerHost`]
+//! translates via its peer base.
+
+use crate::cpu::CostModel;
+use crate::server::ServerHost;
+use crate::shard_client::{ShardClient, ShardStats};
+use crate::sim::{ClusterHost, WorkloadSpec};
+use dynatune_core::{TuningConfig, TuningSnapshot};
+use dynatune_kv::{ShardId, ShardMap, WorkloadGen};
+use dynatune_raft::{NodeId, RaftConfig, RaftEvent, Role, TimerQuantization};
+use dynatune_simnet::{
+    CongestionConfig, LinkSchedule, NetParams, Network, Rng, SimTime, Topology, World,
+};
+use std::time::Duration;
+
+/// Full description of one sharded cluster run.
+#[derive(Debug, Clone)]
+pub struct ShardedConfig {
+    /// Shard count and replicas per shard (the placement).
+    pub map: ShardMap,
+    /// Tuning mode, applied to every group independently.
+    pub tuning: TuningConfig,
+    /// Server-to-server topology over all `map.n_servers()` hosts.
+    pub topology: Topology,
+    /// Congestion-burst model applied per egress.
+    pub congestion: CongestionConfig,
+    /// Election-timer quantization.
+    pub quantization: TimerQuantization,
+    /// Heartbeats over UDP (paper hybrid transport) or TCP.
+    pub udp_heartbeats: bool,
+    /// Pre-vote enabled.
+    pub pre_vote: bool,
+    /// Check-quorum enabled.
+    pub check_quorum: bool,
+    /// CPU cost model (per server).
+    pub cost: CostModel,
+    /// Cores per server.
+    pub cores: usize,
+    /// Utilization sampling window.
+    pub cpu_window: Duration,
+    /// Master seed; all randomness derives from it.
+    pub seed: u64,
+    /// Optional client workload, routed and batched per shard.
+    pub workload: Option<WorkloadSpec>,
+    /// Network parameters of client↔server links.
+    pub client_link: NetParams,
+}
+
+/// A running sharded cluster.
+pub struct ShardedClusterSim {
+    world: World<ClusterHost>,
+    map: ShardMap,
+}
+
+impl ShardedClusterSim {
+    /// Build the sharded cluster.
+    ///
+    /// # Panics
+    /// Panics when the topology size does not match `map.n_servers()`.
+    #[must_use]
+    pub fn new(config: &ShardedConfig) -> Self {
+        let map = config.map;
+        let n_servers = map.n_servers();
+        assert_eq!(
+            config.topology.len(),
+            n_servers,
+            "topology must cover exactly the servers"
+        );
+        let master = Rng::new(config.seed);
+        let n_total = n_servers + usize::from(config.workload.is_some());
+        let topology = if config.workload.is_some() {
+            config
+                .topology
+                .extend_with(1, LinkSchedule::constant(config.client_link))
+        } else {
+            config.topology.clone()
+        };
+        let net = Network::new(n_total, &master.child(1), config.congestion, |f, t| {
+            topology.schedule(f, t)
+        });
+        let node_seed_root = master.child(2);
+        let mut hosts: Vec<ClusterHost> = Vec::with_capacity(n_total);
+        for shard in 0..map.shards() {
+            for replica in 0..map.replicas() {
+                let mut rc = RaftConfig::new(replica, map.replicas(), config.tuning);
+                rc.pre_vote = config.pre_vote;
+                rc.check_quorum = config.check_quorum;
+                rc.quantization = config.quantization;
+                rc.udp_heartbeats = config.udp_heartbeats;
+                // Seed per world id, so every (shard, replica) pair gets an
+                // independent stream and runs stay deterministic.
+                let mut stream = node_seed_root.child(map.server(shard, replica) as u64);
+                rc.seed = stream.next_u64();
+                hosts.push(ClusterHost::Server(Box::new(
+                    ServerHost::new(rc, config.cost, config.cores, config.cpu_window)
+                        .with_peer_base(map.group_base(shard)),
+                )));
+            }
+        }
+        if let Some(spec) = &config.workload {
+            let wl = WorkloadGen::new(
+                spec.steps.clone(),
+                spec.mix,
+                spec.key_space,
+                spec.zipf_theta,
+                spec.value_size,
+                master.child(3),
+                SimTime::ZERO + spec.start_offset,
+            );
+            hosts.push(ClusterHost::ShardClient(Box::new(
+                ShardClient::new(wl, map).with_request_timeout(spec.request_timeout),
+            )));
+        }
+        Self {
+            world: World::new(hosts, net),
+            map,
+        }
+    }
+
+    /// Current simulated time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.world.now()
+    }
+
+    /// The replica placement.
+    #[must_use]
+    pub fn map(&self) -> ShardMap {
+        self.map
+    }
+
+    /// Number of shards (Raft groups).
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.map.shards()
+    }
+
+    /// Number of server hosts (clients excluded).
+    #[must_use]
+    pub fn n_servers(&self) -> usize {
+        self.map.n_servers()
+    }
+
+    /// Advance the simulation to `deadline`.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        self.world.run_until(deadline);
+    }
+
+    /// Advance by `delta`.
+    pub fn run_for(&mut self, delta: Duration) {
+        let target = self.world.now() + delta;
+        self.world.run_until(target);
+    }
+
+    fn server(&self, id: NodeId) -> &ServerHost {
+        match self.world.host(id) {
+            ClusterHost::Server(s) => s,
+            _ => panic!("host {id} is not a server"),
+        }
+    }
+
+    /// Run a closure against a server (by global host id).
+    pub fn with_server<T>(&self, id: NodeId, f: impl FnOnce(&ServerHost) -> T) -> T {
+        f(self.server(id))
+    }
+
+    /// The live leader of one shard's group (global host id), if exactly
+    /// one exists at the group's highest leading term.
+    #[must_use]
+    pub fn leader_of(&self, shard: ShardId) -> Option<NodeId> {
+        let mut best: Option<(u64, NodeId)> = None;
+        for id in self.map.servers_of(shard) {
+            if self.world.is_paused(id) {
+                continue;
+            }
+            let node = self.server(id).node();
+            if node.role() == Role::Leader {
+                let term = node.term();
+                if best.is_none_or(|(t, _)| term > t) {
+                    best = Some((term, id));
+                }
+            }
+        }
+        best.map(|(_, id)| id)
+    }
+
+    /// Leaders of all shards, indexed by shard id.
+    #[must_use]
+    pub fn leaders(&self) -> Vec<Option<NodeId>> {
+        (0..self.map.shards()).map(|s| self.leader_of(s)).collect()
+    }
+
+    /// Pause a server (global host id).
+    pub fn pause(&mut self, id: NodeId) {
+        self.world.pause(id);
+    }
+
+    /// Resume a paused server.
+    pub fn resume(&mut self, id: NodeId) {
+        self.world.resume(id);
+    }
+
+    /// Crash a server: volatile state lost, persistent log kept.
+    pub fn crash(&mut self, id: NodeId) {
+        crate::sim::crash_server(&mut self.world, id);
+    }
+
+    /// Recorded events of one shard's group, with *group-local* node ids —
+    /// the shape [`extract_failover`](crate::observers::extract_failover)
+    /// and the safety checks expect.
+    #[must_use]
+    pub fn shard_events(&self, shard: ShardId) -> Vec<(SimTime, NodeId, RaftEvent)> {
+        let base = self.map.group_base(shard);
+        let mut out = Vec::new();
+        for id in self.map.servers_of(shard) {
+            for &(t, e) in self.server(id).events() {
+                out.push((t, id - base, e));
+            }
+        }
+        out.sort_by_key(|&(t, id, _)| (t, id));
+        out
+    }
+
+    /// Tuning snapshot of one server (global host id).
+    #[must_use]
+    pub fn tuning_snapshot(&self, id: NodeId) -> TuningSnapshot {
+        self.server(id).node().tuning_snapshot()
+    }
+
+    /// Per-shard client counters (`None` without a workload).
+    #[must_use]
+    pub fn shard_stats(&self) -> Option<Vec<ShardStats>> {
+        match self.world.host(self.world.len() - 1) {
+            ClusterHost::ShardClient(c) => Some(c.shard_stats().to_vec()),
+            _ => None,
+        }
+    }
+
+    /// Completed requests per shard (`None` without a workload).
+    #[must_use]
+    pub fn completed_per_shard(&self) -> Option<Vec<u64>> {
+        match self.world.host(self.world.len() - 1) {
+            ClusterHost::ShardClient(c) => Some(c.completed_per_shard()),
+            _ => None,
+        }
+    }
+
+    /// Total completed requests across shards (0 without a workload).
+    #[must_use]
+    pub fn total_completed(&self) -> u64 {
+        match self.world.host(self.world.len() - 1) {
+            ClusterHost::ShardClient(c) => c.total_completed(),
+            _ => 0,
+        }
+    }
+
+    /// Network counters (sent/delivered/dropped).
+    #[must_use]
+    pub fn net_counters(&self) -> dynatune_simnet::NetCounters {
+        self.world.counters()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observers::election_safety_violations;
+    use crate::scenario::builder::ScenarioBuilder;
+
+    fn sharded(shards: usize, seed: u64, rps: f64) -> ShardedClusterSim {
+        let mut builder = ScenarioBuilder::cluster(3)
+            .tuning(TuningConfig::raft_default())
+            .shards(shards)
+            .seed(seed);
+        if rps > 0.0 {
+            builder = builder.workload(
+                WorkloadSpec::steady(rps, Duration::from_secs(20))
+                    .starting_at(Duration::from_secs(5)),
+            );
+        }
+        builder.build_sharded_sim()
+    }
+
+    #[test]
+    fn every_shard_elects_its_own_leader() {
+        let mut sim = sharded(4, 1, 0.0);
+        sim.run_until(SimTime::from_secs(10));
+        let leaders = sim.leaders();
+        for (shard, leader) in leaders.iter().enumerate() {
+            let leader = leader.unwrap_or_else(|| panic!("shard {shard} must elect"));
+            assert!(sim.map().servers_of(shard).contains(&leader));
+        }
+        // Leaders are distinct hosts and each group's log is safe.
+        for shard in 0..4 {
+            assert_eq!(election_safety_violations(&sim.shard_events(shard)), 0);
+        }
+    }
+
+    #[test]
+    fn workload_spreads_across_all_shards() {
+        let mut sim = sharded(4, 2, 800.0);
+        sim.run_until(SimTime::from_secs(15));
+        let stats = sim.shard_stats().expect("client attached");
+        assert_eq!(stats.len(), 4);
+        for (shard, s) in stats.iter().enumerate() {
+            assert!(s.sent > 500, "shard {shard} sent {}", s.sent);
+            assert!(s.completed > 300, "shard {shard} completed {}", s.completed);
+            assert!(s.batches > 0, "shard {shard} never batched");
+            assert!(
+                s.batches < s.sent,
+                "shard {shard}: batching must coalesce ({} batches / {} sent)",
+                s.batches,
+                s.sent
+            );
+        }
+    }
+
+    #[test]
+    fn crashing_one_leader_leaves_other_shards_serving() {
+        let mut sim = sharded(2, 3, 600.0);
+        sim.run_until(SimTime::from_secs(10));
+        let victim = sim.leader_of(0).expect("shard 0 leader");
+        let before = sim.completed_per_shard().unwrap();
+        sim.crash(victim);
+        sim.run_for(Duration::from_secs(5));
+        let after = sim.completed_per_shard().unwrap();
+        // Shard 1 kept committing throughout the shard-0 outage.
+        assert!(
+            after[1] - before[1] > 800,
+            "shard 1 progressed only {} ops during shard 0's outage",
+            after[1] - before[1]
+        );
+        // Shard 0 recovers: a leader re-emerges and commits resume.
+        sim.run_for(Duration::from_secs(5));
+        assert!(sim.leader_of(0).is_some(), "shard 0 re-elects");
+        let healed = sim.completed_per_shard().unwrap();
+        assert!(healed[0] > after[0], "shard 0 resumes committing");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed| {
+            let mut sim = sharded(3, seed, 300.0);
+            sim.run_until(SimTime::from_secs(12));
+            (sim.leaders(), sim.completed_per_shard(), sim.net_counters())
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7).2, run(8).2);
+    }
+}

@@ -134,6 +134,8 @@ pub enum ClusterHost {
     Server(Box<ServerHost>),
     /// An open-loop client.
     Client(Box<ClientHost>),
+    /// A shard-aware open-loop client (multi-group worlds).
+    ShardClient(Box<crate::shard_client::ShardClient>),
 }
 
 impl Host for ClusterHost {
@@ -143,6 +145,7 @@ impl Host for ClusterHost {
         match self {
             ClusterHost::Server(s) => s.handle_message(ctx, from, msg),
             ClusterHost::Client(c) => c.handle_message(ctx, from, msg),
+            ClusterHost::ShardClient(c) => c.handle_message(ctx, from, msg),
         }
     }
 
@@ -150,6 +153,7 @@ impl Host for ClusterHost {
         match self {
             ClusterHost::Server(s) => s.handle_wake(ctx),
             ClusterHost::Client(c) => c.handle_wake(ctx),
+            ClusterHost::ShardClient(c) => c.handle_wake(ctx),
         }
     }
 
@@ -157,8 +161,24 @@ impl Host for ClusterHost {
         match self {
             ClusterHost::Server(s) => s.wake_deadline(),
             ClusterHost::Client(c) => c.wake_deadline(),
+            ClusterHost::ShardClient(c) => c.wake_deadline(),
         }
     }
+}
+
+/// Crash-restart a server host inside a cluster world: buffered traffic
+/// and volatile state are dropped (in that order — the pause buffer must
+/// not replay into the restarted node), the persistent log survives, and
+/// the wake is rescheduled for the fresh election timer. Shared by the
+/// single-group and sharded sims so crash semantics cannot diverge.
+pub(crate) fn crash_server(world: &mut World<ClusterHost>, id: NodeId) {
+    world.clear_pause_buffer(id);
+    let now = world.now();
+    match world.host_mut(id) {
+        ClusterHost::Server(s) => s.crash_restart(now),
+        _ => panic!("host {id} is not a server"),
+    }
+    world.reschedule_wake(id);
 }
 
 /// A running simulated cluster.
@@ -259,7 +279,7 @@ impl ClusterSim {
     fn server(&self, id: NodeId) -> &ServerHost {
         match self.world.host(id) {
             ClusterHost::Server(s) => s,
-            ClusterHost::Client(_) => panic!("node {id} is a client"),
+            _ => panic!("node {id} is a client"),
         }
     }
 
@@ -273,7 +293,7 @@ impl ClusterSim {
     pub fn client_steps(&self) -> Option<Vec<StepRecord>> {
         match self.world.host(self.world.len() - 1) {
             ClusterHost::Client(c) => Some(c.steps().to_vec()),
-            ClusterHost::Server(_) => None,
+            _ => None,
         }
     }
 
@@ -316,13 +336,7 @@ impl ClusterSim {
     /// Crash a server: drops buffered traffic and volatile state; the node
     /// rejoins as follower with its persistent log.
     pub fn crash(&mut self, id: NodeId) {
-        self.world.clear_pause_buffer(id);
-        let now = self.world.now();
-        match self.world.host_mut(id) {
-            ClusterHost::Server(s) => s.crash_restart(now),
-            ClusterHost::Client(_) => panic!("node {id} is a client"),
-        }
-        self.world.reschedule_wake(id);
+        crash_server(&mut self.world, id);
     }
 
     /// All recorded events, merged and sorted by time.

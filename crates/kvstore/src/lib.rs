@@ -7,13 +7,18 @@
 //!   with etcd-style create/mod revisions) replicated by `dynatune-raft`;
 //! * [`WorkloadGen`] — open-loop client load with Poisson arrivals, rate
 //!   ramp schedules (the paper's §IV-B2 peak-throughput methodology) and
-//!   Zipf-skewed keys.
+//!   Zipf-skewed keys;
+//! * [`ShardRouter`] / [`ShardMap`] — hash partitioning of the keyspace
+//!   across independent Raft groups, and the replica placement that maps
+//!   shards onto simulated hosts (the multi-Raft serving layer).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod shard;
 pub mod store;
 pub mod workload;
 
+pub use shard::{ShardId, ShardMap, ShardRouter};
 pub use store::{KvCommand, KvResponse, KvStore, VersionedValue};
 pub use workload::{OpMix, RateStep, WorkloadGen};

@@ -105,6 +105,10 @@ impl LinkSchedule {
 
     /// The paper's *radical* RTT fluctuation (Fig. 6b): hold `low` for
     /// `hold`, step abruptly to `high` for `hold`, then back to `low`.
+    ///
+    /// # Panics
+    /// Panics unless `low < high` — an equal or inverted pair is not a
+    /// radical step, just a mislabeled constant (or inverted) schedule.
     #[must_use]
     pub fn radical_rtt_step(
         base: NetParams,
@@ -112,6 +116,7 @@ impl LinkSchedule {
         high: Duration,
         hold: Duration,
     ) -> Self {
+        assert!(low < high, "radical step requires low < high");
         Self::piecewise(vec![
             (SimTime::ZERO, base.with_rtt(low)),
             (SimTime::ZERO + hold, base.with_rtt(high)),
@@ -140,6 +145,11 @@ impl LinkSchedule {
     /// [`Self::loss_staircase`] (levels up + levels-1 down, each held `hold`).
     #[must_use]
     pub fn staircase_duration(levels: usize, hold: Duration) -> Duration {
+        // `2 * levels - 1` underflows in debug builds for `levels == 0`;
+        // an empty staircase simply covers no time.
+        if levels == 0 {
+            return Duration::ZERO;
+        }
         let steps = 2 * levels - 1;
         hold * steps as u32
     }
@@ -251,6 +261,41 @@ mod tests {
         assert_eq!(
             LinkSchedule::staircase_duration(7, Duration::from_secs(180)),
             Duration::from_secs(13 * 180)
+        );
+    }
+
+    #[test]
+    fn staircase_duration_handles_zero_and_one_level() {
+        // levels == 0 used to underflow (2 * 0 - 1) in debug builds.
+        assert_eq!(
+            LinkSchedule::staircase_duration(0, Duration::from_secs(180)),
+            Duration::ZERO
+        );
+        assert_eq!(
+            LinkSchedule::staircase_duration(1, Duration::from_secs(180)),
+            Duration::from_secs(180)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "low < high")]
+    fn radical_step_rejects_equal_levels() {
+        let _ = LinkSchedule::radical_rtt_step(
+            base(),
+            Duration::from_millis(100),
+            Duration::from_millis(100),
+            Duration::from_secs(60),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "low < high")]
+    fn radical_step_rejects_inverted_levels() {
+        let _ = LinkSchedule::radical_rtt_step(
+            base(),
+            Duration::from_millis(500),
+            Duration::from_millis(50),
+            Duration::from_secs(60),
         );
     }
 }

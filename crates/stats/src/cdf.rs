@@ -51,8 +51,7 @@ impl EmpiricalCdf {
         if self.sorted.is_empty() {
             return None;
         }
-        let q = q.clamp(0.0, 1.0);
-        let rank = ((q * self.sorted.len() as f64).ceil() as usize).max(1);
+        let rank = crate::quantile_rank(self.sorted.len() as u64, q) as usize;
         Some(self.sorted[rank - 1])
     }
 
@@ -97,9 +96,12 @@ impl EmpiricalCdf {
         if pts.len() <= max_points || max_points < 2 {
             return pts;
         }
-        let stride = (pts.len() - 1) as f64 / (max_points - 1) as f64;
+        let last = pts.len() - 1;
+        let stride = last as f64 / (max_points - 1) as f64;
+        // Clamp: `(i * stride).round()` can land one past `last` for the
+        // final index under floating-point error.
         (0..max_points)
-            .map(|i| pts[(i as f64 * stride).round() as usize])
+            .map(|i| pts[((i as f64 * stride).round() as usize).min(last)])
             .collect()
     }
 }
@@ -156,6 +158,38 @@ mod tests {
         assert_eq!(pts.len(), 10);
         assert_eq!(pts[0].0, 0.0);
         assert_eq!(pts[9].0, 99.0);
+    }
+
+    #[test]
+    fn downsample_never_out_of_bounds() {
+        // Sweep awkward len / max_points combinations: every stride that
+        // rounds near the end of the array must stay in range, keep the
+        // endpoints, and emit monotone x values.
+        for len in 2..=64usize {
+            let c = EmpiricalCdf::new((0..len).map(|v| v as f64).collect());
+            for max_points in 2..=len + 3 {
+                let pts = c.points_downsampled(max_points);
+                assert_eq!(pts.len(), len.min(max_points));
+                assert_eq!(pts[0].0, 0.0, "len={len} max={max_points}");
+                assert_eq!(
+                    pts.last().unwrap().0,
+                    (len - 1) as f64,
+                    "len={len} max={max_points}"
+                );
+                for pair in pts.windows(2) {
+                    assert!(pair[0].0 <= pair[1].0, "len={len} max={max_points}");
+                }
+            }
+        }
+        // Larger primes exercise strides with long fractional expansions.
+        for len in [997usize, 1009, 4999] {
+            let c = EmpiricalCdf::new((0..len).map(|v| v as f64).collect());
+            for max_points in [2usize, 3, 7, 66, 67, 100, 333, 996] {
+                let pts = c.points_downsampled(max_points);
+                assert_eq!(pts.len(), max_points);
+                assert_eq!(pts.last().unwrap().0, (len - 1) as f64);
+            }
+        }
     }
 
     proptest! {

@@ -140,8 +140,7 @@ impl Histogram {
         if self.total == 0 {
             return 0;
         }
-        let q = q.clamp(0.0, 1.0);
-        let rank = ((q * self.total as f64).ceil() as u64).max(1);
+        let rank = crate::quantile_rank(self.total, q);
         let mut seen = 0u64;
         for (idx, &c) in self.counts.iter().enumerate() {
             seen += c;
@@ -267,7 +266,7 @@ mod tests {
                 h.record(v);
             }
             for &q in &[0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
-                let exact = sorted[(((q * sorted.len() as f64).ceil() as usize).max(1) - 1).min(sorted.len() - 1)];
+                let exact = sorted[crate::quantile_rank(sorted.len() as u64, q) as usize - 1];
                 let approx = h.quantile(q);
                 // bucket lower bound: within 1/32 relative error below exact
                 prop_assert!(approx <= exact);

@@ -38,6 +38,20 @@ pub use timeseries::{ResamplePolicy, TimeSeries};
 pub use window::SampleWindow;
 pub use zipf::Zipf;
 
+/// One-based rank of quantile `q` among `n` ordered samples, under the
+/// workspace-wide convention "smallest value `v` with `P(X <= v) >= q`":
+/// `max(ceil(q * n), 1)`, with `q` clamped to `[0, 1]`.
+///
+/// [`EmpiricalCdf::quantile`] and [`Histogram::quantile`] both index with
+/// this rank; sharing the formula keeps the off-by-one convention from
+/// silently diverging between the exact and the bucketed estimator.
+/// Returns 0 only when `n == 0` (callers handle the empty case first).
+#[must_use]
+pub fn quantile_rank(n: u64, q: f64) -> u64 {
+    let q = q.clamp(0.0, 1.0);
+    (((q * n as f64).ceil() as u64).max(1)).min(n)
+}
+
 /// Round `x` to `digits` decimal digits. Helper for stable report output.
 #[must_use]
 pub fn round_to(x: f64, digits: u32) -> f64 {
@@ -67,5 +81,26 @@ mod tests {
         assert_eq!(lerp(10.0, 20.0, 0.0), 10.0);
         assert_eq!(lerp(10.0, 20.0, 1.0), 20.0);
         assert_eq!(lerp(10.0, 20.0, 0.5), 15.0);
+    }
+
+    #[test]
+    fn quantile_rank_convention() {
+        // q=0 and tiny q floor at rank 1; q=1 lands on n exactly.
+        assert_eq!(quantile_rank(4, 0.0), 1);
+        assert_eq!(quantile_rank(4, 0.25), 1);
+        assert_eq!(quantile_rank(4, 0.26), 2);
+        assert_eq!(quantile_rank(4, 0.5), 2);
+        assert_eq!(quantile_rank(4, 1.0), 4);
+        // Out-of-range q clamps instead of over/under-indexing.
+        assert_eq!(quantile_rank(4, -3.0), 1);
+        assert_eq!(quantile_rank(4, 7.0), 4);
+        assert_eq!(quantile_rank(0, 0.5), 0);
+        // Never exceeds n even at the float boundary.
+        for n in 1..=100u64 {
+            for i in 0..=20 {
+                let r = quantile_rank(n, i as f64 / 20.0);
+                assert!((1..=n).contains(&r), "n={n} q={} rank={r}", i as f64 / 20.0);
+            }
+        }
     }
 }

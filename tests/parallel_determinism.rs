@@ -32,6 +32,26 @@ fn churn_report_identical_serial_vs_parallel() {
 }
 
 #[test]
+fn sharded_reports_identical_serial_vs_parallel() {
+    // The shard-count sweep and the two-system comparison both fan out;
+    // merging in input order must make any pool width bit-identical.
+    for experiment in [
+        &catalog::ShardedThroughput as &dyn Experiment,
+        &catalog::ShardLeaderFailover,
+        &catalog::HotShard,
+    ] {
+        let serial = report_with_jobs(experiment, 1);
+        let parallel = report_with_jobs(experiment, 4);
+        assert_eq!(
+            serial, parallel,
+            "{}: --jobs must not change the report",
+            serial.name
+        );
+        assert!(!serial.tables.is_empty());
+    }
+}
+
+#[test]
 fn failover_trials_identical_across_pool_widths() {
     let cluster = ClusterConfig::stable(
         5,

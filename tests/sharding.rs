@@ -1,0 +1,87 @@
+//! End-to-end acceptance for the sharded multi-Raft serving layer: the
+//! scale-out claim, fault isolation, and skew behavior, measured through
+//! the same code paths the registered scenarios use.
+
+use dynatune_repro::cluster::scenario::catalog::sharded::{
+    measure_isolation, measure_scaling, measure_skew,
+};
+use dynatune_repro::cluster::scenario::RunCtx;
+use dynatune_repro::core::TuningConfig;
+
+fn ctx() -> RunCtx {
+    RunCtx::new(42).quick(true)
+}
+
+#[test]
+fn aggregate_throughput_scales_at_least_3x_from_1_to_8_shards() {
+    let points = measure_scaling(&ctx(), &[1, 8]);
+    assert_eq!(points.len(), 2);
+    let scaling = points[1].aggregate_rps / points[0].aggregate_rps;
+    assert!(
+        scaling >= 3.0,
+        "1 shard {:.0} req/s -> 8 shards {:.0} req/s is only {scaling:.2}x",
+        points[0].aggregate_rps,
+        points[1].aggregate_rps
+    );
+    // The single group must actually be saturated (otherwise the sweep
+    // proves nothing): it completes well under the offered aggregate.
+    assert!(
+        points[0].aggregate_rps < points[0].offered_rps * 0.5,
+        "1-shard run is not saturated: {:.0} of {:.0} offered",
+        points[0].aggregate_rps,
+        points[0].offered_rps
+    );
+}
+
+#[test]
+fn leader_crash_in_one_shard_leaves_others_within_5_percent() {
+    let raft = measure_isolation(&ctx(), "raft", TuningConfig::raft_default());
+    let dynatune = measure_isolation(&ctx(), "dynatune", TuningConfig::dynatune());
+    for (label, m) in [("raft", &raft), ("dynatune", &dynatune)] {
+        assert!(
+            m.worst_unaffected_dev_pct <= 5.0,
+            "{label}: unaffected shards deviated {:.1}% during the outage",
+            m.worst_unaffected_dev_pct
+        );
+        // The affected shard visibly dips: its outage goodput is below the
+        // unaffected shards' (all ~1.0).
+        assert!(
+            m.outage_goodput[m.crashed_shard] < m.baseline_goodput[m.crashed_shard],
+            "{label}: crashed shard shows no outage at all"
+        );
+    }
+    // The paper's point, per shard: dynamic timeouts bound the affected
+    // shard's detection time far below the static default.
+    let raft_det = raft.detection_ms.expect("raft detection observed");
+    let dt_det = dynatune.detection_ms.expect("dynatune detection observed");
+    assert!(
+        dt_det < raft_det * 0.5,
+        "dynatune detection {dt_det:.0} ms should undercut raft {raft_det:.0} ms"
+    );
+}
+
+#[test]
+fn zipf_skew_concentrates_load_on_one_group() {
+    let uniform = measure_skew(&ctx(), 0.0);
+    let skewed = measure_skew(&ctx(), 1.4);
+    let share = |o: &[u64], s: usize| o[s] as f64 / o.iter().sum::<u64>() as f64;
+    let hot = (0..8).max_by_key(|&s| skewed.sent[s]).unwrap();
+    assert!(
+        share(&skewed.sent, hot) > 0.25,
+        "hot shard carries only {:.0}% under zipf 1.4",
+        share(&skewed.sent, hot) * 100.0
+    );
+    let uniform_max = (0..8).map(|s| share(&uniform.sent, s)).fold(0.0, f64::max);
+    assert!(
+        uniform_max < 0.2,
+        "uniform keys should spread (max shard share {:.0}%)",
+        uniform_max * 100.0
+    );
+    // Skew costs aggregate throughput: the hot group saturates.
+    assert!(
+        skewed.total_completed < uniform.total_completed,
+        "skewed {} vs uniform {} completed",
+        skewed.total_completed,
+        uniform.total_completed
+    );
+}
