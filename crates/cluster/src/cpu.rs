@@ -45,6 +45,11 @@ pub struct CostModel {
     /// default; the §IV-E consolidated-timer extension study sets it to
     /// expose the n−1-timers overhead the paper attributes to Dynatune.
     pub per_timer_wake: Duration,
+    /// Serializing (sender) or installing (receiver) one KiB of snapshot
+    /// state during an `InstallSnapshot` transfer — the size-aware part of
+    /// the cost model: shipping a big store visibly occupies the CPU and
+    /// delays request admission, unlike ordinary fixed-cost messages.
+    pub per_snapshot_kib: Duration,
 }
 
 impl Default for CostModel {
@@ -58,6 +63,7 @@ impl Default for CostModel {
             tuning_per_message: Duration::from_micros(15),
             tuning_per_request: Duration::from_micros(18),
             per_timer_wake: Duration::ZERO,
+            per_snapshot_kib: Duration::from_micros(2),
         }
     }
 }
@@ -76,7 +82,15 @@ impl CostModel {
             tuning_per_message: Duration::ZERO,
             tuning_per_request: Duration::ZERO,
             per_timer_wake: Duration::ZERO,
+            per_snapshot_kib: Duration::ZERO,
         }
+    }
+
+    /// Busy time to serialize or install a snapshot of `bytes` (size-aware
+    /// transfer modeling; rounds up to whole KiB).
+    #[must_use]
+    pub fn snapshot_cost(&self, bytes: usize) -> Duration {
+        self.per_snapshot_kib * bytes.div_ceil(1024) as u32
     }
 }
 

@@ -36,7 +36,7 @@ pub use scenario::{
     Experiment, FaultAction, FaultEvent, FaultPlan, Horizon, NetPlan, PartitionSpec, Report,
     RunCtx, ScenarioBuilder, ScenarioDriver, Target,
 };
-pub use server::ServerHost;
+pub use server::{CompactionPolicy, ServerHost};
 pub use shard_client::{ShardClient, ShardStats};
 pub use sharded::{ShardedClusterSim, ShardedConfig};
 pub use sim::{ClusterConfig, ClusterHost, ClusterSim, WorkloadSpec};

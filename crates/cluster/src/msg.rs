@@ -1,13 +1,17 @@
 //! Messages exchanged inside a simulated cluster (servers + clients).
 
-use dynatune_kv::{KvCommand, KvResponse};
+use dynatune_kv::{KvCommand, KvRequest, KvResponse, Store};
 use dynatune_raft::{NodeId, Payload};
+
+/// The Raft payload type of the cluster: commands carry their client
+/// origin (for retry deduplication) and snapshots ship the full [`Store`].
+pub type RaftPayload = Payload<KvRequest, Store>;
 
 /// Everything that can travel over the simulated network.
 #[derive(Debug, Clone)]
 pub enum ClusterMsg {
     /// Raft protocol traffic between servers.
-    Raft(Payload<KvCommand>),
+    Raft(RaftPayload),
     /// Client → server request.
     ClientReq {
         /// Client-chosen request id (unique per client).
@@ -71,7 +75,7 @@ mod tests {
             },
         };
         assert_eq!(m.kind(), "client_req");
-        let r = ClusterMsg::Raft(Payload::AppendResp(dynatune_raft::AppendResp {
+        let r = ClusterMsg::Raft(RaftPayload::AppendResp(dynatune_raft::AppendResp {
             term: 1,
             success: true,
             match_or_hint: 3,

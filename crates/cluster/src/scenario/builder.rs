@@ -8,6 +8,7 @@
 //! the experiment catalog, the figure binaries and the examples.
 
 use crate::cpu::CostModel;
+use crate::server::CompactionPolicy;
 use crate::sharded::{ShardedClusterSim, ShardedConfig};
 use crate::sim::{ClusterConfig, ClusterSim, WorkloadSpec};
 use dynatune_core::TuningConfig;
@@ -127,6 +128,7 @@ pub struct ScenarioBuilder {
     suppress_heartbeats: bool,
     consolidated_timer: bool,
     cost: CostModel,
+    compaction: CompactionPolicy,
     cores: usize,
     cpu_window: Duration,
     seed: u64,
@@ -151,6 +153,7 @@ impl ScenarioBuilder {
             suppress_heartbeats: false,
             consolidated_timer: false,
             cost: CostModel::default(),
+            compaction: CompactionPolicy::default(),
             cores: 4,
             cpu_window: Duration::from_secs(5),
             seed: 0,
@@ -234,6 +237,15 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Log-compaction policy: compact past `threshold` live entries, keep a
+    /// `tail` of slack. Scenarios shrink both to exercise snapshot-based
+    /// catch-up at simulation-friendly write volumes.
+    #[must_use]
+    pub fn compaction(mut self, threshold: usize, tail: u64) -> Self {
+        self.compaction = CompactionPolicy { threshold, tail };
+        self
+    }
+
     /// Cores per server (paper: 4 for Figs. 4–6, 2 for Fig. 7).
     #[must_use]
     pub fn cores(mut self, cores: usize) -> Self {
@@ -295,6 +307,7 @@ impl ScenarioBuilder {
             suppress_heartbeats: self.suppress_heartbeats,
             consolidated_timer: self.consolidated_timer,
             cost: self.cost,
+            compaction: self.compaction,
             cores: self.cores,
             cpu_window: self.cpu_window,
             seed: self.seed,
@@ -327,6 +340,7 @@ impl ScenarioBuilder {
             pre_vote: self.pre_vote,
             check_quorum: self.check_quorum,
             cost: self.cost,
+            compaction: self.compaction,
             cores: self.cores,
             cpu_window: self.cpu_window,
             seed: self.seed,

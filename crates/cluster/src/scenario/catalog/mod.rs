@@ -10,6 +10,7 @@
 //! [`Experiment`]: crate::scenario::Experiment
 
 mod ablations;
+mod compaction;
 mod extensions;
 mod failover;
 mod fluctuation;
@@ -18,6 +19,7 @@ pub mod sharded;
 mod throughput;
 
 pub use ablations::Ablations;
+pub use compaction::{CompactionChurn, LaggingFollowerCatchup};
 pub use extensions::Extensions;
 pub use failover::{Fig4Failover, Fig8GeoFailover};
 pub use fluctuation::{Fig6aGradualRtt, Fig6bRadicalRtt, Fig7LossFluctuation};

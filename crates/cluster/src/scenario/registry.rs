@@ -24,6 +24,8 @@ pub fn registry() -> Vec<Box<dyn Experiment>> {
         Box::new(catalog::ShardedThroughput),
         Box::new(catalog::HotShard),
         Box::new(catalog::ShardLeaderFailover),
+        Box::new(catalog::LaggingFollowerCatchup),
+        Box::new(catalog::CompactionChurn),
     ]
 }
 

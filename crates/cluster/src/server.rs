@@ -2,8 +2,8 @@
 //! simulator's [`Host`](dynatune_simnet::Host) interface.
 
 use crate::cpu::{CostModel, CpuMeter};
-use crate::msg::ClusterMsg;
-use dynatune_kv::{KvCommand, KvStore};
+use crate::msg::{ClusterMsg, RaftPayload};
+use dynatune_kv::{KvCommand, KvRequest, Store};
 use dynatune_raft::{
     LogIndex, NodeEffects, NodeId, Payload, RaftConfig, RaftEvent, RaftNode, Role, Term,
 };
@@ -28,16 +28,40 @@ struct AdmittedReq {
     cmd: KvCommand,
 }
 
-/// Compact when the live log exceeds this many entries.
-const COMPACT_THRESHOLD: usize = 131_072;
-/// Keep this many recent entries when compacting.
-const COMPACT_TAIL: u64 = 8_192;
+/// Compact when the live log exceeds this many entries (default).
+pub const COMPACT_THRESHOLD: usize = 131_072;
+/// Keep this many recent entries when compacting (default), so
+/// briefly-lagging followers catch up via cheap appends instead of a full
+/// snapshot transfer.
+pub const COMPACT_TAIL: u64 = 8_192;
+
+/// When to compact the log and how much slack to keep. Compaction is
+/// bounded only by `last_applied` — snapshots catch up anyone further
+/// behind — so the leader's live log stays within
+/// `threshold + tail` entries no matter how long a follower is down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompactionPolicy {
+    /// Compact once the live log exceeds this many entries.
+    pub threshold: usize,
+    /// Keep this many applied entries below the compaction point.
+    pub tail: u64,
+}
+
+impl Default for CompactionPolicy {
+    fn default() -> Self {
+        Self {
+            threshold: COMPACT_THRESHOLD,
+            tail: COMPACT_TAIL,
+        }
+    }
+}
 
 /// One simulated etcd-like server.
 pub struct ServerHost {
-    node: RaftNode<KvStore>,
+    node: RaftNode<Store>,
     cost: CostModel,
     cpu: CpuMeter,
+    compaction: CompactionPolicy,
     tunes: bool,
     /// Global host id of this group's first member. Raft node ids are
     /// group-local (`0..n`); in a multi-group (sharded) world the group
@@ -59,9 +83,10 @@ impl ServerHost {
     pub fn new(config: RaftConfig, cost: CostModel, cores: usize, window: Duration) -> Self {
         let tunes = config.tuning.mode.tunes();
         Self {
-            node: RaftNode::new(config, KvStore::new(), SimTime::ZERO),
+            node: RaftNode::new(config, Store::new(), SimTime::ZERO),
             cost,
             cpu: CpuMeter::new(cores, window),
+            compaction: CompactionPolicy::default(),
             tunes,
             peer_base: 0,
             events: Vec::new(),
@@ -78,15 +103,35 @@ impl ServerHost {
         self
     }
 
+    /// Override the log-compaction policy (scenarios shrink it to exercise
+    /// snapshot transfer at simulation-friendly write volumes).
+    #[must_use]
+    pub fn with_compaction(mut self, compaction: CompactionPolicy) -> Self {
+        self.compaction = compaction;
+        self
+    }
+
     /// The wrapped Raft node (observers).
     #[must_use]
-    pub fn node(&self) -> &RaftNode<KvStore> {
+    pub fn node(&self) -> &RaftNode<Store> {
         &self.node
     }
 
     /// Mutable access for failure injection (crash/restart).
-    pub fn node_mut(&mut self) -> &mut RaftNode<KvStore> {
+    pub fn node_mut(&mut self) -> &mut RaftNode<Store> {
         &mut self.node
+    }
+
+    /// Live (un-compacted) log length — the memory-bound observable.
+    #[must_use]
+    pub fn log_len(&self) -> usize {
+        self.node.log().len()
+    }
+
+    /// `InstallSnapshot` transfers started by this server as leader.
+    #[must_use]
+    pub fn snapshots_sent(&self) -> u64 {
+        self.node.snapshots_sent()
     }
 
     /// Recorded events (time-stamped).
@@ -101,35 +146,48 @@ impl ServerHost {
         &self.cpu
     }
 
-    /// Crash this server: persistent Raft state survives, everything else
-    /// (state machine, pending requests, admission queue) is lost.
+    /// Crash this server: persistent Raft state (term, vote, log, retained
+    /// snapshot) survives, everything else (pending requests, admission
+    /// queue) is lost; the state machine is rebuilt from the snapshot plus
+    /// log replay.
     pub fn crash_restart(&mut self, now: SimTime) {
-        self.node.restart(now, KvStore::new());
+        self.node.restart(now, Store::new());
         self.pending.clear();
         self.admit.clear();
     }
 
-    fn msg_recv_cost(&self) -> Duration {
+    fn msg_recv_cost(&self, payload: &RaftPayload) -> Duration {
         let mut c = self.cost.per_message_recv;
         if self.tunes {
             c += self.cost.tuning_per_message;
         }
+        if let Payload::InstallSnapshot(s) = payload {
+            // Size-aware install: restoring a big store takes real time.
+            c += self.cost.snapshot_cost(s.data.approx_bytes());
+        }
         c
     }
 
-    fn msg_send_cost(&self, payload: &Payload<KvCommand>) -> Duration {
+    fn msg_send_cost(&self, payload: &RaftPayload) -> Duration {
         let mut c = self.cost.per_message_send;
         if self.tunes {
             c += self.cost.tuning_per_message;
         }
-        if let Payload::AppendEntries(ae) = payload {
-            c += self.cost.per_append_entry * ae.entries.len() as u32;
+        match payload {
+            Payload::AppendEntries(ae) => {
+                c += self.cost.per_append_entry * ae.entries.len() as u32;
+            }
+            Payload::InstallSnapshot(s) => {
+                // Size-aware serialization of the full state.
+                c += self.cost.snapshot_cost(s.data.approx_bytes());
+            }
+            _ => {}
         }
         c
     }
 
     /// Route node effects out to the network and bookkeeping.
-    fn route_effects(&mut self, ctx: &mut HostCtx<'_, ClusterMsg>, fx: NodeEffects<KvStore>) {
+    fn route_effects(&mut self, ctx: &mut HostCtx<'_, ClusterMsg>, fx: NodeEffects<Store>) {
         let now = ctx.now;
         for ev in &fx.events {
             self.events.push((now, *ev));
@@ -160,7 +218,11 @@ impl ServerHost {
                 );
             }
         }
-        // If leadership was lost, fail whatever is still pending.
+        // If leadership was lost, fail whatever is still pending. The entry
+        // may still commit under the new leader; the client's retry of the
+        // same req_id is deduplicated by the replicated reply cache
+        // (`dynatune_kv::Store`), so reporting failure here cannot cause a
+        // duplicate apply.
         if self.node.role() != Role::Leader && !self.pending.is_empty() {
             let pending = std::mem::take(&mut self.pending);
             for (_, p) in pending {
@@ -174,9 +236,15 @@ impl ServerHost {
                 );
             }
         }
-        // Opportunistic log compaction keeps long experiments bounded.
-        if self.node.log().len() > COMPACT_THRESHOLD {
-            let upto = self.node.safe_compact_index().saturating_sub(COMPACT_TAIL);
+        // Opportunistic log compaction keeps memory bounded. Not pinned by
+        // slow followers: anyone behind the horizon is caught up by an
+        // InstallSnapshot stream, so only the policy's tail of slack is
+        // retained for cheap append-based catch-up.
+        if self.node.log().len() > self.compaction.threshold {
+            let upto = self
+                .node
+                .safe_compact_index()
+                .saturating_sub(self.compaction.tail);
             self.node.compact_log(upto);
         }
     }
@@ -189,7 +257,8 @@ impl ServerHost {
                 break;
             }
             let req = self.admit.pop_front().expect("non-empty");
-            let (result, fx) = self.node.propose(now, req.cmd.clone());
+            let request = KvRequest::from_client(req.client as u64, req.req_id, req.cmd.clone());
+            let (result, fx) = self.node.propose(now, request);
             match result {
                 Ok((term, index)) => {
                     self.pending.insert(
@@ -228,7 +297,7 @@ impl ServerHost {
     ) {
         match msg {
             ClusterMsg::Raft(payload) => {
-                self.cpu.charge(ctx.now, self.msg_recv_cost());
+                self.cpu.charge(ctx.now, self.msg_recv_cost(&payload));
                 let fx = self.node.step(ctx.now, from - self.peer_base, payload);
                 self.route_effects(ctx, fx);
                 self.drain_admitted(ctx);
@@ -349,6 +418,43 @@ mod tests {
             .iter()
             .any(|(_, e)| matches!(e, RaftEvent::BecameLeader { .. })));
         assert!(s.events().iter().all(|(t, _)| *t == deadline));
+    }
+
+    #[test]
+    fn client_retry_of_same_req_id_applies_once() {
+        let mut s = server();
+        let mut outbox = Vec::new();
+        let deadline = s.wake_deadline().unwrap();
+        let mut ctx = HostCtx::test_ctx(deadline, 0, &mut outbox);
+        s.handle_wake(&mut ctx);
+        assert_eq!(s.node().role(), Role::Leader);
+        let req = ClusterMsg::ClientReq {
+            req_id: 42,
+            cmd: KvCommand::Put {
+                key: bytes::Bytes::from_static(b"k"),
+                value: bytes::Bytes::from_static(b"v"),
+            },
+        };
+        let t1 = deadline + Duration::from_millis(1);
+        let mut ctx = HostCtx::test_ctx(t1, 0, &mut outbox);
+        s.handle_message(&mut ctx, 7, req.clone());
+        // The client timed out (response lost) and retried the SAME req_id:
+        // the proposal commits a second entry, but the replicated reply
+        // cache recognises the duplicate at apply time.
+        let t2 = deadline + Duration::from_millis(2);
+        let mut ctx = HostCtx::test_ctx(t2, 0, &mut outbox);
+        s.handle_message(&mut ctx, 7, req);
+        let responses: Vec<_> = outbox
+            .iter()
+            .filter_map(|(to, _, m)| match m {
+                ClusterMsg::ClientResp { req_id: 42, result } if *to == 7 => Some(result.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(responses.len(), 2, "both attempts are answered");
+        assert_eq!(responses[0], responses[1], "retry sees the same response");
+        let v = s.node().state_machine().peek(b"k").expect("key written");
+        assert_eq!(v.version, 1, "the write applied exactly once");
     }
 
     #[test]

@@ -18,7 +18,7 @@
 //! translates via its peer base.
 
 use crate::cpu::CostModel;
-use crate::server::ServerHost;
+use crate::server::{CompactionPolicy, ServerHost};
 use crate::shard_client::{ShardClient, ShardStats};
 use crate::sim::{ClusterHost, WorkloadSpec};
 use dynatune_core::{TuningConfig, TuningSnapshot};
@@ -50,6 +50,8 @@ pub struct ShardedConfig {
     pub check_quorum: bool,
     /// CPU cost model (per server).
     pub cost: CostModel,
+    /// Log-compaction policy (threshold + retained tail).
+    pub compaction: CompactionPolicy,
     /// Cores per server.
     pub cores: usize,
     /// Utilization sampling window.
@@ -109,7 +111,8 @@ impl ShardedClusterSim {
                 rc.seed = stream.next_u64();
                 hosts.push(ClusterHost::Server(Box::new(
                     ServerHost::new(rc, config.cost, config.cores, config.cpu_window)
-                        .with_peer_base(map.group_base(shard)),
+                        .with_peer_base(map.group_base(shard))
+                        .with_compaction(config.compaction),
                 )));
             }
         }
@@ -274,6 +277,23 @@ impl ShardedClusterSim {
     #[must_use]
     pub fn net_counters(&self) -> dynatune_simnet::NetCounters {
         self.world.counters()
+    }
+
+    /// Largest live log across all servers (leader-memory bound).
+    #[must_use]
+    pub fn max_log_len(&self) -> usize {
+        (0..self.n_servers())
+            .map(|id| self.server(id).log_len())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Total `InstallSnapshot` transfers started across all servers.
+    #[must_use]
+    pub fn total_snapshots_sent(&self) -> u64 {
+        (0..self.n_servers())
+            .map(|id| self.server(id).snapshots_sent())
+            .sum()
     }
 }
 

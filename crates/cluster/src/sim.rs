@@ -3,7 +3,7 @@
 use crate::client::{ClientHost, StepRecord};
 use crate::cpu::CostModel;
 use crate::msg::ClusterMsg;
-use crate::server::ServerHost;
+use crate::server::{CompactionPolicy, ServerHost};
 use dynatune_core::{TuningConfig, TuningSnapshot};
 use dynatune_kv::{OpMix, RateStep, WorkloadGen};
 use dynatune_raft::{NodeId, RaftConfig, RaftEvent, Role, TimerQuantization};
@@ -80,6 +80,8 @@ pub struct ClusterConfig {
     pub consolidated_timer: bool,
     /// CPU cost model.
     pub cost: CostModel,
+    /// Log-compaction policy (threshold + retained tail).
+    pub compaction: CompactionPolicy,
     /// Cores per server (paper: 4 for Figs. 4–6, 2 for Fig. 7).
     pub cores: usize,
     /// Utilization sampling window (paper: 5 s).
@@ -112,6 +114,7 @@ impl ClusterConfig {
             suppress_heartbeats: false,
             consolidated_timer: false,
             cost: CostModel::default(),
+            compaction: CompactionPolicy::default(),
             cores: 4,
             cpu_window: Duration::from_secs(5),
             seed,
@@ -224,12 +227,10 @@ impl ClusterSim {
                 rc.consolidated_heartbeat_timer = config.consolidated_timer;
                 let mut stream = node_seed_root.child(id as u64);
                 rc.seed = stream.next_u64();
-                ClusterHost::Server(Box::new(ServerHost::new(
-                    rc,
-                    config.cost,
-                    config.cores,
-                    config.cpu_window,
-                )))
+                ClusterHost::Server(Box::new(
+                    ServerHost::new(rc, config.cost, config.cores, config.cpu_window)
+                        .with_compaction(config.compaction),
+                ))
             })
             .collect();
         if let Some(spec) = &config.workload {
@@ -405,6 +406,24 @@ impl ClusterSim {
     #[must_use]
     pub fn net_counters(&self) -> dynatune_simnet::NetCounters {
         self.world.counters()
+    }
+
+    /// Largest live log across servers — the leader-memory-bound
+    /// observable the compaction scenarios assert on.
+    #[must_use]
+    pub fn max_log_len(&self) -> usize {
+        (0..self.n_servers)
+            .map(|id| self.server(id).log_len())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Total `InstallSnapshot` transfers started across servers.
+    #[must_use]
+    pub fn total_snapshots_sent(&self) -> u64 {
+        (0..self.n_servers)
+            .map(|id| self.server(id).snapshots_sent())
+            .sum()
     }
 
     /// Partition the network: `group` forms one side, the rest the other.

@@ -3,8 +3,11 @@
 //! The paper evaluates Dynatune inside etcd, a Raft-replicated KV store.
 //! This crate provides the service layer:
 //!
-//! * [`KvStore`] — the deterministic state machine (put/get/delete/range/CAS
-//!   with etcd-style create/mod revisions) replicated by `dynatune-raft`;
+//! * [`KvStore`] — the deterministic KV map (put/get/delete/range/CAS with
+//!   etcd-style create/mod revisions);
+//! * [`Store`] — the replicated state machine: the map plus per-client
+//!   retry deduplication (Raft §6.3 sessions) and snapshot/restore, driven
+//!   by `dynatune-raft`;
 //! * [`WorkloadGen`] — open-loop client load with Poisson arrivals, rate
 //!   ramp schedules (the paper's §IV-B2 peak-throughput methodology) and
 //!   Zipf-skewed keys;
@@ -20,5 +23,5 @@ pub mod store;
 pub mod workload;
 
 pub use shard::{ShardId, ShardMap, ShardRouter};
-pub use store::{KvCommand, KvResponse, KvStore, VersionedValue};
+pub use store::{KvCommand, KvRequest, KvResponse, KvStore, ReqOrigin, Store, VersionedValue};
 pub use workload::{OpMix, RateStep, WorkloadGen};

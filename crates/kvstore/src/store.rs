@@ -1,4 +1,12 @@
 //! The key-value state machine replicated by Raft (etcd-like semantics).
+//!
+//! Two layers live here: [`KvStore`], the pure ordered map with revision
+//! bookkeeping, and [`Store`], the replicated state machine that wraps it
+//! with per-client request deduplication (Raft §6.3 client sessions) and
+//! snapshot/restore support. Raft logs [`KvRequest`]s — a command plus the
+//! originating `(client, req_id)` — so every replica can recognise a
+//! client retry of an already-applied write and return the cached response
+//! instead of applying twice.
 
 use bytes::Bytes;
 use dynatune_raft::{LogIndex, StateMachine};
@@ -176,11 +184,11 @@ impl KvStore {
     }
 }
 
-impl StateMachine for KvStore {
-    type Command = KvCommand;
-    type Response = KvResponse;
-
-    fn apply(&mut self, index: LogIndex, command: &KvCommand) -> KvResponse {
+impl KvStore {
+    /// Apply one command at `index`. This is the raw map mutation;
+    /// replicated deployments go through [`Store`], which adds client
+    /// retry deduplication on top.
+    pub fn apply_command(&mut self, index: LogIndex, command: &KvCommand) -> KvResponse {
         match command {
             KvCommand::Put { key, value } => KvResponse::Put {
                 prev: self.put(index, key.clone(), value.clone()),
@@ -217,6 +225,212 @@ impl StateMachine for KvStore {
             }
         }
     }
+
+    /// Rough in-memory size of the stored state, used to model the cost of
+    /// serializing and shipping a snapshot.
+    #[must_use]
+    pub fn approx_bytes(&self) -> usize {
+        const PER_ENTRY_OVERHEAD: usize = 32; // revisions + version + map node
+        self.map
+            .iter()
+            .map(|(k, v)| k.len() + v.value.len() + PER_ENTRY_OVERHEAD)
+            .sum()
+    }
+}
+
+/// Identity of a client request, replicated inside the log entry so every
+/// replica can deduplicate retries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReqOrigin {
+    /// The issuing client (world host id).
+    pub client: u64,
+    /// The client's request id, monotonically increasing per client.
+    pub req_id: u64,
+}
+
+/// What Raft actually replicates: a command plus (for client traffic) the
+/// originating `(client, req_id)`, so a retried request that was already
+/// committed under a previous leader is recognised at apply time instead of
+/// being applied twice.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KvRequest {
+    /// The issuing client, if this entry came from client traffic.
+    pub origin: Option<ReqOrigin>,
+    /// The command to apply.
+    pub cmd: KvCommand,
+}
+
+impl KvRequest {
+    /// A request with no client identity (internal / test traffic; never
+    /// deduplicated).
+    #[must_use]
+    pub fn bare(cmd: KvCommand) -> Self {
+        Self { origin: None, cmd }
+    }
+
+    /// A request on behalf of `client`'s `req_id`.
+    #[must_use]
+    pub fn from_client(client: u64, req_id: u64, cmd: KvCommand) -> Self {
+        Self {
+            origin: Some(ReqOrigin { client, req_id }),
+            cmd,
+        }
+    }
+}
+
+/// Recent replies retained per client for retry deduplication. Client
+/// request ids increase monotonically, so a sliding id window bounds the
+/// cache — but it must comfortably exceed the deepest per-client pipeline
+/// any workload generates, or a duplicate could commit after its
+/// original's entry was evicted and be applied twice. The open-loop
+/// clients pipeline up to offered-rate × response-timeout × retry-budget
+/// requests (the fig5 ramp peaks near 15k req/s × 1 s × 4 ≈ 60k), so the
+/// window is sized above that.
+const REPLY_WINDOW: u64 = 1 << 16;
+
+/// Only mutating commands need exactly-once protection: re-executing a
+/// retried read is harmless (it re-reads linearizably at the retry's
+/// commit point), and keeping read responses out of the sessions map keeps
+/// replicated state — and every snapshot built from it — small.
+fn needs_dedup(cmd: &KvCommand) -> bool {
+    matches!(
+        cmd,
+        KvCommand::Put { .. } | KvCommand::Delete { .. } | KvCommand::Cas { .. }
+    )
+}
+
+/// Rough in-memory size of one cached response (for snapshot costing).
+fn response_bytes(resp: &KvResponse) -> usize {
+    const PER_REPLY_OVERHEAD: usize = 24;
+    let payload = match resp {
+        KvResponse::Put { prev } => prev.as_ref().map_or(0, Bytes::len),
+        KvResponse::Get { value } => value.as_ref().map_or(0, |v| v.value.len() + 24),
+        KvResponse::Delete { .. } | KvResponse::Cas { .. } => 1,
+        KvResponse::Range { entries, .. } => entries.iter().map(|(k, v)| k.len() + v.len()).sum(),
+    };
+    PER_REPLY_OVERHEAD + payload
+}
+
+/// The replicated state machine: the [`KvStore`] map plus per-client reply
+/// caches (Raft §6.3 client sessions).
+///
+/// A client that loses its response to a leadership change retries the same
+/// `req_id`, possibly through a new leader. Both the original and the
+/// retried log entry may commit; without the cache each replica would apply
+/// the write twice (bumping versions, re-running CAS against the new
+/// state). `Store::apply` recognises the duplicate by its
+/// [`ReqOrigin`] and replays the cached response instead.
+///
+/// The cache is part of replicated state: it is filled identically on every
+/// replica (same applied sequence) and travels inside snapshots, so a
+/// follower restored via `InstallSnapshot` deduplicates exactly like one
+/// that replayed the log.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Store {
+    kv: KvStore,
+    /// Per-client window of recent `req_id → response`.
+    sessions: BTreeMap<u64, BTreeMap<u64, KvResponse>>,
+}
+
+impl Store {
+    /// Empty store.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The underlying KV map (observers).
+    #[must_use]
+    pub fn kv(&self) -> &KvStore {
+        &self.kv
+    }
+
+    /// Number of live keys.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.kv.len()
+    }
+
+    /// True when no keys are stored.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.kv.is_empty()
+    }
+
+    /// Direct (non-linearizable) read, for observers and tests.
+    #[must_use]
+    pub fn peek(&self, key: &[u8]) -> Option<&VersionedValue> {
+        self.kv.peek(key)
+    }
+
+    /// Order-sensitive digest of the KV state (replica convergence checks).
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        self.kv.digest()
+    }
+
+    /// Rough in-memory size of the snapshot this store would produce:
+    /// the KV map plus the replicated sessions cache (both travel inside
+    /// `InstallSnapshot`, so both are charged by the size-aware cost
+    /// model).
+    #[must_use]
+    pub fn approx_bytes(&self) -> usize {
+        let sessions: usize = self
+            .sessions
+            .values()
+            .flat_map(BTreeMap::values)
+            .map(response_bytes)
+            .sum();
+        self.kv.approx_bytes() + sessions
+    }
+
+    /// Cached reply for a client request, if it was already applied.
+    #[must_use]
+    pub fn cached_reply(&self, origin: ReqOrigin) -> Option<&KvResponse> {
+        self.sessions.get(&origin.client)?.get(&origin.req_id)
+    }
+}
+
+impl StateMachine for Store {
+    type Command = KvRequest;
+    type Response = KvResponse;
+    type Snapshot = Store;
+
+    fn apply(&mut self, index: LogIndex, request: &KvRequest) -> KvResponse {
+        match request.origin {
+            Some(origin) if needs_dedup(&request.cmd) => {
+                if let Some(cached) = self.cached_reply(origin) {
+                    // Duplicate of an already-applied request: idempotent
+                    // replay of the original response.
+                    return cached.clone();
+                }
+                let resp = self.kv.apply_command(index, &request.cmd);
+                let replies = self.sessions.entry(origin.client).or_default();
+                replies.insert(origin.req_id, resp.clone());
+                // Slide the window: drop replies no live retry can ask for.
+                let newest = *replies.keys().next_back().expect("just inserted");
+                while let Some((&oldest, _)) = replies.iter().next() {
+                    if oldest + REPLY_WINDOW <= newest {
+                        replies.remove(&oldest);
+                    } else {
+                        break;
+                    }
+                }
+                resp
+            }
+            // Reads (and origin-less internal traffic) bypass the cache:
+            // re-execution is harmless and the sessions map stays small.
+            _ => self.kv.apply_command(index, &request.cmd),
+        }
+    }
+
+    fn snapshot(&self) -> Store {
+        self.clone()
+    }
+
+    fn restore(&mut self, snapshot: &Store) {
+        *self = snapshot.clone();
+    }
 }
 
 #[cfg(test)]
@@ -230,7 +444,7 @@ mod tests {
     #[test]
     fn put_get_roundtrip() {
         let mut kv = KvStore::new();
-        let r = kv.apply(
+        let r = kv.apply_command(
             1,
             &KvCommand::Put {
                 key: b("a"),
@@ -238,7 +452,7 @@ mod tests {
             },
         );
         assert_eq!(r, KvResponse::Put { prev: None });
-        let r = kv.apply(2, &KvCommand::Get { key: b("a") });
+        let r = kv.apply_command(2, &KvCommand::Get { key: b("a") });
         match r {
             KvResponse::Get { value: Some(v) } => {
                 assert_eq!(v.value, b("1"));
@@ -253,14 +467,14 @@ mod tests {
     #[test]
     fn put_overwrites_and_tracks_revisions() {
         let mut kv = KvStore::new();
-        kv.apply(
+        kv.apply_command(
             1,
             &KvCommand::Put {
                 key: b("a"),
                 value: b("1"),
             },
         );
-        let r = kv.apply(
+        let r = kv.apply_command(
             5,
             &KvCommand::Put {
                 key: b("a"),
@@ -277,14 +491,14 @@ mod tests {
     #[test]
     fn get_missing_is_none() {
         let mut kv = KvStore::new();
-        let r = kv.apply(1, &KvCommand::Get { key: b("nope") });
+        let r = kv.apply_command(1, &KvCommand::Get { key: b("nope") });
         assert_eq!(r, KvResponse::Get { value: None });
     }
 
     #[test]
     fn delete_semantics() {
         let mut kv = KvStore::new();
-        kv.apply(
+        kv.apply_command(
             1,
             &KvCommand::Put {
                 key: b("a"),
@@ -292,11 +506,11 @@ mod tests {
             },
         );
         assert_eq!(
-            kv.apply(2, &KvCommand::Delete { key: b("a") }),
+            kv.apply_command(2, &KvCommand::Delete { key: b("a") }),
             KvResponse::Delete { existed: true }
         );
         assert_eq!(
-            kv.apply(3, &KvCommand::Delete { key: b("a") }),
+            kv.apply_command(3, &KvCommand::Delete { key: b("a") }),
             KvResponse::Delete { existed: false }
         );
         assert!(kv.is_empty());
@@ -306,7 +520,7 @@ mod tests {
     fn range_respects_bounds_and_limit() {
         let mut kv = KvStore::new();
         for (i, k) in ["a", "b", "c", "d"].iter().enumerate() {
-            kv.apply(
+            kv.apply_command(
                 i as u64 + 1,
                 &KvCommand::Put {
                     key: b(k),
@@ -314,7 +528,7 @@ mod tests {
                 },
             );
         }
-        let r = kv.apply(
+        let r = kv.apply_command(
             9,
             &KvCommand::Range {
                 start: b("b"),
@@ -331,7 +545,7 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
-        let r = kv.apply(
+        let r = kv.apply_command(
             10,
             &KvCommand::Range {
                 start: b("a"),
@@ -353,7 +567,7 @@ mod tests {
         let mut kv = KvStore::new();
         // Create-if-absent.
         assert_eq!(
-            kv.apply(
+            kv.apply_command(
                 1,
                 &KvCommand::Cas {
                     key: b("k"),
@@ -365,7 +579,7 @@ mod tests {
         );
         // Wrong expectation fails and leaves the value alone.
         assert_eq!(
-            kv.apply(
+            kv.apply_command(
                 2,
                 &KvCommand::Cas {
                     key: b("k"),
@@ -378,7 +592,7 @@ mod tests {
         assert_eq!(kv.peek(b"k").unwrap().value, b("v1"));
         // Correct expectation succeeds.
         assert_eq!(
-            kv.apply(
+            kv.apply_command(
                 3,
                 &KvCommand::Cas {
                     key: b("k"),
@@ -392,7 +606,7 @@ mod tests {
         assert_eq!(kv.peek(b"k").unwrap().version, 2);
         // CAS expecting absence fails on a live key.
         assert_eq!(
-            kv.apply(
+            kv.apply_command(
                 4,
                 &KvCommand::Cas {
                     key: b("k"),
@@ -402,6 +616,179 @@ mod tests {
             ),
             KvResponse::Cas { success: false }
         );
+    }
+
+    #[test]
+    fn store_deduplicates_client_retries() {
+        let mut s = Store::new();
+        let put = KvRequest::from_client(
+            7,
+            1,
+            KvCommand::Put {
+                key: b("k"),
+                value: b("v"),
+            },
+        );
+        let first = s.apply(1, &put);
+        assert_eq!(first, KvResponse::Put { prev: None });
+        // The same (client, req_id) committed again (client retried through
+        // a new leader): the apply is a no-op replaying the cached reply.
+        let second = s.apply(2, &put);
+        assert_eq!(second, first, "retry sees the original response");
+        let v = s.peek(b"k").unwrap();
+        assert_eq!(v.version, 1, "write applied exactly once");
+        assert_eq!(v.mod_revision, 1);
+        // A *new* req_id from the same client applies normally.
+        let put2 = KvRequest::from_client(
+            7,
+            2,
+            KvCommand::Put {
+                key: b("k"),
+                value: b("w"),
+            },
+        );
+        assert_eq!(s.apply(3, &put2), KvResponse::Put { prev: Some(b("v")) });
+        assert_eq!(s.peek(b"k").unwrap().version, 2);
+    }
+
+    #[test]
+    fn store_dedup_keeps_cas_exactly_once() {
+        let mut s = Store::new();
+        let cas = KvRequest::from_client(
+            3,
+            10,
+            KvCommand::Cas {
+                key: b("c"),
+                expect: None,
+                value: b("1"),
+            },
+        );
+        assert_eq!(s.apply(1, &cas), KvResponse::Cas { success: true });
+        // Re-applied (duplicate commit): must NOT re-run against the new
+        // state (which would report failure) — the cached success replays.
+        assert_eq!(s.apply(2, &cas), KvResponse::Cas { success: true });
+        assert_eq!(s.peek(b"c").unwrap().version, 1);
+    }
+
+    #[test]
+    fn store_bare_requests_bypass_the_cache() {
+        let mut s = Store::new();
+        let put = KvRequest::bare(KvCommand::Put {
+            key: b("k"),
+            value: b("v"),
+        });
+        s.apply(1, &put);
+        s.apply(2, &put);
+        assert_eq!(s.peek(b"k").unwrap().version, 2, "no dedup without origin");
+    }
+
+    #[test]
+    fn store_reply_window_slides() {
+        let mut s = Store::new();
+        for req_id in 0..(REPLY_WINDOW + 10) {
+            let put = KvRequest::from_client(
+                1,
+                req_id,
+                KvCommand::Put {
+                    key: b("k"),
+                    value: b("v"),
+                },
+            );
+            s.apply(req_id + 1, &put);
+        }
+        let newest = REPLY_WINDOW + 9;
+        assert!(s
+            .cached_reply(ReqOrigin {
+                client: 1,
+                req_id: 0
+            })
+            .is_none());
+        assert!(s
+            .cached_reply(ReqOrigin {
+                client: 1,
+                req_id: newest
+            })
+            .is_some());
+        assert_eq!(s.sessions[&1].len() as u64, REPLY_WINDOW);
+    }
+
+    #[test]
+    fn store_reads_bypass_the_reply_cache() {
+        let mut s = Store::new();
+        s.apply(
+            1,
+            &KvRequest::bare(KvCommand::Put {
+                key: b("k"),
+                value: b("v1"),
+            }),
+        );
+        let get = KvRequest::from_client(9, 5, KvCommand::Get { key: b("k") });
+        let first = s.apply(2, &get);
+        assert!(matches!(first, KvResponse::Get { value: Some(_) }));
+        assert!(
+            s.cached_reply(ReqOrigin {
+                client: 9,
+                req_id: 5
+            })
+            .is_none(),
+            "reads are idempotent and must not bloat replicated state"
+        );
+        // A retried read re-executes and sees the current state.
+        s.apply(
+            3,
+            &KvRequest::bare(KvCommand::Put {
+                key: b("k"),
+                value: b("v2"),
+            }),
+        );
+        match s.apply(4, &get) {
+            KvResponse::Get { value: Some(v) } => assert_eq!(v.value, b("v2")),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn store_approx_bytes_counts_the_sessions_cache() {
+        let mut s = Store::new();
+        s.apply(
+            1,
+            &KvRequest::from_client(
+                1,
+                0,
+                KvCommand::Put {
+                    key: b("k"),
+                    value: b("v"),
+                },
+            ),
+        );
+        // The snapshot ships kv + sessions; the estimate must cover both.
+        assert!(
+            s.approx_bytes() > s.kv().approx_bytes(),
+            "sessions cache must be charged by the size-aware cost model"
+        );
+    }
+
+    #[test]
+    fn store_snapshot_round_trip_carries_sessions() {
+        let mut s = Store::new();
+        let put = KvRequest::from_client(
+            5,
+            1,
+            KvCommand::Put {
+                key: b("a"),
+                value: b("1"),
+            },
+        );
+        s.apply(1, &put);
+        let snap = s.snapshot();
+        let mut restored = Store::new();
+        restored.restore(&snap);
+        assert_eq!(restored, s);
+        assert_eq!(restored.digest(), s.digest());
+        // The restored replica deduplicates the same retry.
+        assert_eq!(restored.apply(9, &put), KvResponse::Put { prev: None });
+        assert_eq!(restored.peek(b"a").unwrap().version, 1);
+        assert!(restored.approx_bytes() > 0);
     }
 
     #[test]
@@ -426,8 +813,8 @@ mod tests {
         let mut a = KvStore::new();
         let mut c = KvStore::new();
         for (i, cmd) in cmds.iter().enumerate() {
-            a.apply(i as u64 + 1, cmd);
-            c.apply(i as u64 + 1, cmd);
+            a.apply_command(i as u64 + 1, cmd);
+            c.apply_command(i as u64 + 1, cmd);
         }
         assert_eq!(a.map, c.map);
     }

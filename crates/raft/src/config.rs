@@ -45,6 +45,11 @@ pub struct RaftConfig {
     pub max_entries_per_append: usize,
     /// Resend an unacknowledged `AppendEntries` after this long.
     pub append_resend: Duration,
+    /// Resend an unacknowledged `InstallSnapshot` after this long. Paced
+    /// slower than appends: a snapshot is a bulk transfer, and re-streaming
+    /// the full state on the append cadence would flood a slow or briefly
+    /// unreachable follower.
+    pub snapshot_resend: Duration,
     /// §IV-E extension 1: skip a follower's heartbeat when replication
     /// traffic was sent to it within the current heartbeat interval —
     /// appends already reset the follower's election timer, so under load
@@ -78,6 +83,7 @@ impl RaftConfig {
             // peak-rate × RTT (≈ 14k req/s × 100 ms ≈ 1400 entries).
             max_entries_per_append: 8192,
             append_resend: Duration::from_millis(200),
+            snapshot_resend: Duration::from_millis(1000),
             suppress_heartbeats_when_replicating: false,
             consolidated_heartbeat_timer: false,
             seed: 0xD15_EA5E ^ id as u64,
@@ -102,6 +108,10 @@ impl RaftConfig {
         assert!(!self.peers.is_empty(), "empty cluster");
         assert!(self.max_entries_per_append > 0, "zero append batch size");
         assert!(self.append_resend > Duration::ZERO, "zero resend timeout");
+        assert!(
+            self.snapshot_resend >= self.append_resend,
+            "snapshot resend must not be paced faster than appends"
+        );
         self.tuning.validate();
     }
 }

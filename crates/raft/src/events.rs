@@ -3,7 +3,7 @@
 //! The paper extracts detection and out-of-service times from server log
 //! files (§IV-A); this enum is the structured equivalent.
 
-use crate::types::{NodeId, Term};
+use crate::types::{LogIndex, NodeId, Term};
 use std::time::Duration;
 
 /// Noteworthy state transitions of a Raft node.
@@ -59,6 +59,20 @@ pub enum RaftEvent {
     },
     /// The Dynatune tuner was reset to defaults (measurements discarded).
     TunerReset,
+    /// The leader streamed a state-machine snapshot to a follower whose
+    /// next needed entry was compacted away.
+    SnapshotSent {
+        /// The lagging follower.
+        to: NodeId,
+        /// Highest log index the snapshot covers.
+        last_included_index: LogIndex,
+    },
+    /// This node installed a snapshot received from the leader (log base
+    /// reset, state machine restored).
+    SnapshotInstalled {
+        /// Highest log index the snapshot covers.
+        last_included_index: LogIndex,
+    },
 }
 
 impl RaftEvent {
@@ -75,6 +89,8 @@ impl RaftEvent {
             RaftEvent::BecameFollower { .. } => "became_follower",
             RaftEvent::SteppedDown { .. } => "stepped_down",
             RaftEvent::TunerReset => "tuner_reset",
+            RaftEvent::SnapshotSent { .. } => "snapshot_sent",
+            RaftEvent::SnapshotInstalled { .. } => "snapshot_installed",
         }
     }
 }
@@ -101,6 +117,13 @@ mod tests {
             },
             RaftEvent::SteppedDown { term: 2 },
             RaftEvent::TunerReset,
+            RaftEvent::SnapshotSent {
+                to: 1,
+                last_included_index: 9,
+            },
+            RaftEvent::SnapshotInstalled {
+                last_included_index: 9,
+            },
         ];
         let mut kinds: Vec<&str> = events.iter().map(RaftEvent::kind).collect();
         kinds.sort_unstable();

@@ -36,10 +36,10 @@ pub use config::{RaftConfig, TimerQuantization};
 pub use events::RaftEvent;
 pub use log::{AppendOutcome, Entry, RaftLog};
 pub use message::{
-    AppendEntries, AppendResp, Heartbeat, HeartbeatResp, OutMsg, Payload, RequestVote,
-    RequestVoteResp,
+    AppendEntries, AppendResp, Heartbeat, HeartbeatResp, InstallSnapshot, OutMsg, Payload,
+    RequestVote, RequestVoteResp,
 };
-pub use node::{NodeEffects, NotLeader, RaftNode};
+pub use node::{NodeEffects, NodePayload, NotLeader, RaftNode};
 pub use progress::Progress;
-pub use state_machine::{Applied, Effects, NullStateMachine, StateMachine};
+pub use state_machine::{Applied, Effects, NullStateMachine, Snapshot, StateMachine};
 pub use types::{quorum, LogIndex, NodeId, Role, Term};

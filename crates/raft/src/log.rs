@@ -214,6 +214,18 @@ impl<C: Clone> RaftLog<C> {
         self.base_index = index;
         self.base_term = term;
     }
+
+    /// Replace the whole log with the boundary of an installed snapshot:
+    /// every live entry is discarded and the base moves to
+    /// `(base_index, base_term)`. Used by followers whose log diverged from
+    /// (or never reached) the snapshot point; when the snapshot point is
+    /// already present with a matching term, use [`RaftLog::compact`]
+    /// instead to retain the tail.
+    pub fn reset(&mut self, base_index: LogIndex, base_term: Term) {
+        self.entries.clear();
+        self.base_index = base_index;
+        self.base_term = base_term;
+    }
 }
 
 #[cfg(test)]
@@ -380,6 +392,77 @@ mod tests {
         log.compact(2);
         log.compact(1); // no-op
         assert_eq!(log.first_index(), 3);
+    }
+
+    #[test]
+    fn reset_replaces_everything_with_the_snapshot_boundary() {
+        let mut log = log_from(&[1, 1, 2]);
+        log.reset(10, 4);
+        assert!(log.is_empty());
+        assert_eq!(log.first_index(), 11);
+        assert_eq!(log.last_index(), 10);
+        assert_eq!(log.last_term(), 4);
+        assert_eq!(log.term_at(10), Some(4), "boundary term answers checks");
+        assert_eq!(log.term_at(9), None);
+        // Appends continue from the new base.
+        let out = log.try_append(10, 4, &[entry(4, 11, 0)]);
+        assert_eq!(out, AppendOutcome::Success { last_index: 11 });
+        // Up-to-date checks use the boundary when no live entries exist.
+        let fresh = log_from(&[]);
+        let mut snap_only: RaftLog<u32> = RaftLog::new();
+        snap_only.reset(5, 3);
+        assert!(snap_only.candidate_up_to_date(5, 3));
+        assert!(!snap_only.candidate_up_to_date(4, 3));
+        assert!(fresh.candidate_up_to_date(0, 0));
+    }
+
+    proptest! {
+        /// Boundary semantics around `base_index` survive any compaction
+        /// point: `term_at`/`entry_at`/`entries_from` agree with an
+        /// uncompacted twin on the retained range, answer the boundary from
+        /// `base_term`, and return nothing below it.
+        #[test]
+        fn prop_compaction_boundary_semantics(
+            terms in proptest::collection::vec(1u64..5, 1..40),
+            cut in 0u64..50,
+            probe in 0u64..50,
+        ) {
+            let mut terms = terms;
+            terms.sort_unstable(); // terms must be non-decreasing in a log
+            let full = log_from(&terms);
+            let mut log = full.clone();
+            log.compact(cut); // clamped to last_index internally
+            let base = cut.min(full.last_index());
+            prop_assert_eq!(log.first_index(), base + 1);
+            prop_assert_eq!(log.last_index(), full.last_index());
+            prop_assert_eq!(log.last_term(), full.last_term());
+            prop_assert_eq!(log.len() as u64, full.last_index() - base);
+            // term_at: boundary included, compacted prefix gone, retained
+            // range identical to the uncompacted twin.
+            if probe == base {
+                prop_assert_eq!(log.term_at(probe), full.term_at(base));
+            } else if probe < base || probe > full.last_index() {
+                if probe < base {
+                    prop_assert_eq!(log.term_at(probe), None);
+                } else {
+                    prop_assert_eq!(log.term_at(probe), full.term_at(probe));
+                }
+            } else {
+                prop_assert_eq!(log.term_at(probe), full.term_at(probe));
+                prop_assert_eq!(
+                    log.entry_at(probe).map(|e| e.data),
+                    full.entry_at(probe).map(|e| e.data)
+                );
+            }
+            // entries_from: empty at or below the base, suffix-equal above.
+            let got = log.entries_from(probe, 100);
+            if probe <= base || probe > full.last_index() {
+                prop_assert!(got.is_empty());
+            } else {
+                prop_assert_eq!(&got, &full.entries_from(probe, 100));
+                prop_assert_eq!(got[0].index, probe);
+            }
+        }
     }
 
     proptest! {

@@ -62,6 +62,29 @@ pub struct AppendResp {
     pub match_or_hint: LogIndex,
 }
 
+/// Leader → follower full-state transfer (TCP).
+///
+/// Sent when the entry a follower needs next was already compacted away on
+/// the leader (`next_index ≤ log.first_index()`), which log replication can
+/// never recover from on its own. Carries the leader's state-machine
+/// snapshot plus the log position it covers; the follower resets its log
+/// base to `(last_included_index, last_included_term)` and restores the
+/// state, then acknowledges with a regular [`AppendResp`] so the leader's
+/// progress tracking advances through the normal path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InstallSnapshot<S> {
+    /// Leader's term.
+    pub term: Term,
+    /// The leader's id.
+    pub leader: NodeId,
+    /// Highest log index included in the snapshot.
+    pub last_included_index: LogIndex,
+    /// Term of that entry.
+    pub last_included_term: Term,
+    /// The state-machine snapshot covering entries `1..=last_included_index`.
+    pub data: S,
+}
+
 /// Vote request, used for both the pre-vote phase (`pre_vote == true`,
 /// term is the *prospective* term, voter's term unchanged) and real
 /// elections.
@@ -89,9 +112,10 @@ pub struct RequestVoteResp {
     pub granted: bool,
 }
 
-/// All Raft messages, generic over the state-machine command type.
+/// All Raft messages, generic over the state-machine command and snapshot
+/// types.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub enum Payload<C> {
+pub enum Payload<C, S> {
     /// Keep-alive with measurement metadata (UDP).
     Heartbeat(Heartbeat),
     /// Keep-alive acknowledgement (UDP).
@@ -100,13 +124,15 @@ pub enum Payload<C> {
     AppendEntries(AppendEntries<C>),
     /// Replication acknowledgement (TCP).
     AppendResp(AppendResp),
+    /// Full-state catch-up for followers behind the compaction horizon (TCP).
+    InstallSnapshot(InstallSnapshot<S>),
     /// Pre-vote or vote request (TCP).
     RequestVote(RequestVote),
     /// Pre-vote or vote response (TCP).
     RequestVoteResp(RequestVoteResp),
 }
 
-impl<C> Payload<C> {
+impl<C, S> Payload<C, S> {
     /// The transport channel this payload uses (§III-E hybrid transport).
     /// When `udp_heartbeats` is false (ablation: stock etcd transport),
     /// everything rides on TCP.
@@ -126,6 +152,7 @@ impl<C> Payload<C> {
             Payload::HeartbeatResp(m) => m.term,
             Payload::AppendEntries(m) => m.term,
             Payload::AppendResp(m) => m.term,
+            Payload::InstallSnapshot(m) => m.term,
             Payload::RequestVote(m) => m.term,
             Payload::RequestVoteResp(m) => m.term,
         }
@@ -139,6 +166,7 @@ impl<C> Payload<C> {
             Payload::HeartbeatResp(_) => "heartbeat_resp",
             Payload::AppendEntries(_) => "append",
             Payload::AppendResp(_) => "append_resp",
+            Payload::InstallSnapshot(_) => "install_snapshot",
             Payload::RequestVote(m) if m.pre_vote => "pre_vote",
             Payload::RequestVote(_) => "vote",
             Payload::RequestVoteResp(m) if m.pre_vote => "pre_vote_resp",
@@ -149,20 +177,20 @@ impl<C> Payload<C> {
 
 /// An addressed outbound message produced by the node.
 #[derive(Debug, Clone)]
-pub struct OutMsg<C> {
+pub struct OutMsg<C, S> {
     /// Destination node.
     pub to: NodeId,
     /// Transport channel.
     pub channel: Channel,
     /// The payload.
-    pub payload: Payload<C>,
+    pub payload: Payload<C, S>,
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn heartbeat() -> Payload<u32> {
+    fn heartbeat() -> Payload<u32, ()> {
         Payload::Heartbeat(Heartbeat {
             term: 3,
             leader: 0,
@@ -179,7 +207,7 @@ mod tests {
     fn hybrid_channel_mapping() {
         assert_eq!(heartbeat().channel(true), Channel::Udp);
         assert_eq!(heartbeat().channel(false), Channel::Tcp);
-        let vote: Payload<u32> = Payload::RequestVote(RequestVote {
+        let vote: Payload<u32, ()> = Payload::RequestVote(RequestVote {
             term: 1,
             pre_vote: false,
             last_log_index: 0,
@@ -187,6 +215,17 @@ mod tests {
         });
         assert_eq!(vote.channel(true), Channel::Tcp);
         assert_eq!(vote.channel(false), Channel::Tcp);
+        // Snapshots are bulk transfers: always the reliable channel.
+        let snap: Payload<u32, ()> = Payload::InstallSnapshot(InstallSnapshot {
+            term: 2,
+            leader: 0,
+            last_included_index: 10,
+            last_included_term: 2,
+            data: (),
+        });
+        assert_eq!(snap.channel(true), Channel::Tcp);
+        assert_eq!(snap.kind(), "install_snapshot");
+        assert_eq!(snap.term(), 2);
     }
 
     #[test]
@@ -197,7 +236,7 @@ mod tests {
     #[test]
     fn kind_tags() {
         assert_eq!(heartbeat().kind(), "heartbeat");
-        let pv: Payload<u32> = Payload::RequestVote(RequestVote {
+        let pv: Payload<u32, ()> = Payload::RequestVote(RequestVote {
             term: 2,
             pre_vote: true,
             last_log_index: 0,

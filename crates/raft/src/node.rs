@@ -31,11 +31,11 @@ use crate::config::{RaftConfig, TimerQuantization};
 use crate::events::RaftEvent;
 use crate::log::{AppendOutcome, RaftLog};
 use crate::message::{
-    AppendEntries, AppendResp, Heartbeat, HeartbeatResp, OutMsg, Payload, RequestVote,
-    RequestVoteResp,
+    AppendEntries, AppendResp, Heartbeat, HeartbeatResp, InstallSnapshot, OutMsg, Payload,
+    RequestVote, RequestVoteResp,
 };
 use crate::progress::Progress;
-use crate::state_machine::{Applied, Effects, StateMachine};
+use crate::state_machine::{Applied, Effects, Snapshot, StateMachine};
 use crate::types::{quorum, LogIndex, NodeId, Role, Term};
 use dynatune_core::{FollowerTuner, LeaderPacer, TuningSnapshot};
 use dynatune_simnet::rng::Rng;
@@ -51,7 +51,14 @@ pub struct NotLeader {
 }
 
 /// Effects alias bound to a state machine.
-pub type NodeEffects<SM> = Effects<<SM as StateMachine>::Command, <SM as StateMachine>::Response>;
+pub type NodeEffects<SM> = Effects<
+    <SM as StateMachine>::Command,
+    <SM as StateMachine>::Response,
+    <SM as StateMachine>::Snapshot,
+>;
+
+/// Payload alias bound to a state machine.
+pub type NodePayload<SM> = Payload<<SM as StateMachine>::Command, <SM as StateMachine>::Snapshot>;
 
 /// A single Raft server.
 pub struct RaftNode<SM: StateMachine> {
@@ -66,6 +73,13 @@ pub struct RaftNode<SM: StateMachine> {
     commit_index: LogIndex,
     last_applied: LogIndex,
     sm: SM,
+    /// The retained state-machine snapshot, refreshed on every compaction
+    /// and on snapshot installs. Persistent (like the log): once the log
+    /// prefix is gone, crash-recovery rebuilds the state machine from here
+    /// instead of replaying from index 1.
+    snap: Option<Snapshot<SM::Snapshot>>,
+    /// Count of `InstallSnapshot` messages this node has sent as leader.
+    snapshots_sent: u64,
     // --- election timer ---
     timer_reset_at: SimTime,
     timeout_factor: f64,
@@ -111,6 +125,8 @@ impl<SM: StateMachine> RaftNode<SM> {
             commit_index: 0,
             last_applied: 0,
             sm,
+            snap: None,
+            snapshots_sent: 0,
             timer_reset_at: now,
             timeout_factor,
             tick_phase,
@@ -177,6 +193,18 @@ impl<SM: StateMachine> RaftNode<SM> {
         &self.log
     }
 
+    /// The retained snapshot backing the compacted log prefix, if any.
+    #[must_use]
+    pub fn retained_snapshot(&self) -> Option<&Snapshot<SM::Snapshot>> {
+        self.snap.as_ref()
+    }
+
+    /// `InstallSnapshot` messages sent by this node as leader (observable).
+    #[must_use]
+    pub fn snapshots_sent(&self) -> u64 {
+        self.snapshots_sent
+    }
+
     /// The node's configuration.
     #[must_use]
     pub fn config(&self) -> &RaftConfig {
@@ -220,6 +248,16 @@ impl<SM: StateMachine> RaftNode<SM> {
         self.tuner.expected_heartbeat_interval()
     }
 
+    /// Resend timeout for this follower's in-flight transfer: bulky
+    /// snapshot installs get the slower pacing.
+    fn resend_after(&self, p: &Progress) -> Duration {
+        if p.pending_snapshot.is_some() {
+            self.config.snapshot_resend
+        } else {
+            self.config.append_resend
+        }
+    }
+
     /// The instant the election timer (or campaign retry timer) fires:
     /// the first boundary of this node's free-running tick grid at or after
     /// `reset + randomizedTimeout` (etcd observes expiry only on ticks).
@@ -249,7 +287,7 @@ impl<SM: StateMachine> RaftNode<SM> {
                     earliest = earliest.min(SimTime::from_nanos(pacer.next_send_nanos()));
                     if let Some(p) = self.progress.get(&peer) {
                         if p.inflight {
-                            earliest = earliest.min(p.sent_at + self.config.append_resend);
+                            earliest = earliest.min(p.sent_at + self.resend_after(p));
                         }
                     }
                 }
@@ -393,17 +431,19 @@ impl<SM: StateMachine> RaftNode<SM> {
                 }
             }
         }
-        // Replication resends for stuck followers.
+        // Replication resends for stuck followers (snapshot transfers are
+        // paced on their own, slower timer).
         for &peer in &peers {
             let resend = {
                 let p = &self.progress[&peer];
-                p.inflight && now >= p.sent_at + self.config.append_resend
+                p.inflight && now >= p.sent_at + self.resend_after(p)
             };
             if resend {
                 if let Some(p) = self.progress.get_mut(&peer) {
                     // Fall back to proven ground and probe again.
                     p.next_index = p.match_index + 1;
                     p.inflight = false;
+                    p.pending_snapshot = None;
                 }
                 self.send_append(now, peer, fx);
             }
@@ -515,7 +555,7 @@ impl<SM: StateMachine> RaftNode<SM> {
             if peer == self.config.id {
                 continue;
             }
-            let payload: Payload<SM::Command> = Payload::RequestVote(req);
+            let payload: NodePayload<SM> = Payload::RequestVote(req);
             let channel = payload.channel(self.config.udp_heartbeats);
             fx.messages.push(OutMsg {
                 to: peer,
@@ -599,8 +639,13 @@ impl<SM: StateMachine> RaftNode<SM> {
         };
         let prev = p.next_index - 1;
         let Some(prev_term) = self.log.term_at(prev) else {
-            // prev was compacted away; with bounded compaction (below the
-            // minimum match index) this cannot happen — skip defensively.
+            // prev was compacted away: log replication can never catch this
+            // follower up (the entries it needs no longer exist). Stream the
+            // full applied state instead. The old code returned silently
+            // here, which left `inflight == false` with no retry path — a
+            // permanent replication stall once conflict backoff pushed
+            // next_index below first_index.
+            self.send_snapshot(now, to, fx);
             return;
         };
         let entries = self
@@ -617,6 +662,44 @@ impl<SM: StateMachine> RaftNode<SM> {
             leader_commit: self.commit_index,
         };
         let payload = Payload::AppendEntries(msg);
+        let channel = payload.channel(self.config.udp_heartbeats);
+        fx.messages.push(OutMsg {
+            to,
+            channel,
+            payload,
+        });
+    }
+
+    /// Stream the current applied state to a follower that fell behind the
+    /// compaction horizon. The snapshot is cut at `last_applied` (the state
+    /// the leader holds in memory), which is always at or above the log
+    /// base, so the follower lands inside the retained log and ordinary
+    /// appends take over from there.
+    fn send_snapshot(&mut self, now: SimTime, to: NodeId, fx: &mut NodeEffects<SM>) {
+        let last_included_index = self.last_applied;
+        let last_included_term = self
+            .log
+            .term_at(last_included_index)
+            .expect("applied index is at or above the log base");
+        let data = self.sm.snapshot();
+        let Some(p) = self.progress.get_mut(&to) else {
+            return;
+        };
+        p.inflight = true;
+        p.sent_at = now;
+        p.pending_snapshot = Some(last_included_index);
+        self.snapshots_sent += 1;
+        fx.events.push(RaftEvent::SnapshotSent {
+            to,
+            last_included_index,
+        });
+        let payload = Payload::InstallSnapshot(InstallSnapshot {
+            term: self.term,
+            leader: self.config.id,
+            last_included_index,
+            last_included_term,
+            data,
+        });
         let channel = payload.channel(self.config.udp_heartbeats);
         fx.messages.push(OutMsg {
             to,
@@ -677,7 +760,7 @@ impl<SM: StateMachine> RaftNode<SM> {
         &mut self,
         now: SimTime,
         from: NodeId,
-        payload: Payload<SM::Command>,
+        payload: NodePayload<SM>,
     ) -> NodeEffects<SM> {
         let mut fx = Effects::new();
         // Generic higher-term handling (pre-vote traffic excluded: pre-vote
@@ -706,7 +789,9 @@ impl<SM: StateMachine> RaftNode<SM> {
                 let msg_term = other.term();
                 if msg_term > self.term {
                     let leader = match other {
-                        Payload::Heartbeat(_) | Payload::AppendEntries(_) => Some(from),
+                        Payload::Heartbeat(_)
+                        | Payload::AppendEntries(_)
+                        | Payload::InstallSnapshot(_) => Some(from),
                         _ => None,
                     };
                     self.become_follower(now, msg_term, leader, &mut fx);
@@ -718,6 +803,7 @@ impl<SM: StateMachine> RaftNode<SM> {
             Payload::HeartbeatResp(resp) => self.on_heartbeat_resp(now, from, resp, &mut fx),
             Payload::AppendEntries(ae) => self.on_append_entries(now, from, ae, &mut fx),
             Payload::AppendResp(resp) => self.on_append_resp(now, from, resp, &mut fx),
+            Payload::InstallSnapshot(snap) => self.on_install_snapshot(now, from, snap, &mut fx),
             Payload::RequestVote(rv) => self.on_request_vote(now, from, rv, &mut fx),
             Payload::RequestVoteResp(resp) => self.on_vote_resp(now, from, resp, &mut fx),
         }
@@ -733,7 +819,7 @@ impl<SM: StateMachine> RaftNode<SM> {
     ) {
         if hb.term < self.term {
             // Stale leader: tell it the new term so it steps down.
-            let payload: Payload<SM::Command> = Payload::HeartbeatResp(HeartbeatResp {
+            let payload: NodePayload<SM> = Payload::HeartbeatResp(HeartbeatResp {
                 term: self.term,
                 reply: dynatune_core::HeartbeatReply::echo_only(&hb.meta),
             });
@@ -778,7 +864,7 @@ impl<SM: StateMachine> RaftNode<SM> {
             self.commit_index = new_commit;
             self.apply_committed(fx);
         }
-        let payload: Payload<SM::Command> = Payload::HeartbeatResp(HeartbeatResp {
+        let payload: NodePayload<SM> = Payload::HeartbeatResp(HeartbeatResp {
             term: self.term,
             reply,
         });
@@ -816,7 +902,7 @@ impl<SM: StateMachine> RaftNode<SM> {
         fx: &mut NodeEffects<SM>,
     ) {
         if ae.term < self.term {
-            let payload: Payload<SM::Command> = Payload::AppendResp(AppendResp {
+            let payload: NodePayload<SM> = Payload::AppendResp(AppendResp {
                 term: self.term,
                 success: false,
                 match_or_hint: 0,
@@ -868,7 +954,89 @@ impl<SM: StateMachine> RaftNode<SM> {
                 match_or_hint: hint,
             },
         };
-        let payload: Payload<SM::Command> = Payload::AppendResp(resp);
+        let payload: NodePayload<SM> = Payload::AppendResp(resp);
+        let channel = payload.channel(self.config.udp_heartbeats);
+        fx.messages.push(OutMsg {
+            to: from,
+            channel,
+            payload,
+        });
+    }
+
+    /// Follower side of snapshot transfer: adopt the leader, reset the log
+    /// to the snapshot boundary (retaining any matching tail), restore the
+    /// state machine, and acknowledge through the regular `AppendResp` path
+    /// so the leader's progress tracking advances normally.
+    fn on_install_snapshot(
+        &mut self,
+        now: SimTime,
+        from: NodeId,
+        snap: InstallSnapshot<SM::Snapshot>,
+        fx: &mut NodeEffects<SM>,
+    ) {
+        if snap.term < self.term {
+            // Stale leader: tell it the new term so it steps down.
+            let payload: NodePayload<SM> = Payload::AppendResp(AppendResp {
+                term: self.term,
+                success: false,
+                match_or_hint: 0,
+            });
+            let channel = payload.channel(self.config.udp_heartbeats);
+            fx.messages.push(OutMsg {
+                to: from,
+                channel,
+                payload,
+            });
+            return;
+        }
+        match self.role {
+            Role::PreCandidate => {
+                fx.events
+                    .push(RaftEvent::PreVoteAborted { term: self.term });
+                self.become_follower(now, snap.term, Some(from), fx);
+            }
+            Role::Candidate => {
+                self.become_follower(now, snap.term, Some(from), fx);
+            }
+            Role::Follower => {
+                if self.leader_id != Some(from) {
+                    self.become_follower(now, snap.term, Some(from), fx);
+                }
+            }
+            Role::Leader => return, // impossible at same term
+        }
+        self.reset_election_timer(now, false);
+        if snap.last_included_index > self.commit_index {
+            if self.log.term_at(snap.last_included_index) == Some(snap.last_included_term) {
+                // Our log already reaches the snapshot point: fast-forward
+                // state and compaction, retain the matching tail.
+                self.log.compact(snap.last_included_index);
+            } else {
+                // Behind (or diverged): the snapshot replaces everything.
+                self.log
+                    .reset(snap.last_included_index, snap.last_included_term);
+            }
+            self.sm.restore(&snap.data);
+            self.commit_index = snap.last_included_index;
+            self.last_applied = snap.last_included_index;
+            // The snapshot becomes our crash-recovery baseline: the log no
+            // longer replays from index 1.
+            self.snap = Some(Snapshot {
+                last_included_index: snap.last_included_index,
+                last_included_term: snap.last_included_term,
+                data: snap.data,
+            });
+            fx.events.push(RaftEvent::SnapshotInstalled {
+                last_included_index: snap.last_included_index,
+            });
+        }
+        // Acknowledge up to the snapshot point (or our existing commit if
+        // the snapshot was stale) — monotonic on the leader side.
+        let payload: NodePayload<SM> = Payload::AppendResp(AppendResp {
+            term: self.term,
+            success: true,
+            match_or_hint: snap.last_included_index.min(self.commit_index),
+        });
         let channel = payload.channel(self.config.udp_heartbeats);
         fx.messages.push(OutMsg {
             to: from,
@@ -947,7 +1115,7 @@ impl<SM: StateMachine> RaftNode<SM> {
                 (grant, self.term)
             }
         };
-        let payload: Payload<SM::Command> = Payload::RequestVoteResp(RequestVoteResp {
+        let payload: NodePayload<SM> = Payload::RequestVoteResp(RequestVoteResp {
             term: resp_term,
             pre_vote: rv.pre_vote,
             granted,
@@ -988,15 +1156,22 @@ impl<SM: StateMachine> RaftNode<SM> {
     // Crash-recovery
     // ------------------------------------------------------------------
 
-    /// Restart after a crash: persistent state (term, vote, log) survives;
-    /// volatile state resets and the state machine is rebuilt by replay as
-    /// entries re-commit.
+    /// Restart after a crash: persistent state (term, vote, log, retained
+    /// snapshot) survives; volatile state resets. The state machine is
+    /// rebuilt from the retained snapshot (when the log was ever compacted,
+    /// replay from index 1 is impossible) plus replay as entries re-commit.
     pub fn restart(&mut self, now: SimTime, fresh_sm: SM) {
         self.role = Role::Follower;
         self.leader_id = None;
-        self.commit_index = 0;
-        self.last_applied = 0;
         self.sm = fresh_sm;
+        if let Some(snap) = &self.snap {
+            self.sm.restore(&snap.data);
+            self.commit_index = snap.last_included_index;
+            self.last_applied = snap.last_included_index;
+        } else {
+            self.commit_index = 0;
+            self.last_applied = 0;
+        }
         self.votes.clear();
         self.progress.clear();
         self.pacers.clear();
@@ -1005,23 +1180,36 @@ impl<SM: StateMachine> RaftNode<SM> {
         self.reset_election_timer(now, true);
     }
 
-    /// Compact the log prefix up to `index` (must be ≤ `last_applied`).
+    /// Compact the log prefix up to `index` (clamped to `last_applied`),
+    /// retaining a state-machine snapshot so crash-recovery and slow-peer
+    /// catch-up survive the loss of the prefix.
     pub fn compact_log(&mut self, index: LogIndex) {
         let index = index.min(self.safe_compact_index());
+        if index < self.log.first_index() {
+            return; // nothing new to discard
+        }
+        let last_included_index = self.last_applied;
+        let last_included_term = self
+            .log
+            .term_at(last_included_index)
+            .expect("applied index is at or above the log base");
+        self.snap = Some(Snapshot {
+            last_included_index,
+            last_included_term,
+            data: self.sm.snapshot(),
+        });
         self.log.compact(index);
     }
 
-    /// Highest index that can be compacted without breaking replication: a
-    /// leader must keep everything its slowest follower still needs.
+    /// Highest index that can be compacted: everything applied. Compaction
+    /// is *not* pinned by the slowest follower — a peer that needs an entry
+    /// below the log base is caught up with an `InstallSnapshot` stream
+    /// instead, so one crashed node cannot make the leader's log grow
+    /// without bound. Callers keep a small tail of slack so briefly-lagging
+    /// followers still catch up via cheap appends.
     #[must_use]
     pub fn safe_compact_index(&self) -> LogIndex {
-        let mut safe = self.last_applied;
-        if self.role == Role::Leader {
-            for p in self.progress.values() {
-                safe = safe.min(p.match_index);
-            }
-        }
-        safe
+        self.last_applied
     }
 }
 
@@ -1833,6 +2021,270 @@ mod tests {
             Duration::from_millis(1000),
             "escalation falls back to defaults"
         );
+    }
+
+    /// Elect `node` leader of 3 and commit `count` commands by acking from
+    /// follower 1. Returns the commit index reached.
+    fn leader_with_committed(node: &mut Node, count: u64) -> LogIndex {
+        let _ = elect(node, SimTime::ZERO);
+        let t = ms(3000);
+        for v in 0..count {
+            let (res, _) = node.propose(t, v);
+            res.unwrap();
+        }
+        let last = node.log().last_index();
+        let _ = node.step(
+            t,
+            1,
+            Payload::AppendResp(AppendResp {
+                term: node.term(),
+                success: true,
+                match_or_hint: last,
+            }),
+        );
+        assert_eq!(node.commit_index(), last);
+        assert_eq!(node.last_applied(), last);
+        last
+    }
+
+    /// Regression for the permanent replication stall: a leader whose log
+    /// is compacted (it compacted to `last_applied` as a follower, then won
+    /// an election) gets a conflict hint from a lagging peer that lands
+    /// below `first_index()`. Pre-fix, `send_append` returned silently with
+    /// `inflight == false`, so neither the response path nor the resend
+    /// timer ever retried — the peer was stuck forever. Post-fix the leader
+    /// streams an `InstallSnapshot`.
+    #[test]
+    fn conflict_below_compaction_horizon_triggers_snapshot_not_stall() {
+        let mut leader = node(0, 3);
+        let last = leader_with_committed(&mut leader, 5);
+        leader.compact_log(last); // follower-style compaction to last_applied
+        assert!(leader.log().first_index() > 1);
+        // Lagging peer 2: its log ends far below the compaction horizon.
+        let fx = leader.step(
+            ms(3100),
+            2,
+            Payload::AppendResp(AppendResp {
+                term: leader.term(),
+                success: false,
+                match_or_hint: 0,
+            }),
+        );
+        let snap_msgs: Vec<_> = fx
+            .messages
+            .iter()
+            .filter(|m| m.payload.kind() == "install_snapshot")
+            .collect();
+        assert_eq!(snap_msgs.len(), 1, "stall must become a snapshot stream");
+        assert_eq!(snap_msgs[0].to, 2);
+        match &snap_msgs[0].payload {
+            Payload::InstallSnapshot(s) => {
+                assert_eq!(s.last_included_index, last);
+                assert_eq!(s.term, leader.term());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(leader.snapshots_sent(), 1);
+        assert!(
+            fx.events
+                .iter()
+                .any(|e| matches!(e, RaftEvent::SnapshotSent { to: 2, .. })),
+            "events: {:?}",
+            fx.events
+        );
+        // The transfer is tracked: the resend timer must cover it.
+        let wake = leader.next_wake().expect("leader wakes");
+        assert!(wake <= ms(3100) + Duration::from_millis(1000));
+    }
+
+    #[test]
+    fn snapshot_resend_paces_slower_than_appends() {
+        let mut leader = node(0, 3);
+        let last = leader_with_committed(&mut leader, 5);
+        leader.compact_log(last);
+        let t0 = ms(3100);
+        let _ = leader.step(
+            t0,
+            2,
+            Payload::AppendResp(AppendResp {
+                term: leader.term(),
+                success: false,
+                match_or_hint: 0,
+            }),
+        );
+        assert_eq!(leader.snapshots_sent(), 1);
+        // Within snapshot_resend (1s), ticks must not re-stream the state.
+        let _ = leader.tick(t0 + Duration::from_millis(300));
+        assert_eq!(leader.snapshots_sent(), 1, "append cadence must not apply");
+        // Once the snapshot timer expires, the transfer is retried.
+        let mut t = t0 + Duration::from_millis(300);
+        let mut resent = false;
+        for _ in 0..50 {
+            t = leader
+                .next_wake()
+                .unwrap()
+                .max(t + Duration::from_millis(1));
+            let _ = leader.tick(t);
+            if leader.snapshots_sent() > 1 {
+                resent = true;
+                break;
+            }
+        }
+        assert!(resent, "unacked snapshot must eventually resend");
+        assert!(t >= t0 + Duration::from_millis(1000));
+    }
+
+    #[test]
+    fn install_snapshot_resets_follower_log_and_state() {
+        let mut n = node(1, 3);
+        // Give the follower a short stale log.
+        let _ = n.step(
+            ms(1),
+            2,
+            Payload::AppendEntries(AppendEntries {
+                term: 1,
+                leader: 2,
+                prev_log_index: 0,
+                prev_log_term: 0,
+                entries: vec![crate::log::Entry {
+                    term: 1,
+                    index: 1,
+                    data: Some(11),
+                }],
+                leader_commit: 0,
+            }),
+        );
+        let fx = n.step(
+            ms(10),
+            0,
+            Payload::InstallSnapshot(InstallSnapshot {
+                term: 3,
+                leader: 0,
+                last_included_index: 7,
+                last_included_term: 2,
+                data: vec![(7, 77)],
+            }),
+        );
+        assert_eq!(n.role(), Role::Follower);
+        assert_eq!(n.leader_id(), Some(0));
+        assert_eq!(n.term(), 3);
+        assert_eq!(n.log().first_index(), 8, "log base moved to the snapshot");
+        assert_eq!(n.log().last_index(), 7);
+        assert_eq!(n.commit_index(), 7);
+        assert_eq!(n.last_applied(), 7);
+        assert_eq!(n.state_machine().applied, vec![(7, 77)]);
+        let kinds: Vec<&str> = fx.events.iter().map(RaftEvent::kind).collect();
+        assert!(kinds.contains(&"snapshot_installed"), "events: {kinds:?}");
+        // Acked through the regular append path so progress advances.
+        let ack = fx
+            .messages
+            .iter()
+            .find(|m| m.payload.kind() == "append_resp")
+            .expect("snapshot ack");
+        match &ack.payload {
+            Payload::AppendResp(r) => {
+                assert!(r.success);
+                assert_eq!(r.match_or_hint, 7);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Replication continues from the snapshot boundary.
+        let fx = n.step(
+            ms(20),
+            0,
+            Payload::AppendEntries(AppendEntries {
+                term: 3,
+                leader: 0,
+                prev_log_index: 7,
+                prev_log_term: 2,
+                entries: vec![crate::log::Entry {
+                    term: 3,
+                    index: 8,
+                    data: Some(88),
+                }],
+                leader_commit: 8,
+            }),
+        );
+        assert_eq!(n.commit_index(), 8);
+        assert_eq!(fx.applied.len(), 1);
+    }
+
+    #[test]
+    fn stale_snapshot_is_acked_but_not_installed() {
+        let mut n = node(1, 3);
+        let _ = n.step(
+            ms(1),
+            0,
+            Payload::AppendEntries(AppendEntries {
+                term: 2,
+                leader: 0,
+                prev_log_index: 0,
+                prev_log_term: 0,
+                entries: (1..=5)
+                    .map(|i| crate::log::Entry {
+                        term: 2,
+                        index: i,
+                        data: Some(i),
+                    })
+                    .collect(),
+                leader_commit: 5,
+            }),
+        );
+        assert_eq!(n.commit_index(), 5);
+        let applied_before = n.state_machine().applied.clone();
+        let fx = n.step(
+            ms(2),
+            0,
+            Payload::InstallSnapshot(InstallSnapshot {
+                term: 2,
+                leader: 0,
+                last_included_index: 3,
+                last_included_term: 2,
+                data: vec![(3, 33)],
+            }),
+        );
+        assert_eq!(n.log().last_index(), 5, "log untouched");
+        assert_eq!(n.state_machine().applied, applied_before, "state untouched");
+        match &fx.messages[0].payload {
+            Payload::AppendResp(r) => {
+                assert!(r.success);
+                assert_eq!(r.match_or_hint, 3, "stale point is still proven");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn restart_rebuilds_state_machine_from_retained_snapshot() {
+        let mut n = node(0, 1);
+        let deadline = n.election_deadline();
+        let _ = n.tick(deadline);
+        assert_eq!(n.role(), Role::Leader);
+        let (_, _) = n.propose(deadline, 42);
+        let (_, _) = n.propose(deadline, 43);
+        assert_eq!(n.commit_index(), 3); // no-op + two commands
+        n.compact_log(3);
+        assert_eq!(n.log().first_index(), 4);
+        let state_before = n.state_machine().applied.clone();
+        // Pre-fix, restart reset last_applied to 0 with a compacted log:
+        // replay from index 1 was impossible and re-committing panicked.
+        n.restart(ms(9000), NullStateMachine::default());
+        assert_eq!(n.last_applied(), 3, "snapshot anchors recovery");
+        assert_eq!(n.commit_index(), 3);
+        assert_eq!(n.state_machine().applied, state_before);
+        let snap = n.retained_snapshot().expect("snapshot retained");
+        assert_eq!(snap.last_included_index, 3);
+    }
+
+    #[test]
+    fn leader_compaction_is_not_pinned_by_slow_followers() {
+        let mut leader = node(0, 3);
+        let last = leader_with_committed(&mut leader, 10);
+        // Follower 2 never acked anything (match 0); compaction proceeds
+        // anyway — snapshots cover the gap.
+        assert_eq!(leader.safe_compact_index(), last);
+        leader.compact_log(last);
+        assert_eq!(leader.log().first_index(), last + 1);
     }
 
     #[test]

@@ -17,6 +17,10 @@ pub struct Progress {
     pub sent_at: SimTime,
     /// Last time *any* message was received from this follower (check-quorum).
     pub last_active: SimTime,
+    /// Last included index of an in-flight `InstallSnapshot`, if one is
+    /// outstanding. Snapshot transfers are bulky, so their resend timer is
+    /// paced separately (`snapshot_resend` vs `append_resend`).
+    pub pending_snapshot: Option<LogIndex>,
 }
 
 impl Progress {
@@ -29,6 +33,7 @@ impl Progress {
             inflight: false,
             sent_at: SimTime::ZERO,
             last_active: now,
+            pending_snapshot: None,
         }
     }
 
@@ -37,13 +42,20 @@ impl Progress {
         self.match_index = self.match_index.max(index);
         self.next_index = self.next_index.max(index + 1);
         self.inflight = false;
+        self.pending_snapshot = None;
     }
 
     /// Record a conflict hint: probe at `prev = hint` next.
+    ///
+    /// The clamp keeps `next_index` at or above `match_index + 1` (those
+    /// entries are proven), but deliberately *not* above the leader's
+    /// `first_index`: a hint below the compaction horizon is the signal
+    /// that log replication cannot serve this follower, and `send_append`
+    /// answers it with an `InstallSnapshot` instead of an append.
     pub fn on_conflict(&mut self, hint: LogIndex) {
-        // Never move next below match+1 (those entries are proven).
         self.next_index = (hint + 1).max(self.match_index + 1);
         self.inflight = false;
+        self.pending_snapshot = None;
     }
 
     /// Whether entries up to `last_index` remain unsent.
@@ -89,5 +101,31 @@ mod tests {
         // Hint below proven match is clamped.
         p.on_conflict(1);
         assert_eq!(p.next_index, 5);
+    }
+
+    #[test]
+    fn conflict_may_back_off_below_a_compacted_first_index() {
+        // A leader whose log starts at first_index = 101 (entries 1..=100
+        // compacted) and a follower with nothing proven: the hint drives
+        // next_index below the horizon, which is exactly the condition
+        // send_append converts into an InstallSnapshot. The clamp must not
+        // hide it by flooring at first_index.
+        let mut p = Progress::new(150, SimTime::ZERO);
+        p.on_conflict(40); // follower's log ends at 40 < first_index 101
+        assert_eq!(p.next_index, 41, "backoff lands below the compacted base");
+        assert_eq!(p.match_index, 0);
+    }
+
+    #[test]
+    fn replies_clear_pending_snapshot() {
+        let mut p = Progress::new(10, SimTime::ZERO);
+        p.pending_snapshot = Some(10);
+        p.inflight = true;
+        p.on_success(10);
+        assert_eq!(p.pending_snapshot, None);
+        assert_eq!(p.next_index, 11);
+        p.pending_snapshot = Some(10);
+        p.on_conflict(3);
+        assert_eq!(p.pending_snapshot, None);
     }
 }

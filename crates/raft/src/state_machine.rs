@@ -15,9 +15,35 @@ pub trait StateMachine {
     /// Response produced by applying a command (returned to clients by the
     /// leader).
     type Response;
+    /// Serialized full state, shipped in `InstallSnapshot` messages and
+    /// retained across crash-restarts once the log is compacted.
+    type Snapshot: Clone;
 
     /// Apply a committed command at `index`.
     fn apply(&mut self, index: LogIndex, command: &Self::Command) -> Self::Response;
+
+    /// Capture the full applied state (everything up to the last applied
+    /// entry). Must be deterministic: equal applied sequences produce
+    /// snapshots that [`StateMachine::restore`] to equal states.
+    fn snapshot(&self) -> Self::Snapshot;
+
+    /// Replace the state with `snapshot`, discarding whatever was applied
+    /// before.
+    fn restore(&mut self, snapshot: &Self::Snapshot);
+}
+
+/// A state-machine snapshot anchored at the log position it covers. This is
+/// what a node retains when it compacts its log (crash-recovery can no
+/// longer replay the compacted prefix) and what the leader streams to a
+/// follower that fell behind the compaction horizon.
+#[derive(Debug, Clone)]
+pub struct Snapshot<S> {
+    /// Highest log index whose effects are included.
+    pub last_included_index: LogIndex,
+    /// Term of that entry.
+    pub last_included_term: Term,
+    /// The serialized state.
+    pub data: S,
 }
 
 /// A committed entry that was just applied.
@@ -33,16 +59,16 @@ pub struct Applied<R> {
 
 /// Everything a node wants the outside world to do after one input.
 #[derive(Debug)]
-pub struct Effects<C, R> {
+pub struct Effects<C, R, S> {
     /// Messages to transmit.
-    pub messages: Vec<OutMsg<C>>,
+    pub messages: Vec<OutMsg<C, S>>,
     /// Observable state transitions (for experiment observers).
     pub events: Vec<RaftEvent>,
     /// Entries applied to the state machine by this input.
     pub applied: Vec<Applied<R>>,
 }
 
-impl<C, R> Default for Effects<C, R> {
+impl<C, R, S> Default for Effects<C, R, S> {
     fn default() -> Self {
         Self {
             messages: Vec::new(),
@@ -52,7 +78,7 @@ impl<C, R> Default for Effects<C, R> {
     }
 }
 
-impl<C, R> Effects<C, R> {
+impl<C, R, S> Effects<C, R, S> {
     /// An empty effects bundle.
     #[must_use]
     pub fn new() -> Self {
@@ -60,7 +86,7 @@ impl<C, R> Effects<C, R> {
     }
 
     /// Fold another bundle into this one, preserving order.
-    pub fn extend(&mut self, other: Effects<C, R>) {
+    pub fn extend(&mut self, other: Effects<C, R, S>) {
         self.messages.extend(other.messages);
         self.events.extend(other.events);
         self.applied.extend(other.applied);
@@ -77,10 +103,19 @@ pub struct NullStateMachine {
 impl StateMachine for NullStateMachine {
     type Command = u64;
     type Response = LogIndex;
+    type Snapshot = Vec<(LogIndex, u64)>;
 
     fn apply(&mut self, index: LogIndex, command: &u64) -> LogIndex {
         self.applied.push((index, *command));
         index
+    }
+
+    fn snapshot(&self) -> Vec<(LogIndex, u64)> {
+        self.applied.clone()
+    }
+
+    fn restore(&mut self, snapshot: &Vec<(LogIndex, u64)>) {
+        self.applied = snapshot.clone();
     }
 }
 
@@ -97,10 +132,23 @@ mod tests {
     }
 
     #[test]
+    fn null_state_machine_snapshot_round_trip() {
+        let mut sm = NullStateMachine::default();
+        sm.apply(1, &10);
+        sm.apply(2, &20);
+        let snap = sm.snapshot();
+        let mut other = NullStateMachine::default();
+        other.apply(7, &70);
+        other.restore(&snap);
+        assert_eq!(other.applied, sm.applied);
+    }
+
+    #[test]
     fn effects_extend_preserves_order() {
-        let mut a: Effects<u64, LogIndex> = Effects::new();
+        type TestEffects = Effects<u64, LogIndex, Vec<(LogIndex, u64)>>;
+        let mut a: TestEffects = Effects::new();
         a.events.push(RaftEvent::TunerReset);
-        let mut b: Effects<u64, LogIndex> = Effects::new();
+        let mut b: TestEffects = Effects::new();
         b.events.push(RaftEvent::BecameLeader { term: 1 });
         a.extend(b);
         assert_eq!(a.events.len(), 2);

@@ -23,7 +23,7 @@ type Node = RaftNode<NullStateMachine>;
 struct Flight {
     from: NodeId,
     to: NodeId,
-    payload: Payload<u64>,
+    payload: Payload<u64, Vec<(u64, u64)>>,
 }
 
 /// One adversarial step.

@@ -52,6 +52,26 @@ fn sharded_reports_identical_serial_vs_parallel() {
 }
 
 #[test]
+fn compaction_reports_identical_serial_vs_parallel() {
+    // The snapshot-transfer path adds its own timing (send, install,
+    // resend pacing); the report — log bounds, snapshots_sent, convergence
+    // digests — must still be bit-identical at any pool width.
+    for experiment in [
+        &catalog::LaggingFollowerCatchup as &dyn Experiment,
+        &catalog::CompactionChurn,
+    ] {
+        let serial = report_with_jobs(experiment, 1);
+        let parallel = report_with_jobs(experiment, 4);
+        assert_eq!(
+            serial, parallel,
+            "{}: --jobs must not change the report",
+            serial.name
+        );
+        assert!(!serial.tables.is_empty() && !serial.headlines.is_empty());
+    }
+}
+
+#[test]
 fn failover_trials_identical_across_pool_widths() {
     let cluster = ClusterConfig::stable(
         5,
