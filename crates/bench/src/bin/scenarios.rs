@@ -15,13 +15,20 @@
 //! that CI uploads so the perf trajectory accumulates across commits.
 
 use dynatune_bench::{bench_json, run_and_emit, BenchEntry, RunArgs};
-use dynatune_cluster::scenario::registry;
+use dynatune_cluster::scenario::{catalog_markdown, registry};
 use dynatune_stats::table::Table;
 use std::time::Instant;
 
 fn main() {
     let args = RunArgs::parse();
     let all = registry();
+
+    if args.describe_md {
+        // The SCENARIOS.md generator: name, what it models, headline
+        // metric, CI assertion — straight from the registry metadata.
+        print!("{}", catalog_markdown());
+        return;
+    }
 
     if args.list {
         let mut t = Table::new(["name", "description"]);

@@ -45,6 +45,8 @@ pub struct RunArgs {
     pub only: Vec<String>,
     /// List registered scenarios and exit.
     pub list: bool,
+    /// Print the Markdown scenario catalog (`SCENARIOS.md`) and exit.
+    pub describe_md: bool,
 }
 
 impl Default for RunArgs {
@@ -58,13 +60,14 @@ impl Default for RunArgs {
             jobs: 0,
             only: Vec::new(),
             list: false,
+            describe_md: false,
         }
     }
 }
 
 /// The usage string printed on `--help` and on parse errors.
 pub const USAGE: &str = "usage: [--quick] [--trials N] [--repeats N] [--jobs N] [--out DIR] \
-[--seed N] [--list] [--only NAME[,NAME...]]";
+[--seed N] [--list] [--describe-md] [--only NAME[,NAME...]]";
 
 impl RunArgs {
     /// Parse from `std::env::args`. On bad input, prints the error and
@@ -103,6 +106,7 @@ impl RunArgs {
             match a.as_str() {
                 "--quick" => out.quick = true,
                 "--list" => out.list = true,
+                "--describe-md" => out.describe_md = true,
                 "--trials" => out.trials = Some(number(&mut args, "--trials")?),
                 "--repeats" => out.repeats = Some(number(&mut args, "--repeats")?),
                 "--jobs" => out.jobs = number(&mut args, "--jobs")?,
@@ -275,8 +279,10 @@ pub fn run_and_emit(experiment: &dyn Experiment, args: &RunArgs) -> Report {
 /// name is missing from the registry (a bug, not a user error).
 pub fn fig_main(name: &str) {
     let args = RunArgs::parse();
-    if args.list || !args.only.is_empty() {
-        eprintln!("error: --list/--only select from the registry; use the `scenarios` binary");
+    if args.list || args.describe_md || !args.only.is_empty() {
+        eprintln!(
+            "error: --list/--describe-md/--only work on the registry; use the `scenarios` binary"
+        );
         std::process::exit(2);
     }
     let Some(experiment) = dynatune_cluster::scenario::find(name) else {

@@ -1,12 +1,33 @@
 //! Open-loop benchmark client host (§IV-B2 methodology).
 
 use crate::msg::ClusterMsg;
-use dynatune_kv::WorkloadGen;
+use bytes::Bytes;
+use dynatune_kv::{KvCommand, KvResponse, WorkloadGen};
 use dynatune_raft::NodeId;
 use dynatune_simnet::{Channel, HostCtx, SimTime};
 use dynatune_stats::OnlineStats;
 use std::collections::{HashMap, VecDeque};
 use std::time::Duration;
+
+/// One completed operation in the client's linearizability trace:
+/// invocation/response instants plus the revision the operation observed
+/// (reads: the value's `mod_revision`, 0 for a miss) or produced (puts:
+/// the write's own revision). The stale-read checker
+/// ([`stale_read_violations`](crate::observers::stale_read_violations))
+/// compares these against real-time order per key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpRecord {
+    /// The key the operation touched.
+    pub key: Bytes,
+    /// True for writes (`Put`), false for reads (`Get`).
+    pub write: bool,
+    /// First send instant (retries keep it — it is the invocation time).
+    pub invoked: SimTime,
+    /// Response arrival instant.
+    pub completed: SimTime,
+    /// Observed / produced revision.
+    pub revision: u64,
+}
 
 /// Outcome aggregation for one offered-load level.
 #[derive(Debug, Clone, Default)]
@@ -75,6 +96,16 @@ pub struct ClientHost {
     timeout_queue: VecDeque<(SimTime, u64)>,
     /// Requests that exhausted their retry budget via timeouts.
     timed_out: u64,
+    /// Spread reads round-robin over all servers instead of sending them
+    /// to the leader guess (follower-read offload). Writes always chase
+    /// the leader.
+    read_fanout: bool,
+    /// Round-robin cursor for `read_fanout`.
+    read_rr: usize,
+    /// Record completed `Get`/`Put` operations for linearizability checks.
+    record_trace: bool,
+    /// The recorded trace (empty unless `record_trace`).
+    trace: Vec<OpRecord>,
 }
 
 impl ClientHost {
@@ -109,6 +140,10 @@ impl ClientHost {
             request_timeout: Some(Duration::from_secs(1)),
             timeout_queue: VecDeque::new(),
             timed_out: 0,
+            read_fanout: false,
+            read_rr: 0,
+            record_trace: false,
+            trace: Vec::new(),
         }
     }
 
@@ -117,6 +152,30 @@ impl ClientHost {
     pub fn with_request_timeout(mut self, timeout: Option<Duration>) -> Self {
         self.request_timeout = timeout;
         self
+    }
+
+    /// Spread reads round-robin across every server (writes still chase
+    /// the leader). Pointless under [`ReadStrategy::Log`]
+    /// (non-leaders redirect) — pair with follower reads.
+    ///
+    /// [`ReadStrategy::Log`]: crate::server::ReadStrategy::Log
+    #[must_use]
+    pub fn with_read_fanout(mut self, fanout: bool) -> Self {
+        self.read_fanout = fanout;
+        self
+    }
+
+    /// Record completed `Get`/`Put` operations for linearizability checks.
+    #[must_use]
+    pub fn with_trace(mut self, record: bool) -> Self {
+        self.record_trace = record;
+        self
+    }
+
+    /// The recorded operation trace (empty unless tracing was enabled).
+    #[must_use]
+    pub fn trace(&self) -> &[OpRecord] {
+        &self.trace
     }
 
     /// Requests abandoned after exhausting timeout retries.
@@ -213,11 +272,13 @@ impl ClientHost {
             );
             self.steps[step].sent += 1;
             self.arm_timeout(ctx.now, req_id);
-            ctx.send(
-                self.leader_guess,
-                Channel::Tcp,
-                ClusterMsg::ClientReq { req_id, cmd },
-            );
+            let target = if self.read_fanout && cmd.is_read() {
+                self.read_rr = (self.read_rr + 1) % self.n_servers;
+                self.read_rr
+            } else {
+                self.leader_guess
+            };
+            ctx.send(target, Channel::Tcp, ClusterMsg::ClientReq { req_id, cmd });
         }
     }
 
@@ -231,6 +292,13 @@ impl ClientHost {
         match msg {
             ClusterMsg::ClientResp { req_id, result } => {
                 if let Some(o) = self.outstanding.remove(&req_id) {
+                    if self.record_trace {
+                        if let Some(resp) = &result {
+                            if let Some(rec) = op_record(&o.cmd, resp, o.sent_at, ctx.now) {
+                                self.trace.push(rec);
+                            }
+                        }
+                    }
                     // Bucket by completion time; spill-over past the last
                     // window is recorded separately.
                     match (result.is_some(), self.step_of(ctx.now)) {
@@ -266,8 +334,11 @@ impl ClientHost {
                 self.arm_timeout(ctx.now, req_id);
             }
             // Clients ignore protocol traffic.
-            ClusterMsg::Raft(_) | ClusterMsg::ClientReq { .. } | ClusterMsg::ClientBatch { .. } => {
-            }
+            ClusterMsg::Raft(_)
+            | ClusterMsg::ClientReq { .. }
+            | ClusterMsg::ClientBatch { .. }
+            | ClusterMsg::ReadIndexReq { .. }
+            | ClusterMsg::ReadIndexResp { .. } => {}
         }
     }
 
@@ -280,6 +351,35 @@ impl ClientHost {
             (Some(a), Some(t)) => Some(a.min(t)),
             (a, t) => a.or(t),
         }
+    }
+}
+
+/// Build a trace record for a completed operation; only `Get` and `Put`
+/// participate in the linearizability check (they carry revisions —
+/// which is also why checked workloads must be delete-free: an
+/// unrecorded `Delete` would make a later legitimate miss look stale).
+fn op_record(
+    cmd: &KvCommand,
+    resp: &KvResponse,
+    invoked: SimTime,
+    completed: SimTime,
+) -> Option<OpRecord> {
+    match (cmd, resp) {
+        (KvCommand::Get { key }, KvResponse::Get { value }) => Some(OpRecord {
+            key: key.clone(),
+            write: false,
+            invoked,
+            completed,
+            revision: value.as_ref().map_or(0, |v| v.mod_revision),
+        }),
+        (KvCommand::Put { key, .. }, KvResponse::Put { revision, .. }) => Some(OpRecord {
+            key: key.clone(),
+            write: true,
+            invoked,
+            completed,
+            revision: *revision,
+        }),
+        _ => None,
     }
 }
 
@@ -337,7 +437,10 @@ mod tests {
             0,
             ClusterMsg::ClientResp {
                 req_id,
-                result: Some(KvResponse::Put { prev: None }),
+                result: Some(KvResponse::Put {
+                    prev: None,
+                    revision: 1,
+                }),
             },
         );
         assert_eq!(c.steps()[0].completed, 1);

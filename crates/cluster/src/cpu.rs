@@ -30,6 +30,12 @@ pub struct CostModel {
     pub per_message_send: Duration,
     /// Full client-request handling on the leader (parse, propose, respond).
     pub per_request: Duration,
+    /// Handling one log-free read (lease/ReadIndex path): parse, grant
+    /// check, one ordered-map lookup, respond. Charged instead of
+    /// `per_request` + `per_apply` + replication — a read that skips the
+    /// log costs heartbeat-weight work, not append-weight work, which is
+    /// exactly the throughput lever the read path exists to pull.
+    pub per_read: Duration,
     /// Per log entry replicated into an outgoing append batch.
     pub per_append_entry: Duration,
     /// Applying one committed entry to the state machine.
@@ -58,6 +64,7 @@ impl Default for CostModel {
             per_message_recv: Duration::from_micros(150),
             per_message_send: Duration::from_micros(150),
             per_request: Duration::from_micros(250),
+            per_read: Duration::from_micros(60),
             per_apply: Duration::from_micros(30),
             per_append_entry: Duration::from_micros(5),
             tuning_per_message: Duration::from_micros(15),
@@ -77,6 +84,7 @@ impl CostModel {
             per_message_recv: Duration::ZERO,
             per_message_send: Duration::ZERO,
             per_request: Duration::ZERO,
+            per_read: Duration::ZERO,
             per_apply: Duration::ZERO,
             per_append_entry: Duration::ZERO,
             tuning_per_message: Duration::ZERO,

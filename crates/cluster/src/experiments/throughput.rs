@@ -103,6 +103,8 @@ pub fn run_single_ramp(cfg: &ThroughputConfig, repeat: usize) -> Vec<(f64, f64, 
         // No failures in this experiment; timeouts would only duplicate
         // requests under saturation and distort the measured throughput.
         request_timeout: None,
+        read_fanout: false,
+        record_trace: false,
     });
     // Run through the whole ramp plus a drain period for in-flight requests
     // (no faults: an empty plan on the scenario driver).

@@ -25,18 +25,18 @@ pub mod shard_client;
 pub mod sharded;
 pub mod sim;
 
-pub use client::{ClientHost, StepRecord};
+pub use client::{ClientHost, OpRecord, StepRecord};
 pub use cpu::{CostModel, CpuMeter};
 pub use msg::ClusterMsg;
 pub use observers::{
     count_events, election_safety_violations, extract_failover, kth_smallest_timeout_ms,
-    leaderless_intervals, total_leaderless_secs, FailoverTimes,
+    leaderless_intervals, stale_read_violations, total_leaderless_secs, FailoverTimes,
 };
 pub use scenario::{
     Experiment, FaultAction, FaultEvent, FaultPlan, Horizon, NetPlan, PartitionSpec, Report,
     RunCtx, ScenarioBuilder, ScenarioDriver, Target,
 };
-pub use server::{CompactionPolicy, ServerHost};
+pub use server::{CompactionPolicy, ReadCounters, ReadStrategy, ServerHost};
 pub use shard_client::{ShardClient, ShardStats};
 pub use sharded::{ShardedClusterSim, ShardedConfig};
 pub use sim::{ClusterConfig, ClusterHost, ClusterSim, WorkloadSpec};

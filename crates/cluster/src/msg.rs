@@ -45,6 +45,21 @@ pub enum ClusterMsg {
         /// The original command, returned for retry.
         cmd: KvCommand,
     },
+    /// Follower → leader: forwarded ReadIndex request. The follower keeps
+    /// the client command; the leader only confirms leadership and names
+    /// the index the read is linearizable at.
+    ReadIndexReq {
+        /// The follower's local id for the forwarded read.
+        read_id: u64,
+    },
+    /// Leader → follower: answer to a [`ClusterMsg::ReadIndexReq`].
+    ReadIndexResp {
+        /// Echoed read id.
+        read_id: u64,
+        /// The granted read index, or `None` when the contacted server
+        /// cannot confirm leadership (the follower redirects its client).
+        read_index: Option<u64>,
+    },
 }
 
 impl ClusterMsg {
@@ -57,6 +72,8 @@ impl ClusterMsg {
             ClusterMsg::ClientBatch { .. } => "client_batch",
             ClusterMsg::ClientResp { .. } => "client_resp",
             ClusterMsg::ClientRedirect { .. } => "client_redirect",
+            ClusterMsg::ReadIndexReq { .. } => "read_index_req",
+            ClusterMsg::ReadIndexResp { .. } => "read_index_resp",
         }
     }
 }
@@ -79,6 +96,7 @@ mod tests {
             term: 1,
             success: true,
             match_or_hint: 3,
+            read_ctx: None,
         }));
         assert_eq!(r.kind(), "append_resp");
     }

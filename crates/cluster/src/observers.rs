@@ -180,12 +180,92 @@ pub fn kth_smallest_timeout_ms(timeouts: &[Option<Duration>], k: usize) -> Optio
     Some(values[k - 1])
 }
 
+/// Count real-time-order violations in a client operation trace: for each
+/// key, a completed read must observe a revision at least as new as any
+/// `Put` (or read-observed revision) whose *response* preceded the read's
+/// *invocation*. This is the stale-read half of linearizability — exactly
+/// what a broken leader lease would violate (an isolated ex-leader serving
+/// pre-partition state after the new leader commits). Write-write and
+/// concurrent-op orderings are left to Raft's log order.
+///
+/// The check is sound for traces from **delete-free workloads** (the only
+/// kind the recording clients produce today): only `Get`/`Put` carry
+/// revisions, so a `Delete` would make a later legitimate miss
+/// (revision 0) indistinguishable from a stale read. It is not complete —
+/// it cannot see orderings revisions don't encode — so scenarios pair it
+/// with convergence digests.
+#[must_use]
+pub fn stale_read_violations(trace: &[crate::client::OpRecord]) -> usize {
+    // Per key: (response_time, revision) ops sorted by response time give
+    // a running "must-have-seen" floor for reads invoked later.
+    let mut by_key: std::collections::HashMap<&[u8], Vec<&crate::client::OpRecord>> =
+        std::collections::HashMap::new();
+    for op in trace {
+        by_key.entry(op.key.as_ref()).or_default().push(op);
+    }
+    let mut violations = 0;
+    for ops in by_key.values() {
+        for read in ops.iter().filter(|op| !op.write) {
+            let floor = ops
+                .iter()
+                .filter(|prior| prior.completed < read.invoked)
+                .map(|prior| prior.revision)
+                .max()
+                .unwrap_or(0);
+            if read.revision < floor {
+                violations += 1;
+            }
+        }
+    }
+    violations
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::client::OpRecord;
 
     fn t(ms: u64) -> SimTime {
         SimTime::from_millis(ms)
+    }
+
+    fn op(key: &str, write: bool, invoked: u64, completed: u64, revision: u64) -> OpRecord {
+        OpRecord {
+            key: bytes::Bytes::copy_from_slice(key.as_bytes()),
+            write,
+            invoked: t(invoked),
+            completed: t(completed),
+            revision,
+        }
+    }
+
+    #[test]
+    fn stale_read_checker_catches_real_time_violations() {
+        // Write k=rev7 completes at 100; a read invoked at 200 returning
+        // rev 5 is stale. A concurrent read (invoked before the write's
+        // response) may legally return either revision.
+        let trace = vec![
+            op("k", true, 50, 100, 7),
+            op("k", false, 200, 250, 5), // stale!
+            op("k", false, 60, 120, 5),  // concurrent with the write: fine
+            op("q", false, 200, 250, 5), // different key: fine
+        ];
+        assert_eq!(stale_read_violations(&trace), 1);
+        // Read-read ordering too: a read that observed rev 7 pins later
+        // reads of the same key.
+        let trace = vec![
+            op("k", false, 10, 40, 7),
+            op("k", false, 50, 90, 3), // went backwards
+        ];
+        assert_eq!(stale_read_violations(&trace), 1);
+        // A clean trace counts nothing.
+        let trace = vec![
+            op("k", true, 0, 30, 1),
+            op("k", false, 40, 60, 1),
+            op("k", true, 70, 90, 2),
+            op("k", false, 95, 110, 2),
+        ];
+        assert_eq!(stale_read_violations(&trace), 0);
     }
 
     fn timeout(ms: u64) -> RaftEvent {

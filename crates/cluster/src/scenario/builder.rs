@@ -8,7 +8,7 @@
 //! the experiment catalog, the figure binaries and the examples.
 
 use crate::cpu::CostModel;
-use crate::server::CompactionPolicy;
+use crate::server::{CompactionPolicy, ReadStrategy};
 use crate::sharded::{ShardedClusterSim, ShardedConfig};
 use crate::sim::{ClusterConfig, ClusterSim, WorkloadSpec};
 use dynatune_core::TuningConfig;
@@ -129,6 +129,8 @@ pub struct ScenarioBuilder {
     consolidated_timer: bool,
     cost: CostModel,
     compaction: CompactionPolicy,
+    read_strategy: ReadStrategy,
+    follower_reads: bool,
     cores: usize,
     cpu_window: Duration,
     seed: u64,
@@ -154,6 +156,8 @@ impl ScenarioBuilder {
             consolidated_timer: false,
             cost: CostModel::default(),
             compaction: CompactionPolicy::default(),
+            read_strategy: ReadStrategy::default(),
+            follower_reads: true,
             cores: 4,
             cpu_window: Duration::from_secs(5),
             seed: 0,
@@ -246,6 +250,22 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Read-serving strategy: the log-replicated baseline, pure ReadIndex,
+    /// or leader-lease reads with ReadIndex fallback (the default).
+    #[must_use]
+    pub fn reads(mut self, strategy: ReadStrategy) -> Self {
+        self.read_strategy = strategy;
+        self
+    }
+
+    /// Whether followers answer forwarded reads locally (default: yes,
+    /// under any log-free read strategy).
+    #[must_use]
+    pub fn follower_reads(mut self, enabled: bool) -> Self {
+        self.follower_reads = enabled;
+        self
+    }
+
     /// Cores per server (paper: 4 for Figs. 4–6, 2 for Fig. 7).
     #[must_use]
     pub fn cores(mut self, cores: usize) -> Self {
@@ -308,6 +328,8 @@ impl ScenarioBuilder {
             consolidated_timer: self.consolidated_timer,
             cost: self.cost,
             compaction: self.compaction,
+            read_strategy: self.read_strategy,
+            follower_reads: self.follower_reads,
             cores: self.cores,
             cpu_window: self.cpu_window,
             seed: self.seed,
@@ -341,6 +363,9 @@ impl ScenarioBuilder {
             check_quorum: self.check_quorum,
             cost: self.cost,
             compaction: self.compaction,
+            read_strategy: self.read_strategy,
+            follower_reads: self.follower_reads,
+            read_fanout: false,
             cores: self.cores,
             cpu_window: self.cpu_window,
             seed: self.seed,

@@ -16,6 +16,13 @@ impl Experiment for Ablations {
     fn describe(&self) -> &'static str {
         "quantization / safety factor / arrival probability / warm-up / transport / pre-vote"
     }
+    fn headline_metric(&self) -> &'static str {
+        "per-mechanism contribution to detection time (transport, quantization, pre-vote)"
+    }
+
+    fn ci_assertion(&self) -> &'static str {
+        "runs end-to-end; ablation deltas reported, not asserted"
+    }
 
     fn run(&self, ctx: &RunCtx) -> Report {
         let trials = ctx.trials_or(100, 12);

@@ -130,6 +130,13 @@ impl Experiment for LaggingFollowerCatchup {
     fn describe(&self) -> &'static str {
         "restart a follower past the compaction horizon: snapshot catch-up, bounded leader log"
     }
+    fn headline_metric(&self) -> &'static str {
+        "max live log length against the threshold+tail bound during a follower outage"
+    }
+
+    fn ci_assertion(&self) -> &'static str {
+        "asserts the log bound, >= 1 snapshot stream, convergence and catch-up per trial"
+    }
 
     fn run(&self, ctx: &RunCtx) -> Report {
         let trials = ctx.trials_or(4, 2);
@@ -262,6 +269,13 @@ impl Experiment for CompactionChurn {
 
     fn describe(&self) -> &'static str {
         "repeated follower crash/heal under load: bounded log memory across snapshot cycles"
+    }
+    fn headline_metric(&self) -> &'static str {
+        "max live log length across repeated crash/heal snapshot-recovery cycles"
+    }
+
+    fn ci_assertion(&self) -> &'static str {
+        "asserts the log bound, snapshot streams, convergence and liveness per trial"
     }
 
     fn run(&self, ctx: &RunCtx) -> Report {

@@ -72,6 +72,13 @@ impl Experiment for Extensions {
     fn describe(&self) -> &'static str {
         "IV-E extensions: heartbeat suppression under load + consolidated heartbeat timer"
     }
+    fn headline_metric(&self) -> &'static str {
+        "leader timer load and CPU under the SIV-E heartbeat extensions"
+    }
+
+    fn ci_assertion(&self) -> &'static str {
+        "runs end-to-end; extension deltas reported, not asserted"
+    }
 
     fn run(&self, ctx: &RunCtx) -> Report {
         let mut report = Report::new(self.name());

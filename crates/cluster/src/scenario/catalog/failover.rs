@@ -61,6 +61,13 @@ impl Experiment for Fig4Failover {
     fn describe(&self) -> &'static str {
         "detection & OTS time CDFs, stable network (5 servers, RTT 100ms, p=0)"
     }
+    fn headline_metric(&self) -> &'static str {
+        "detection / out-of-service reduction vs. the paper's Fig. 4 (Raft vs Dynatune)"
+    }
+
+    fn ci_assertion(&self) -> &'static str {
+        "runs end-to-end; reductions reported against the paper, not asserted"
+    }
 
     fn run(&self, ctx: &RunCtx) -> Report {
         let trials = ctx.trials_or(1000, 50);
@@ -133,6 +140,13 @@ impl Experiment for Fig8GeoFailover {
 
     fn describe(&self) -> &'static str {
         "geo-replicated failover (Tokyo/London/California/Sydney/Sao Paulo)"
+    }
+    fn headline_metric(&self) -> &'static str {
+        "out-of-service time in the five-region geo deployment (paper Fig. 8)"
+    }
+
+    fn ci_assertion(&self) -> &'static str {
+        "runs end-to-end; reductions reported against the paper, not asserted"
     }
 
     fn run(&self, ctx: &RunCtx) -> Report {

@@ -90,6 +90,13 @@ impl Experiment for Fig6aGradualRtt {
     fn describe(&self) -> &'static str {
         "gradual RTT fluctuation 50->200->50ms (10ms steps)"
     }
+    fn headline_metric(&self) -> &'static str {
+        "randomized-timeout adaptation under a gradual RTT ramp (paper Fig. 6a)"
+    }
+
+    fn ci_assertion(&self) -> &'static str {
+        "runs end-to-end; traces reported, not asserted"
+    }
 
     fn run(&self, ctx: &RunCtx) -> Report {
         let hold = if ctx.quick {
@@ -120,6 +127,13 @@ impl Experiment for Fig6bRadicalRtt {
 
     fn describe(&self) -> &'static str {
         "radical RTT fluctuation 50->500->50ms (1 minute holds)"
+    }
+    fn headline_metric(&self) -> &'static str {
+        "false-detection behaviour on a radical RTT step (paper Fig. 6b)"
+    }
+
+    fn ci_assertion(&self) -> &'static str {
+        "runs end-to-end; traces reported, not asserted"
     }
 
     fn run(&self, ctx: &RunCtx) -> Report {
@@ -174,6 +188,13 @@ impl Experiment for Fig7LossFluctuation {
 
     fn describe(&self) -> &'static str {
         "heartbeat interval + CPU under loss ramp 0->30->0% (RTT 200ms, 2 cores)"
+    }
+    fn headline_metric(&self) -> &'static str {
+        "heartbeat-interval adaptation and leader CPU under loss (paper Fig. 7)"
+    }
+
+    fn ci_assertion(&self) -> &'static str {
+        "runs end-to-end; traces reported, not asserted"
     }
 
     fn run(&self, ctx: &RunCtx) -> Report {

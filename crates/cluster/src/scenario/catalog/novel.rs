@@ -46,6 +46,13 @@ impl Experiment for GeoAsymmetricFailover {
     fn describe(&self) -> &'static str {
         "failover on a geo mesh with one region (Tokyo) at 3x RTT + heavy jitter"
     }
+    fn headline_metric(&self) -> &'static str {
+        "detection reduction when one WAN pair degrades asymmetrically"
+    }
+
+    fn ci_assertion(&self) -> &'static str {
+        "runs end-to-end; reduction reported, not asserted"
+    }
 
     fn run(&self, ctx: &RunCtx) -> Report {
         let trials = ctx.trials_or(300, 25);
@@ -115,6 +122,13 @@ impl Experiment for PartitionChurn {
 
     fn describe(&self) -> &'static str {
         "flapping leader-partition churn: repeated cut/heal cycles, safety + availability"
+    }
+    fn headline_metric(&self) -> &'static str {
+        "safety and re-election behaviour through flapping partition cuts"
+    }
+
+    fn ci_assertion(&self) -> &'static str {
+        "asserts zero election-safety violations across every churn cycle"
     }
 
     fn run(&self, ctx: &RunCtx) -> Report {

@@ -54,6 +54,8 @@ fn steady_workload(rps: f64, hold: Duration, zipf_theta: f64, start: Duration) -
         // failover scenario re-enables them (clients must escape a dead
         // leader).
         request_timeout: None,
+        read_fanout: false,
+        record_trace: false,
     }
 }
 
@@ -132,6 +134,13 @@ impl Experiment for ShardedThroughput {
 
     fn describe(&self) -> &'static str {
         "aggregate committed throughput vs shard count (1/2/4/8) at fixed per-node config"
+    }
+    fn headline_metric(&self) -> &'static str {
+        "committed-throughput scaling from 1 to 8 shards"
+    }
+
+    fn ci_assertion(&self) -> &'static str {
+        "tests/sharding.rs asserts >= 3x scaling at 8 shards"
     }
 
     fn run(&self, ctx: &RunCtx) -> Report {
@@ -226,6 +235,13 @@ impl Experiment for HotShard {
 
     fn describe(&self) -> &'static str {
         "Zipf-skewed keys concentrate load on one of 8 groups; skew caps the scale-out win"
+    }
+    fn headline_metric(&self) -> &'static str {
+        "hot shard's share of offered load under zipf 1.4 skew"
+    }
+
+    fn ci_assertion(&self) -> &'static str {
+        "runs end-to-end; skew penalty reported (bounds asserted in tests/sharding.rs)"
     }
 
     fn run(&self, ctx: &RunCtx) -> Report {
@@ -385,6 +401,13 @@ impl Experiment for ShardLeaderFailover {
 
     fn describe(&self) -> &'static str {
         "crash one group's leader mid-load: blast radius + per-shard detection bound"
+    }
+    fn headline_metric(&self) -> &'static str {
+        "unaffected-shard goodput deviation during one group's leader outage"
+    }
+
+    fn ci_assertion(&self) -> &'static str {
+        "tests/sharding.rs asserts unaffected shards stay within 5% of baseline"
     }
 
     fn run(&self, ctx: &RunCtx) -> Report {

@@ -37,6 +37,13 @@ impl Experiment for Fig5Throughput {
     fn describe(&self) -> &'static str {
         "throughput vs latency (open-loop ramp, 5 servers, RTT 100ms)"
     }
+    fn headline_metric(&self) -> &'static str {
+        "peak committed throughput and the tuning overhead at peak (paper Fig. 5)"
+    }
+
+    fn ci_assertion(&self) -> &'static str {
+        "runs end-to-end; peaks reported against the paper, not asserted"
+    }
 
     fn run(&self, ctx: &RunCtx) -> Report {
         let raft = self.study(ctx, "raft", TuningConfig::raft_default());

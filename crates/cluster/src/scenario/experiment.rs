@@ -115,11 +115,21 @@ impl RunCtx {
 }
 
 /// A named, registered scenario.
+///
+/// The metadata methods feed the generated `SCENARIOS.md` catalog
+/// (`scenarios --describe-md`), so every scenario documents its headline
+/// metric and what CI enforces — in code, where it cannot rot apart from
+/// the implementation.
 pub trait Experiment: Sync {
     /// Registry key (`fig4`, `partition_churn`, ...).
     fn name(&self) -> &'static str;
-    /// One-line description for `scenarios --list`.
+    /// One-line description for `scenarios --list` (what it models).
     fn describe(&self) -> &'static str;
+    /// The headline metric the report leads with.
+    fn headline_metric(&self) -> &'static str;
+    /// What the CI `--quick` smoke run enforces (a hard `assert!` inside
+    /// `run`, or "reported, not asserted" for paper-comparison figures).
+    fn ci_assertion(&self) -> &'static str;
     /// Execute and report.
     fn run(&self, ctx: &RunCtx) -> Report;
 }
@@ -159,6 +169,12 @@ mod tests {
         }
         fn describe(&self) -> &'static str {
             "test experiment"
+        }
+        fn headline_metric(&self) -> &'static str {
+            "xor of derived seeds"
+        }
+        fn ci_assertion(&self) -> &'static str {
+            "none (test-only)"
         }
         fn run(&self, ctx: &RunCtx) -> Report {
             use rayon::prelude::*;

@@ -12,7 +12,7 @@
 //! | fault plan | [`FaultPlan`] | timed pause/resume/crash/partition/heal events as data, with symbolic targets (`Leader`) resolved at fire time |
 //! | driver | [`ScenarioDriver`] | executes the plan, samples observables on a cadence, records a trace of what fired (and the pre-fault state) |
 //!
-//! On top sit the [`Experiment`] trait and [`registry`]: every §IV figure,
+//! On top sit the [`Experiment`] trait and [`registry()`]: every §IV figure,
 //! the ablations and the beyond-paper scenarios are registered, named,
 //! self-describing units that map a [`RunCtx`] to a structured, comparable
 //! [`Report`]. Trial fan-out inside experiments goes through rayon and is
@@ -56,5 +56,5 @@ pub use builder::{NetPlan, ScenarioBuilder};
 pub use driver::{ExecutedFault, Horizon, Sample, ScenarioDriver, ScenarioRun};
 pub use experiment::{Experiment, RunCtx};
 pub use plan::{FaultAction, FaultEvent, FaultPlan, PartitionSpec, Target};
-pub use registry::{find, registry};
+pub use registry::{catalog_markdown, find, registry};
 pub use report::{compare_row, reduction_pct, Artifact, Headline, Report, ReportTable};

@@ -5,10 +5,10 @@ use crate::cpu::{CostModel, CpuMeter};
 use crate::msg::{ClusterMsg, RaftPayload};
 use dynatune_kv::{KvCommand, KvRequest, Store};
 use dynatune_raft::{
-    LogIndex, NodeEffects, NodeId, Payload, RaftConfig, RaftEvent, RaftNode, Role, Term,
+    LogIndex, NodeEffects, NodeId, Payload, RaftConfig, RaftEvent, RaftNode, ReadPath, Role, Term,
 };
 use dynatune_simnet::{Channel, HostCtx, SimTime};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::time::Duration;
 
 /// A proposal made on behalf of a client, waiting for its entry to apply.
@@ -17,6 +17,97 @@ struct PendingReq {
     term: Term,
     client: NodeId,
     req_id: u64,
+    /// Read replicated through the log (the [`ReadStrategy::Log`]
+    /// baseline) — counted separately so the read-path mix is observable.
+    is_read: bool,
+}
+
+/// How this server serves linearizable reads (`Get`/`Range`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReadStrategy {
+    /// Replicate reads through the Raft log like writes (etcd quorum
+    /// reads; the pre-read-path baseline). Full quorum-append cost per
+    /// read, and read traffic grows the log.
+    Log,
+    /// Log-free reads via ReadIndex only: every read batch pays one
+    /// leadership-confirmation round (piggy-backed on append traffic).
+    ReadIndex,
+    /// Log-free reads via the leader lease, falling back to ReadIndex when
+    /// the lease is cold or expired (the default: reads cost no network
+    /// round while heartbeat acks keep the lease fresh).
+    #[default]
+    Lease,
+}
+
+impl ReadStrategy {
+    /// True when reads bypass the Raft log.
+    #[must_use]
+    pub fn log_free(self) -> bool {
+        !matches!(self, ReadStrategy::Log)
+    }
+}
+
+/// Served-read counters, by path. `lease`/`read_index` count reads this
+/// server granted and answered as leader; `follower` counts forwarded
+/// reads answered from this server's own state machine after a leader
+/// grant; `log` counts reads replicated through the log (the baseline
+/// strategy).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReadCounters {
+    /// Reads served inside the leader lease.
+    pub lease: u64,
+    /// Reads served after a ReadIndex confirmation round.
+    pub read_index: u64,
+    /// Forwarded reads served locally on this (follower) server.
+    pub follower: u64,
+    /// Reads that went through the log (`ReadStrategy::Log`).
+    pub log: u64,
+}
+
+impl ReadCounters {
+    /// Total reads this server answered, over every path.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.lease + self.read_index + self.follower + self.log
+    }
+
+    /// Element-wise sum (cluster-level aggregation).
+    #[must_use]
+    pub fn merged(self, other: ReadCounters) -> ReadCounters {
+        ReadCounters {
+            lease: self.lease + other.lease,
+            read_index: self.read_index + other.read_index,
+            follower: self.follower + other.follower,
+            log: self.log + other.log,
+        }
+    }
+}
+
+/// One in-flight forwarded-read wave: a single `ReadIndexReq` covering
+/// every read the follower admitted before the wave left.
+#[derive(Debug, Clone)]
+struct FwdWave {
+    wave_id: u64,
+    ids: Vec<u64>,
+    sent_at: SimTime,
+}
+
+/// Re-send an unanswered forwarded-read wave after this long (the covered
+/// reads' clients are on their own retry timers anyway).
+const FWD_WAVE_RESEND: Duration = Duration::from_secs(1);
+
+/// Where a leader-side read grant must be delivered.
+#[derive(Debug, Clone)]
+enum ReadOrigin {
+    /// A client read this server answers from its own state machine.
+    Local {
+        client: NodeId,
+        req_id: u64,
+        cmd: KvCommand,
+    },
+    /// A read forwarded by a follower; the grant's `read_index` is sent
+    /// back and the follower serves locally.
+    Remote { follower: NodeId, read_id: u64 },
 }
 
 /// A client request admitted through the CPU queue, waiting to execute.
@@ -75,6 +166,29 @@ pub struct ServerHost {
     pending: BTreeMap<LogIndex, PendingReq>,
     /// CPU-admitted client requests not yet proposed (FIFO by ready_at).
     admit: std::collections::VecDeque<AdmittedReq>,
+    /// How reads are served (log-replicated vs lease/ReadIndex).
+    read_strategy: ReadStrategy,
+    /// Serve forwarded reads on followers (log-free strategies only).
+    follower_reads: bool,
+    /// Grant-token allocator for reads registered with the Raft node.
+    next_read_token: u64,
+    /// Outstanding read grants, by token.
+    read_origins: HashMap<u64, ReadOrigin>,
+    /// Local-id allocator for reads this follower forwarded to the leader.
+    next_fwd_id: u64,
+    /// Reads forwarded to the leader, awaiting a `ReadIndexResp`.
+    forwarded: HashMap<u64, (NodeId, u64, KvCommand)>,
+    /// Wave-id allocator for forwarded-read batches.
+    next_fwd_wave: u64,
+    /// Forwarded reads admitted but not yet covered by a wave.
+    fwd_pending: Vec<u64>,
+    /// The single in-flight forwarded wave, if any.
+    fwd_inflight: Option<FwdWave>,
+    /// Granted forwarded reads waiting for local apply to reach their
+    /// read index: `read_index -> local read ids`.
+    follower_wait: BTreeMap<LogIndex, Vec<u64>>,
+    /// Served-read counters by path.
+    reads_served: ReadCounters,
 }
 
 impl ServerHost {
@@ -92,7 +206,28 @@ impl ServerHost {
             events: Vec::new(),
             pending: BTreeMap::new(),
             admit: std::collections::VecDeque::new(),
+            read_strategy: ReadStrategy::default(),
+            follower_reads: true,
+            next_read_token: 0,
+            read_origins: HashMap::new(),
+            next_fwd_id: 0,
+            forwarded: HashMap::new(),
+            next_fwd_wave: 0,
+            fwd_pending: Vec::new(),
+            fwd_inflight: None,
+            follower_wait: BTreeMap::new(),
+            reads_served: ReadCounters::default(),
         }
+    }
+
+    /// Select the read-serving strategy and whether followers answer
+    /// forwarded reads locally (`follower_reads` is ignored under
+    /// [`ReadStrategy::Log`], where a non-leader can only redirect).
+    #[must_use]
+    pub fn with_reads(mut self, strategy: ReadStrategy, follower_reads: bool) -> Self {
+        self.read_strategy = strategy;
+        self.follower_reads = follower_reads;
+        self
     }
 
     /// Place this server's Raft group at a block of host ids starting at
@@ -134,6 +269,12 @@ impl ServerHost {
         self.node.snapshots_sent()
     }
 
+    /// Reads answered by this server, by path.
+    #[must_use]
+    pub fn reads_served(&self) -> ReadCounters {
+        self.reads_served
+    }
+
     /// Recorded events (time-stamped).
     #[must_use]
     pub fn events(&self) -> &[(SimTime, RaftEvent)] {
@@ -154,6 +295,11 @@ impl ServerHost {
         self.node.restart(now, Store::new());
         self.pending.clear();
         self.admit.clear();
+        self.read_origins.clear();
+        self.forwarded.clear();
+        self.fwd_pending.clear();
+        self.fwd_inflight = None;
+        self.follower_wait.clear();
     }
 
     fn msg_recv_cost(&self, payload: &RaftPayload) -> Duration {
@@ -204,6 +350,9 @@ impl ServerHost {
             self.cpu.charge(now, self.cost.per_apply);
             if let Some(p) = self.pending.remove(&applied.index) {
                 let result = if p.term == applied.term {
+                    if p.is_read && applied.response.is_some() {
+                        self.reads_served.log += 1;
+                    }
                     applied.response
                 } else {
                     None // our proposal was displaced by another leader's entry
@@ -218,6 +367,55 @@ impl ServerHost {
                 );
             }
         }
+        // Log-free read grants: answer local reads from our state machine,
+        // relay forwarded grants back to their followers.
+        for grant in fx.reads {
+            match self.read_origins.remove(&grant.id) {
+                Some(ReadOrigin::Local {
+                    client,
+                    req_id,
+                    cmd,
+                }) => {
+                    // Execution cost was charged at admission (per_read).
+                    // The grant was apply-gated, so the state machine
+                    // covers read_index; reply-cache invariant: the read
+                    // executes fresh, never from (or into) sessions.
+                    let result = self.node.state_machine().read(&cmd);
+                    debug_assert!(result.is_some(), "grants are only taken for reads");
+                    match grant.path {
+                        ReadPath::Lease => self.reads_served.lease += 1,
+                        ReadPath::ReadIndex => self.reads_served.read_index += 1,
+                    }
+                    ctx.send(
+                        client,
+                        Channel::Tcp,
+                        ClusterMsg::ClientResp { req_id, result },
+                    );
+                }
+                Some(ReadOrigin::Remote { follower, read_id }) => {
+                    self.cpu.charge(now, self.cost.per_message_send);
+                    ctx.send(
+                        follower,
+                        Channel::Tcp,
+                        ClusterMsg::ReadIndexResp {
+                            read_id,
+                            read_index: Some(grant.read_index),
+                        },
+                    );
+                }
+                None => {} // origin dropped by a crash-restart
+            }
+        }
+        // Reads whose leader gave up on them (leadership lost before the
+        // grant): clients get a redirect, followers a denial to relay.
+        for id in fx.aborted_reads {
+            if let Some(origin) = self.read_origins.remove(&id) {
+                self.deny_read_origin(ctx, origin);
+            }
+        }
+        // Forwarded reads whose grant arrived earlier than our apply index:
+        // serve every one the state machine now covers.
+        self.drain_follower_wait(ctx);
         // If leadership was lost, fail whatever is still pending. The entry
         // may still commit under the new leader; the client's retry of the
         // same req_id is deduplicated by the replicated reply cache
@@ -249,7 +447,8 @@ impl ServerHost {
         }
     }
 
-    /// Propose admitted requests whose CPU-queue delay has elapsed.
+    /// Propose (or, for reads under a log-free strategy, register) admitted
+    /// requests whose CPU-queue delay has elapsed.
     fn drain_admitted(&mut self, ctx: &mut HostCtx<'_, ClusterMsg>) {
         let now = ctx.now;
         while let Some(front) = self.admit.front() {
@@ -257,6 +456,11 @@ impl ServerHost {
                 break;
             }
             let req = self.admit.pop_front().expect("non-empty");
+            if self.read_strategy.log_free() && req.cmd.is_read() {
+                self.start_read(ctx, req.client, req.req_id, req.cmd);
+                continue;
+            }
+            let is_read = req.cmd.is_read();
             let request = KvRequest::from_client(req.client as u64, req.req_id, req.cmd.clone());
             let (result, fx) = self.node.propose(now, request);
             match result {
@@ -267,6 +471,7 @@ impl ServerHost {
                             term,
                             client: req.client,
                             req_id: req.req_id,
+                            is_read,
                         },
                     );
                 }
@@ -288,6 +493,173 @@ impl ServerHost {
         }
     }
 
+    /// Route one read around the log: leaders register it with the Raft
+    /// node (lease or ReadIndex grant), followers forward a ReadIndex
+    /// request and answer locally once their apply index catches up.
+    fn start_read(
+        &mut self,
+        ctx: &mut HostCtx<'_, ClusterMsg>,
+        client: NodeId,
+        req_id: u64,
+        cmd: KvCommand,
+    ) {
+        if self.node.role() == Role::Leader {
+            self.register_read(
+                ctx,
+                ReadOrigin::Local {
+                    client,
+                    req_id,
+                    cmd,
+                },
+                true,
+            );
+            return;
+        }
+        if self.follower_reads && self.node.leader_id().is_some() {
+            self.next_fwd_id += 1;
+            let read_id = self.next_fwd_id;
+            self.forwarded.insert(read_id, (client, req_id, cmd));
+            self.fwd_pending.push(read_id);
+            self.flush_forwarded(ctx);
+            return;
+        }
+        self.deny_read_origin(
+            ctx,
+            ReadOrigin::Local {
+                client,
+                req_id,
+                cmd,
+            },
+        );
+    }
+
+    /// Register one read with the Raft node under a fresh grant token
+    /// (local reads wait for this node's apply; remote grants are relayed
+    /// raw), unwinding with the origin-appropriate denial when leadership
+    /// was lost between the caller's role check and registration.
+    fn register_read(
+        &mut self,
+        ctx: &mut HostCtx<'_, ClusterMsg>,
+        origin: ReadOrigin,
+        wait_apply: bool,
+    ) {
+        self.next_read_token += 1;
+        let token = self.next_read_token;
+        self.read_origins.insert(token, origin);
+        let (result, fx) = self.node.request_read(ctx.now, token, wait_apply);
+        if result.is_err() {
+            if let Some(origin) = self.read_origins.remove(&token) {
+                self.deny_read_origin(ctx, origin);
+            }
+        }
+        self.route_effects(ctx, fx);
+    }
+
+    /// Deny a read we cannot serve (no leader known, leadership lost
+    /// before the grant): local clients get a redirect with our best
+    /// leader hint, forwarding followers a `ReadIndexResp` denial to
+    /// relay. The single place the denial semantics live.
+    fn deny_read_origin(&mut self, ctx: &mut HostCtx<'_, ClusterMsg>, origin: ReadOrigin) {
+        match origin {
+            ReadOrigin::Local {
+                client,
+                req_id,
+                cmd,
+            } => {
+                ctx.send(
+                    client,
+                    Channel::Tcp,
+                    ClusterMsg::ClientRedirect {
+                        req_id,
+                        hint: self.node.leader_id().map(|h| h + self.peer_base),
+                        cmd,
+                    },
+                );
+            }
+            ReadOrigin::Remote { follower, read_id } => {
+                ctx.send(
+                    follower,
+                    Channel::Tcp,
+                    ClusterMsg::ReadIndexResp {
+                        read_id,
+                        read_index: None,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Send (at most) one `ReadIndexReq` covering every pending forwarded
+    /// read. One wave flies at a time; reads arriving meanwhile queue
+    /// behind it and ride the next wave — the Nagle-style batching that
+    /// amortizes the leader's per-message cost over whole batches of
+    /// follower reads (a wave must not cover reads admitted *after* it was
+    /// sent: the leader's registration could predate them, and serving
+    /// them at its read index could miss a write that completed in
+    /// between). A wave unanswered for [`FWD_WAVE_RESEND`] (lost message,
+    /// dead leader) is merged back and re-sent.
+    fn flush_forwarded(&mut self, ctx: &mut HostCtx<'_, ClusterMsg>) {
+        let now = ctx.now;
+        if let Some(wave) = &self.fwd_inflight {
+            if now < wave.sent_at + FWD_WAVE_RESEND {
+                return;
+            }
+            let stale = self.fwd_inflight.take().expect("checked above");
+            self.fwd_pending.extend(stale.ids);
+        }
+        if self.fwd_pending.is_empty() {
+            return;
+        }
+        let Some(leader) = self.node.leader_id() else {
+            return; // re-flushed on the next admission once a leader is known
+        };
+        self.next_fwd_wave += 1;
+        let wave_id = self.next_fwd_wave;
+        let ids = std::mem::take(&mut self.fwd_pending);
+        self.cpu.charge(now, self.cost.per_message_send);
+        ctx.send(
+            self.peer_base + leader,
+            Channel::Tcp,
+            ClusterMsg::ReadIndexReq { read_id: wave_id },
+        );
+        self.fwd_inflight = Some(FwdWave {
+            wave_id,
+            ids,
+            sent_at: now,
+        });
+    }
+
+    /// Answer a forwarded read from the local state machine (the grant's
+    /// read index is known to be applied).
+    fn serve_follower_read(&mut self, ctx: &mut HostCtx<'_, ClusterMsg>, read_id: u64) {
+        let Some((client, req_id, cmd)) = self.forwarded.remove(&read_id) else {
+            return; // superseded by a crash-restart
+        };
+        // Reply-cache invariant holds here too: forwarded reads execute
+        // fresh against the follower's applied state.
+        let result = self.node.state_machine().read(&cmd);
+        self.reads_served.follower += 1;
+        ctx.send(
+            client,
+            Channel::Tcp,
+            ClusterMsg::ClientResp { req_id, result },
+        );
+    }
+
+    /// Serve every granted forwarded read the apply index now covers.
+    fn drain_follower_wait(&mut self, ctx: &mut HostCtx<'_, ClusterMsg>) {
+        let applied = self.node.last_applied();
+        while let Some((&idx, _)) = self.follower_wait.iter().next() {
+            if idx > applied {
+                break;
+            }
+            let ids = self.follower_wait.remove(&idx).expect("entry exists");
+            for id in ids {
+                self.serve_follower_read(ctx, id);
+            }
+        }
+    }
+
     /// Deliver a message to this server.
     pub fn handle_message(
         &mut self,
@@ -303,11 +675,7 @@ impl ServerHost {
                 self.drain_admitted(ctx);
             }
             ClusterMsg::ClientReq { req_id, cmd } => {
-                let mut cost = self.cost.per_request;
-                if self.tunes {
-                    cost += self.cost.tuning_per_request;
-                }
-                let ready_at = self.cpu.charge(ctx.now, cost);
+                let ready_at = self.cpu.charge(ctx.now, self.admission_cost(&cmd));
                 self.admit.push_back(AdmittedReq {
                     ready_at,
                     client: from,
@@ -318,13 +686,9 @@ impl ServerHost {
             }
             ClusterMsg::ClientBatch { reqs } => {
                 // Batching saves network round trips, not CPU: each item
-                // pays the full per-request admission cost.
-                let mut cost = self.cost.per_request;
-                if self.tunes {
-                    cost += self.cost.tuning_per_request;
-                }
+                // pays its full admission cost.
                 for (req_id, cmd) in reqs {
-                    let ready_at = self.cpu.charge(ctx.now, cost);
+                    let ready_at = self.cpu.charge(ctx.now, self.admission_cost(&cmd));
                     self.admit.push_back(AdmittedReq {
                         ready_at,
                         client: from,
@@ -334,15 +698,97 @@ impl ServerHost {
                 }
                 self.drain_admitted(ctx);
             }
+            ClusterMsg::ReadIndexReq { read_id } => {
+                self.cpu.charge(ctx.now, self.cost.per_message_recv);
+                if self.node.role() == Role::Leader {
+                    self.register_read(
+                        ctx,
+                        ReadOrigin::Remote {
+                            follower: from,
+                            read_id,
+                        },
+                        false,
+                    );
+                } else {
+                    // Not the leader (any more): the follower redirects.
+                    ctx.send(
+                        from,
+                        Channel::Tcp,
+                        ClusterMsg::ReadIndexResp {
+                            read_id,
+                            read_index: None,
+                        },
+                    );
+                }
+            }
+            ClusterMsg::ReadIndexResp {
+                read_id,
+                read_index,
+            } => {
+                self.cpu.charge(ctx.now, self.cost.per_message_recv);
+                let matches = self
+                    .fwd_inflight
+                    .as_ref()
+                    .is_some_and(|w| w.wave_id == read_id);
+                if matches {
+                    let wave = self.fwd_inflight.take().expect("checked above");
+                    match read_index {
+                        Some(idx) => {
+                            for id in wave.ids {
+                                if self.node.last_applied() >= idx {
+                                    self.serve_follower_read(ctx, id);
+                                } else {
+                                    self.follower_wait.entry(idx).or_default().push(id);
+                                }
+                            }
+                        }
+                        None => {
+                            // The contacted server cannot confirm
+                            // leadership: every covered read redirects.
+                            for id in wave.ids {
+                                if let Some((client, req_id, cmd)) = self.forwarded.remove(&id) {
+                                    ctx.send(
+                                        client,
+                                        Channel::Tcp,
+                                        ClusterMsg::ClientRedirect {
+                                            req_id,
+                                            hint: self.node.leader_id().map(|h| h + self.peer_base),
+                                            cmd,
+                                        },
+                                    );
+                                }
+                            }
+                        }
+                    }
+                }
+                // A resolved (or stale) wave unblocks the next one.
+                self.flush_forwarded(ctx);
+            }
             // Servers never receive client-bound messages.
             ClusterMsg::ClientResp { .. } | ClusterMsg::ClientRedirect { .. } => {}
         }
+    }
+
+    /// CPU cost of admitting one client command: log-free reads cost
+    /// heartbeat-weight work (`per_read`), everything else the full
+    /// propose-path `per_request` (+ the tuning tax).
+    fn admission_cost(&self, cmd: &KvCommand) -> Duration {
+        let mut cost = if self.read_strategy.log_free() && cmd.is_read() {
+            self.cost.per_read
+        } else {
+            self.cost.per_request
+        };
+        if self.tunes {
+            cost += self.cost.tuning_per_request;
+        }
+        cost
     }
 
     /// Timer wake-up.
     pub fn handle_wake(&mut self, ctx: &mut HostCtx<'_, ClusterMsg>) {
         self.cpu.charge(ctx.now, self.cost.per_timer_wake);
         self.drain_admitted(ctx);
+        self.flush_forwarded(ctx); // wave resend on silence
         let fx = self.node.tick(ctx.now);
         self.route_effects(ctx, fx);
     }
@@ -352,10 +798,14 @@ impl ServerHost {
     pub fn wake_deadline(&self) -> Option<SimTime> {
         let node_wake = self.node.next_wake();
         let admit_wake = self.admit.front().map(|a| a.ready_at);
-        match (node_wake, admit_wake) {
-            (Some(a), Some(b)) => Some(a.min(b)),
-            (a, b) => a.or(b),
-        }
+        let wave_wake = self
+            .fwd_inflight
+            .as_ref()
+            .map(|w| w.sent_at + FWD_WAVE_RESEND);
+        [node_wake, admit_wake, wave_wake]
+            .into_iter()
+            .flatten()
+            .min()
     }
 }
 

@@ -64,6 +64,12 @@ pub struct ShardClient {
     /// FIFO of `(deadline, req_id)`; constant timeout keeps it ordered.
     timeout_queue: VecDeque<(SimTime, u64)>,
     timed_out: u64,
+    /// Spread reads round-robin over the owning shard's replicas instead
+    /// of batching them to the leader guess (follower-read offload; writes
+    /// still batch to the leader).
+    read_fanout: bool,
+    /// Per-shard round-robin cursor for `read_fanout`.
+    read_rr: Vec<usize>,
     /// Pending batch buffers, one per shard, flushed together at
     /// `flush_at`.
     batch_scratch: Vec<Vec<(u64, KvCommand)>>,
@@ -92,6 +98,8 @@ impl ShardClient {
             request_timeout: Some(Duration::from_secs(1)),
             timeout_queue: VecDeque::new(),
             timed_out: 0,
+            read_fanout: false,
+            read_rr: vec![0; shards],
             batch_scratch: vec![Vec::new(); shards],
             flush_at: None,
             batch_window: DEFAULT_BATCH_WINDOW,
@@ -110,6 +118,15 @@ impl ShardClient {
     #[must_use]
     pub fn with_batch_window(mut self, window: Duration) -> Self {
         self.batch_window = window;
+        self
+    }
+
+    /// Spread reads round-robin over each shard's replicas (follower-read
+    /// offload). Reads then travel as single requests; writes keep
+    /// batching to the shard's leader guess.
+    #[must_use]
+    pub fn with_read_fanout(mut self, fanout: bool) -> Self {
+        self.read_fanout = fanout;
         self
     }
 
@@ -212,6 +229,13 @@ impl ShardClient {
             );
             self.stats[shard].sent += 1;
             self.arm_timeout(ctx.now, req_id);
+            if self.read_fanout && cmd.is_read() {
+                let base = self.map.group_base(shard);
+                self.read_rr[shard] = (self.read_rr[shard] + 1) % self.map.replicas();
+                let target = base + self.read_rr[shard];
+                ctx.send(target, Channel::Tcp, ClusterMsg::ClientReq { req_id, cmd });
+                continue;
+            }
             if self.flush_at.is_none() {
                 self.flush_at = Some(at + self.batch_window);
             }
@@ -281,8 +305,11 @@ impl ShardClient {
                 self.arm_timeout(ctx.now, req_id);
             }
             // Clients ignore protocol traffic.
-            ClusterMsg::Raft(_) | ClusterMsg::ClientReq { .. } | ClusterMsg::ClientBatch { .. } => {
-            }
+            ClusterMsg::Raft(_)
+            | ClusterMsg::ClientReq { .. }
+            | ClusterMsg::ClientBatch { .. }
+            | ClusterMsg::ReadIndexReq { .. }
+            | ClusterMsg::ReadIndexResp { .. } => {}
         }
     }
 
@@ -363,7 +390,10 @@ mod tests {
             *to,
             ClusterMsg::ClientResp {
                 req_id,
-                result: Some(KvResponse::Put { prev: None }),
+                result: Some(KvResponse::Put {
+                    prev: None,
+                    revision: 1,
+                }),
             },
         );
         assert_eq!(c.shard_stats()[shard].completed, 1);

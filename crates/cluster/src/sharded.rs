@@ -18,7 +18,7 @@
 //! translates via its peer base.
 
 use crate::cpu::CostModel;
-use crate::server::{CompactionPolicy, ServerHost};
+use crate::server::{CompactionPolicy, ReadCounters, ReadStrategy, ServerHost};
 use crate::shard_client::{ShardClient, ShardStats};
 use crate::sim::{ClusterHost, WorkloadSpec};
 use dynatune_core::{TuningConfig, TuningSnapshot};
@@ -52,6 +52,12 @@ pub struct ShardedConfig {
     pub cost: CostModel,
     /// Log-compaction policy (threshold + retained tail).
     pub compaction: CompactionPolicy,
+    /// How servers serve linearizable reads (log vs lease/ReadIndex).
+    pub read_strategy: ReadStrategy,
+    /// Followers answer forwarded reads locally (log-free strategies).
+    pub follower_reads: bool,
+    /// Shard clients spread reads over each shard's replicas.
+    pub read_fanout: bool,
     /// Cores per server.
     pub cores: usize,
     /// Utilization sampling window.
@@ -105,6 +111,7 @@ impl ShardedClusterSim {
                 rc.check_quorum = config.check_quorum;
                 rc.quantization = config.quantization;
                 rc.udp_heartbeats = config.udp_heartbeats;
+                rc.lease_reads = config.read_strategy == ReadStrategy::Lease;
                 // Seed per world id, so every (shard, replica) pair gets an
                 // independent stream and runs stay deterministic.
                 let mut stream = node_seed_root.child(map.server(shard, replica) as u64);
@@ -112,7 +119,8 @@ impl ShardedClusterSim {
                 hosts.push(ClusterHost::Server(Box::new(
                     ServerHost::new(rc, config.cost, config.cores, config.cpu_window)
                         .with_peer_base(map.group_base(shard))
-                        .with_compaction(config.compaction),
+                        .with_compaction(config.compaction)
+                        .with_reads(config.read_strategy, config.follower_reads),
                 )));
             }
         }
@@ -127,7 +135,9 @@ impl ShardedClusterSim {
                 SimTime::ZERO + spec.start_offset,
             );
             hosts.push(ClusterHost::ShardClient(Box::new(
-                ShardClient::new(wl, map).with_request_timeout(spec.request_timeout),
+                ShardClient::new(wl, map)
+                    .with_request_timeout(spec.request_timeout)
+                    .with_read_fanout(config.read_fanout || spec.read_fanout),
             )));
         }
         Self {
@@ -294,6 +304,14 @@ impl ShardedClusterSim {
         (0..self.n_servers())
             .map(|id| self.server(id).snapshots_sent())
             .sum()
+    }
+
+    /// Served-read counters aggregated over all servers (by path).
+    #[must_use]
+    pub fn read_counters(&self) -> ReadCounters {
+        (0..self.n_servers())
+            .map(|id| self.server(id).reads_served())
+            .fold(ReadCounters::default(), ReadCounters::merged)
     }
 }
 

@@ -1,9 +1,9 @@
 //! Cluster assembly and simulation driver.
 
-use crate::client::{ClientHost, StepRecord};
+use crate::client::{ClientHost, OpRecord, StepRecord};
 use crate::cpu::CostModel;
 use crate::msg::ClusterMsg;
-use crate::server::{CompactionPolicy, ServerHost};
+use crate::server::{CompactionPolicy, ReadCounters, ReadStrategy, ServerHost};
 use dynatune_core::{TuningConfig, TuningSnapshot};
 use dynatune_kv::{OpMix, RateStep, WorkloadGen};
 use dynatune_raft::{NodeId, RaftConfig, RaftEvent, Role, TimerQuantization};
@@ -30,6 +30,12 @@ pub struct WorkloadSpec {
     pub start_offset: Duration,
     /// Client-side response timeout (`None` disables retries-on-silence).
     pub request_timeout: Option<Duration>,
+    /// Spread reads round-robin over all servers (follower-read offload);
+    /// writes still chase the leader.
+    pub read_fanout: bool,
+    /// Record completed `Get`/`Put` operations for linearizability checks
+    /// (see [`ClusterSim::client_trace`]).
+    pub record_trace: bool,
 }
 
 impl WorkloadSpec {
@@ -44,6 +50,8 @@ impl WorkloadSpec {
             value_size: 128,
             start_offset: Duration::ZERO,
             request_timeout: Some(Duration::from_secs(1)),
+            read_fanout: false,
+            record_trace: false,
         }
     }
 
@@ -51,6 +59,34 @@ impl WorkloadSpec {
     #[must_use]
     pub fn starting_at(mut self, offset: Duration) -> Self {
         self.start_offset = offset;
+        self
+    }
+
+    /// Builder: set the operation mix.
+    #[must_use]
+    pub fn mix(mut self, mix: OpMix) -> Self {
+        self.mix = mix;
+        self
+    }
+
+    /// Builder: spread reads round-robin over all servers.
+    #[must_use]
+    pub fn fanout_reads(mut self) -> Self {
+        self.read_fanout = true;
+        self
+    }
+
+    /// Builder: record the client's operation trace.
+    #[must_use]
+    pub fn recording(mut self) -> Self {
+        self.record_trace = true;
+        self
+    }
+
+    /// Builder: override (or disable) the response timeout.
+    #[must_use]
+    pub fn timeout(mut self, timeout: Option<Duration>) -> Self {
+        self.request_timeout = timeout;
         self
     }
 }
@@ -82,6 +118,10 @@ pub struct ClusterConfig {
     pub cost: CostModel,
     /// Log-compaction policy (threshold + retained tail).
     pub compaction: CompactionPolicy,
+    /// How servers serve linearizable reads (log vs lease/ReadIndex).
+    pub read_strategy: ReadStrategy,
+    /// Followers answer forwarded reads locally (log-free strategies).
+    pub follower_reads: bool,
     /// Cores per server (paper: 4 for Figs. 4–6, 2 for Fig. 7).
     pub cores: usize,
     /// Utilization sampling window (paper: 5 s).
@@ -115,6 +155,8 @@ impl ClusterConfig {
             consolidated_timer: false,
             cost: CostModel::default(),
             compaction: CompactionPolicy::default(),
+            read_strategy: ReadStrategy::default(),
+            follower_reads: true,
             cores: 4,
             cpu_window: Duration::from_secs(5),
             seed,
@@ -225,11 +267,15 @@ impl ClusterSim {
                 rc.udp_heartbeats = config.udp_heartbeats;
                 rc.suppress_heartbeats_when_replicating = config.suppress_heartbeats;
                 rc.consolidated_heartbeat_timer = config.consolidated_timer;
+                // The lease fast path only when the strategy asks for it;
+                // under ReadIndex every read pays a confirmation round.
+                rc.lease_reads = config.read_strategy == ReadStrategy::Lease;
                 let mut stream = node_seed_root.child(id as u64);
                 rc.seed = stream.next_u64();
                 ClusterHost::Server(Box::new(
                     ServerHost::new(rc, config.cost, config.cores, config.cpu_window)
-                        .with_compaction(config.compaction),
+                        .with_compaction(config.compaction)
+                        .with_reads(config.read_strategy, config.follower_reads),
                 ))
             })
             .collect();
@@ -245,7 +291,9 @@ impl ClusterSim {
             );
             hosts.push(ClusterHost::Client(Box::new(
                 ClientHost::new(wl, config.n, SimTime::ZERO + spec.start_offset)
-                    .with_request_timeout(spec.request_timeout),
+                    .with_request_timeout(spec.request_timeout)
+                    .with_read_fanout(spec.read_fanout)
+                    .with_trace(spec.record_trace),
             )));
         }
         Self {
@@ -426,9 +474,39 @@ impl ClusterSim {
             .sum()
     }
 
+    /// Served-read counters aggregated over all servers (by path).
+    #[must_use]
+    pub fn read_counters(&self) -> ReadCounters {
+        (0..self.n_servers)
+            .map(|id| self.server(id).reads_served())
+            .fold(ReadCounters::default(), ReadCounters::merged)
+    }
+
+    /// The client's recorded operation trace (`None` without a client;
+    /// empty unless the workload set `record_trace`).
+    #[must_use]
+    pub fn client_trace(&self) -> Option<Vec<OpRecord>> {
+        match self.world.host(self.world.len() - 1) {
+            ClusterHost::Client(c) => Some(c.trace().to_vec()),
+            _ => None,
+        }
+    }
+
     /// Partition the network: `group` forms one side, the rest the other.
     pub fn partition(&mut self, group: &[NodeId]) {
         self.world.partition(group);
+    }
+
+    /// Partition only the *servers*: `group` vs the remaining servers,
+    /// while client hosts keep reaching both sides. This models a
+    /// replication-plane cut where clients still see every server — the
+    /// dangerous window for lease reads (an isolated leader keeps serving
+    /// clients while a new leader is elected behind its back).
+    pub fn partition_servers(&mut self, group: &[NodeId]) {
+        self.world.partition(group);
+        for id in self.n_servers..self.world.len() {
+            self.world.exempt_from_partition(id);
+        }
     }
 
     /// Heal all partitions.

@@ -54,6 +54,16 @@ pub enum KvCommand {
     },
 }
 
+impl KvCommand {
+    /// True for commands that mutate nothing (`Get`/`Range`). The serving
+    /// layer routes these around the Raft log (lease / ReadIndex reads);
+    /// everything else must be replicated.
+    #[must_use]
+    pub fn is_read(&self) -> bool {
+        matches!(self, KvCommand::Get { .. } | KvCommand::Range { .. })
+    }
+}
+
 /// One stored value with etcd-style revision bookkeeping.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct VersionedValue {
@@ -74,6 +84,10 @@ pub enum KvResponse {
     Put {
         /// Previous value, if the key existed.
         prev: Option<Bytes>,
+        /// The write's own revision (its log index — etcd's
+        /// `header.revision`). Lets clients order their writes against
+        /// read results, which is what the stale-read checkers compare.
+        revision: LogIndex,
     },
     /// Get result.
     Get {
@@ -192,25 +206,14 @@ impl KvStore {
         match command {
             KvCommand::Put { key, value } => KvResponse::Put {
                 prev: self.put(index, key.clone(), value.clone()),
+                revision: index,
             },
-            KvCommand::Get { key } => KvResponse::Get {
-                value: self.map.get(key).cloned(),
-            },
+            KvCommand::Get { .. } | KvCommand::Range { .. } => {
+                self.read(command).expect("read command")
+            }
             KvCommand::Delete { key } => KvResponse::Delete {
                 existed: self.map.remove(key).is_some(),
             },
-            KvCommand::Range { start, end, limit } => {
-                let mut entries = Vec::new();
-                let mut more = false;
-                for (k, v) in self.map.range(start.clone()..end.clone()) {
-                    if entries.len() >= *limit {
-                        more = true;
-                        break;
-                    }
-                    entries.push((k.clone(), v.value.clone()));
-                }
-                KvResponse::Range { entries, more }
-            }
             KvCommand::Cas { key, expect, value } => {
                 let current = self.map.get(key).map(|v| &v.value);
                 let success = match (current, expect) {
@@ -223,6 +226,32 @@ impl KvStore {
                 }
                 KvResponse::Cas { success }
             }
+        }
+    }
+
+    /// Serve a read command (`Get`/`Range`) from the current state without
+    /// touching revision bookkeeping; `None` for mutating commands. This is
+    /// what both the log path and the log-free read path execute, so the
+    /// two can never diverge on read semantics.
+    #[must_use]
+    pub fn read(&self, command: &KvCommand) -> Option<KvResponse> {
+        match command {
+            KvCommand::Get { key } => Some(KvResponse::Get {
+                value: self.map.get(key).cloned(),
+            }),
+            KvCommand::Range { start, end, limit } => {
+                let mut entries = Vec::new();
+                let mut more = false;
+                for (k, v) in self.map.range(start.clone()..end.clone()) {
+                    if entries.len() >= *limit {
+                        more = true;
+                        break;
+                    }
+                    entries.push((k.clone(), v.value.clone()));
+                }
+                Some(KvResponse::Range { entries, more })
+            }
+            KvCommand::Put { .. } | KvCommand::Delete { .. } | KvCommand::Cas { .. } => None,
         }
     }
 
@@ -303,7 +332,7 @@ fn needs_dedup(cmd: &KvCommand) -> bool {
 fn response_bytes(resp: &KvResponse) -> usize {
     const PER_REPLY_OVERHEAD: usize = 24;
     let payload = match resp {
-        KvResponse::Put { prev } => prev.as_ref().map_or(0, Bytes::len),
+        KvResponse::Put { prev, .. } => prev.as_ref().map_or(0, Bytes::len),
         KvResponse::Get { value } => value.as_ref().map_or(0, |v| v.value.len() + 24),
         KvResponse::Delete { .. } | KvResponse::Cas { .. } => 1,
         KvResponse::Range { entries, .. } => entries.iter().map(|(k, v)| k.len() + v.len()).sum(),
@@ -389,6 +418,27 @@ impl Store {
     pub fn cached_reply(&self, origin: ReqOrigin) -> Option<&KvResponse> {
         self.sessions.get(&origin.client)?.get(&origin.req_id)
     }
+
+    /// The log-free read entry point: serve a `Get`/`Range` from the
+    /// current applied state (`None` for mutating commands). Callers must
+    /// hold a valid [`ReadGrant`](dynatune_raft::ReadGrant) whose
+    /// `read_index` this store has applied through.
+    ///
+    /// **Invariant — reads stay out of the per-client reply cache, on both
+    /// ends.** Responses served here are never inserted into `sessions`
+    /// (only mutating commands are, see `needs_dedup`), and this path
+    /// never consults `cached_reply`. Both directions matter for
+    /// linearizability: a client that lease-read through a leader, lost
+    /// the response to a failover, and retries the *same* `req_id` at the
+    /// new leader must re-execute against the new leader's current state —
+    /// replaying a cached pre-failover value would serve a stale read, and
+    /// caching the fresh one would bloat replicated state (and every
+    /// snapshot built from it) for a response that retries can simply
+    /// recompute.
+    #[must_use]
+    pub fn read(&self, command: &KvCommand) -> Option<KvResponse> {
+        self.kv.read(command)
+    }
 }
 
 impl StateMachine for Store {
@@ -451,7 +501,13 @@ mod tests {
                 value: b("1"),
             },
         );
-        assert_eq!(r, KvResponse::Put { prev: None });
+        assert_eq!(
+            r,
+            KvResponse::Put {
+                prev: None,
+                revision: 1
+            }
+        );
         let r = kv.apply_command(2, &KvCommand::Get { key: b("a") });
         match r {
             KvResponse::Get { value: Some(v) } => {
@@ -481,7 +537,13 @@ mod tests {
                 value: b("2"),
             },
         );
-        assert_eq!(r, KvResponse::Put { prev: Some(b("1")) });
+        assert_eq!(
+            r,
+            KvResponse::Put {
+                prev: Some(b("1")),
+                revision: 5
+            }
+        );
         let v = kv.peek(b"a").unwrap();
         assert_eq!(v.create_revision, 1);
         assert_eq!(v.mod_revision, 5);
@@ -630,7 +692,13 @@ mod tests {
             },
         );
         let first = s.apply(1, &put);
-        assert_eq!(first, KvResponse::Put { prev: None });
+        assert_eq!(
+            first,
+            KvResponse::Put {
+                prev: None,
+                revision: 1
+            }
+        );
         // The same (client, req_id) committed again (client retried through
         // a new leader): the apply is a no-op replaying the cached reply.
         let second = s.apply(2, &put);
@@ -647,7 +715,13 @@ mod tests {
                 value: b("w"),
             },
         );
-        assert_eq!(s.apply(3, &put2), KvResponse::Put { prev: Some(b("v")) });
+        assert_eq!(
+            s.apply(3, &put2),
+            KvResponse::Put {
+                prev: Some(b("v")),
+                revision: 3
+            }
+        );
         assert_eq!(s.peek(b"k").unwrap().version, 2);
     }
 
@@ -786,7 +860,14 @@ mod tests {
         assert_eq!(restored, s);
         assert_eq!(restored.digest(), s.digest());
         // The restored replica deduplicates the same retry.
-        assert_eq!(restored.apply(9, &put), KvResponse::Put { prev: None });
+        // The replay returns the ORIGINAL response (revision 1, not 9).
+        assert_eq!(
+            restored.apply(9, &put),
+            KvResponse::Put {
+                prev: None,
+                revision: 1
+            }
+        );
         assert_eq!(restored.peek(b"a").unwrap().version, 1);
         assert!(restored.approx_bytes() > 0);
     }

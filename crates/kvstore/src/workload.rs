@@ -36,6 +36,17 @@ impl OpMix {
         }
     }
 
+    /// Read-mostly mix: 95% `Get`s, 5% `Put`s — the serving profile the
+    /// log-free read path is built for.
+    #[must_use]
+    pub fn read_mostly() -> Self {
+        Self {
+            put: 0.05,
+            delete: 0.0,
+            cas: 0.0,
+        }
+    }
+
     /// Validate the fractions.
     ///
     /// # Panics

@@ -60,6 +60,31 @@ pub struct RaftConfig {
     /// smallest tuned interval, so the leader manages one timer instead of
     /// n−1. Off by default (future work in the paper).
     pub consolidated_heartbeat_timer: bool,
+    /// Enable the leader-lease fast path for log-free reads: while a quorum
+    /// has acknowledged heartbeats within the (margin-scaled) lease window,
+    /// [`RaftNode::request_read`](crate::RaftNode::request_read) grants
+    /// reads immediately instead of running a ReadIndex confirmation round.
+    /// Inert unless the host actually requests log-free reads, and also
+    /// inert when `check_quorum` is off — lease safety rests on
+    /// check-quorum's in-lease vote withholding, so without it reads take
+    /// the ReadIndex path regardless of this flag.
+    pub lease_reads: bool,
+    /// Leader-lease duration for lease reads, measured from the send
+    /// instant of the quorum'th-freshest acknowledged heartbeat. Safety
+    /// requires it to stay at or below the smallest election timeout any
+    /// member may run (a new leader must not be electable while the old
+    /// lease holds), so it defaults to the conservative default election
+    /// timeout and `validate` rejects anything larger. Under a tuning
+    /// mode, followers can adapt `Et` far below the default, so
+    /// `lease_valid` additionally clamps the effective lease to the
+    /// tuning floor — tuned clusters keep correctness and fall back to
+    /// ReadIndex confirmation instead of riding an unsound lease.
+    pub read_lease: Duration,
+    /// Clock-drift safety margin for lease reads: the effective lease is
+    /// `read_lease * (1 - margin)`, so a leader whose clock runs slow by up
+    /// to this fraction still expires its lease before any follower's
+    /// election timer can fire. In `[0, 1)`.
+    pub lease_drift_margin: f64,
     /// Seed for the node's randomized-timeout stream.
     pub seed: u64,
 }
@@ -86,6 +111,9 @@ impl RaftConfig {
             snapshot_resend: Duration::from_millis(1000),
             suppress_heartbeats_when_replicating: false,
             consolidated_heartbeat_timer: false,
+            lease_reads: true,
+            read_lease: tuning.default_election_timeout,
+            lease_drift_margin: 0.1,
             seed: 0xD15_EA5E ^ id as u64,
         }
     }
@@ -111,6 +139,18 @@ impl RaftConfig {
         assert!(
             self.snapshot_resend >= self.append_resend,
             "snapshot resend must not be paced faster than appends"
+        );
+        assert!(
+            self.read_lease > Duration::ZERO,
+            "zero-length read lease (disable lease_reads instead)"
+        );
+        assert!(
+            self.read_lease <= self.tuning.default_election_timeout,
+            "read lease must not outlive the conservative election timeout"
+        );
+        assert!(
+            (0.0..1.0).contains(&self.lease_drift_margin),
+            "lease drift margin must be in [0, 1)"
         );
         self.tuning.validate();
     }

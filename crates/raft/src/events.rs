@@ -73,6 +73,14 @@ pub enum RaftEvent {
         /// Highest log index the snapshot covers.
         last_included_index: LogIndex,
     },
+    /// The leader opened a ReadIndex confirmation round: queued log-free
+    /// reads could not be served from the lease (expired or disabled) and
+    /// now await a quorum of `read_ctx` echoes. Observably absent under a
+    /// healthy lease — scenarios use it to tell the two read paths apart.
+    ReadConfirmRound {
+        /// The round's confirmation token.
+        seq: u64,
+    },
 }
 
 impl RaftEvent {
@@ -91,6 +99,7 @@ impl RaftEvent {
             RaftEvent::TunerReset => "tuner_reset",
             RaftEvent::SnapshotSent { .. } => "snapshot_sent",
             RaftEvent::SnapshotInstalled { .. } => "snapshot_installed",
+            RaftEvent::ReadConfirmRound { .. } => "read_confirm_round",
         }
     }
 }
@@ -124,6 +133,7 @@ mod tests {
             RaftEvent::SnapshotInstalled {
                 last_included_index: 9,
             },
+            RaftEvent::ReadConfirmRound { seq: 1 },
         ];
         let mut kinds: Vec<&str> = events.iter().map(RaftEvent::kind).collect();
         kinds.sort_unstable();

@@ -41,5 +41,7 @@ pub use message::{
 };
 pub use node::{NodeEffects, NodePayload, NotLeader, RaftNode};
 pub use progress::Progress;
-pub use state_machine::{Applied, Effects, NullStateMachine, Snapshot, StateMachine};
+pub use state_machine::{
+    Applied, Effects, NullStateMachine, ReadGrant, ReadPath, Snapshot, StateMachine,
+};
 pub use types::{quorum, LogIndex, NodeId, Role, Term};

@@ -48,6 +48,13 @@ pub struct AppendEntries<C> {
     pub entries: Vec<Entry<C>>,
     /// Leader's commit index (clamped by the follower to its own log).
     pub leader_commit: LogIndex,
+    /// ReadIndex confirmation token: the newest pending log-free-read round
+    /// at the leader when this append was sent. The follower echoes it in
+    /// its [`AppendResp`]; a quorum of echoes `>= seq` re-confirms the
+    /// sender's leadership *after* the reads were registered, which is what
+    /// lets the leader serve them without a log entry (`None` = no reads
+    /// pending).
+    pub read_ctx: Option<u64>,
 }
 
 /// Follower → leader replication acknowledgement.
@@ -60,6 +67,10 @@ pub struct AppendResp {
     /// On success: highest index matching the leader. On failure: the
     /// follower's back-off hint (probe at `prev = hint`).
     pub match_or_hint: LogIndex,
+    /// Echo of the request's `read_ctx`. Echoed on success *and* conflict:
+    /// either way the follower answered at the leader's term, which is the
+    /// leadership confirmation ReadIndex needs (log state is irrelevant).
+    pub read_ctx: Option<u64>,
 }
 
 /// Leader → follower full-state transfer (TCP).

@@ -21,6 +21,18 @@ pub struct Progress {
     /// outstanding. Snapshot transfers are bulky, so their resend timer is
     /// paced separately (`snapshot_resend` vs `append_resend`).
     pub pending_snapshot: Option<LogIndex>,
+    /// Highest ReadIndex confirmation token (`read_ctx`) this follower has
+    /// echoed back at the leader's current term. A pending read round with
+    /// seq `S` is leadership-confirmed once a quorum reports
+    /// `acked_read_seq >= S`.
+    pub acked_read_seq: u64,
+    /// Send instant of the freshest *heartbeat* this follower has
+    /// acknowledged (from the reply's echoed timestamp). The leader-lease
+    /// read path takes the quorum'th freshest basis as proof that no other
+    /// leader could have been elected within the lease window starting
+    /// there. Only heartbeat acks renew it: their echo carries the exact
+    /// send time, so a reordered ack can never inflate the lease.
+    pub lease_basis: SimTime,
 }
 
 impl Progress {
@@ -34,6 +46,8 @@ impl Progress {
             sent_at: SimTime::ZERO,
             last_active: now,
             pending_snapshot: None,
+            acked_read_seq: 0,
+            lease_basis: SimTime::ZERO,
         }
     }
 

@@ -46,6 +46,32 @@ pub struct Snapshot<S> {
     pub data: S,
 }
 
+/// How a log-free read was leadership-confirmed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadPath {
+    /// Served inside a live leader lease — no network round needed.
+    Lease,
+    /// Served after a ReadIndex confirmation round (quorum of `read_ctx`
+    /// echoes at the leader's term).
+    ReadIndex,
+}
+
+/// A granted log-free read: the caller-supplied id plus the state-machine
+/// index the read is linearizable at. When the grant was requested with
+/// `wait_apply`, the granting node's `last_applied` already covers
+/// `read_index`; otherwise (forwarded follower reads) the *caller* must
+/// wait for its own apply index to reach `read_index` before answering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadGrant {
+    /// Caller-supplied read identifier (opaque to the node).
+    pub id: u64,
+    /// Commit index recorded when the read was registered; the read is
+    /// linearizable once served from a state machine applied through it.
+    pub read_index: LogIndex,
+    /// Which confirmation path granted the read.
+    pub path: ReadPath,
+}
+
 /// A committed entry that was just applied.
 #[derive(Debug, Clone)]
 pub struct Applied<R> {
@@ -66,6 +92,11 @@ pub struct Effects<C, R, S> {
     pub events: Vec<RaftEvent>,
     /// Entries applied to the state machine by this input.
     pub applied: Vec<Applied<R>>,
+    /// Log-free reads granted by this input (lease or ReadIndex).
+    pub reads: Vec<ReadGrant>,
+    /// Queued log-free reads abandoned by this input (leadership lost
+    /// before confirmation/apply); the host should redirect their clients.
+    pub aborted_reads: Vec<u64>,
 }
 
 impl<C, R, S> Default for Effects<C, R, S> {
@@ -74,6 +105,8 @@ impl<C, R, S> Default for Effects<C, R, S> {
             messages: Vec::new(),
             events: Vec::new(),
             applied: Vec::new(),
+            reads: Vec::new(),
+            aborted_reads: Vec::new(),
         }
     }
 }
@@ -90,6 +123,8 @@ impl<C, R, S> Effects<C, R, S> {
         self.messages.extend(other.messages);
         self.events.extend(other.events);
         self.applied.extend(other.applied);
+        self.reads.extend(other.reads);
+        self.aborted_reads.extend(other.aborted_reads);
     }
 }
 

@@ -1,0 +1,299 @@
+//! Adversarial property test of the log-free read path: drive a cluster of
+//! `RaftNode`s through proptest-generated schedules that interleave
+//! ReadIndex/lease read requests with elections, term changes, log
+//! compaction and crash-restarts, and check the linearizability floor of
+//! every grant.
+//!
+//! The invariant: when a read is registered on a leader, every write that
+//! was committed *anywhere in the cluster* by that instant has an index at
+//! or below the read's eventual `read_index`. (Leaders only admit reads
+//! once they have committed in their own term, so their commit index
+//! dominates every predecessor's; the grant records it.) A grant below
+//! that floor would let a linearizable read miss a committed write.
+//!
+//! Uses the untuned configuration: the leader lease is only sound while no
+//! member's election timeout can undercut it, which static Raft
+//! guarantees and aggressively-tuned Dynatune deployments must restore by
+//! shrinking `read_lease` (see `RaftConfig::read_lease`).
+
+use dynatune_core::TuningConfig;
+use dynatune_raft::{
+    LogIndex, NodeEffects, NodeId, NullStateMachine, Payload, RaftConfig, RaftNode, Role,
+};
+use dynatune_simnet::SimTime;
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::time::Duration;
+
+type Node = RaftNode<NullStateMachine>;
+
+#[derive(Debug, Clone)]
+struct Flight {
+    from: NodeId,
+    to: NodeId,
+    payload: Payload<u64, Vec<(u64, u64)>>,
+}
+
+/// One adversarial step.
+#[derive(Debug, Clone)]
+enum Action {
+    /// Deliver the k-th in-flight message (modulo pool size).
+    Deliver(usize),
+    /// Drop the k-th in-flight message.
+    Drop(usize),
+    /// Advance time to the chosen node's deadline and tick it.
+    FireTimer(usize),
+    /// Advance time by a few milliseconds, ticking due nodes.
+    Sleep(u64),
+    /// Propose a command on the chosen node (no-op unless leader).
+    Propose(usize, u64),
+    /// Register a log-free read on the chosen node.
+    RequestRead(usize),
+    /// Compact the chosen node's log up to its applied index.
+    Compact(usize),
+    /// Crash-restart the chosen node (volatile state lost).
+    Restart(usize),
+}
+
+fn action_strategy() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        5 => (0usize..64).prop_map(Action::Deliver),
+        1 => (0usize..64).prop_map(Action::Drop),
+        2 => (0usize..8).prop_map(Action::FireTimer),
+        2 => (1u64..50).prop_map(Action::Sleep),
+        2 => ((0usize..8), (0u64..1000)).prop_map(|(n, v)| Action::Propose(n, v)),
+        3 => (0usize..8).prop_map(Action::RequestRead),
+        1 => (0usize..8).prop_map(Action::Compact),
+        1 => (0usize..8).prop_map(Action::Restart),
+    ]
+}
+
+struct PendingRead {
+    node: NodeId,
+    /// Highest commit index observed anywhere at registration time.
+    floor: LogIndex,
+}
+
+struct Harness {
+    nodes: Vec<Node>,
+    pool: Vec<Flight>,
+    now: SimTime,
+    next_read_id: u64,
+    pending: HashMap<u64, PendingRead>,
+    granted: u64,
+}
+
+impl Harness {
+    fn new(n: usize, seed: u64) -> Self {
+        let nodes = (0..n)
+            .map(|id| {
+                let mut cfg = RaftConfig::new(id, n, TuningConfig::raft_default());
+                cfg.seed = seed ^ (id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                RaftNode::new(cfg, NullStateMachine::default(), SimTime::ZERO)
+            })
+            .collect();
+        Self {
+            nodes,
+            pool: Vec::new(),
+            now: SimTime::ZERO,
+            next_read_id: 0,
+            pending: HashMap::new(),
+            granted: 0,
+        }
+    }
+
+    fn cluster_commit_floor(&self) -> LogIndex {
+        self.nodes.iter().map(Node::commit_index).max().unwrap_or(0)
+    }
+
+    fn absorb(
+        &mut self,
+        from: NodeId,
+        fx: NodeEffects<NullStateMachine>,
+    ) -> Result<(), TestCaseError> {
+        for m in fx.messages {
+            self.pool.push(Flight {
+                from,
+                to: m.to,
+                payload: m.payload,
+            });
+        }
+        for grant in fx.reads {
+            let Some(reg) = self.pending.remove(&grant.id) else {
+                return Err(TestCaseError::fail(format!(
+                    "grant for unknown read {}",
+                    grant.id
+                )));
+            };
+            prop_assert_eq!(reg.node, from, "grant surfaced on the wrong node");
+            prop_assert!(
+                grant.read_index >= reg.floor,
+                "read {} granted at index {} below the committed floor {} at registration",
+                grant.id,
+                grant.read_index,
+                reg.floor
+            );
+            // Apply-gated grants must be coverable from the local machine.
+            prop_assert!(
+                self.nodes[from].last_applied() >= grant.read_index
+                    || self.nodes[from].commit_index() >= grant.read_index,
+                "granted index beyond the granter's committed state"
+            );
+            self.granted += 1;
+        }
+        for id in fx.aborted_reads {
+            prop_assert!(
+                self.pending.remove(&id).is_some(),
+                "abort for unknown read {}",
+                id
+            );
+        }
+        Ok(())
+    }
+
+    fn apply(&mut self, action: &Action) -> Result<(), TestCaseError> {
+        match action {
+            Action::Deliver(k) => {
+                if !self.pool.is_empty() {
+                    let f = self.pool.swap_remove(k % self.pool.len());
+                    let fx = self.nodes[f.to].step(self.now, f.from, f.payload);
+                    self.absorb(f.to, fx)?;
+                }
+            }
+            Action::Drop(k) => {
+                if !self.pool.is_empty() {
+                    let idx = k % self.pool.len();
+                    self.pool.swap_remove(idx);
+                }
+            }
+            Action::FireTimer(n) => {
+                let id = n % self.nodes.len();
+                if let Some(deadline) = self.nodes[id].next_wake() {
+                    self.now = self.now.max(deadline);
+                    let fx = self.nodes[id].tick(self.now);
+                    self.absorb(id, fx)?;
+                }
+            }
+            Action::Sleep(ms) => {
+                self.now += Duration::from_millis(*ms);
+                for id in 0..self.nodes.len() {
+                    let due = self.nodes[id].next_wake().is_some_and(|w| w <= self.now);
+                    if due {
+                        let fx = self.nodes[id].tick(self.now);
+                        self.absorb(id, fx)?;
+                    }
+                }
+            }
+            Action::Propose(n, v) => {
+                let id = n % self.nodes.len();
+                let (_, fx) = self.nodes[id].propose(self.now, *v);
+                self.absorb(id, fx)?;
+            }
+            Action::RequestRead(n) => {
+                let id = n % self.nodes.len();
+                self.next_read_id += 1;
+                let read_id = self.next_read_id;
+                let floor = self.cluster_commit_floor();
+                let (res, fx) = self.nodes[id].request_read(self.now, read_id, true);
+                if res.is_ok() {
+                    self.pending
+                        .insert(read_id, PendingRead { node: id, floor });
+                } else {
+                    prop_assert_ne!(
+                        self.nodes[id].role(),
+                        Role::Leader,
+                        "leaders must accept reads"
+                    );
+                }
+                self.absorb(id, fx)?;
+            }
+            Action::Compact(n) => {
+                let id = n % self.nodes.len();
+                let upto = self.nodes[id].safe_compact_index();
+                self.nodes[id].compact_log(upto);
+            }
+            Action::Restart(n) => {
+                let id = n % self.nodes.len();
+                self.nodes[id].restart(self.now, NullStateMachine::default());
+                // Volatile read queues died with the process: the harness
+                // forgets this node's registrations (clients would retry).
+                self.pending.retain(|_, reg| reg.node != id);
+            }
+        }
+        Ok(())
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 64,
+        max_shrink_iters: 2000,
+        ..ProptestConfig::default()
+    })]
+
+    /// Grants never undercut the committed floor, through elections,
+    /// compaction and restarts, on 3 nodes.
+    #[test]
+    fn read_grants_respect_commit_floor_3(
+        seed in 0u64..1_000,
+        actions in proptest::collection::vec(action_strategy(), 80..400),
+    ) {
+        let mut h = Harness::new(3, seed);
+        for a in &actions {
+            h.apply(a)?;
+        }
+    }
+
+    /// Same on 5 nodes with longer schedules.
+    #[test]
+    fn read_grants_respect_commit_floor_5(
+        seed in 0u64..1_000,
+        actions in proptest::collection::vec(action_strategy(), 80..300),
+    ) {
+        let mut h = Harness::new(5, seed);
+        for a in &actions {
+            h.apply(a)?;
+        }
+    }
+
+    /// Liveness-lite: a healed cluster that keeps delivering everything
+    /// eventually grants reads (the confirmation path cannot deadlock).
+    #[test]
+    fn reads_eventually_granted_when_network_heals(seed in 0u64..500) {
+        let mut h = Harness::new(3, seed);
+        let mut requested = false;
+        for _ in 0..300u64 {
+            if let Some(deadline) = h.nodes.iter().filter_map(Node::next_wake).min() {
+                h.now = h.now.max(deadline);
+            }
+            for id in 0..h.nodes.len() {
+                if h.nodes[id].next_wake().is_some_and(|w| w <= h.now) {
+                    let fx = h.nodes[id].tick(h.now);
+                    h.absorb(id, fx)?;
+                }
+            }
+            if let Some(leader) = (0..h.nodes.len()).find(|&i| h.nodes[i].role() == Role::Leader) {
+                if !requested {
+                    h.next_read_id += 1;
+                    let read_id = h.next_read_id;
+                    let floor = h.cluster_commit_floor();
+                    let (res, fx) = h.nodes[leader].request_read(h.now, read_id, true);
+                    if res.is_ok() {
+                        h.pending.insert(read_id, PendingRead { node: leader, floor });
+                        requested = true;
+                    }
+                    h.absorb(leader, fx)?;
+                }
+            }
+            while !h.pool.is_empty() {
+                let f = h.pool.swap_remove(0);
+                let fx = h.nodes[f.to].step(h.now, f.from, f.payload);
+                h.absorb(f.to, fx)?;
+            }
+            if requested && h.granted > 0 {
+                return Ok(());
+            }
+        }
+        prop_assert!(false, "no read granted after 300 healed rounds");
+    }
+}

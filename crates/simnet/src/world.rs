@@ -114,6 +114,10 @@ struct HostSlot<H: Host> {
 /// Maximum messages buffered for a paused host before drops begin.
 pub const PAUSE_BUFFER_CAP: usize = 256;
 
+/// Partition side marker for nodes exempted from the cut (they bridge all
+/// sides). See [`World::exempt_from_partition`].
+const PARTITION_BRIDGE: u32 = u32::MAX;
+
 type ControlFn<H> = Box<dyn FnOnce(&mut World<H>)>;
 
 /// The simulation world: hosts + network + event queue.
@@ -293,6 +297,14 @@ impl<H: Host> World<H> {
         }
     }
 
+    /// Exempt a node from the current partition: it keeps exchanging
+    /// messages with *every* side (a client that still reaches a
+    /// minority-partitioned server, an out-of-band control plane).
+    /// Cleared by the next [`World::partition`] / [`World::heal_partition`].
+    pub fn exempt_from_partition(&mut self, node: NodeId) {
+        self.partition[node] = PARTITION_BRIDGE;
+    }
+
     fn dispatch_to_host(&mut self, node: NodeId, incoming: Option<(NodeId, H::Msg)>) {
         debug_assert!(self.outbox_scratch.is_empty());
         let mut outbox = std::mem::take(&mut self.outbox_scratch);
@@ -323,7 +335,8 @@ impl<H: Host> World<H> {
             self.push(self.now, Event::Deliver { from, to, msg });
             return;
         }
-        if self.partition[from] != self.partition[to] {
+        let (pf, pt) = (self.partition[from], self.partition[to]);
+        if pf != pt && pf != PARTITION_BRIDGE && pt != PARTITION_BRIDGE {
             self.counters.dropped_partitioned += 1;
             return;
         }

@@ -29,6 +29,8 @@ fn run(name: &str, tuning: TuningConfig) {
         value_size: 128,
         start_offset: Duration::from_secs(5),
         request_timeout: Some(Duration::from_millis(500)),
+        read_fanout: false,
+        record_trace: false,
     };
     let config = ScenarioBuilder::cluster(5)
         .tuning(tuning)

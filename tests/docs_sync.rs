@@ -1,0 +1,17 @@
+//! Keep the generated docs in lockstep with the code that defines them.
+
+use dynatune_repro::cluster::scenario::catalog_markdown;
+
+/// `SCENARIOS.md` is generated from the experiment registry
+/// (`scenarios --describe-md`); a scenario added, renamed, or re-described
+/// without regenerating the catalog fails here.
+#[test]
+fn scenarios_md_matches_the_registry() {
+    let committed = include_str!("../SCENARIOS.md");
+    let generated = catalog_markdown();
+    assert_eq!(
+        committed, generated,
+        "SCENARIOS.md is stale — regenerate with:\n  cargo run --release -p dynatune_bench \
+         --bin scenarios -- --describe-md > SCENARIOS.md"
+    );
+}

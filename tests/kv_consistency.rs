@@ -20,6 +20,8 @@ fn workload(rps: f64, secs: u64) -> WorkloadSpec {
         value_size: 64,
         start_offset: Duration::from_secs(5),
         request_timeout: Some(Duration::from_millis(500)),
+        read_fanout: false,
+        record_trace: false,
     }
 }
 

@@ -72,6 +72,28 @@ fn compaction_reports_identical_serial_vs_parallel() {
 }
 
 #[test]
+fn read_path_reports_identical_serial_vs_parallel() {
+    // The read path adds its own machinery on both sides of the wire
+    // (lease bookkeeping, confirmation echoes, forwarded waves, client
+    // traces); the reports — throughput ratios, CPU percentages,
+    // violation counts — must still be bit-identical at any pool width.
+    for experiment in [
+        &catalog::ReadHeavyThroughput as &dyn Experiment,
+        &catalog::FollowerReadOffload,
+        &catalog::LeaseSafetyPartition,
+    ] {
+        let serial = report_with_jobs(experiment, 1);
+        let parallel = report_with_jobs(experiment, 4);
+        assert_eq!(
+            serial, parallel,
+            "{}: --jobs must not change the report",
+            serial.name
+        );
+        assert!(!serial.tables.is_empty() && !serial.headlines.is_empty());
+    }
+}
+
+#[test]
 fn failover_trials_identical_across_pool_widths() {
     let cluster = ClusterConfig::stable(
         5,
