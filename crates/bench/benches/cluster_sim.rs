@@ -76,6 +76,45 @@ fn bench_failover_trial(c: &mut Criterion) {
     g.finish();
 }
 
+/// Write-heavy cluster-seconds with the replication pipeline at both
+/// extremes: window 1 (the retired ping-pong) floods the event queue with
+/// resend-paced round trips, window 8 with back-to-back sends — the two
+/// shapes bound what the `pipeline_depth` scenario costs to simulate.
+fn bench_pipelined_writes(c: &mut Criterion) {
+    use dynatune_cluster::scenario::{NetPlan, ScenarioBuilder};
+    use dynatune_cluster::WorkloadSpec;
+    use dynatune_kv::OpMix;
+    let mut g = c.benchmark_group("pipelined_writes");
+    g.sample_size(10);
+    for window in [1usize, 8] {
+        g.bench_function(format!("8s_3servers_window{window}"), |b| {
+            b.iter_batched(
+                || {
+                    ScenarioBuilder::cluster(3)
+                        .tuning(TuningConfig::raft_default())
+                        .net(NetPlan::stable(Duration::from_millis(50)))
+                        .pipeline_window(window)
+                        .max_entries_per_append(64)
+                        .seed(7)
+                        .workload(
+                            WorkloadSpec::steady(2_000.0, Duration::from_secs(4))
+                                .starting_at(Duration::from_secs(3))
+                                .mix(OpMix::write_heavy())
+                                .timeout(None),
+                        )
+                        .build_sim()
+                },
+                |mut sim| {
+                    sim.run_until(SimTime::from_secs(8));
+                    black_box(sim.leader())
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    g.finish();
+}
+
 fn bench_scenario_driver(c: &mut Criterion) {
     use dynatune_cluster::scenario::{
         FaultPlan, Horizon, PartitionSpec, ScenarioBuilder, ScenarioDriver,
@@ -113,6 +152,7 @@ criterion_group!(
     benches,
     bench_cluster_second,
     bench_failover_trial,
+    bench_pipelined_writes,
     bench_scenario_driver
 );
 criterion_main!(benches);

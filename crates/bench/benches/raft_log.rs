@@ -1,8 +1,10 @@
 //! Micro-benchmarks of the replicated log hot paths.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
-use dynatune_raft::{Entry, RaftLog};
+use dynatune_raft::{Entry, Progress, RaftLog};
+use dynatune_simnet::SimTime;
 use std::hint::black_box;
+use std::time::Duration;
 
 fn filled_log(n: u64) -> RaftLog<u64> {
     let mut log = RaftLog::new();
@@ -65,5 +67,49 @@ fn bench_append(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_append);
+/// The per-ack bookkeeping of pipelined replication: every committed batch
+/// pays one `record_send` + one `on_success` per follower, so window churn
+/// sits directly on the replication hot path.
+fn bench_progress(c: &mut Criterion) {
+    let mut g = c.benchmark_group("progress");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("pipeline_send_ack_window8", |b| {
+        let mut p = Progress::new(0, SimTime::ZERO);
+        let mut now = SimTime::ZERO;
+        let mut last = 0u64;
+        b.iter(|| {
+            now += Duration::from_micros(10);
+            if p.window_free(8) {
+                p.record_send(now, last, last + 2);
+                last += 2;
+            } else {
+                // Acks retire out of order: newest-first stresses the
+                // transitive retirement path.
+                p.on_success(last);
+            }
+            black_box(p.oldest_sent_at())
+        });
+    });
+    g.bench_function("pipeline_conflict_suffix_cancel", |b| {
+        let mut now = SimTime::ZERO;
+        b.iter_batched(
+            || {
+                let mut p = Progress::new(100, SimTime::ZERO);
+                for k in 0..8u64 {
+                    now += Duration::from_micros(10);
+                    p.record_send(now, 100 + 2 * k, 102 + 2 * k);
+                }
+                p
+            },
+            |mut p| {
+                p.on_conflict(104);
+                black_box(p.next_index)
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_append, bench_progress);
 criterion_main!(benches);

@@ -131,6 +131,10 @@ pub struct ScenarioBuilder {
     compaction: CompactionPolicy,
     read_strategy: ReadStrategy,
     follower_reads: bool,
+    pipeline_window: usize,
+    max_batch_bytes: usize,
+    max_batch_delay: Duration,
+    max_entries_per_append: usize,
     cores: usize,
     cpu_window: Duration,
     seed: u64,
@@ -158,6 +162,10 @@ impl ScenarioBuilder {
             compaction: CompactionPolicy::default(),
             read_strategy: ReadStrategy::default(),
             follower_reads: true,
+            pipeline_window: 4,
+            max_batch_bytes: 64 * 1024,
+            max_batch_delay: Duration::from_millis(1),
+            max_entries_per_append: 8192,
             cores: 4,
             cpu_window: Duration::from_secs(5),
             seed: 0,
@@ -266,6 +274,32 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Max unacked appends in flight per follower (default 4; 1 recovers
+    /// the pre-pipelining ping-pong for ablations).
+    #[must_use]
+    pub fn pipeline_window(mut self, window: usize) -> Self {
+        self.pipeline_window = window;
+        self
+    }
+
+    /// Group-commit thresholds: flush buffered proposals once `bytes` of
+    /// payload accumulate or `delay` after the first buffered proposal,
+    /// whichever comes first.
+    #[must_use]
+    pub fn group_commit(mut self, bytes: usize, delay: Duration) -> Self {
+        self.max_batch_bytes = bytes;
+        self.max_batch_delay = delay;
+        self
+    }
+
+    /// Hard cap on entries per `AppendEntries` message. Scenarios shrink
+    /// it so replication stays RTT-bound and the pipeline depth shows.
+    #[must_use]
+    pub fn max_entries_per_append(mut self, cap: usize) -> Self {
+        self.max_entries_per_append = cap;
+        self
+    }
+
     /// Cores per server (paper: 4 for Figs. 4–6, 2 for Fig. 7).
     #[must_use]
     pub fn cores(mut self, cores: usize) -> Self {
@@ -330,6 +364,10 @@ impl ScenarioBuilder {
             compaction: self.compaction,
             read_strategy: self.read_strategy,
             follower_reads: self.follower_reads,
+            pipeline_window: self.pipeline_window,
+            max_batch_bytes: self.max_batch_bytes,
+            max_batch_delay: self.max_batch_delay,
+            max_entries_per_append: self.max_entries_per_append,
             cores: self.cores,
             cpu_window: self.cpu_window,
             seed: self.seed,
@@ -366,6 +404,10 @@ impl ScenarioBuilder {
             read_strategy: self.read_strategy,
             follower_reads: self.follower_reads,
             read_fanout: false,
+            pipeline_window: self.pipeline_window,
+            max_batch_bytes: self.max_batch_bytes,
+            max_batch_delay: self.max_batch_delay,
+            max_entries_per_append: self.max_entries_per_append,
             cores: self.cores,
             cpu_window: self.cpu_window,
             seed: self.seed,

@@ -15,6 +15,7 @@ mod extensions;
 mod failover;
 mod fluctuation;
 mod novel;
+mod pipeline;
 mod reads;
 pub mod sharded;
 mod throughput;
@@ -25,6 +26,7 @@ pub use extensions::Extensions;
 pub use failover::{Fig4Failover, Fig8GeoFailover};
 pub use fluctuation::{Fig6aGradualRtt, Fig6bRadicalRtt, Fig7LossFluctuation};
 pub use novel::{GeoAsymmetricFailover, PartitionChurn};
+pub use pipeline::PipelineDepth;
 pub use reads::{FollowerReadOffload, LeaseSafetyPartition, ReadHeavyThroughput};
 pub use sharded::{HotShard, ShardLeaderFailover, ShardedThroughput};
 pub use throughput::Fig5Throughput;

@@ -5,7 +5,8 @@ use crate::cpu::{CostModel, CpuMeter};
 use crate::msg::{ClusterMsg, RaftPayload};
 use dynatune_kv::{KvCommand, KvRequest, Store};
 use dynatune_raft::{
-    LogIndex, NodeEffects, NodeId, Payload, RaftConfig, RaftEvent, RaftNode, ReadPath, Role, Term,
+    LogIndex, NodeEffects, NodeId, Payload, RaftConfig, RaftEvent, RaftNode, ReadPath, Role,
+    StateMachine, Term,
 };
 use dynatune_simnet::{Channel, HostCtx, SimTime};
 use std::collections::{BTreeMap, HashMap};
@@ -321,7 +322,17 @@ impl ServerHost {
         }
         match payload {
             Payload::AppendEntries(ae) => {
-                c += self.cost.per_append_entry * ae.entries.len() as u32;
+                // Byte-based replication charge: a group-committed append
+                // carrying many coalesced proposals costs its payload, not
+                // a per-entry tax — the sim-side half of the group-commit
+                // payoff (the other half is fewer messages).
+                let bytes: usize = ae
+                    .entries
+                    .iter()
+                    .filter_map(|e| e.data.as_ref())
+                    .map(<Store as StateMachine>::command_bytes)
+                    .sum();
+                c += self.cost.append_cost(bytes);
             }
             Payload::InstallSnapshot(s) => {
                 // Size-aware serialization of the full state.

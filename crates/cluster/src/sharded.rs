@@ -58,6 +58,14 @@ pub struct ShardedConfig {
     pub follower_reads: bool,
     /// Shard clients spread reads over each shard's replicas.
     pub read_fanout: bool,
+    /// Max unacked appends in flight per follower (1 = ping-pong).
+    pub pipeline_window: usize,
+    /// Group-commit byte cap per leader.
+    pub max_batch_bytes: usize,
+    /// Group-commit latency cap per leader.
+    pub max_batch_delay: Duration,
+    /// Hard cap on entries carried by a single `AppendEntries`.
+    pub max_entries_per_append: usize,
     /// Cores per server.
     pub cores: usize,
     /// Utilization sampling window.
@@ -112,6 +120,10 @@ impl ShardedClusterSim {
                 rc.quantization = config.quantization;
                 rc.udp_heartbeats = config.udp_heartbeats;
                 rc.lease_reads = config.read_strategy == ReadStrategy::Lease;
+                rc.pipeline_window = config.pipeline_window;
+                rc.max_batch_bytes = config.max_batch_bytes;
+                rc.max_batch_delay = config.max_batch_delay;
+                rc.max_entries_per_append = config.max_entries_per_append;
                 // Seed per world id, so every (shard, replica) pair gets an
                 // independent stream and runs stay deterministic.
                 let mut stream = node_seed_root.child(map.server(shard, replica) as u64);

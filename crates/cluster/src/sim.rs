@@ -122,6 +122,16 @@ pub struct ClusterConfig {
     pub read_strategy: ReadStrategy,
     /// Followers answer forwarded reads locally (log-free strategies).
     pub follower_reads: bool,
+    /// Max unacked appends in flight per follower (1 = ping-pong).
+    pub pipeline_window: usize,
+    /// Group-commit byte cap: buffered proposals flush once this many
+    /// payload bytes accumulate.
+    pub max_batch_bytes: usize,
+    /// Group-commit latency cap: buffered proposals flush at most this
+    /// long after the first one arrives.
+    pub max_batch_delay: Duration,
+    /// Hard cap on entries carried by a single `AppendEntries`.
+    pub max_entries_per_append: usize,
     /// Cores per server (paper: 4 for Figs. 4–6, 2 for Fig. 7).
     pub cores: usize,
     /// Utilization sampling window (paper: 5 s).
@@ -157,6 +167,12 @@ impl ClusterConfig {
             compaction: CompactionPolicy::default(),
             read_strategy: ReadStrategy::default(),
             follower_reads: true,
+            // Replication defaults mirror `RaftConfig::new` (etcd-style
+            // pipelining on, generous batches).
+            pipeline_window: 4,
+            max_batch_bytes: 64 * 1024,
+            max_batch_delay: Duration::from_millis(1),
+            max_entries_per_append: 8192,
             cores: 4,
             cpu_window: Duration::from_secs(5),
             seed,
@@ -270,6 +286,10 @@ impl ClusterSim {
                 // The lease fast path only when the strategy asks for it;
                 // under ReadIndex every read pays a confirmation round.
                 rc.lease_reads = config.read_strategy == ReadStrategy::Lease;
+                rc.pipeline_window = config.pipeline_window;
+                rc.max_batch_bytes = config.max_batch_bytes;
+                rc.max_batch_delay = config.max_batch_delay;
+                rc.max_entries_per_append = config.max_entries_per_append;
                 let mut stream = node_seed_root.child(id as u64);
                 rc.seed = stream.next_u64();
                 ClusterHost::Server(Box::new(

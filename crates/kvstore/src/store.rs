@@ -62,6 +62,24 @@ impl KvCommand {
     pub fn is_read(&self) -> bool {
         matches!(self, KvCommand::Get { .. } | KvCommand::Range { .. })
     }
+
+    /// Approximate wire size of the command: key/value payload plus a
+    /// small per-command framing overhead. Feeds the leader's group-commit
+    /// byte accounting and the simulator's byte-based replication CPU
+    /// charge, so only relative accuracy matters.
+    #[must_use]
+    pub fn payload_bytes(&self) -> usize {
+        const FRAMING: usize = 16; // tag + lengths
+        let body = match self {
+            KvCommand::Put { key, value } => key.len() + value.len(),
+            KvCommand::Get { key } | KvCommand::Delete { key } => key.len(),
+            KvCommand::Range { start, end, .. } => start.len() + end.len(),
+            KvCommand::Cas { key, expect, value } => {
+                key.len() + expect.as_ref().map_or(0, Bytes::len) + value.len()
+            }
+        };
+        FRAMING + body
+    }
 }
 
 /// One stored value with etcd-style revision bookkeeping.
@@ -445,6 +463,11 @@ impl StateMachine for Store {
     type Command = KvRequest;
     type Response = KvResponse;
     type Snapshot = Store;
+
+    fn command_bytes(request: &KvRequest) -> usize {
+        const ORIGIN: usize = 16; // (client, req_id)
+        ORIGIN + request.cmd.payload_bytes()
+    }
 
     fn apply(&mut self, index: LogIndex, request: &KvRequest) -> KvResponse {
         match request.origin {

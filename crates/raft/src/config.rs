@@ -43,7 +43,26 @@ pub struct RaftConfig {
     pub udp_heartbeats: bool,
     /// Maximum entries per `AppendEntries` message.
     pub max_entries_per_append: usize,
-    /// Resend an unacknowledged `AppendEntries` after this long.
+    /// How many `AppendEntries` may be in flight to one follower at once
+    /// (etcd's pipelining). `1` restores the historical one-at-a-time
+    /// discipline, where per-follower throughput is capped at one append
+    /// batch per RTT; larger windows keep the pipe full across the RTT. An
+    /// in-flight `InstallSnapshot` always occupies the whole window.
+    pub pipeline_window: usize,
+    /// Group commit: flush the proposal batch to followers once this many
+    /// payload bytes have accumulated, even if `max_batch_delay` has not
+    /// elapsed yet.
+    pub max_batch_bytes: usize,
+    /// Group commit: proposals arriving while the replication pipe is busy
+    /// are coalesced for at most this long before the leader flushes them
+    /// into (up to) one `AppendEntries` per follower. A proposal hitting an
+    /// idle pipe is still sent immediately — the delay bounds batching
+    /// latency under load, it never adds latency to a lone write.
+    pub max_batch_delay: Duration,
+    /// Resend an unacknowledged `AppendEntries` after this long. With
+    /// pipelining the timer watches the *oldest* unacked send; expiry
+    /// abandons the whole optimistic pipeline and falls back to a probe at
+    /// `match_index + 1`.
     pub append_resend: Duration,
     /// Resend an unacknowledged `InstallSnapshot` after this long. Paced
     /// slower than appends: a snapshot is a bulk transfer, and re-streaming
@@ -103,10 +122,13 @@ impl RaftConfig {
             quantization: TimerQuantization::Tick,
             udp_heartbeats: true,
             // etcd's default message budget (~1 MB) holds thousands of small
-            // entries; with one append in flight per follower, throughput is
-            // bounded by batch/RTT, so the batch must comfortably exceed
-            // peak-rate × RTT (≈ 14k req/s × 100 ms ≈ 1400 entries).
+            // entries; even with the pipeline window at 1, a single append
+            // batch must comfortably exceed peak-rate × RTT
+            // (≈ 14k req/s × 100 ms ≈ 1400 entries).
             max_entries_per_append: 8192,
+            pipeline_window: 4,
+            max_batch_bytes: 64 * 1024,
+            max_batch_delay: Duration::from_millis(1),
             append_resend: Duration::from_millis(200),
             snapshot_resend: Duration::from_millis(1000),
             suppress_heartbeats_when_replicating: false,
@@ -135,7 +157,13 @@ impl RaftConfig {
         );
         assert!(!self.peers.is_empty(), "empty cluster");
         assert!(self.max_entries_per_append > 0, "zero append batch size");
+        assert!(self.pipeline_window > 0, "zero pipeline window");
+        assert!(self.max_batch_bytes > 0, "zero group-commit byte cap");
         assert!(self.append_resend > Duration::ZERO, "zero resend timeout");
+        assert!(
+            self.max_batch_delay < self.append_resend,
+            "group-commit delay must flush well before loss recovery kicks in"
+        );
         assert!(
             self.snapshot_resend >= self.append_resend,
             "snapshot resend must not be paced faster than appends"
@@ -168,6 +196,25 @@ mod tests {
         assert!(c.pre_vote);
         assert!(c.check_quorum);
         assert_eq!(c.quantization, TimerQuantization::Tick);
+        c.validate();
+    }
+
+    #[test]
+    fn replication_defaults_are_pipelined() {
+        let c = RaftConfig::new(0, 3, TuningConfig::dynatune());
+        assert!(c.pipeline_window >= 4, "pipelining on by default");
+        assert!(
+            c.max_batch_delay < c.append_resend,
+            "group commit must flush before loss recovery"
+        );
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "zero pipeline window")]
+    fn zero_pipeline_window_panics() {
+        let mut c = RaftConfig::new(0, 3, TuningConfig::dynatune());
+        c.pipeline_window = 0;
         c.validate();
     }
 

@@ -40,7 +40,7 @@ pub use message::{
     RequestVote, RequestVoteResp,
 };
 pub use node::{NodeEffects, NodePayload, NotLeader, RaftNode};
-pub use progress::Progress;
+pub use progress::{InflightSend, Progress};
 pub use state_machine::{
     Applied, Effects, NullStateMachine, ReadGrant, ReadPath, Snapshot, StateMachine,
 };

@@ -158,6 +158,15 @@ pub struct RaftNode<SM: StateMachine> {
     progress: BTreeMap<NodeId, Progress>,
     pacers: BTreeMap<NodeId, LeaderPacer>,
     lease_check_at: SimTime,
+    /// Group commit: payload bytes proposed since the last flush. Proposals
+    /// that could not ship immediately (every pipe busy) accumulate here
+    /// until `max_batch_bytes` worth arrived or `batch_deadline` fires.
+    batch_bytes: usize,
+    /// When the pending proposal batch must be flushed to followers at the
+    /// latest (`propose instant + max_batch_delay`). Participates in
+    /// `next_wake` — a buffered batch with no armed deadline would be the
+    /// write-path variant of the silent replication stall.
+    batch_deadline: Option<SimTime>,
     reads: ReadState,
     rng: Rng,
 }
@@ -193,6 +202,8 @@ impl<SM: StateMachine> RaftNode<SM> {
             progress: BTreeMap::new(),
             pacers: BTreeMap::new(),
             lease_check_at: SimTime::MAX,
+            batch_bytes: 0,
+            batch_deadline: None,
             reads: ReadState::default(),
             rng,
             config,
@@ -306,7 +317,7 @@ impl<SM: StateMachine> RaftNode<SM> {
         self.tuner.expected_heartbeat_interval()
     }
 
-    /// Resend timeout for this follower's in-flight transfer: bulky
+    /// Resend timeout for this follower's oldest in-flight transfer: bulky
     /// snapshot installs get the slower pacing.
     fn resend_after(&self, p: &Progress) -> Duration {
         if p.pending_snapshot.is_some() {
@@ -341,11 +352,16 @@ impl<SM: StateMachine> RaftNode<SM> {
             Role::Follower | Role::PreCandidate | Role::Candidate => Some(self.election_deadline()),
             Role::Leader => {
                 let mut earliest = self.lease_check_at;
+                if let Some(deadline) = self.batch_deadline {
+                    earliest = earliest.min(deadline);
+                }
                 for (&peer, pacer) in &self.pacers {
                     earliest = earliest.min(SimTime::from_nanos(pacer.next_send_nanos()));
                     if let Some(p) = self.progress.get(&peer) {
-                        if p.inflight {
-                            earliest = earliest.min(p.sent_at + self.resend_after(p));
+                        // The resend timer watches the oldest unacked send;
+                        // younger pipeline slots ride on its recovery.
+                        if let Some(oldest) = p.oldest_sent_at() {
+                            earliest = earliest.min(oldest + self.resend_after(p));
                         }
                     }
                 }
@@ -461,7 +477,7 @@ impl<SM: StateMachine> RaftNode<SM> {
             let suppress = self.config.suppress_heartbeats_when_replicating
                 && self.progress.get(&peer).is_some_and(|p| {
                     let interval = self.pacers[&peer].interval();
-                    p.sent_at + interval > now && p.sent_at > SimTime::ZERO
+                    p.last_send_at + interval > now && p.last_send_at > SimTime::ZERO
                 });
             if let Some(pacer) = self.pacers.get_mut(&peer) {
                 let meta = if suppress {
@@ -489,18 +505,26 @@ impl<SM: StateMachine> RaftNode<SM> {
                 }
             }
         }
+        // Group commit: flush the buffered proposal batch once its delay
+        // cap expires (the byte cap flushes from `propose` directly).
+        if self.batch_deadline.is_some_and(|deadline| now >= deadline) {
+            self.flush_batch(now, fx);
+        }
         // Replication resends for stuck followers (snapshot transfers are
-        // paced on their own, slower timer).
+        // paced on their own, slower timer). The timer fires off the
+        // *oldest* unacked send: losing it means every younger pipeline
+        // slot behind it is unverifiable, so the whole optimistic window
+        // is abandoned and replication falls back to proven ground.
         for &peer in &peers {
             let resend = {
                 let p = &self.progress[&peer];
-                p.inflight && now >= p.sent_at + self.resend_after(p)
+                p.oldest_sent_at()
+                    .is_some_and(|oldest| now >= oldest + self.resend_after(p))
             };
             if resend {
                 if let Some(p) = self.progress.get_mut(&peer) {
-                    // Fall back to proven ground and probe again.
+                    p.inflight.clear();
                     p.next_index = p.match_index + 1;
-                    p.inflight = false;
                     p.pending_snapshot = None;
                 }
                 self.send_append(now, peer, fx);
@@ -547,6 +571,8 @@ impl<SM: StateMachine> RaftNode<SM> {
         self.progress.clear();
         self.pacers.clear();
         self.lease_check_at = SimTime::MAX;
+        self.batch_bytes = 0;
+        self.batch_deadline = None;
         if !self.reads.is_empty() {
             // Queued log-free reads can never be confirmed by an ex-leader;
             // surface them so the host redirects their clients.
@@ -651,6 +677,8 @@ impl<SM: StateMachine> RaftNode<SM> {
                 .insert(peer, LeaderPacer::new(self.config.tuning, now.as_nanos()));
         }
         self.lease_check_at = now + self.config.tuning.default_election_timeout;
+        self.batch_bytes = 0;
+        self.batch_deadline = None;
         // Commit entries from prior terms via a no-op (etcd convention).
         self.log.append_new(self.term, None);
         let peers: Vec<NodeId> = self.progress.keys().copied().collect();
@@ -665,8 +693,16 @@ impl<SM: StateMachine> RaftNode<SM> {
     // ------------------------------------------------------------------
 
     /// Propose a command. On the leader this appends to the log, starts
-    /// replication, and returns the assigned `(term, index)`; otherwise
-    /// returns a redirect hint.
+    /// (or schedules) replication, and returns the assigned `(term, index)`;
+    /// otherwise returns a redirect hint.
+    ///
+    /// Replication is group-committed: a proposal hitting an *idle* pipe
+    /// (no append in flight to that follower) ships immediately, so a lone
+    /// write pays no batching latency. While the pipe is busy, proposals
+    /// coalesce and flush as one append per follower when either
+    /// `max_batch_bytes` worth accumulated or `max_batch_delay` elapsed —
+    /// whichever comes first — bounding the per-entry message overhead
+    /// under load instead of sending every client batch on its own.
     pub fn propose(
         &mut self,
         now: SimTime,
@@ -681,15 +717,29 @@ impl<SM: StateMachine> RaftNode<SM> {
                 fx,
             );
         }
+        let bytes = SM::command_bytes(&command);
         let index = self.log.append_new(self.term, Some(command));
+        self.batch_bytes += bytes;
         let peers: Vec<NodeId> = self.progress.keys().copied().collect();
         for peer in peers {
-            if !self.progress[&peer].inflight {
+            if self.progress[&peer].inflight.is_empty() {
                 self.send_append(now, peer, &mut fx);
             }
         }
+        if self.batch_bytes >= self.config.max_batch_bytes {
+            self.flush_batch(now, &mut fx);
+        } else if self.batch_deadline.is_none() && self.has_unsent_entries() {
+            self.batch_deadline = Some(now + self.config.max_batch_delay);
+        }
         self.try_advance_commit(now, &mut fx); // single-node commits instantly
         (Ok((self.term, index)), fx)
+    }
+
+    /// Whether any follower still has unsent log entries (the condition
+    /// under which a buffered batch needs a flush deadline armed).
+    fn has_unsent_entries(&self) -> bool {
+        let last = self.log.last_index();
+        self.progress.values().any(|p| p.has_pending(last))
     }
 
     // ------------------------------------------------------------------
@@ -846,19 +896,20 @@ impl<SM: StateMachine> RaftNode<SM> {
 
     /// Make sure every follower has confirmation traffic on the wire for
     /// the newest pending read round. Confirmation rides on ordinary
-    /// `AppendEntries` (possibly empty) so the one-in-flight discipline and
-    /// the `append_resend` recovery timer apply unchanged: a peer with an
-    /// append already in flight is nudged again from `on_append_resp` once
-    /// that ack returns (the in-flight append left before the round opened,
-    /// so its echo cannot confirm it).
+    /// `AppendEntries` (possibly empty) so the pipeline-window discipline
+    /// and the `append_resend` recovery timer apply unchanged: a peer whose
+    /// window is full is nudged again from `on_append_resp` once an ack
+    /// frees a slot (every send already in flight left before the round
+    /// opened, so their echoes cannot confirm it).
     fn nudge_read_confirmation(&mut self, now: SimTime, fx: &mut NodeEffects<SM>) {
         let Some(newest) = self.reads.pending_confirm.back().map(|r| r.seq) else {
             return;
         };
+        let window = self.config.pipeline_window;
         let peers: Vec<NodeId> = self.progress.keys().copied().collect();
         for peer in peers {
             let p = &self.progress[&peer];
-            if p.acked_read_seq < newest && !p.inflight {
+            if p.acked_read_seq < newest && p.window_free(window) {
                 self.send_append(now, peer, fx);
             }
         }
@@ -908,16 +959,30 @@ impl<SM: StateMachine> RaftNode<SM> {
     // Replication plumbing (leader)
     // ------------------------------------------------------------------
 
+    /// Send one `AppendEntries` (or the `InstallSnapshot` standing in for
+    /// it) to `to`, occupying one pipeline-window slot.
+    ///
+    /// Early-return audit (the silent-stall hazard class): every exit that
+    /// sends nothing also reserves nothing, and is reachable only from a
+    /// state where another wake-up is already armed —
+    /// * unknown peer: no progress entry exists, so no slot was reserved;
+    /// * window full: the window holds in-flight sends, so the oldest of
+    ///   them has the `append_resend`/`snapshot_resend` timer armed via
+    ///   `next_wake`, and its ack (or resend) re-drives replication.
     fn send_append(&mut self, now: SimTime, to: NodeId, fx: &mut NodeEffects<SM>) {
+        let window = self.config.pipeline_window;
         let Some(p) = self.progress.get_mut(&to) else {
             return;
         };
+        if !p.window_free(window) {
+            return;
+        }
         let prev = p.next_index - 1;
         let Some(prev_term) = self.log.term_at(prev) else {
             // prev was compacted away: log replication can never catch this
             // follower up (the entries it needs no longer exist). Stream the
-            // full applied state instead. The old code returned silently
-            // here, which left `inflight == false` with no retry path — a
+            // full applied state instead. Pre-PR-4 code returned silently
+            // here, which left the window empty with no retry path — a
             // permanent replication stall once conflict backoff pushed
             // next_index below first_index.
             self.send_snapshot(now, to, fx);
@@ -926,8 +991,8 @@ impl<SM: StateMachine> RaftNode<SM> {
         let entries = self
             .log
             .entries_from(p.next_index, self.config.max_entries_per_append);
-        p.inflight = true;
-        p.sent_at = now;
+        let last = prev + entries.len() as u64;
+        p.record_send(now, prev, last);
         let msg = AppendEntries {
             term: self.term,
             leader: self.config.id,
@@ -954,6 +1019,11 @@ impl<SM: StateMachine> RaftNode<SM> {
     /// the leader holds in memory), which is always at or above the log
     /// base, so the follower lands inside the retained log and ordinary
     /// appends take over from there.
+    ///
+    /// A snapshot transfer occupies the *whole* pipeline window: appends
+    /// optimistically queued behind it would anchor below the follower's
+    /// (future) restored log base and bounce anyway, so any such sends are
+    /// dropped here and the window stays closed until the install acks.
     fn send_snapshot(&mut self, now: SimTime, to: NodeId, fx: &mut NodeEffects<SM>) {
         let last_included_index = self.last_applied;
         let last_included_term = self
@@ -964,8 +1034,8 @@ impl<SM: StateMachine> RaftNode<SM> {
         let Some(p) = self.progress.get_mut(&to) else {
             return;
         };
-        p.inflight = true;
-        p.sent_at = now;
+        p.inflight.clear();
+        p.record_send(now, last_included_index, last_included_index);
         p.pending_snapshot = Some(last_included_index);
         self.snapshots_sent += 1;
         fx.events.push(RaftEvent::SnapshotSent {
@@ -985,6 +1055,44 @@ impl<SM: StateMachine> RaftNode<SM> {
             channel,
             payload,
         });
+    }
+
+    /// Keep sending appends to `to` until its pipeline window is full or
+    /// nothing unsent remains. Each send advances `next_index`
+    /// optimistically, so successive iterations carry consecutive slices of
+    /// the log — the pipelining that keeps a long-RTT pipe full.
+    fn fill_window(&mut self, now: SimTime, to: NodeId, fx: &mut NodeEffects<SM>) {
+        let window = self.config.pipeline_window;
+        loop {
+            let Some(p) = self.progress.get(&to) else {
+                return;
+            };
+            if !(p.window_free(window) && p.has_pending(self.log.last_index())) {
+                return;
+            }
+            let before = p.next_index;
+            self.send_append(now, to, fx);
+            let Some(p) = self.progress.get(&to) else {
+                return;
+            };
+            // A send always either advances next_index (entries went out)
+            // or converts to a snapshot transfer (window now closed); bail
+            // defensively if neither happened rather than spin.
+            if p.next_index == before && p.pending_snapshot.is_none() {
+                return;
+            }
+        }
+    }
+
+    /// Group-commit flush: push every buffered proposal onto the wire,
+    /// filling each follower's free window slots.
+    fn flush_batch(&mut self, now: SimTime, fx: &mut NodeEffects<SM>) {
+        self.batch_bytes = 0;
+        self.batch_deadline = None;
+        let peers: Vec<NodeId> = self.progress.keys().copied().collect();
+        for peer in peers {
+            self.fill_window(now, peer, fx);
+        }
     }
 
     fn try_advance_commit(&mut self, now: SimTime, fx: &mut NodeEffects<SM>) {
@@ -1367,20 +1475,22 @@ impl<SM: StateMachine> RaftNode<SM> {
         if resp.success {
             p.on_success(resp.match_or_hint);
             self.try_advance_commit(now, fx);
-            let more = self.progress[&from].has_pending(self.log.last_index());
-            if more {
-                self.send_append(now, from, fx);
-            }
+            // The ack freed window slots; refill them with anything unsent.
+            self.fill_window(now, from, fx);
         } else {
             p.on_conflict(resp.match_or_hint);
+            // Probe at the hinted position. Sends probing at or below the
+            // hint survived the suffix cancellation and stay in flight;
+            // `send_append` declines if they already fill the window (their
+            // own acks — or the resend timer — then drive recovery).
             self.send_append(now, from, fx);
         }
         self.advance_read_confirmations(fx);
         // Keep confirmation traffic flowing: if this peer still owes an
-        // echo for the newest read round and went idle, nudge it.
+        // echo for the newest read round and has window capacity, nudge it.
         if let Some(newest) = self.reads.pending_confirm.back().map(|r| r.seq) {
             let p = &self.progress[&from];
-            if p.acked_read_seq < newest && !p.inflight {
+            if p.acked_read_seq < newest && p.window_free(self.config.pipeline_window) {
                 self.send_append(now, from, fx);
             }
         }
@@ -1490,6 +1600,8 @@ impl<SM: StateMachine> RaftNode<SM> {
         self.progress.clear();
         self.pacers.clear();
         self.lease_check_at = SimTime::MAX;
+        self.batch_bytes = 0;
+        self.batch_deadline = None;
         self.reads = ReadState::default();
         self.tuner.reset();
         self.reset_election_timer(now, true);
@@ -2374,9 +2486,9 @@ mod tests {
     /// is compacted (it compacted to `last_applied` as a follower, then won
     /// an election) gets a conflict hint from a lagging peer that lands
     /// below `first_index()`. Pre-fix, `send_append` returned silently with
-    /// `inflight == false`, so neither the response path nor the resend
-    /// timer ever retried — the peer was stuck forever. Post-fix the leader
-    /// streams an `InstallSnapshot`.
+    /// an empty in-flight window, so neither the response path nor the
+    /// resend timer ever retried — the peer was stuck forever. Post-fix the
+    /// leader streams an `InstallSnapshot`.
     #[test]
     fn conflict_below_compaction_horizon_triggers_snapshot_not_stall() {
         let mut leader = node(0, 3);
@@ -2934,5 +3046,261 @@ mod tests {
         let d2 = n2.election_deadline();
         // Continuous deadline equals reset + rto exactly (same seed, same factor).
         assert_eq!(d2, ms(40) + n2.randomized_timeout());
+    }
+
+    // ------------------------------------------------------------------
+    // Pipelined replication + group commit
+    // ------------------------------------------------------------------
+
+    /// Leader of 3 with a custom pipeline window, its no-op acked by both
+    /// followers (pipes idle), at `t = 3000 ms`.
+    fn leader3_with_window(window: usize) -> (Node, SimTime) {
+        let mut config = RaftConfig::new(0, 3, TuningConfig::raft_default());
+        config.pipeline_window = window;
+        let mut n = RaftNode::new(config, NullStateMachine::default(), SimTime::ZERO);
+        let _ = elect(&mut n, SimTime::ZERO);
+        let t = ms(3000);
+        let last = n.log().last_index();
+        for peer in [1, 2] {
+            let _ = n.step(
+                t,
+                peer,
+                Payload::AppendResp(AppendResp {
+                    term: n.term(),
+                    success: true,
+                    match_or_hint: last,
+                    read_ctx: None,
+                }),
+            );
+        }
+        assert_eq!(n.commit_index(), last);
+        (n, t)
+    }
+
+    /// The `AppendEntries` messages in `fx` addressed to `to`.
+    fn appends_to(fx: &NodeEffects<NullStateMachine>, to: NodeId) -> Vec<&AppendEntries<u64>> {
+        fx.messages
+            .iter()
+            .filter(|m| m.to == to)
+            .filter_map(|m| match &m.payload {
+                Payload::AppendEntries(ae) => Some(ae),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn pipelined_flush_sends_behind_an_unacked_append() {
+        let (mut n, t) = leader3_with_window(4);
+        // Idle pipe: a lone proposal ships immediately (no batching tax).
+        let (_, fx) = n.propose(t, 10);
+        assert_eq!(appends_to(&fx, 1).len(), 1);
+        // Pipe busy: subsequent proposals buffer for group commit.
+        let (_, fx) = n.propose(t, 11);
+        assert!(appends_to(&fx, 1).is_empty(), "buffered while busy");
+        let (_, fx) = n.propose(t, 12);
+        assert!(appends_to(&fx, 1).is_empty());
+        // Silent-stall audit: the flush deadline is armed in next_wake.
+        let deadline = t + n.config().max_batch_delay;
+        assert!(n.next_wake().unwrap() <= deadline);
+        // The deadline flush pipelines a second append behind the unacked
+        // first, coalescing both buffered proposals into one message.
+        let fx = n.tick(deadline);
+        let sent = appends_to(&fx, 1);
+        assert_eq!(sent.len(), 1, "one group-committed append");
+        assert_eq!(sent[0].entries.len(), 2, "both proposals coalesced");
+        assert_eq!(sent[0].prev_log_index, n.log().last_index() - 2);
+    }
+
+    #[test]
+    fn byte_cap_flushes_before_the_delay_expires() {
+        let mut config = RaftConfig::new(0, 3, TuningConfig::raft_default());
+        // NullStateMachine charges 16 bytes per command: the third buffered
+        // proposal crosses the cap.
+        config.max_batch_bytes = 48;
+        let mut n = RaftNode::new(config, NullStateMachine::default(), SimTime::ZERO);
+        let _ = elect(&mut n, SimTime::ZERO);
+        let t = ms(3000);
+        // Pipes are busy with the unacked no-op: everything buffers.
+        let (_, fx) = n.propose(t, 10);
+        assert!(appends_to(&fx, 1).is_empty());
+        let (_, fx) = n.propose(t, 11);
+        assert!(appends_to(&fx, 1).is_empty());
+        let (_, fx) = n.propose(t, 12);
+        let sent = appends_to(&fx, 1);
+        assert_eq!(sent.len(), 1, "byte cap reached: flushed without a tick");
+        assert_eq!(sent[0].entries.len(), 3);
+    }
+
+    #[test]
+    fn out_of_order_ack_retires_the_prefix_and_commits() {
+        let (mut n, t) = leader3_with_window(4);
+        let _ = n.propose(t, 10);
+        let _ = n.propose(t, 11);
+        let _ = n.tick(t + n.config().max_batch_delay); // 2 appends in flight
+        let last = n.log().last_index();
+        // Only the *younger* append's ack arrives (the older response is
+        // reordered behind it): log matching proves the whole prefix, so
+        // match advances to the full log and the entries commit.
+        let t1 = t + Duration::from_millis(50);
+        let fx = n.step(
+            t1,
+            1,
+            Payload::AppendResp(AppendResp {
+                term: n.term(),
+                success: true,
+                match_or_hint: last,
+                read_ctx: None,
+            }),
+        );
+        assert_eq!(n.commit_index(), last);
+        assert!(!fx.applied.is_empty());
+        // The straggling older ack is a pure no-op: no regress, no resend.
+        let fx = n.step(
+            t1 + Duration::from_millis(1),
+            1,
+            Payload::AppendResp(AppendResp {
+                term: n.term(),
+                success: true,
+                match_or_hint: last - 1,
+                read_ctx: None,
+            }),
+        );
+        assert_eq!(n.commit_index(), last);
+        assert!(appends_to(&fx, 1).is_empty(), "nothing left to send");
+    }
+
+    #[test]
+    fn resend_fires_on_the_oldest_unacked_send_and_reprobes_once() {
+        let (mut n, t) = leader3_with_window(4);
+        let _ = n.propose(t, 10);
+        let _ = n.propose(t, 11);
+        let _ = n.tick(t + n.config().max_batch_delay);
+        // Nothing acked: recovery must be anchored at the *oldest* send.
+        let resend_at = t + n.config().append_resend;
+        assert!(n.next_wake().unwrap() <= resend_at);
+        let fx = n.tick(resend_at);
+        let sent = appends_to(&fx, 1);
+        assert_eq!(sent.len(), 1, "one probe, not one resend per window slot");
+        // The probe abandons the optimistic pipeline: back to proven ground
+        // (the acked no-op at index 1), re-carrying everything unproven.
+        assert_eq!(sent[0].prev_log_index, 1);
+        assert_eq!(sent[0].entries.len(), 2);
+    }
+
+    #[test]
+    fn full_window_defers_to_ack_driven_refill_without_stalling() {
+        let (mut n, t) = leader3_with_window(1);
+        let _ = n.propose(t, 10); // occupies the single slot
+        let (_, fx) = n.propose(t, 11);
+        assert!(appends_to(&fx, 1).is_empty());
+        // The deadline flush finds the window full and sends nothing...
+        let fx = n.tick(t + n.config().max_batch_delay);
+        assert!(appends_to(&fx, 1).is_empty(), "window full");
+        // ...but a wake-up stays armed (the resend timer) — no silent stall.
+        assert!(n.next_wake().unwrap() <= t + n.config().append_resend);
+        // The ack frees the slot and pulls the buffered entry immediately.
+        let first_last = n.log().last_index() - 1;
+        let fx = n.step(
+            t + Duration::from_millis(20),
+            1,
+            Payload::AppendResp(AppendResp {
+                term: n.term(),
+                success: true,
+                match_or_hint: first_last,
+                read_ctx: None,
+            }),
+        );
+        let sent = appends_to(&fx, 1);
+        assert_eq!(sent.len(), 1);
+        assert_eq!(sent[0].entries.len(), 1);
+    }
+
+    #[test]
+    fn read_nudge_defers_until_a_window_slot_frees() {
+        let (mut n, t) = leader3_with_window(1);
+        let _ = n.propose(t, 10); // both followers' single slots now busy
+                                  // Cold lease (no heartbeat acks yet): the read needs a ReadIndex
+                                  // confirmation round, whose nudge finds every window full.
+        let (res, fx) = n.request_read(t, 99, true);
+        res.unwrap();
+        assert!(fx.reads.is_empty(), "not confirmable yet");
+        assert!(appends_to(&fx, 1).is_empty(), "window full: nudge deferred");
+        assert!(appends_to(&fx, 2).is_empty());
+        // The append ack frees the slot; the tail nudge ships the token.
+        let last = n.log().last_index();
+        let fx = n.step(
+            t + Duration::from_millis(20),
+            1,
+            Payload::AppendResp(AppendResp {
+                term: n.term(),
+                success: true,
+                match_or_hint: last,
+                read_ctx: None,
+            }),
+        );
+        let sent = appends_to(&fx, 1);
+        assert!(
+            sent.iter().any(|ae| ae.read_ctx.is_some()),
+            "freed slot carries the confirmation token"
+        );
+        // The follower's echo confirms the round and grants the read.
+        let fx = n.step(
+            t + Duration::from_millis(40),
+            1,
+            Payload::AppendResp(AppendResp {
+                term: n.term(),
+                success: true,
+                match_or_hint: last,
+                read_ctx: Some(1),
+            }),
+        );
+        assert!(fx.reads.iter().any(|g| g.id == 99));
+    }
+
+    #[test]
+    fn snapshot_transfer_occupies_the_whole_window() {
+        let mut leader = node(0, 3);
+        let last = leader_with_committed(&mut leader, 5);
+        leader.compact_log(last);
+        let t = ms(3100);
+        // Conflict below the horizon converts to a snapshot stream.
+        let _ = leader.step(
+            t,
+            2,
+            Payload::AppendResp(AppendResp {
+                term: leader.term(),
+                success: false,
+                match_or_hint: 0,
+                read_ctx: None,
+            }),
+        );
+        assert_eq!(leader.snapshots_sent(), 1);
+        // New proposals must not pipeline appends behind the transfer:
+        // they would anchor below the follower's future restored log base
+        // and bounce anyway.
+        let (_, fx) = leader.propose(t, 99);
+        assert!(
+            appends_to(&fx, 2).is_empty(),
+            "no appends behind a snapshot"
+        );
+        let fx = leader.tick(t + leader.config().max_batch_delay);
+        assert!(appends_to(&fx, 2).is_empty());
+        assert_eq!(leader.snapshots_sent(), 1, "flush must not re-stream");
+        // The install ack reopens the window; ordinary appends take over.
+        let fx = leader.step(
+            t + Duration::from_millis(60),
+            2,
+            Payload::AppendResp(AppendResp {
+                term: leader.term(),
+                success: true,
+                match_or_hint: last,
+                read_ctx: None,
+            }),
+        );
+        let sent = appends_to(&fx, 2);
+        assert_eq!(sent.len(), 1);
+        assert_eq!(sent[0].prev_log_index, last);
+        assert_eq!(sent[0].entries.len(), 1, "the buffered proposal follows");
     }
 }

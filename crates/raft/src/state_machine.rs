@@ -22,6 +22,16 @@ pub trait StateMachine {
     /// Apply a committed command at `index`.
     fn apply(&mut self, index: LogIndex, command: &Self::Command) -> Self::Response;
 
+    /// Approximate serialized size of `command` in bytes, used by the
+    /// leader's group-commit accounting (`max_batch_bytes`) and by the
+    /// simulator's byte-based CPU charging for replication traffic. Only
+    /// relative accuracy matters; the default charges a flat word-ish cost
+    /// for state machines that never override it.
+    #[must_use]
+    fn command_bytes(_command: &Self::Command) -> usize {
+        16
+    }
+
     /// Capture the full applied state (everything up to the last applied
     /// entry). Must be deterministic: equal applied sequences produce
     /// snapshots that [`StateMachine::restore`] to equal states.

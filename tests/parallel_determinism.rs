@@ -94,6 +94,20 @@ fn read_path_reports_identical_serial_vs_parallel() {
 }
 
 #[test]
+fn pipeline_depth_report_identical_serial_vs_parallel() {
+    // The window x RTT sweep fans all twelve cells out at once; the
+    // committed-op counts and both ratio headlines must be bit-identical
+    // at any pool width.
+    let serial = report_with_jobs(&catalog::PipelineDepth, 1);
+    let parallel = report_with_jobs(&catalog::PipelineDepth, 4);
+    assert_eq!(
+        serial, parallel,
+        "pipeline_depth: --jobs must not change the report"
+    );
+    assert!(!serial.tables.is_empty() && !serial.headlines.is_empty());
+}
+
+#[test]
 fn failover_trials_identical_across_pool_widths() {
     let cluster = ClusterConfig::stable(
         5,
