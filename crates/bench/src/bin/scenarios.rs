@@ -1,9 +1,10 @@
 //! The registry-driven scenario runner.
 //!
 //! ```text
-//! scenarios --list                 # what's registered
+//! scenarios --list                 # what's registered (+ headline, CI assertion)
 //! scenarios --quick                # smoke-run every scenario
-//! scenarios --only fig4,fig8      # a subset
+//! scenarios --only fig4,fig8      # a subset, by exact name
+//! scenarios --only broker          # ... or by substring/prefix
 //! scenarios --jobs 4               # cap trial fan-out (results identical)
 //! ```
 //!
@@ -14,7 +15,7 @@
 //! `BENCH_scenarios.json` (per-scenario wall time and headline metrics)
 //! that CI uploads so the perf trajectory accumulates across commits.
 
-use dynatune_bench::{bench_json, run_and_emit, BenchEntry, RunArgs};
+use dynatune_bench::{bench_json, run_and_emit, select_names, BenchEntry, RunArgs};
 use dynatune_cluster::scenario::{catalog_markdown, registry};
 use dynatune_stats::table::Table;
 use std::time::Instant;
@@ -31,30 +32,34 @@ fn main() {
     }
 
     if args.list {
-        let mut t = Table::new(["name", "description"]);
+        let mut t = Table::new(["name", "description", "headline metric", "CI assertion"]);
         for e in &all {
-            t.row([e.name().to_string(), e.describe().to_string()]);
+            t.row([
+                e.name().to_string(),
+                e.describe().to_string(),
+                e.headline_metric().to_string(),
+                e.ci_assertion().to_string(),
+            ]);
         }
         print!("{}", t.render());
         return;
     }
 
-    // Validate the selection before running anything: a typo'd name is a
-    // user error, reported up front with the available names.
-    for name in &args.only {
-        if !all.iter().any(|e| e.name() == name) {
-            eprintln!("error: unknown scenario {name:?}");
-            eprintln!(
-                "registered: {}",
-                all.iter().map(|e| e.name()).collect::<Vec<_>>().join(", ")
-            );
+    // Resolve the selection before running anything: a pattern that
+    // matches nothing is a user error, reported up front with the
+    // available names.
+    let names: Vec<&str> = all.iter().map(|e| e.name()).collect();
+    let wanted = match select_names(&names, &args.only) {
+        Ok(wanted) => wanted,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("registered: {}", names.join(", "));
             std::process::exit(2);
         }
-    }
-
+    };
     let selected: Vec<_> = all
         .iter()
-        .filter(|e| args.only.is_empty() || args.only.iter().any(|n| n == e.name()))
+        .filter(|e| args.only.is_empty() || wanted.iter().any(|n| n == e.name()))
         .collect();
     println!(
         "running {} scenario(s){}{}\n",

@@ -12,7 +12,10 @@
 //! * `--seed N` — master seed (default 42).
 //!
 //! The `scenarios` binary additionally accepts `--list` (print the
-//! registry) and `--only NAME[,NAME...]` (run a subset).
+//! registry with each scenario's headline metric and CI assertion) and
+//! `--only PAT[,PAT...]` (run a subset). Each pattern selects by exact
+//! name first, else by substring — `--only broker` runs every scenario
+//! with "broker" in its name, `--only fig` every paper figure.
 //!
 //! Output convention: a human-readable "paper vs measured" report on
 //! stdout plus machine-readable CSVs under the output directory.
@@ -67,7 +70,9 @@ impl Default for RunArgs {
 
 /// The usage string printed on `--help` and on parse errors.
 pub const USAGE: &str = "usage: [--quick] [--trials N] [--repeats N] [--jobs N] [--out DIR] \
-[--seed N] [--list] [--describe-md] [--only NAME[,NAME...]]";
+[--seed N] [--list] [--describe-md] [--only PAT[,PAT...]]
+  --only selects by exact scenario name, else by substring (\"broker\"
+  runs every broker_* scenario); unknown patterns are an error";
 
 impl RunArgs {
     /// Parse from `std::env::args`. On bad input, prints the error and
@@ -166,6 +171,39 @@ fn number<T: std::str::FromStr>(
     value
         .parse()
         .map_err(|_| format!("{flag} needs a number, got {value:?}"))
+}
+
+/// Resolve `--only` patterns against the registry's scenario names.
+///
+/// Each pattern selects by **exact name** when one matches (so a full
+/// name never accidentally drags in scenarios it is a substring of),
+/// else by **substring** — which subsumes prefix matching, so
+/// `--only broker` selects every `broker_*` scenario. The result keeps
+/// registry order with duplicates collapsed.
+///
+/// # Errors
+/// Returns a message naming the first pattern that selects nothing.
+pub fn select_names(all: &[&str], patterns: &[String]) -> Result<Vec<String>, String> {
+    let mut selected: Vec<&str> = Vec::new();
+    for pattern in patterns {
+        let matched: Vec<&str> = if all.contains(&pattern.as_str()) {
+            vec![pattern.as_str()]
+        } else {
+            all.iter()
+                .copied()
+                .filter(|name| name.contains(pattern.as_str()))
+                .collect()
+        };
+        if matched.is_empty() {
+            return Err(format!("no scenario matches {pattern:?}"));
+        }
+        selected.extend(matched);
+    }
+    Ok(all
+        .iter()
+        .filter(|name| selected.contains(name))
+        .map(ToString::to_string)
+        .collect())
 }
 
 /// Write a CSV file under the output directory, creating it if needed.
@@ -410,6 +448,31 @@ mod tests {
         assert!(json.contains("\"total_wall_s\": 0.000"));
         assert!(json.contains("\"scenarios\": ["));
         assert!(json.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn only_patterns_match_exact_then_substring() {
+        let all = ["fig4", "fig4_geo", "broker_produce", "consumer_lag"];
+        let s = |words: &[&str]| words.iter().map(ToString::to_string).collect::<Vec<_>>();
+        // Exact name wins: it does not drag in names it is a substring of.
+        assert_eq!(select_names(&all, &s(&["fig4"])).unwrap(), vec!["fig4"]);
+        // Substring (and thus prefix) selects every containing name.
+        assert_eq!(
+            select_names(&all, &s(&["fig"])).unwrap(),
+            vec!["fig4", "fig4_geo"]
+        );
+        assert_eq!(
+            select_names(&all, &s(&["broker"])).unwrap(),
+            vec!["broker_produce"]
+        );
+        // Union keeps registry order, deduplicated.
+        assert_eq!(
+            select_names(&all, &s(&["consumer", "fig", "fig4"])).unwrap(),
+            vec!["fig4", "fig4_geo", "consumer_lag"]
+        );
+        // A pattern that selects nothing is an error naming the pattern.
+        let err = select_names(&all, &s(&["fig9"])).unwrap_err();
+        assert!(err.contains("fig9"));
     }
 
     #[test]

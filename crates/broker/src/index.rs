@@ -1,0 +1,131 @@
+//! Sparse offset index: offset → in-segment position hints.
+//!
+//! A segment does not index every record; it records one `(offset,
+//! position)` entry per index interval of appended bytes (like Kafka's
+//! `.index` files, one entry per `index.interval.bytes`). Lookup binary
+//! searches for the floor entry at or below the wanted offset, then the
+//! segment scans forward from that position — the scan is bounded by the
+//! interval, so fetches stay cheap without paying an index entry per
+//! record.
+
+/// One index entry: the record at `position` (within the segment's record
+/// run) starts offset `offset`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IndexEntry {
+    /// Absolute partition offset of the indexed record.
+    pub offset: u64,
+    /// Position of that record within its segment (0-based).
+    pub position: usize,
+}
+
+/// An append-only sparse offset index for one segment.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SparseIndex {
+    entries: Vec<IndexEntry>,
+}
+
+impl SparseIndex {
+    /// Empty index.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entries have been added.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Append an entry. Offsets and positions are strictly increasing —
+    /// the index is written in append order, never rewritten.
+    pub fn push(&mut self, offset: u64, position: usize) {
+        if let Some(last) = self.entries.last() {
+            assert!(
+                offset > last.offset && position > last.position,
+                "index entries must be appended in offset order"
+            );
+        }
+        self.entries.push(IndexEntry { offset, position });
+    }
+
+    /// The greatest entry at or below `offset` (binary search), if any.
+    /// The caller scans the segment forward from its `position`.
+    #[must_use]
+    pub fn floor(&self, offset: u64) -> Option<IndexEntry> {
+        match self.entries.binary_search_by_key(&offset, |e| e.offset) {
+            Ok(i) => Some(self.entries[i]),
+            Err(0) => None,
+            Err(i) => Some(self.entries[i - 1]),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn floor_finds_the_greatest_entry_at_or_below() {
+        let mut idx = SparseIndex::new();
+        assert_eq!(idx.floor(5), None);
+        idx.push(10, 0);
+        idx.push(20, 7);
+        idx.push(35, 19);
+        assert_eq!(idx.floor(9), None);
+        assert_eq!(idx.floor(10).unwrap().position, 0);
+        assert_eq!(idx.floor(19).unwrap().position, 0);
+        assert_eq!(idx.floor(20).unwrap().position, 7);
+        assert_eq!(idx.floor(34).unwrap().position, 7);
+        assert_eq!(idx.floor(35).unwrap().position, 19);
+        assert_eq!(idx.floor(1000).unwrap().position, 19);
+        assert_eq!(idx.len(), 3);
+        assert!(!idx.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "offset order")]
+    fn out_of_order_push_panics() {
+        let mut idx = SparseIndex::new();
+        idx.push(10, 0);
+        idx.push(10, 1);
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// `floor` (binary search) agrees with a naive linear scan for
+            /// the greatest entry at or below the probe.
+            #[test]
+            fn prop_floor_matches_linear_scan(
+                gaps in proptest::collection::vec(1u64..20, 0..40),
+                probes in proptest::collection::vec(0u64..1000, 1..30),
+            ) {
+                let mut idx = SparseIndex::new();
+                let mut entries = Vec::new();
+                let mut offset = 0;
+                for (position, gap) in gaps.iter().enumerate() {
+                    offset += gap;
+                    idx.push(offset, position + 1);
+                    entries.push(IndexEntry { offset, position: position + 1 });
+                }
+                for &probe in &probes {
+                    let naive = entries
+                        .iter()
+                        .filter(|e| e.offset <= probe)
+                        .max_by_key(|e| e.offset)
+                        .copied();
+                    prop_assert_eq!(idx.floor(probe), naive);
+                }
+            }
+        }
+    }
+}

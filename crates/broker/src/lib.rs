@@ -1,0 +1,50 @@
+//! `dynatune_broker` — a Kafka-style replicated topic/partition log as a
+//! second state machine on the dynatune Raft core.
+//!
+//! The KV store proved the consensus stack; this crate proves it
+//! *generalizes*. A broker is the best-case workload for everything PRs
+//! 3–6 built: produces are append-only (pipelined, byte-batched
+//! replication at its strongest), fetches are reads at an offset (the
+//! log-free lease/ReadIndex/follower path), producers retry (the
+//! origin/reply-cache dedupe machinery), and topics × partitions map onto
+//! `ShardMap` Raft groups exactly like key ranges do.
+//!
+//! Layering (mirroring josefine's `entry`/`segment`/`partition`/`topic`/
+//! `index` split):
+//!
+//! - [`Record`]: one key/value message, sized for the byte-based cost
+//!   model.
+//! - [`SparseIndex`]: offset → position hints, one per index interval of
+//!   appended bytes; lookup is a binary search to the floor entry.
+//! - [`Segment`]: a contiguous run of records starting at a base offset,
+//!   with its own sparse index; fetch = index binary-search + forward
+//!   scan.
+//! - [`PartitionLog`]: the append-only sequence of segments for one
+//!   partition; rolls a new segment when the active one crosses the byte
+//!   threshold.
+//! - [`Topic`]: the partitions of one topic.
+//! - [`BrokerSm`]: the replicated state machine — topics, durable
+//!   consumer-group offsets, and the producer reply cache — implementing
+//!   [`StateMachine`](dynatune_raft::StateMachine) so any Raft group can
+//!   host it.
+//!
+//! Serving (hosts, clients, scenarios) lives in `dynatune_cluster`, which
+//! plugs [`BrokerSm`] into the same generic `ServerHost` that serves the
+//! KV store.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod index;
+pub mod partition;
+pub mod record;
+pub mod segment;
+pub mod sm;
+pub mod topic;
+
+pub use index::SparseIndex;
+pub use partition::{FetchResult, PartitionConfig, PartitionLog};
+pub use record::Record;
+pub use segment::Segment;
+pub use sm::{BrokerCommand, BrokerRequest, BrokerResponse, BrokerSm};
+pub use topic::{shard_of_partition, Topic};

@@ -1,0 +1,170 @@
+//! One segment: a contiguous run of records behind a sparse offset index.
+
+use crate::index::SparseIndex;
+use crate::record::Record;
+
+/// A contiguous slice of a partition log starting at `base_offset`.
+/// Records are only ever appended; fetch resolves an offset through the
+/// sparse index (binary search to the floor entry) and scans forward from
+/// the hinted position, exactly like a file-backed segment would seek then
+/// read.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Segment {
+    base_offset: u64,
+    records: Vec<Record>,
+    bytes: usize,
+    index: SparseIndex,
+    /// Bytes appended since the last index entry; the first record after
+    /// `index_interval` bytes gets indexed.
+    bytes_since_index: usize,
+    index_interval: usize,
+}
+
+impl Segment {
+    /// Empty segment whose first record will take `base_offset`, indexing
+    /// one entry per `index_interval` appended bytes.
+    #[must_use]
+    pub fn new(base_offset: u64, index_interval: usize) -> Self {
+        assert!(index_interval > 0, "zero index interval");
+        Self {
+            base_offset,
+            records: Vec::new(),
+            bytes: 0,
+            index: SparseIndex::new(),
+            // Force an index entry on the very first append, so every
+            // lookup inside the segment has a floor entry to start from.
+            bytes_since_index: index_interval,
+            index_interval,
+        }
+    }
+
+    /// First offset of this segment.
+    #[must_use]
+    pub fn base_offset(&self) -> u64 {
+        self.base_offset
+    }
+
+    /// The offset the next appended record will take.
+    #[must_use]
+    pub fn next_offset(&self) -> u64 {
+        self.base_offset + self.records.len() as u64
+    }
+
+    /// Number of records.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when the segment holds no records.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Stored bytes (records only; index entries are counted by the
+    /// partition's size estimate separately).
+    #[must_use]
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// The sparse index (observers/tests).
+    #[must_use]
+    pub fn index(&self) -> &SparseIndex {
+        &self.index
+    }
+
+    /// Append one record, returning its offset.
+    pub fn append(&mut self, record: Record) -> u64 {
+        let offset = self.next_offset();
+        if self.bytes_since_index >= self.index_interval {
+            self.index.push(offset, self.records.len());
+            self.bytes_since_index = 0;
+        }
+        self.bytes_since_index += record.bytes();
+        self.bytes += record.bytes();
+        self.records.push(record);
+        offset
+    }
+
+    /// Copy up to `max` records starting at `offset` into `out` as
+    /// `(offset, record)` pairs. Returns how many were copied. Offsets
+    /// below the base or at/after `next_offset` contribute nothing.
+    pub fn read_into(&self, offset: u64, max: usize, out: &mut Vec<(u64, Record)>) -> usize {
+        if offset < self.base_offset || offset >= self.next_offset() || max == 0 {
+            return 0;
+        }
+        // Index binary-search to the floor hint, then scan forward — the
+        // scan advances at most one index interval's worth of records.
+        let start_hint = self.index.floor(offset).map_or(0, |e| e.position);
+        let mut pos = start_hint;
+        while self.base_offset + pos as u64 != offset {
+            pos += 1;
+        }
+        let copied = self.records[pos..].iter().take(max);
+        let before = out.len();
+        out.extend(
+            copied
+                .cloned()
+                .enumerate()
+                .map(|(i, r)| (self.base_offset + (pos + i) as u64, r)),
+        );
+        out.len() - before
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(n: usize) -> Record {
+        Record::new(Vec::new(), vec![0u8; n])
+    }
+
+    #[test]
+    fn append_assigns_consecutive_offsets_from_base() {
+        let mut s = Segment::new(100, 64);
+        assert_eq!(s.append(rec(10)), 100);
+        assert_eq!(s.append(rec(10)), 101);
+        assert_eq!(s.next_offset(), 102);
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn index_is_sparse_one_entry_per_interval() {
+        // 26-byte records (16 framing + 10 value), 64-byte interval: an
+        // index entry every ceil(64/26) = 3 records.
+        let mut s = Segment::new(0, 64);
+        for _ in 0..9 {
+            s.append(rec(10));
+        }
+        assert!(
+            s.index().len() < s.len(),
+            "index must be sparse: {} entries for {} records",
+            s.index().len(),
+            s.len()
+        );
+        assert!(s.index().len() >= 2, "intervals produce multiple entries");
+    }
+
+    #[test]
+    fn read_into_resolves_any_offset_via_the_index() {
+        let mut s = Segment::new(50, 64);
+        for i in 0..20 {
+            s.append(Record::new(Vec::new(), vec![i as u8; 10]));
+        }
+        for probe in 50..70 {
+            let mut out = Vec::new();
+            let n = s.read_into(probe, 5, &mut out);
+            assert_eq!(n, (70 - probe).min(5) as usize);
+            assert_eq!(out[0].0, probe);
+            assert_eq!(out[0].1.value[0], (probe - 50) as u8);
+        }
+        let mut out = Vec::new();
+        assert_eq!(s.read_into(49, 5, &mut out), 0, "below base");
+        assert_eq!(s.read_into(70, 5, &mut out), 0, "at next_offset");
+        assert!(out.is_empty());
+    }
+}

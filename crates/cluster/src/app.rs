@@ -1,0 +1,166 @@
+//! The application boundary of the serving layer.
+//!
+//! [`ServerHost`](crate::ServerHost) wires a Raft node, a CPU meter and the
+//! read path to the simulated network, but nothing in that plumbing is
+//! KV-specific: it needs to build a fresh state machine on (re)start, wrap
+//! a client command with its retry origin, tell reads from writes, answer
+//! log-free reads from applied state, and price snapshots for the cost
+//! model. [`App`] names exactly those five seams, so the same server (and
+//! the same message enum) serves the KV store and the broker — or any
+//! future state machine — without duplicating the serving core.
+
+use dynatune_broker::{BrokerCommand, BrokerRequest, BrokerResponse, BrokerSm};
+use dynatune_kv::{KvCommand, KvRequest, KvResponse, Store};
+use dynatune_raft::{RaftConfig, StateMachine};
+use std::fmt::Debug;
+
+/// One application served by the cluster layer: a replicated state machine
+/// plus the client-facing command vocabulary around it.
+///
+/// The associated types tie the client side to the Raft side:
+/// [`App::Command`] is what clients send (no origin attached yet);
+/// [`App::Request`] is the replicated form carrying the retry origin the
+/// reply cache dedupes on. The equality constraints on [`App::Sm`] keep
+/// every bound in the serving layer expressible as `A: App`.
+pub trait App: Sized + 'static {
+    /// Client-facing command (what travels in `ClientReq`/`ClientBatch`).
+    type Command: Clone + Debug;
+    /// Replicated command: the client command wrapped with its origin.
+    type Request: Clone + Debug;
+    /// Response returned to clients.
+    type Response: Clone + Debug;
+    /// Snapshot payload shipped by `InstallSnapshot`.
+    type SnapshotData: Clone + Debug;
+    /// The replicated state machine itself.
+    type Sm: StateMachine<
+        Command = Self::Request,
+        Response = Self::Response,
+        Snapshot = Self::SnapshotData,
+    >;
+
+    /// Build a fresh (empty) state machine for a node with this config —
+    /// called at construction and on crash-restart, before snapshot/log
+    /// replay. Reads the shared knobs (e.g. `reply_window`) off the config
+    /// so every replica dedupes identically.
+    fn fresh_sm(config: &RaftConfig) -> Self::Sm;
+
+    /// Wrap a client command with its retry origin for replication.
+    fn request(client: u64, req_id: u64, cmd: Self::Command) -> Self::Request;
+
+    /// True when the command is a read (eligible for the log-free path).
+    fn is_read(cmd: &Self::Command) -> bool;
+
+    /// Answer a read from applied state (`None` for mutating commands).
+    /// Callers hold a read grant whose index the state machine has applied
+    /// through; responses never enter the reply cache.
+    fn read(sm: &Self::Sm, cmd: &Self::Command) -> Option<Self::Response>;
+
+    /// Rough wire size of a snapshot, for the size-aware cost model.
+    fn snapshot_bytes(snapshot: &Self::SnapshotData) -> usize;
+}
+
+/// The KV application: [`Store`] plus the `Get`/`Put`/`Delete`/`Cas`/
+/// `Range` vocabulary. The default `App` everywhere, so single-app call
+/// sites (`ServerHost`, `ClusterMsg`) keep compiling unparameterized.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KvApp;
+
+impl App for KvApp {
+    type Command = KvCommand;
+    type Request = KvRequest;
+    type Response = KvResponse;
+    type SnapshotData = Store;
+    type Sm = Store;
+
+    fn fresh_sm(config: &RaftConfig) -> Store {
+        Store::with_reply_window(config.reply_window)
+    }
+
+    fn request(client: u64, req_id: u64, cmd: KvCommand) -> KvRequest {
+        KvRequest::from_client(client, req_id, cmd)
+    }
+
+    fn is_read(cmd: &KvCommand) -> bool {
+        cmd.is_read()
+    }
+
+    fn read(sm: &Store, cmd: &KvCommand) -> Option<KvResponse> {
+        sm.read(cmd)
+    }
+
+    fn snapshot_bytes(snapshot: &Store) -> usize {
+        snapshot.approx_bytes()
+    }
+}
+
+/// The broker application: [`BrokerSm`] plus the produce/fetch/offset
+/// vocabulary. Served by the exact same `ServerHost` plumbing as the KV
+/// app — fetches ride the log-free read path, produces the replicated
+/// propose path with origin dedupe.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BrokerApp;
+
+impl App for BrokerApp {
+    type Command = BrokerCommand;
+    type Request = BrokerRequest;
+    type Response = BrokerResponse;
+    type SnapshotData = BrokerSm;
+    type Sm = BrokerSm;
+
+    fn fresh_sm(config: &RaftConfig) -> BrokerSm {
+        BrokerSm::with_reply_window(config.reply_window)
+    }
+
+    fn request(client: u64, req_id: u64, cmd: BrokerCommand) -> BrokerRequest {
+        BrokerRequest::from_client(client, req_id, cmd)
+    }
+
+    fn is_read(cmd: &BrokerCommand) -> bool {
+        cmd.is_read()
+    }
+
+    fn read(sm: &BrokerSm, cmd: &BrokerCommand) -> Option<BrokerResponse> {
+        sm.read(cmd)
+    }
+
+    fn snapshot_bytes(snapshot: &BrokerSm) -> usize {
+        snapshot.approx_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynatune_core::TuningConfig;
+
+    #[test]
+    fn kv_app_round_trips_the_store_seams() {
+        let cfg = RaftConfig::new(0, 1, TuningConfig::raft_default());
+        let sm = KvApp::fresh_sm(&cfg);
+        assert_eq!(sm.reply_window(), cfg.reply_window);
+        let get = KvCommand::Get {
+            key: bytes::Bytes::from_static(b"k"),
+        };
+        assert!(KvApp::is_read(&get));
+        assert!(matches!(
+            KvApp::read(&sm, &get),
+            Some(KvResponse::Get { value: None })
+        ));
+        let req = KvApp::request(3, 7, get);
+        assert_eq!(
+            req.origin,
+            Some(dynatune_kv::ReqOrigin {
+                client: 3,
+                req_id: 7
+            })
+        );
+    }
+
+    #[test]
+    fn broker_app_reads_config_reply_window() {
+        let mut cfg = RaftConfig::new(0, 1, TuningConfig::raft_default());
+        cfg.reply_window = 128;
+        let sm = BrokerApp::fresh_sm(&cfg);
+        assert_eq!(sm.reply_window(), 128);
+    }
+}

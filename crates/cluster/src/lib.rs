@@ -14,6 +14,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod app;
+pub mod broker;
 pub mod client;
 pub mod cpu;
 pub mod experiments;
@@ -25,6 +27,10 @@ pub mod shard_client;
 pub mod sharded;
 pub mod sim;
 
+pub use app::{App, BrokerApp, KvApp};
+pub use broker::{
+    BrokerClient, BrokerClusterSim, BrokerConfig, BrokerStats, BrokerWorkload, ConsumerStats,
+};
 pub use client::{ClientHost, OpRecord, StepRecord};
 pub use cpu::{CostModel, CpuMeter};
 pub use msg::ClusterMsg;

@@ -1,31 +1,37 @@
 //! Messages exchanged inside a simulated cluster (servers + clients).
+//!
+//! Generic over the [`App`] being served: the KV cluster speaks
+//! `ClusterMsg` (the `KvApp` default), the broker cluster speaks
+//! `ClusterMsg<BrokerApp>`. The wire vocabulary — Raft traffic, client
+//! requests/batches, responses, redirects, forwarded-read waves — is
+//! identical either way; only the command/response payloads differ.
 
-use dynatune_kv::{KvCommand, KvRequest, KvResponse, Store};
+use crate::app::{App, KvApp};
 use dynatune_raft::{NodeId, Payload};
 
 /// The Raft payload type of the cluster: commands carry their client
-/// origin (for retry deduplication) and snapshots ship the full [`Store`].
-pub type RaftPayload = Payload<KvRequest, Store>;
+/// origin (for retry deduplication) and snapshots ship the app's full
+/// state-machine snapshot.
+pub type RaftPayload<A = KvApp> = Payload<<A as App>::Request, <A as App>::SnapshotData>;
 
 /// Everything that can travel over the simulated network.
-#[derive(Debug, Clone)]
-pub enum ClusterMsg {
+pub enum ClusterMsg<A: App = KvApp> {
     /// Raft protocol traffic between servers.
-    Raft(RaftPayload),
+    Raft(RaftPayload<A>),
     /// Client → server request.
     ClientReq {
         /// Client-chosen request id (unique per client).
         req_id: u64,
         /// The command to execute.
-        cmd: KvCommand,
+        cmd: A::Command,
     },
     /// Client → server batch: several requests for the *same* Raft group,
-    /// sent as one message. The sharded client coalesces the arrivals of a
-    /// wake per shard; the server admits each item as if it arrived alone
+    /// sent as one message. Batching clients coalesce the arrivals of a
+    /// wake per group; the server admits each item as if it arrived alone
     /// (same per-request CPU cost) and answers per request.
     ClientBatch {
         /// `(req_id, command)` items, in client send order.
-        reqs: Vec<(u64, KvCommand)>,
+        reqs: Vec<(u64, A::Command)>,
     },
     /// Server → client completion.
     ClientResp {
@@ -33,7 +39,7 @@ pub enum ClusterMsg {
         req_id: u64,
         /// The result, if the command committed and applied; `None` when the
         /// proposal was lost to a leadership change.
-        result: Option<KvResponse>,
+        result: Option<A::Response>,
     },
     /// Server → client redirect: the contacted server is not the leader.
     /// Carries the command back so the client can retry elsewhere.
@@ -43,7 +49,7 @@ pub enum ClusterMsg {
         /// The server's current leader hint, if it has one.
         hint: Option<NodeId>,
         /// The original command, returned for retry.
-        cmd: KvCommand,
+        cmd: A::Command,
     },
     /// Follower → leader: forwarded ReadIndex request. The follower keeps
     /// the client command; the leader only confirms leadership and names
@@ -62,7 +68,79 @@ pub enum ClusterMsg {
     },
 }
 
-impl ClusterMsg {
+// Manual impls: deriving would bound `A: Clone`/`A: Debug` even though only
+// the associated payloads appear in fields, and the simulator's `Host::Msg`
+// needs `Clone` for any app marker.
+impl<A: App> Clone for ClusterMsg<A> {
+    fn clone(&self) -> Self {
+        match self {
+            ClusterMsg::Raft(p) => ClusterMsg::Raft(p.clone()),
+            ClusterMsg::ClientReq { req_id, cmd } => ClusterMsg::ClientReq {
+                req_id: *req_id,
+                cmd: cmd.clone(),
+            },
+            ClusterMsg::ClientBatch { reqs } => ClusterMsg::ClientBatch { reqs: reqs.clone() },
+            ClusterMsg::ClientResp { req_id, result } => ClusterMsg::ClientResp {
+                req_id: *req_id,
+                result: result.clone(),
+            },
+            ClusterMsg::ClientRedirect { req_id, hint, cmd } => ClusterMsg::ClientRedirect {
+                req_id: *req_id,
+                hint: *hint,
+                cmd: cmd.clone(),
+            },
+            ClusterMsg::ReadIndexReq { read_id } => ClusterMsg::ReadIndexReq { read_id: *read_id },
+            ClusterMsg::ReadIndexResp {
+                read_id,
+                read_index,
+            } => ClusterMsg::ReadIndexResp {
+                read_id: *read_id,
+                read_index: *read_index,
+            },
+        }
+    }
+}
+
+impl<A: App> std::fmt::Debug for ClusterMsg<A> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterMsg::Raft(p) => f.debug_tuple("Raft").field(p).finish(),
+            ClusterMsg::ClientReq { req_id, cmd } => f
+                .debug_struct("ClientReq")
+                .field("req_id", req_id)
+                .field("cmd", cmd)
+                .finish(),
+            ClusterMsg::ClientBatch { reqs } => {
+                f.debug_struct("ClientBatch").field("reqs", reqs).finish()
+            }
+            ClusterMsg::ClientResp { req_id, result } => f
+                .debug_struct("ClientResp")
+                .field("req_id", req_id)
+                .field("result", result)
+                .finish(),
+            ClusterMsg::ClientRedirect { req_id, hint, cmd } => f
+                .debug_struct("ClientRedirect")
+                .field("req_id", req_id)
+                .field("hint", hint)
+                .field("cmd", cmd)
+                .finish(),
+            ClusterMsg::ReadIndexReq { read_id } => f
+                .debug_struct("ReadIndexReq")
+                .field("read_id", read_id)
+                .finish(),
+            ClusterMsg::ReadIndexResp {
+                read_id,
+                read_index,
+            } => f
+                .debug_struct("ReadIndexResp")
+                .field("read_id", read_id)
+                .field("read_index", read_index)
+                .finish(),
+        }
+    }
+}
+
+impl<A: App> ClusterMsg<A> {
     /// Short tag for tracing.
     #[must_use]
     pub fn kind(&self) -> &'static str {
@@ -82,22 +160,42 @@ impl ClusterMsg {
 mod tests {
     use super::*;
     use bytes::Bytes;
+    use dynatune_kv::KvCommand;
 
     #[test]
     fn kinds() {
-        let m = ClusterMsg::ClientReq {
+        let m: ClusterMsg = ClusterMsg::ClientReq {
             req_id: 1,
             cmd: KvCommand::Get {
                 key: Bytes::from_static(b"k"),
             },
         };
         assert_eq!(m.kind(), "client_req");
-        let r = ClusterMsg::Raft(RaftPayload::AppendResp(dynatune_raft::AppendResp {
-            term: 1,
-            success: true,
-            match_or_hint: 3,
-            read_ctx: None,
-        }));
+        let r = ClusterMsg::<KvApp>::Raft(RaftPayload::<KvApp>::AppendResp(
+            dynatune_raft::AppendResp {
+                term: 1,
+                success: true,
+                match_or_hint: 3,
+                read_ctx: None,
+            },
+        ));
         assert_eq!(r.kind(), "append_resp");
+    }
+
+    #[test]
+    fn broker_messages_share_the_wire_vocabulary() {
+        use crate::app::BrokerApp;
+        let m: ClusterMsg<BrokerApp> = ClusterMsg::ClientReq {
+            req_id: 1,
+            cmd: dynatune_broker::BrokerCommand::Fetch {
+                topic: "t".into(),
+                partition: 0,
+                offset: 0,
+                max_records: 8,
+            },
+        };
+        assert_eq!(m.kind(), "client_req");
+        assert_eq!(m.clone().kind(), "client_req");
+        assert!(format!("{m:?}").contains("ClientReq"));
     }
 }

@@ -7,6 +7,7 @@
 //! network plans explicitly, and is the single construction path used by
 //! the experiment catalog, the figure binaries and the examples.
 
+use crate::broker::{BrokerClusterSim, BrokerConfig, BrokerWorkload};
 use crate::cpu::CostModel;
 use crate::server::{CompactionPolicy, ReadStrategy};
 use crate::sharded::{ShardedClusterSim, ShardedConfig};
@@ -420,6 +421,46 @@ impl ScenarioBuilder {
     #[must_use]
     pub fn build_sharded_sim(self) -> ShardedClusterSim {
         ShardedClusterSim::new(&self.build_sharded())
+    }
+
+    /// Resolve into a [`BrokerConfig`]: the same placement and replication
+    /// knobs as [`Self::build_sharded`], serving the broker app with
+    /// `workload` driving producers and consumer groups.
+    #[must_use]
+    pub fn build_broker(self, workload: BrokerWorkload) -> BrokerConfig {
+        let map = ShardMap::new(self.shards, self.n);
+        let congestion = self
+            .congestion
+            .unwrap_or_else(|| self.net.default_congestion());
+        BrokerConfig {
+            map,
+            tuning: self.tuning,
+            topology: self.net.topology(map.n_servers()),
+            congestion,
+            quantization: self.quantization,
+            udp_heartbeats: self.udp_heartbeats,
+            pre_vote: self.pre_vote,
+            check_quorum: self.check_quorum,
+            cost: self.cost,
+            compaction: self.compaction,
+            read_strategy: self.read_strategy,
+            follower_reads: self.follower_reads,
+            pipeline_window: self.pipeline_window,
+            max_batch_bytes: self.max_batch_bytes,
+            max_batch_delay: self.max_batch_delay,
+            max_entries_per_append: self.max_entries_per_append,
+            cores: self.cores,
+            cpu_window: self.cpu_window,
+            seed: self.seed,
+            workload: Some(workload),
+            client_link: self.client_link,
+        }
+    }
+
+    /// Build and instantiate the broker cluster.
+    #[must_use]
+    pub fn build_broker_sim(self, workload: BrokerWorkload) -> BrokerClusterSim {
+        BrokerClusterSim::new(&self.build_broker(workload))
     }
 }
 

@@ -10,6 +10,7 @@
 //! [`Experiment`]: crate::scenario::Experiment
 
 mod ablations;
+mod broker;
 mod compaction;
 mod extensions;
 mod failover;
@@ -21,6 +22,7 @@ pub mod sharded;
 mod throughput;
 
 pub use ablations::Ablations;
+pub use broker::{BrokerProduceThroughput, ConsumerFanout, ConsumerLagFailover};
 pub use compaction::{CompactionChurn, LaggingFollowerCatchup};
 pub use extensions::Extensions;
 pub use failover::{Fig4Failover, Fig8GeoFailover};

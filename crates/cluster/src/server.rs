@@ -1,9 +1,14 @@
-//! The server host: a Raft node + KV store + CPU meter behind the
-//! simulator's [`Host`](dynatune_simnet::Host) interface.
+//! The server host: a Raft node + replicated state machine + CPU meter
+//! behind the simulator's [`Host`](dynatune_simnet::Host) interface.
+//!
+//! Generic over the [`App`] being served (KV store by default, broker via
+//! `ServerHost<BrokerApp>`): the propose path, reply-cache dedupe, CPU
+//! admission, log-free read path and compaction policy are identical for
+//! every application; only the five seams named by [`App`] differ.
 
+use crate::app::{App, KvApp};
 use crate::cpu::{CostModel, CpuMeter};
 use crate::msg::{ClusterMsg, RaftPayload};
-use dynatune_kv::{KvCommand, KvRequest, Store};
 use dynatune_raft::{
     LogIndex, NodeEffects, NodeId, Payload, RaftConfig, RaftEvent, RaftNode, ReadPath, Role,
     StateMachine, Term,
@@ -98,13 +103,12 @@ struct FwdWave {
 const FWD_WAVE_RESEND: Duration = Duration::from_secs(1);
 
 /// Where a leader-side read grant must be delivered.
-#[derive(Debug, Clone)]
-enum ReadOrigin {
+enum ReadOrigin<A: App> {
     /// A client read this server answers from its own state machine.
     Local {
         client: NodeId,
         req_id: u64,
-        cmd: KvCommand,
+        cmd: A::Command,
     },
     /// A read forwarded by a follower; the grant's `read_index` is sent
     /// back and the follower serves locally.
@@ -112,12 +116,11 @@ enum ReadOrigin {
 }
 
 /// A client request admitted through the CPU queue, waiting to execute.
-#[derive(Debug, Clone)]
-struct AdmittedReq {
+struct AdmittedReq<A: App> {
     ready_at: SimTime,
     client: NodeId,
     req_id: u64,
-    cmd: KvCommand,
+    cmd: A::Command,
 }
 
 /// Compact when the live log exceeds this many entries (default).
@@ -148,9 +151,10 @@ impl Default for CompactionPolicy {
     }
 }
 
-/// One simulated etcd-like server.
-pub struct ServerHost {
-    node: RaftNode<Store>,
+/// One simulated etcd-like server, serving the application `A` (the KV
+/// store by default).
+pub struct ServerHost<A: App = KvApp> {
+    node: RaftNode<A::Sm>,
     cost: CostModel,
     cpu: CpuMeter,
     compaction: CompactionPolicy,
@@ -166,7 +170,7 @@ pub struct ServerHost {
     /// Proposals awaiting application, keyed by log index.
     pending: BTreeMap<LogIndex, PendingReq>,
     /// CPU-admitted client requests not yet proposed (FIFO by ready_at).
-    admit: std::collections::VecDeque<AdmittedReq>,
+    admit: std::collections::VecDeque<AdmittedReq<A>>,
     /// How reads are served (log-replicated vs lease/ReadIndex).
     read_strategy: ReadStrategy,
     /// Serve forwarded reads on followers (log-free strategies only).
@@ -174,11 +178,11 @@ pub struct ServerHost {
     /// Grant-token allocator for reads registered with the Raft node.
     next_read_token: u64,
     /// Outstanding read grants, by token.
-    read_origins: HashMap<u64, ReadOrigin>,
+    read_origins: HashMap<u64, ReadOrigin<A>>,
     /// Local-id allocator for reads this follower forwarded to the leader.
     next_fwd_id: u64,
     /// Reads forwarded to the leader, awaiting a `ReadIndexResp`.
-    forwarded: HashMap<u64, (NodeId, u64, KvCommand)>,
+    forwarded: HashMap<u64, (NodeId, u64, A::Command)>,
     /// Wave-id allocator for forwarded-read batches.
     next_fwd_wave: u64,
     /// Forwarded reads admitted but not yet covered by a wave.
@@ -192,13 +196,14 @@ pub struct ServerHost {
     reads_served: ReadCounters,
 }
 
-impl ServerHost {
+impl<A: App> ServerHost<A> {
     /// Build a server from its Raft config and cost model.
     #[must_use]
     pub fn new(config: RaftConfig, cost: CostModel, cores: usize, window: Duration) -> Self {
         let tunes = config.tuning.mode.tunes();
+        let sm = A::fresh_sm(&config);
         Self {
-            node: RaftNode::new(config, Store::new(), SimTime::ZERO),
+            node: RaftNode::new(config, sm, SimTime::ZERO),
             cost,
             cpu: CpuMeter::new(cores, window),
             compaction: CompactionPolicy::default(),
@@ -249,12 +254,12 @@ impl ServerHost {
 
     /// The wrapped Raft node (observers).
     #[must_use]
-    pub fn node(&self) -> &RaftNode<Store> {
+    pub fn node(&self) -> &RaftNode<A::Sm> {
         &self.node
     }
 
     /// Mutable access for failure injection (crash/restart).
-    pub fn node_mut(&mut self) -> &mut RaftNode<Store> {
+    pub fn node_mut(&mut self) -> &mut RaftNode<A::Sm> {
         &mut self.node
     }
 
@@ -293,7 +298,8 @@ impl ServerHost {
     /// queue) is lost; the state machine is rebuilt from the snapshot plus
     /// log replay.
     pub fn crash_restart(&mut self, now: SimTime) {
-        self.node.restart(now, Store::new());
+        let sm = A::fresh_sm(self.node.config());
+        self.node.restart(now, sm);
         self.pending.clear();
         self.admit.clear();
         self.read_origins.clear();
@@ -303,19 +309,19 @@ impl ServerHost {
         self.follower_wait.clear();
     }
 
-    fn msg_recv_cost(&self, payload: &RaftPayload) -> Duration {
+    fn msg_recv_cost(&self, payload: &RaftPayload<A>) -> Duration {
         let mut c = self.cost.per_message_recv;
         if self.tunes {
             c += self.cost.tuning_per_message;
         }
         if let Payload::InstallSnapshot(s) = payload {
             // Size-aware install: restoring a big store takes real time.
-            c += self.cost.snapshot_cost(s.data.approx_bytes());
+            c += self.cost.snapshot_cost(A::snapshot_bytes(&s.data));
         }
         c
     }
 
-    fn msg_send_cost(&self, payload: &RaftPayload) -> Duration {
+    fn msg_send_cost(&self, payload: &RaftPayload<A>) -> Duration {
         let mut c = self.cost.per_message_send;
         if self.tunes {
             c += self.cost.tuning_per_message;
@@ -330,13 +336,13 @@ impl ServerHost {
                     .entries
                     .iter()
                     .filter_map(|e| e.data.as_ref())
-                    .map(<Store as StateMachine>::command_bytes)
+                    .map(<A::Sm as StateMachine>::command_bytes)
                     .sum();
                 c += self.cost.append_cost(bytes);
             }
             Payload::InstallSnapshot(s) => {
                 // Size-aware serialization of the full state.
-                c += self.cost.snapshot_cost(s.data.approx_bytes());
+                c += self.cost.snapshot_cost(A::snapshot_bytes(&s.data));
             }
             _ => {}
         }
@@ -344,7 +350,7 @@ impl ServerHost {
     }
 
     /// Route node effects out to the network and bookkeeping.
-    fn route_effects(&mut self, ctx: &mut HostCtx<'_, ClusterMsg>, fx: NodeEffects<Store>) {
+    fn route_effects(&mut self, ctx: &mut HostCtx<'_, ClusterMsg<A>>, fx: NodeEffects<A::Sm>) {
         let now = ctx.now;
         for ev in &fx.events {
             self.events.push((now, *ev));
@@ -391,7 +397,7 @@ impl ServerHost {
                     // The grant was apply-gated, so the state machine
                     // covers read_index; reply-cache invariant: the read
                     // executes fresh, never from (or into) sessions.
-                    let result = self.node.state_machine().read(&cmd);
+                    let result = A::read(self.node.state_machine(), &cmd);
                     debug_assert!(result.is_some(), "grants are only taken for reads");
                     match grant.path {
                         ReadPath::Lease => self.reads_served.lease += 1,
@@ -429,9 +435,8 @@ impl ServerHost {
         self.drain_follower_wait(ctx);
         // If leadership was lost, fail whatever is still pending. The entry
         // may still commit under the new leader; the client's retry of the
-        // same req_id is deduplicated by the replicated reply cache
-        // (`dynatune_kv::Store`), so reporting failure here cannot cause a
-        // duplicate apply.
+        // same req_id is deduplicated by the app's replicated reply cache,
+        // so reporting failure here cannot cause a duplicate apply.
         if self.node.role() != Role::Leader && !self.pending.is_empty() {
             let pending = std::mem::take(&mut self.pending);
             for (_, p) in pending {
@@ -460,19 +465,19 @@ impl ServerHost {
 
     /// Propose (or, for reads under a log-free strategy, register) admitted
     /// requests whose CPU-queue delay has elapsed.
-    fn drain_admitted(&mut self, ctx: &mut HostCtx<'_, ClusterMsg>) {
+    fn drain_admitted(&mut self, ctx: &mut HostCtx<'_, ClusterMsg<A>>) {
         let now = ctx.now;
         while let Some(front) = self.admit.front() {
             if front.ready_at > now {
                 break;
             }
             let req = self.admit.pop_front().expect("non-empty");
-            if self.read_strategy.log_free() && req.cmd.is_read() {
+            if self.read_strategy.log_free() && A::is_read(&req.cmd) {
                 self.start_read(ctx, req.client, req.req_id, req.cmd);
                 continue;
             }
-            let is_read = req.cmd.is_read();
-            let request = KvRequest::from_client(req.client as u64, req.req_id, req.cmd.clone());
+            let is_read = A::is_read(&req.cmd);
+            let request = A::request(req.client as u64, req.req_id, req.cmd.clone());
             let (result, fx) = self.node.propose(now, request);
             match result {
                 Ok((term, index)) => {
@@ -509,10 +514,10 @@ impl ServerHost {
     /// request and answer locally once their apply index catches up.
     fn start_read(
         &mut self,
-        ctx: &mut HostCtx<'_, ClusterMsg>,
+        ctx: &mut HostCtx<'_, ClusterMsg<A>>,
         client: NodeId,
         req_id: u64,
-        cmd: KvCommand,
+        cmd: A::Command,
     ) {
         if self.node.role() == Role::Leader {
             self.register_read(
@@ -550,8 +555,8 @@ impl ServerHost {
     /// was lost between the caller's role check and registration.
     fn register_read(
         &mut self,
-        ctx: &mut HostCtx<'_, ClusterMsg>,
-        origin: ReadOrigin,
+        ctx: &mut HostCtx<'_, ClusterMsg<A>>,
+        origin: ReadOrigin<A>,
         wait_apply: bool,
     ) {
         self.next_read_token += 1;
@@ -570,7 +575,7 @@ impl ServerHost {
     /// before the grant): local clients get a redirect with our best
     /// leader hint, forwarding followers a `ReadIndexResp` denial to
     /// relay. The single place the denial semantics live.
-    fn deny_read_origin(&mut self, ctx: &mut HostCtx<'_, ClusterMsg>, origin: ReadOrigin) {
+    fn deny_read_origin(&mut self, ctx: &mut HostCtx<'_, ClusterMsg<A>>, origin: ReadOrigin<A>) {
         match origin {
             ReadOrigin::Local {
                 client,
@@ -609,7 +614,7 @@ impl ServerHost {
     /// them at its read index could miss a write that completed in
     /// between). A wave unanswered for [`FWD_WAVE_RESEND`] (lost message,
     /// dead leader) is merged back and re-sent.
-    fn flush_forwarded(&mut self, ctx: &mut HostCtx<'_, ClusterMsg>) {
+    fn flush_forwarded(&mut self, ctx: &mut HostCtx<'_, ClusterMsg<A>>) {
         let now = ctx.now;
         if let Some(wave) = &self.fwd_inflight {
             if now < wave.sent_at + FWD_WAVE_RESEND {
@@ -642,13 +647,13 @@ impl ServerHost {
 
     /// Answer a forwarded read from the local state machine (the grant's
     /// read index is known to be applied).
-    fn serve_follower_read(&mut self, ctx: &mut HostCtx<'_, ClusterMsg>, read_id: u64) {
+    fn serve_follower_read(&mut self, ctx: &mut HostCtx<'_, ClusterMsg<A>>, read_id: u64) {
         let Some((client, req_id, cmd)) = self.forwarded.remove(&read_id) else {
             return; // superseded by a crash-restart
         };
         // Reply-cache invariant holds here too: forwarded reads execute
         // fresh against the follower's applied state.
-        let result = self.node.state_machine().read(&cmd);
+        let result = A::read(self.node.state_machine(), &cmd);
         self.reads_served.follower += 1;
         ctx.send(
             client,
@@ -658,7 +663,7 @@ impl ServerHost {
     }
 
     /// Serve every granted forwarded read the apply index now covers.
-    fn drain_follower_wait(&mut self, ctx: &mut HostCtx<'_, ClusterMsg>) {
+    fn drain_follower_wait(&mut self, ctx: &mut HostCtx<'_, ClusterMsg<A>>) {
         let applied = self.node.last_applied();
         while let Some((&idx, _)) = self.follower_wait.iter().next() {
             if idx > applied {
@@ -674,9 +679,9 @@ impl ServerHost {
     /// Deliver a message to this server.
     pub fn handle_message(
         &mut self,
-        ctx: &mut HostCtx<'_, ClusterMsg>,
+        ctx: &mut HostCtx<'_, ClusterMsg<A>>,
         from: NodeId,
-        msg: ClusterMsg,
+        msg: ClusterMsg<A>,
     ) {
         match msg {
             ClusterMsg::Raft(payload) => {
@@ -783,8 +788,8 @@ impl ServerHost {
     /// CPU cost of admitting one client command: log-free reads cost
     /// heartbeat-weight work (`per_read`), everything else the full
     /// propose-path `per_request` (+ the tuning tax).
-    fn admission_cost(&self, cmd: &KvCommand) -> Duration {
-        let mut cost = if self.read_strategy.log_free() && cmd.is_read() {
+    fn admission_cost(&self, cmd: &A::Command) -> Duration {
+        let mut cost = if self.read_strategy.log_free() && A::is_read(cmd) {
             self.cost.per_read
         } else {
             self.cost.per_request
@@ -796,7 +801,7 @@ impl ServerHost {
     }
 
     /// Timer wake-up.
-    pub fn handle_wake(&mut self, ctx: &mut HostCtx<'_, ClusterMsg>) {
+    pub fn handle_wake(&mut self, ctx: &mut HostCtx<'_, ClusterMsg<A>>) {
         self.cpu.charge(ctx.now, self.cost.per_timer_wake);
         self.drain_admitted(ctx);
         self.flush_forwarded(ctx); // wave resend on silence
@@ -824,6 +829,7 @@ impl ServerHost {
 mod tests {
     use super::*;
     use dynatune_core::TuningConfig;
+    use dynatune_kv::KvCommand;
 
     // ServerHost is exercised end-to-end through ClusterSim (sim.rs tests
     // and the integration suite); here we test the pieces that don't need a

@@ -23,5 +23,8 @@ pub mod store;
 pub mod workload;
 
 pub use shard::{ShardId, ShardMap, ShardRouter};
-pub use store::{KvCommand, KvRequest, KvResponse, KvStore, ReqOrigin, Store, VersionedValue};
+pub use store::{
+    KvCommand, KvRequest, KvResponse, KvStore, ReqOrigin, Store, VersionedValue,
+    DEFAULT_REPLY_WINDOW,
+};
 pub use workload::{OpMix, RateStep, WorkloadGen};

@@ -325,15 +325,15 @@ impl KvRequest {
     }
 }
 
-/// Recent replies retained per client for retry deduplication. Client
-/// request ids increase monotonically, so a sliding id window bounds the
-/// cache — but it must comfortably exceed the deepest per-client pipeline
-/// any workload generates, or a duplicate could commit after its
-/// original's entry was evicted and be applied twice. The open-loop
-/// clients pipeline up to offered-rate × response-timeout × retry-budget
-/// requests (the fig5 ramp peaks near 15k req/s × 1 s × 4 ≈ 60k), so the
-/// window is sized above that.
-const REPLY_WINDOW: u64 = 1 << 16;
+/// Default reply-cache id window, re-exported from the shared
+/// [`RaftConfig`](dynatune_raft::RaftConfig) knob (`reply_window`) whose
+/// sizing rule — rate × timeout × retries, with headroom — is documented
+/// at [`dynatune_raft::DEFAULT_REPLY_WINDOW`]. Client request ids increase
+/// monotonically, so a sliding id window bounds the cache — but it must
+/// comfortably exceed the deepest per-client pipeline any workload
+/// generates, or a duplicate could commit after its original's entry was
+/// evicted and be applied twice.
+pub use dynatune_raft::DEFAULT_REPLY_WINDOW;
 
 /// Only mutating commands need exactly-once protection: re-executing a
 /// retried read is harmless (it re-reads linearizably at the retry's
@@ -372,18 +372,48 @@ fn response_bytes(resp: &KvResponse) -> usize {
 /// replica (same applied sequence) and travels inside snapshots, so a
 /// follower restored via `InstallSnapshot` deduplicates exactly like one
 /// that replayed the log.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Store {
     kv: KvStore,
     /// Per-client window of recent `req_id → response`.
     sessions: BTreeMap<u64, BTreeMap<u64, KvResponse>>,
+    /// Sliding id window retained per client (the shared
+    /// `RaftConfig::reply_window` knob; identical on every replica, so it
+    /// is config rather than replicated state even though it rides along
+    /// in snapshot clones).
+    reply_window: u64,
+}
+
+impl Default for Store {
+    fn default() -> Self {
+        Self::with_reply_window(DEFAULT_REPLY_WINDOW)
+    }
 }
 
 impl Store {
-    /// Empty store.
+    /// Empty store with the default reply window.
     #[must_use]
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Empty store retaining `window` reply ids per client (the validated
+    /// `RaftConfig::reply_window` knob; see
+    /// [`DEFAULT_REPLY_WINDOW`] for the sizing rule).
+    #[must_use]
+    pub fn with_reply_window(window: u64) -> Self {
+        assert!(window > 0, "zero reply window");
+        Self {
+            kv: KvStore::default(),
+            sessions: BTreeMap::new(),
+            reply_window: window,
+        }
+    }
+
+    /// The configured per-client reply-cache id window.
+    #[must_use]
+    pub fn reply_window(&self) -> u64 {
+        self.reply_window
     }
 
     /// The underlying KV map (observers).
@@ -482,8 +512,9 @@ impl StateMachine for Store {
                 replies.insert(origin.req_id, resp.clone());
                 // Slide the window: drop replies no live retry can ask for.
                 let newest = *replies.keys().next_back().expect("just inserted");
+                let window = self.reply_window;
                 while let Some((&oldest, _)) = replies.iter().next() {
-                    if oldest + REPLY_WINDOW <= newest {
+                    if oldest + window <= newest {
                         replies.remove(&oldest);
                     } else {
                         break;
@@ -781,8 +812,12 @@ mod tests {
 
     #[test]
     fn store_reply_window_slides() {
-        let mut s = Store::new();
-        for req_id in 0..(REPLY_WINDOW + 10) {
+        // The window is the configurable RaftConfig::reply_window knob; a
+        // small one keeps the test fast while exercising the same eviction.
+        const WINDOW: u64 = 64;
+        let mut s = Store::with_reply_window(WINDOW);
+        assert_eq!(s.reply_window(), WINDOW);
+        for req_id in 0..(WINDOW + 10) {
             let put = KvRequest::from_client(
                 1,
                 req_id,
@@ -793,7 +828,7 @@ mod tests {
             );
             s.apply(req_id + 1, &put);
         }
-        let newest = REPLY_WINDOW + 9;
+        let newest = WINDOW + 9;
         assert!(s
             .cached_reply(ReqOrigin {
                 client: 1,
@@ -806,7 +841,9 @@ mod tests {
                 req_id: newest
             })
             .is_some());
-        assert_eq!(s.sessions[&1].len() as u64, REPLY_WINDOW);
+        assert_eq!(s.sessions[&1].len() as u64, WINDOW);
+        // The default window follows the shared knob's sizing rule.
+        assert_eq!(Store::new().reply_window(), DEFAULT_REPLY_WINDOW);
     }
 
     #[test]

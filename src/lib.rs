@@ -12,6 +12,7 @@
 //! * [`kv`] — replicated key-value store and workload generation.
 //! * [`cluster`] — simulation harness, failure injection, experiments.
 
+pub use dynatune_broker as broker;
 pub use dynatune_cluster as cluster;
 pub use dynatune_core as core;
 pub use dynatune_kv as kv;

@@ -108,6 +108,28 @@ fn pipeline_depth_report_identical_serial_vs_parallel() {
 }
 
 #[test]
+fn broker_reports_identical_serial_vs_parallel() {
+    // The broker scenarios fan out produce/fetch sims per pipeline window,
+    // per group count, and sample a failover timeline; throughput tables,
+    // CPU ratios and the exactly-once checker counts must be bit-identical
+    // at any pool width.
+    for experiment in [
+        &catalog::BrokerProduceThroughput as &dyn Experiment,
+        &catalog::ConsumerLagFailover,
+        &catalog::ConsumerFanout,
+    ] {
+        let serial = report_with_jobs(experiment, 1);
+        let parallel = report_with_jobs(experiment, 4);
+        assert_eq!(
+            serial, parallel,
+            "{}: --jobs must not change the report",
+            serial.name
+        );
+        assert!(!serial.tables.is_empty() && !serial.headlines.is_empty());
+    }
+}
+
+#[test]
 fn failover_trials_identical_across_pool_widths() {
     let cluster = ClusterConfig::stable(
         5,
