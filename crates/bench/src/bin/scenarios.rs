@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! scenarios --list                 # what's registered (+ headline, CI assertion)
+//! scenarios --list --json          # the same registry, machine-readable
 //! scenarios --quick                # smoke-run every scenario
 //! scenarios --only fig4,fig8      # a subset, by exact name
 //! scenarios --only broker          # ... or by substring/prefix
@@ -15,8 +16,12 @@
 //! `BENCH_scenarios.json` (per-scenario wall time and headline metrics)
 //! that CI uploads so the perf trajectory accumulates across commits.
 
+// Measuring scenario wall time is this binary's job: the D001 exemption
+// for the bench harness (see clippy.toml and dynatune_lint's policy).
+#![allow(clippy::disallowed_types)]
+
 use dynatune_bench::{bench_json, run_and_emit, select_names, BenchEntry, RunArgs};
-use dynatune_cluster::scenario::{catalog_markdown, registry};
+use dynatune_cluster::scenario::{catalog_json, catalog_markdown, registry};
 use dynatune_stats::table::Table;
 use std::time::Instant;
 
@@ -31,7 +36,16 @@ fn main() {
         return;
     }
 
+    if args.json && !args.list {
+        eprintln!("error: --json only applies to --list");
+        std::process::exit(2);
+    }
+
     if args.list {
+        if args.json {
+            print!("{}", catalog_json());
+            return;
+        }
         let mut t = Table::new(["name", "description", "headline metric", "CI assertion"]);
         for e in &all {
             t.row([

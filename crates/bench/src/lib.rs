@@ -48,6 +48,8 @@ pub struct RunArgs {
     pub only: Vec<String>,
     /// List registered scenarios and exit.
     pub list: bool,
+    /// With `--list`: emit the registry as JSON instead of a table.
+    pub json: bool,
     /// Print the Markdown scenario catalog (`SCENARIOS.md`) and exit.
     pub describe_md: bool,
 }
@@ -63,6 +65,7 @@ impl Default for RunArgs {
             jobs: 0,
             only: Vec::new(),
             list: false,
+            json: false,
             describe_md: false,
         }
     }
@@ -70,9 +73,11 @@ impl Default for RunArgs {
 
 /// The usage string printed on `--help` and on parse errors.
 pub const USAGE: &str = "usage: [--quick] [--trials N] [--repeats N] [--jobs N] [--out DIR] \
-[--seed N] [--list] [--describe-md] [--only PAT[,PAT...]]
+[--seed N] [--list [--json]] [--describe-md] [--only PAT[,PAT...]]
   --only selects by exact scenario name, else by substring (\"broker\"
-  runs every broker_* scenario); unknown patterns are an error";
+  runs every broker_* scenario); unknown patterns are an error
+  --list --json emits the registry (name, headline metric, CI assertion)
+  as machine-readable JSON";
 
 impl RunArgs {
     /// Parse from `std::env::args`. On bad input, prints the error and
@@ -111,6 +116,7 @@ impl RunArgs {
             match a.as_str() {
                 "--quick" => out.quick = true,
                 "--list" => out.list = true,
+                "--json" => out.json = true,
                 "--describe-md" => out.describe_md = true,
                 "--trials" => out.trials = Some(number(&mut args, "--trials")?),
                 "--repeats" => out.repeats = Some(number(&mut args, "--repeats")?),
@@ -317,9 +323,9 @@ pub fn run_and_emit(experiment: &dyn Experiment, args: &RunArgs) -> Report {
 /// name is missing from the registry (a bug, not a user error).
 pub fn fig_main(name: &str) {
     let args = RunArgs::parse();
-    if args.list || args.describe_md || !args.only.is_empty() {
+    if args.list || args.json || args.describe_md || !args.only.is_empty() {
         eprintln!(
-            "error: --list/--describe-md/--only work on the registry; use the `scenarios` binary"
+            "error: --list/--json/--describe-md/--only work on the registry; use the `scenarios` binary"
         );
         std::process::exit(2);
     }
@@ -355,10 +361,11 @@ mod tests {
             "--only",
             "fig4,fig8",
             "--list",
+            "--json",
         ])
         .unwrap()
         .unwrap();
-        assert!(args.quick && args.list);
+        assert!(args.quick && args.list && args.json);
         assert_eq!(args.trials, Some(7));
         assert_eq!(args.jobs, 3);
         assert_eq!(args.seed, 9);

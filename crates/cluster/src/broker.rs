@@ -42,7 +42,7 @@ use dynatune_simnet::{
     Topology, World,
 };
 use dynatune_stats::OnlineStats;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::time::Duration;
 
 /// The broker wire vocabulary: the shared cluster message enum instantiated
@@ -278,7 +278,7 @@ pub struct BrokerClient {
     fanout_fetch: bool,
     request_timeout: Duration,
     next_req_id: u64,
-    outstanding: HashMap<u64, Pending>,
+    outstanding: BTreeMap<u64, Pending>,
     /// `(deadline, req_id, attempt)`; constant timeout keeps it ordered.
     /// Stale attempts are skipped on expiry.
     timeout_queue: VecDeque<(SimTime, u64, u64)>,
@@ -350,7 +350,7 @@ impl BrokerClient {
             fanout_fetch: workload.fanout_fetch,
             request_timeout: workload.request_timeout,
             next_req_id: 0,
-            outstanding: HashMap::new(),
+            outstanding: BTreeMap::new(),
             timeout_queue: VecDeque::new(),
             stats: BrokerStats::default(),
             group_stats: vec![ConsumerStats::default(); workload.groups],

@@ -6,7 +6,7 @@ use dynatune_kv::{KvCommand, KvResponse, WorkloadGen};
 use dynatune_raft::NodeId;
 use dynatune_simnet::{Channel, HostCtx, SimTime};
 use dynatune_stats::OnlineStats;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::time::Duration;
 
 /// One completed operation in the client's linearizability trace:
@@ -82,7 +82,7 @@ pub struct ClientHost {
     leader_guess: NodeId,
     n_servers: usize,
     next_req_id: u64,
-    outstanding: HashMap<u64, Outstanding>,
+    outstanding: BTreeMap<u64, Outstanding>,
     steps: Vec<StepRecord>,
     /// End instant of each step's window.
     step_ends: Vec<SimTime>,
@@ -133,7 +133,7 @@ impl ClientHost {
             leader_guess: 0,
             n_servers,
             next_req_id: 0,
-            outstanding: HashMap::new(),
+            outstanding: BTreeMap::new(),
             steps,
             step_ends,
             late: 0,

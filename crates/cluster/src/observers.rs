@@ -137,8 +137,8 @@ pub fn total_leaderless_secs(gaps: &[(f64, f64)]) -> f64 {
 /// tests share this check.
 #[must_use]
 pub fn election_safety_violations(events: &[(SimTime, NodeId, RaftEvent)]) -> usize {
-    let mut leaders_by_term: std::collections::HashMap<u64, NodeId> =
-        std::collections::HashMap::new();
+    let mut leaders_by_term: std::collections::BTreeMap<u64, NodeId> =
+        std::collections::BTreeMap::new();
     let mut violations = 0;
     for &(_, node, ev) in events {
         if let RaftEvent::BecameLeader { term } = ev {
@@ -198,8 +198,8 @@ pub fn kth_smallest_timeout_ms(timeouts: &[Option<Duration>], k: usize) -> Optio
 pub fn stale_read_violations(trace: &[crate::client::OpRecord]) -> usize {
     // Per key: (response_time, revision) ops sorted by response time give
     // a running "must-have-seen" floor for reads invoked later.
-    let mut by_key: std::collections::HashMap<&[u8], Vec<&crate::client::OpRecord>> =
-        std::collections::HashMap::new();
+    let mut by_key: std::collections::BTreeMap<&[u8], Vec<&crate::client::OpRecord>> =
+        std::collections::BTreeMap::new();
     for op in trace {
         by_key.entry(op.key.as_ref()).or_default().push(op);
     }

@@ -227,7 +227,7 @@ fn churn_trial(seed: u64, cycles: usize) -> ChurnTrial {
     let mut sim = cluster(seed, Duration::from_secs(churn_secs));
     let mut max_log = 0usize;
     run_tracking_log(&mut sim, SimTime::from_secs(10), &mut max_log);
-    for cycle in 0..cycles {
+    for _cycle in 0..cycles {
         let (_, follower) = pick_follower(&sim);
         // Down for 8s of sustained writes (~6.4k entries — past the
         // horizon), then a crash-restart rejoin.
@@ -238,7 +238,6 @@ fn churn_trial(seed: u64, cycles: usize) -> ChurnTrial {
         sim.resume(follower);
         let t = sim.now() + Duration::from_secs(4);
         run_tracking_log(&mut sim, t, &mut max_log);
-        let _ = cycle;
     }
     // Quiesce: let the last restarted follower finish catching up.
     let end = SimTime::from_secs(churn_secs + 10);

@@ -14,7 +14,7 @@ use dynatune_raft::{
     StateMachine, Term,
 };
 use dynatune_simnet::{Channel, HostCtx, SimTime};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::time::Duration;
 
 /// A proposal made on behalf of a client, waiting for its entry to apply.
@@ -178,11 +178,11 @@ pub struct ServerHost<A: App = KvApp> {
     /// Grant-token allocator for reads registered with the Raft node.
     next_read_token: u64,
     /// Outstanding read grants, by token.
-    read_origins: HashMap<u64, ReadOrigin<A>>,
+    read_origins: BTreeMap<u64, ReadOrigin<A>>,
     /// Local-id allocator for reads this follower forwarded to the leader.
     next_fwd_id: u64,
     /// Reads forwarded to the leader, awaiting a `ReadIndexResp`.
-    forwarded: HashMap<u64, (NodeId, u64, A::Command)>,
+    forwarded: BTreeMap<u64, (NodeId, u64, A::Command)>,
     /// Wave-id allocator for forwarded-read batches.
     next_fwd_wave: u64,
     /// Forwarded reads admitted but not yet covered by a wave.
@@ -215,9 +215,9 @@ impl<A: App> ServerHost<A> {
             read_strategy: ReadStrategy::default(),
             follower_reads: true,
             next_read_token: 0,
-            read_origins: HashMap::new(),
+            read_origins: BTreeMap::new(),
             next_fwd_id: 0,
-            forwarded: HashMap::new(),
+            forwarded: BTreeMap::new(),
             next_fwd_wave: 0,
             fwd_pending: Vec::new(),
             fwd_inflight: None,

@@ -14,7 +14,7 @@ use dynatune_kv::{KvCommand, ShardId, ShardMap, ShardRouter, WorkloadGen};
 use dynatune_raft::NodeId;
 use dynatune_simnet::{Channel, HostCtx, SimTime};
 use dynatune_stats::OnlineStats;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::time::Duration;
 
 /// Maximum redirect/timeout-driven retries per request (matches the
@@ -58,7 +58,7 @@ pub struct ShardClient {
     /// Per-shard leader guess (global host id within the shard's group).
     leader_guess: Vec<NodeId>,
     next_req_id: u64,
-    outstanding: HashMap<u64, Outstanding>,
+    outstanding: BTreeMap<u64, Outstanding>,
     stats: Vec<ShardStats>,
     request_timeout: Option<Duration>,
     /// FIFO of `(deadline, req_id)`; constant timeout keeps it ordered.
@@ -93,7 +93,7 @@ impl ShardClient {
             map,
             leader_guess: (0..shards).map(|s| map.server(s, 0)).collect(),
             next_req_id: 0,
-            outstanding: HashMap::new(),
+            outstanding: BTreeMap::new(),
             stats: vec![ShardStats::default(); shards],
             request_timeout: Some(Duration::from_secs(1)),
             timeout_queue: VecDeque::new(),

@@ -1,0 +1,11 @@
+//! D001 must fire: wall-clock time in deterministic code, including through
+//! an aliased import.
+
+use std::time::Instant;
+use std::time::SystemTime as Clock;
+
+pub fn measure() -> u64 {
+    let start = Instant::now();
+    let _epoch = Clock::now();
+    start.elapsed().as_millis() as u64
+}

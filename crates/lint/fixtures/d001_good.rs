@@ -1,0 +1,11 @@
+//! D001 must stay silent: virtual time only, and the hazard names appear
+//! only where the scanner must ignore them (comments and string literals).
+
+use std::time::Duration;
+
+// A comment naming std::time::Instant::now() is not a use of it.
+pub fn schedule(now_us: u64, delay: Duration) -> u64 {
+    let msg = "docs mention std::time::SystemTime but never call it";
+    let _len = msg.len();
+    now_us + delay.as_micros() as u64
+}

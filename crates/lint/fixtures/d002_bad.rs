@@ -1,0 +1,16 @@
+//! D002 must fire: hash containers in a deterministic crate — the import,
+//! an aliased construction, and iteration over a binding.
+
+use std::collections::HashMap as Map;
+
+pub fn tally(events: &[(u64, u64)]) -> Vec<(u64, u64)> {
+    let mut counts: Map<u64, u64> = Map::new();
+    for &(k, v) in events {
+        *counts.entry(k).or_insert(0) += v;
+    }
+    let mut out = Vec::new();
+    for (k, v) in counts.iter() {
+        out.push((*k, *v));
+    }
+    out
+}

@@ -1,0 +1,13 @@
+//! D002 must stay silent: ordered containers iterate deterministically.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+pub fn tally(events: &[(u64, u64)]) -> Vec<(u64, u64)> {
+    let mut counts: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut seen: BTreeSet<u64> = BTreeSet::new();
+    for &(k, v) in events {
+        *counts.entry(k).or_insert(0) += v;
+        seen.insert(k);
+    }
+    counts.iter().map(|(k, v)| (*k, *v)).collect()
+}

@@ -1,0 +1,11 @@
+//! D003 must fire: ambient randomness — thread_rng, rand::random, and
+//! std's randomized hasher state.
+
+use rand::thread_rng;
+use std::collections::hash_map::RandomState;
+
+pub fn roll() -> u64 {
+    let _state = RandomState::new();
+    let _rng = thread_rng();
+    rand::random::<u64>()
+}

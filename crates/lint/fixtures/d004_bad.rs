@@ -1,0 +1,12 @@
+//! D004 must fire: OS threads and sync primitives outside the vendored
+//! rayon shim.
+
+use std::sync::Mutex;
+
+pub fn run() {
+    let shared = Mutex::new(0u64);
+    let handle = std::thread::spawn(move || {
+        *shared.lock().unwrap() += 1;
+    });
+    handle.join().unwrap();
+}

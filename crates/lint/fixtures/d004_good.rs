@@ -1,0 +1,10 @@
+//! D004 must stay silent: single-threaded deterministic code; `Arc` alone
+//! is fine (shared ownership, not scheduling).
+
+use std::sync::Arc;
+
+pub fn share(v: Vec<u64>) -> (Arc<Vec<u64>>, Arc<Vec<u64>>) {
+    let a = Arc::new(v);
+    let b = Arc::clone(&a);
+    (a, b)
+}

@@ -1,0 +1,16 @@
+//! L001 must fire: `let _ =` discarding a value in protocol code.
+
+pub fn apply(entries: &[u64]) -> Result<(), String> {
+    for &e in entries {
+        let _ = validate(e);
+    }
+    Ok(())
+}
+
+fn validate(e: u64) -> Result<u64, String> {
+    if e == 0 {
+        Err("zero entry".to_string())
+    } else {
+        Ok(e)
+    }
+}

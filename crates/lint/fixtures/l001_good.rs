@@ -1,0 +1,18 @@
+//! L001 must stay silent: results are propagated or handled, and named
+//! `let _name =` bindings are allowed (they document intent).
+
+pub fn apply(entries: &[u64]) -> Result<(), String> {
+    for &e in entries {
+        validate(e)?;
+    }
+    let _checked = entries.len();
+    Ok(())
+}
+
+fn validate(e: u64) -> Result<u64, String> {
+    if e == 0 {
+        Err("zero entry".to_string())
+    } else {
+        Ok(e)
+    }
+}

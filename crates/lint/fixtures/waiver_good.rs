@@ -1,0 +1,13 @@
+//! A well-formed waiver with a reason suppresses the finding and counts
+//! as used — both the own-line form and the trailing form.
+
+// lint: allow(D002) — entry-only map, never iterated; fixture exercises
+// the own-line waiver form (multi-line comment, covers the next code line).
+use std::collections::HashMap;
+
+pub fn build() -> usize {
+    let m: HashMap<u64, u64> = HashMap::new(); // lint: allow(D002) — construction of the same entry-only map
+    let started = std::time::Instant::now(); // lint: allow(D001) — trailing-form fixture
+    let _elapsed = started.elapsed();
+    m.len()
+}

@@ -1,0 +1,7 @@
+//! W002 must fire: a waiver whose rule never triggers on the covered line
+//! is stale and must be removed, not silently carried.
+
+// lint: allow(D001) — stale: the next line has no wall-clock call
+pub fn nothing_to_waive(x: u64) -> u64 {
+    x + 1
+}

@@ -1,0 +1,623 @@
+//! The scanning engine: tokens → findings, with waivers applied.
+//!
+//! Passes over one file:
+//!
+//! 1. lex (comments kept for waivers),
+//! 2. build the `use`-alias table,
+//! 3. mark `#[cfg(test)] mod` line ranges (policy differs for test code),
+//! 4. path pass — every resolved path checked against the hazard tables
+//!    (this catches imports *and* spelled-out uses, aliased or not),
+//! 5. D002 iteration pass — hash-container bindings collected from type
+//!    ascriptions / initializers, then `.iter()`-family calls and `for`
+//!    loops over them flagged,
+//! 6. L001 pass — `let _ =` in protocol prod code,
+//! 7. waiver application — `// lint: allow(RULE) — reason` comments
+//!    suppress same/next-line findings; malformed (W001) and stale (W002)
+//!    waivers are themselves findings.
+
+use crate::policy::FilePolicy;
+use crate::rules::{self, id};
+use crate::tokens::{lex, Comment, Tok, Token};
+use crate::uses::UseMap;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Rule ID (`D001`...`L001`, `W001`, `W002`).
+    pub rule: &'static str,
+    /// What was found (includes the offending path or construct).
+    pub message: String,
+}
+
+/// One parsed waiver comment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Waiver {
+    /// Workspace-relative file path.
+    pub file: String,
+    /// Line of the comment itself.
+    pub comment_line: u32,
+    /// Line of code the waiver covers.
+    pub covers_line: u32,
+    /// Waived rule IDs.
+    pub rules: Vec<String>,
+    /// The written justification (non-empty by construction).
+    pub reason: String,
+    /// Set when the waiver suppressed at least one finding.
+    pub used: bool,
+}
+
+/// Scan result for one file.
+#[derive(Debug, Default)]
+pub struct FileScan {
+    /// Findings that survived waivers (sorted by line).
+    pub violations: Vec<Violation>,
+    /// Every well-formed waiver found, with its use status.
+    pub waivers: Vec<Waiver>,
+}
+
+/// Scan one source file under one policy.
+#[must_use]
+pub fn scan_source(rel_path: &str, src: &str, policy: &FilePolicy) -> FileScan {
+    let lexed = lex(src);
+    let tokens = &lexed.tokens;
+    let uses = UseMap::build(tokens);
+    let test_ranges = cfg_test_ranges(tokens);
+
+    let in_test = |line: u32| -> bool {
+        policy.file_is_test || test_ranges.iter().any(|&(s, e)| line >= s && line <= e)
+    };
+    let ruleset = |line: u32| {
+        if in_test(line) {
+            &policy.test
+        } else {
+            &policy.prod
+        }
+    };
+
+    let mut raw: Vec<Violation> = Vec::new();
+    let mut push = |line: u32, rule: &'static str, message: String| {
+        raw.push(Violation {
+            file: rel_path.to_string(),
+            line,
+            rule,
+            message,
+        });
+    };
+
+    // --- Pass 4: resolved-path hazards ------------------------------------
+    let paths = collect_paths(tokens);
+    for p in &paths {
+        let resolved = resolve(&uses, &p.segments);
+        for rule in rules::matching_rules(&resolved) {
+            let rs = ruleset(p.line);
+            let fire = match rule {
+                id::D002 => rs.d002 && rs.d002_presence,
+                other => rs.enabled(other),
+            };
+            if fire {
+                push(
+                    p.line,
+                    rule,
+                    format!(
+                        "`{}` resolves to `{}` — {}",
+                        p.segments.join("::"),
+                        resolved.join("::"),
+                        rules::rule_info(rule).map_or("", |r| r.summary)
+                    ),
+                );
+            }
+        }
+    }
+
+    // --- Pass 5: D002 iteration over known hash bindings ------------------
+    if policy.prod.d002 || policy.test.d002 {
+        let bindings = hash_bindings(tokens, &uses);
+        if !bindings.is_empty() {
+            flag_iteration(tokens, &bindings, rel_path, &mut raw, |line| {
+                ruleset(line).d002
+            });
+        }
+    }
+
+    // --- Pass 6: L001 `let _ =` discards ----------------------------------
+    if policy.prod.l001 {
+        for w in tokens.windows(3) {
+            if matches!(&w[0].tok, Tok::Ident(s) if s == "let")
+                && matches!(&w[1].tok, Tok::Ident(s) if s == "_")
+                && matches!(w[2].tok, Tok::Punct('='))
+                && ruleset(w[0].line).l001
+            {
+                raw.push(Violation {
+                    file: rel_path.to_string(),
+                    line: w[0].line,
+                    rule: id::L001,
+                    message: "`let _ =` discards a value in protocol code — a dropped \
+                              Result/effect here is the silent-stall hazard class"
+                        .to_string(),
+                });
+            }
+        }
+    }
+
+    // --- Pass 7: waivers ---------------------------------------------------
+    apply_waivers(rel_path, &lexed.comments, tokens, raw)
+}
+
+// ---------------------------------------------------------------------------
+// Path collection and resolution
+// ---------------------------------------------------------------------------
+
+struct PathRef {
+    line: u32,
+    segments: Vec<String>,
+}
+
+/// Collect every maximal `ident(::ident)*` path whose first segment is not
+/// a method name (preceded by `.`) and not the middle of a longer path.
+fn collect_paths(tokens: &[Token]) -> Vec<PathRef> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let prev_dot = i > 0 && matches!(tokens[i - 1].tok, Tok::Punct('.'));
+        let prev_sep = i > 0 && matches!(tokens[i - 1].tok, Tok::PathSep);
+        // A leading `::` (absolute path, `::std::thread::spawn`) still
+        // starts a path; a `::` *after* an ident means we're mid-path.
+        let leading_abs = prev_sep && (i < 2 || !matches!(tokens[i - 2].tok, Tok::Ident(_)));
+        let is_start =
+            matches!(tokens[i].tok, Tok::Ident(_)) && !prev_dot && (!prev_sep || leading_abs);
+        if !is_start {
+            i += 1;
+            continue;
+        }
+        let line = tokens[i].line;
+        let mut segments = Vec::new();
+        while let Tok::Ident(s) = &tokens[i].tok {
+            segments.push(s.clone());
+            if i + 2 < tokens.len()
+                && matches!(tokens[i + 1].tok, Tok::PathSep)
+                && matches!(tokens[i + 2].tok, Tok::Ident(_))
+            {
+                i += 2;
+            } else {
+                break;
+            }
+        }
+        i += 1;
+        out.push(PathRef { line, segments });
+    }
+    out
+}
+
+/// Resolve a path's first segment through the file's imports.
+fn resolve(uses: &UseMap, segments: &[String]) -> Vec<String> {
+    let Some(first) = segments.first() else {
+        return Vec::new();
+    };
+    match uses.resolve(first) {
+        Some(full) => {
+            let mut out: Vec<String> = full.to_vec();
+            out.extend(segments.iter().skip(1).cloned());
+            out
+        }
+        None => segments.to_vec(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// `#[cfg(test)] mod` regions
+// ---------------------------------------------------------------------------
+
+/// Line ranges (inclusive) of `#[cfg(test)] mod name { ... }` blocks.
+fn cfg_test_ranges(tokens: &[Token]) -> Vec<(u32, u32)> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i + 6 < tokens.len() {
+        let is_cfg_test = matches!(tokens[i].tok, Tok::Punct('#'))
+            && matches!(tokens[i + 1].tok, Tok::Punct('['))
+            && matches!(&tokens[i + 2].tok, Tok::Ident(s) if s == "cfg")
+            && matches!(tokens[i + 3].tok, Tok::Punct('('))
+            && matches!(&tokens[i + 4].tok, Tok::Ident(s) if s == "test")
+            && matches!(tokens[i + 5].tok, Tok::Punct(')'))
+            && matches!(tokens[i + 6].tok, Tok::Punct(']'));
+        if !is_cfg_test {
+            i += 1;
+            continue;
+        }
+        // Skip further attributes, then expect `[pub] mod name {`.
+        let mut j = i + 7;
+        while matches!(tokens.get(j).map(|t| &t.tok), Some(Tok::Punct('#'))) {
+            // Skip a balanced `[...]` attribute.
+            j += 1;
+            let mut depth = 0usize;
+            while let Some(t) = tokens.get(j) {
+                match t.tok {
+                    Tok::Punct('[') => depth += 1,
+                    Tok::Punct(']') => {
+                        depth -= 1;
+                        if depth == 0 {
+                            j += 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+        }
+        if matches!(tokens.get(j).map(|t| &t.tok), Some(Tok::Ident(s)) if s == "pub") {
+            j += 1;
+        }
+        let is_mod = matches!(tokens.get(j).map(|t| &t.tok), Some(Tok::Ident(s)) if s == "mod");
+        if !is_mod {
+            i += 1;
+            continue;
+        }
+        // mod name {  — find the matching close brace.
+        j += 2;
+        while let Some(t) = tokens.get(j) {
+            if matches!(t.tok, Tok::Punct('{')) {
+                break;
+            }
+            j += 1;
+        }
+        let start_line = tokens[i].line;
+        let mut depth = 0usize;
+        let mut end_line = start_line;
+        while let Some(t) = tokens.get(j) {
+            match t.tok {
+                Tok::Punct('{') => depth += 1,
+                Tok::Punct('}') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end_line = t.line;
+                        j += 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        out.push((start_line, end_line));
+        i = j;
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// D002 iteration detection
+// ---------------------------------------------------------------------------
+
+/// Names bound to hash containers in this file: struct fields and let
+/// bindings with a hash type ascription, lets initialized from
+/// `HashMap::...`, plus local `type X = HashMap<...>` aliases.
+fn hash_bindings(tokens: &[Token], uses: &UseMap) -> BTreeSet<String> {
+    // Pre-pass: local `type X = HashMap<...>` aliases (nested alias chains
+    // are out of scope).
+    let mut hash_type_names: BTreeSet<String> = BTreeSet::new();
+    for i in 0..tokens.len().saturating_sub(3) {
+        if matches!(&tokens[i].tok, Tok::Ident(s) if s == "type")
+            && matches!(tokens[i + 1].tok, Tok::Ident(_))
+            && matches!(tokens[i + 2].tok, Tok::Punct('='))
+        {
+            let mut segs = Vec::new();
+            let mut j = i + 3;
+            while let Some(Tok::Ident(s)) = tokens.get(j).map(|t| &t.tok) {
+                segs.push(s.clone());
+                if matches!(tokens.get(j + 1).map(|t| &t.tok), Some(Tok::PathSep)) {
+                    j += 2;
+                } else {
+                    break;
+                }
+            }
+            if rules::is_hash_container(&resolve(uses, &segs)) {
+                if let Tok::Ident(name) = &tokens[i + 1].tok {
+                    hash_type_names.insert(name.clone());
+                }
+            }
+        }
+    }
+
+    // Does a path starting at token `i` name a hash container?
+    let starts_hash = |i: usize| -> bool {
+        if !matches!(tokens[i].tok, Tok::Ident(_)) {
+            return false;
+        }
+        if i > 0
+            && (matches!(tokens[i - 1].tok, Tok::PathSep)
+                || matches!(tokens[i - 1].tok, Tok::Punct('.')))
+        {
+            return false;
+        }
+        let mut segs = Vec::new();
+        let mut j = i;
+        while let Some(Tok::Ident(s)) = tokens.get(j).map(|t| &t.tok) {
+            segs.push(s.clone());
+            if matches!(tokens.get(j + 1).map(|t| &t.tok), Some(Tok::PathSep)) {
+                j += 2;
+            } else {
+                break;
+            }
+        }
+        let first_is_alias = segs
+            .first()
+            .is_some_and(|s| hash_type_names.contains(s.as_str()));
+        first_is_alias || rules::is_hash_container(&resolve(uses, &segs))
+    };
+
+    let mut bindings: BTreeSet<String> = BTreeSet::new();
+    for i in 0..tokens.len() {
+        if !starts_hash(i) {
+            continue;
+        }
+        // `name: HashMap<...>` — struct field, let ascription, fn param.
+        if i >= 2 && matches!(tokens[i - 1].tok, Tok::Punct(':')) {
+            if let Tok::Ident(name) = &tokens[i - 2].tok {
+                bindings.insert(name.clone());
+            }
+        }
+        // `let [mut] name = HashMap::new()` and friends.
+        if i >= 3 && matches!(tokens[i - 1].tok, Tok::Punct('=')) {
+            if let Tok::Ident(name) = &tokens[i - 2].tok {
+                let before = &tokens[i - 3].tok;
+                let is_let = matches!(before, Tok::Ident(s) if s == "let")
+                    || (matches!(before, Tok::Ident(s) if s == "mut")
+                        && i >= 4
+                        && matches!(&tokens[i - 4].tok, Tok::Ident(s) if s == "let"));
+                if is_let {
+                    bindings.insert(name.clone());
+                }
+            }
+        }
+    }
+    bindings
+}
+
+/// Flag `.iter()`-family calls and `for`-loops over known hash bindings.
+fn flag_iteration(
+    tokens: &[Token],
+    bindings: &BTreeSet<String>,
+    rel_path: &str,
+    out: &mut Vec<Violation>,
+    d002_on: impl Fn(u32) -> bool,
+) {
+    // `.method(` on a binding.
+    for i in 1..tokens.len().saturating_sub(2) {
+        let dot = matches!(tokens[i].tok, Tok::Punct('.'));
+        if !dot {
+            continue;
+        }
+        let Tok::Ident(method) = &tokens[i + 1].tok else {
+            continue;
+        };
+        if !rules::ITER_METHODS.contains(&method.as_str()) {
+            continue;
+        }
+        if !matches!(tokens[i + 2].tok, Tok::Punct('(')) {
+            continue;
+        }
+        let Tok::Ident(receiver) = &tokens[i - 1].tok else {
+            continue;
+        };
+        if bindings.contains(receiver.as_str()) && d002_on(tokens[i].line) {
+            out.push(Violation {
+                file: rel_path.to_string(),
+                line: tokens[i].line,
+                rule: id::D002,
+                message: format!(
+                    "`.{method}()` iterates hash container `{receiver}` — order depends on \
+                     SipHash keys; use BTreeMap/BTreeSet"
+                ),
+            });
+        }
+    }
+    // `for pat in <expr containing a binding> {`.
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if !matches!(&tokens[i].tok, Tok::Ident(s) if s == "for") {
+            i += 1;
+            continue;
+        }
+        // Find `in` before the loop body `{` (skips `impl T for U {` and
+        // `for<'a>` which have no `in`).
+        let mut j = i + 1;
+        let mut in_pos = None;
+        while let Some(t) = tokens.get(j) {
+            match &t.tok {
+                Tok::Punct('{') => break,
+                Tok::Ident(s) if s == "in" => {
+                    in_pos = Some(j);
+                    break;
+                }
+                _ => j += 1,
+            }
+        }
+        let Some(start) = in_pos else {
+            i += 1;
+            continue;
+        };
+        let mut k = start + 1;
+        while let Some(t) = tokens.get(k) {
+            match &t.tok {
+                Tok::Punct('{') => break,
+                Tok::Ident(name) if bindings.contains(name.as_str()) => {
+                    // Exclude `x.contains_key(&name)`-style uses where the
+                    // binding is an argument, not the iterated expression:
+                    // good enough to check it's not directly preceded by
+                    // `&` inside a call — kept simple; waivers exist for
+                    // the rare false positive.
+                    if d002_on(t.line) {
+                        out.push(Violation {
+                            file: rel_path.to_string(),
+                            line: t.line,
+                            rule: id::D002,
+                            message: format!(
+                                "`for ... in` over hash container `{name}` — iteration order \
+                                 depends on SipHash keys; use BTreeMap/BTreeSet"
+                            ),
+                        });
+                    }
+                    k += 1;
+                }
+                _ => k += 1,
+            }
+        }
+        i = k.max(i + 1);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Waivers
+// ---------------------------------------------------------------------------
+
+/// Outcome of parsing one comment for waiver syntax.
+enum WaiverParse {
+    NotAWaiver,
+    Malformed(String),
+    Ok { rules: Vec<String>, reason: String },
+}
+
+/// Parse a waiver (`lint: allow` + rule list + em-dash + reason) out of a
+/// comment body. Doc comments (`///`, `//!`) never carry waivers — they
+/// are documentation *about* the syntax, not directives — so bodies
+/// starting with `/` or `!` are skipped.
+fn parse_waiver(text: &str) -> WaiverParse {
+    if text.starts_with('/') || text.starts_with('!') {
+        return WaiverParse::NotAWaiver;
+    }
+    let Some(pos) = text.find("lint:") else {
+        return WaiverParse::NotAWaiver;
+    };
+    let rest = text[pos + "lint:".len()..].trim_start();
+    let Some(rest) = rest.strip_prefix("allow") else {
+        return WaiverParse::Malformed("expected `allow(...)` after `lint:`".to_string());
+    };
+    let rest = rest.trim_start();
+    let Some(rest) = rest.strip_prefix('(') else {
+        return WaiverParse::Malformed("expected `(` after `allow`".to_string());
+    };
+    let Some(close) = rest.find(')') else {
+        return WaiverParse::Malformed("unclosed `allow(`".to_string());
+    };
+    let rules: Vec<String> = rest[..close]
+        .split(',')
+        .map(|r| r.trim().to_string())
+        .filter(|r| !r.is_empty())
+        .collect();
+    if rules.is_empty() {
+        return WaiverParse::Malformed("no rule IDs inside `allow(...)`".to_string());
+    }
+    for r in &rules {
+        if !rules::is_waivable(r) {
+            return WaiverParse::Malformed(format!("`{r}` is not a waivable rule"));
+        }
+    }
+    let reason = rest[close + 1..]
+        .trim_start()
+        .trim_start_matches(['—', '–', '-', ':'])
+        .trim()
+        .to_string();
+    if reason.is_empty() {
+        return WaiverParse::Malformed(
+            "waiver has no reason — syntax is `// lint: allow(D00X) — <reason>`".to_string(),
+        );
+    }
+    WaiverParse::Ok { rules, reason }
+}
+
+/// Apply waivers to the raw findings; malformed and stale waivers become
+/// findings themselves.
+fn apply_waivers(
+    rel_path: &str,
+    comments: &[Comment],
+    tokens: &[Token],
+    raw: Vec<Violation>,
+) -> FileScan {
+    let mut waivers: Vec<Waiver> = Vec::new();
+    let mut malformed: Vec<Violation> = Vec::new();
+    for c in comments {
+        match parse_waiver(&c.text) {
+            WaiverParse::NotAWaiver => {}
+            WaiverParse::Malformed(why) => malformed.push(Violation {
+                file: rel_path.to_string(),
+                line: c.line,
+                rule: id::W001,
+                message: why,
+            }),
+            WaiverParse::Ok { rules, reason } => {
+                let covers_line = if c.own_line {
+                    // First code line after the comment (stacked waiver
+                    // comments covering the same statement all resolve to
+                    // that statement's line).
+                    tokens
+                        .iter()
+                        .map(|t| t.line)
+                        .find(|&l| l > c.line)
+                        .unwrap_or(c.line + 1)
+                } else {
+                    c.line
+                };
+                waivers.push(Waiver {
+                    file: rel_path.to_string(),
+                    comment_line: c.line,
+                    covers_line,
+                    rules,
+                    reason,
+                    used: false,
+                });
+            }
+        }
+    }
+
+    let mut kept: Vec<Violation> = Vec::new();
+    for v in raw {
+        let mut waived = false;
+        for w in &mut waivers {
+            if w.covers_line == v.line && w.rules.iter().any(|r| r == v.rule) {
+                w.used = true;
+                waived = true;
+            }
+        }
+        if !waived {
+            kept.push(v);
+        }
+    }
+    for w in &waivers {
+        if !w.used {
+            kept.push(Violation {
+                file: rel_path.to_string(),
+                line: w.comment_line,
+                rule: id::W002,
+                message: format!(
+                    "stale waiver for {} — line {} has no matching violation",
+                    w.rules.join(", "),
+                    w.covers_line
+                ),
+            });
+        }
+    }
+    kept.extend(malformed);
+    kept.sort_by_key(|v| (v.line, v.rule));
+    kept.dedup();
+    FileScan {
+        violations: kept,
+        waivers,
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+/// A tiny helper the walker uses: map of rule → count (report summaries).
+#[must_use]
+pub fn count_by_rule(violations: &[Violation]) -> BTreeMap<&'static str, usize> {
+    let mut m = BTreeMap::new();
+    for v in violations {
+        *m.entry(v.rule).or_insert(0) += 1;
+    }
+    m
+}

@@ -1,0 +1,95 @@
+//! CLI for `dynatune_lint`: scan the workspace, print the report, and
+//! (under `--deny`) fail the build on any unwaived violation.
+//!
+//! ```text
+//! cargo run -p dynatune_lint                  # report mode (always exit 0)
+//! cargo run -p dynatune_lint -- --deny        # CI mode (exit 1 on findings)
+//! cargo run -p dynatune_lint -- --json out.json
+//! cargo run -p dynatune_lint -- --rules       # print the rule catalog
+//! ```
+
+use dynatune_lint::{find_workspace_root, lint_workspace, rules};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: dynatune_lint [--root DIR] [--deny] [--json PATH] [--rules]
+  --root DIR   workspace root to scan (default: walk up from cwd)
+  --deny       exit 1 on any unwaived violation (CI mode)
+  --json PATH  also write the machine-readable report to PATH
+  --rules      print the rule catalog and exit";
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut deny = false;
+    let mut json: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--deny" => deny = true,
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => return fail("--root needs a path"),
+            },
+            "--json" => match args.next() {
+                Some(p) => json = Some(PathBuf::from(p)),
+                None => return fail("--json needs a path"),
+            },
+            "--rules" => {
+                for r in rules::RULES {
+                    println!("{}  {}\n      fix: {}", r.id, r.summary, r.fix);
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return fail(&format!("unknown flag `{other}`")),
+        }
+    }
+
+    let root = match root.or_else(|| {
+        std::env::current_dir()
+            .ok()
+            .and_then(|d| find_workspace_root(&d))
+    }) {
+        Some(r) => r,
+        None => return fail("no workspace root found (pass --root)"),
+    };
+
+    let report = match lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => return fail(&format!("scan failed: {e}")),
+    };
+
+    print!("{}", report.human());
+    if let Some(path) = &json {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                if let Err(e) = std::fs::create_dir_all(parent) {
+                    return fail(&format!("create {}: {e}", parent.display()));
+                }
+            }
+        }
+        if let Err(e) = std::fs::write(path, report.json()) {
+            return fail(&format!("write {}: {e}", path.display()));
+        }
+        println!("wrote {}", path.display());
+    }
+
+    if deny && !report.clean() {
+        eprintln!(
+            "dynatune_lint: {} violation(s) — denying. Fix them or waive with \
+             `// lint: allow(RULE) — reason`.",
+            report.violations.len()
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}");
+    eprintln!("{USAGE}");
+    ExitCode::FAILURE
+}

@@ -1,0 +1,199 @@
+//! Per-crate policy: which rules apply where.
+//!
+//! The workspace splits into three worlds:
+//!
+//! * **Deterministic crates** (`simnet`, `core`, `stats`, `raft`,
+//!   `kvstore`, `broker`, `cluster`, the umbrella `src/`, top-level
+//!   `tests/` and `examples/`, and this lint itself): everything that
+//!   feeds a scenario report. All D-rules apply — including to their
+//!   `#[cfg(test)]` code, since tests assert bit-identical reports. The
+//!   protocol crates (`raft`, `cluster`, `broker`) additionally get L001
+//!   on non-test code.
+//! * **The measurement harness** (`crates/bench`, `vendor/criterion`):
+//!   wall-clock time is its job, so D001 is off; everything else applies.
+//! * **The vendored concurrency shim** (`vendor/rayon`): threads and sync
+//!   are its job, so D004 is off there — and *only* there.
+
+/// The rule switches for one kind of code (prod vs test) in one crate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RuleSet {
+    /// Wall-clock time.
+    pub d001: bool,
+    /// Hash containers / unordered iteration.
+    pub d002: bool,
+    /// D002 sub-switch: flag the *presence* of a hash-container type, not
+    /// just iteration over one. On for deterministic crates (where the
+    /// policy is "just use BTreeMap"), off for vendor shims.
+    pub d002_presence: bool,
+    /// Ambient randomness.
+    pub d003: bool,
+    /// Threads/sync.
+    pub d004: bool,
+    /// `let _ =` discards.
+    pub l001: bool,
+}
+
+impl RuleSet {
+    /// Is `rule` enabled in this set?
+    #[must_use]
+    pub fn enabled(&self, rule: &str) -> bool {
+        match rule {
+            "D001" => self.d001,
+            "D002" => self.d002,
+            "D003" => self.d003,
+            "D004" => self.d004,
+            "L001" => self.l001,
+            _ => false,
+        }
+    }
+}
+
+/// Policy for one file: who it belongs to and which rules bind it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FilePolicy {
+    /// The policy bucket the file fell into (e.g. `crates/raft`), for
+    /// reports.
+    pub label: String,
+    /// True when the whole file is test-kind (`tests/`, `benches/`,
+    /// `examples/`); `#[cfg(test)]` modules inside prod files are
+    /// detected separately by the engine.
+    pub file_is_test: bool,
+    /// Rules for production code.
+    pub prod: RuleSet,
+    /// Rules for test code (L001 never applies: tests drive state
+    /// machines and legitimately discard step results).
+    pub test: RuleSet,
+}
+
+const fn det(l001: bool) -> RuleSet {
+    RuleSet {
+        d001: true,
+        d002: true,
+        d002_presence: true,
+        d003: true,
+        d004: true,
+        l001,
+    }
+}
+
+const fn without_d001(mut rs: RuleSet) -> RuleSet {
+    rs.d001 = false;
+    rs
+}
+
+const fn without_d004(mut rs: RuleSet) -> RuleSet {
+    rs.d004 = false;
+    rs
+}
+
+const fn vendor_default() -> RuleSet {
+    RuleSet {
+        d001: true,
+        d002: true,
+        d002_presence: false,
+        d003: true,
+        d004: true,
+        l001: false,
+    }
+}
+
+/// Decide the policy for one workspace-relative path (`/`-separated).
+/// Returns `None` for files the lint does not scan (non-Rust sources are
+/// filtered earlier; this is for completeness).
+#[must_use]
+pub fn policy_for(rel_path: &str) -> Option<FilePolicy> {
+    if !rel_path.ends_with(".rs") {
+        return None;
+    }
+    let file_is_test = rel_path.contains("/tests/")
+        || rel_path.contains("/benches/")
+        || rel_path.starts_with("tests/")
+        || rel_path.starts_with("examples/")
+        || rel_path.contains("/examples/");
+
+    let (label, prod): (&str, RuleSet) = if let Some(rest) = rel_path.strip_prefix("crates/") {
+        let name = rest.split('/').next().unwrap_or("");
+        match name {
+            // Protocol crates: full deterministic set plus L001.
+            "raft" | "cluster" | "broker" => ("protocol", det(true)),
+            // Other deterministic crates.
+            "simnet" | "core" | "stats" | "kvstore" | "lint" => ("deterministic", det(false)),
+            // The measurement harness owns the wall clock.
+            "bench" => ("bench-harness", without_d001(det(false))),
+            _ => ("deterministic", det(false)),
+        }
+    } else if let Some(rest) = rel_path.strip_prefix("vendor/") {
+        let name = rest.split('/').next().unwrap_or("");
+        match name {
+            // The one place threads/locks are allowed: the shim that
+            // *provides* deterministic fan-out.
+            "rayon" => ("vendor-rayon", without_d004(vendor_default())),
+            // The timing harness shim: Instant is its whole job.
+            "criterion" => ("vendor-criterion", without_d001(vendor_default())),
+            _ => ("vendor", vendor_default()),
+        }
+    } else {
+        // Umbrella src/, top-level tests/ and examples/.
+        ("workspace-root", det(false))
+    };
+
+    let mut test = prod;
+    test.l001 = false;
+    Some(FilePolicy {
+        label: label.to_string(),
+        file_is_test,
+        prod,
+        test,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn protocol_crates_get_l001_in_prod_only() {
+        let p = policy_for("crates/raft/src/node.rs").unwrap();
+        assert!(p.prod.l001);
+        assert!(!p.test.l001);
+        assert!(!p.file_is_test);
+        let t = policy_for("crates/raft/tests/pipeline.rs").unwrap();
+        assert!(t.file_is_test);
+    }
+
+    #[test]
+    fn bench_and_criterion_may_read_the_clock() {
+        assert!(
+            !policy_for("crates/bench/src/bin/scenarios.rs")
+                .unwrap()
+                .prod
+                .d001
+        );
+        assert!(!policy_for("vendor/criterion/src/lib.rs").unwrap().prod.d001);
+        assert!(policy_for("crates/simnet/src/world.rs").unwrap().prod.d001);
+    }
+
+    #[test]
+    fn only_rayon_may_thread() {
+        assert!(!policy_for("vendor/rayon/src/lib.rs").unwrap().prod.d004);
+        assert!(policy_for("vendor/bytes/src/lib.rs").unwrap().prod.d004);
+        assert!(policy_for("crates/cluster/src/sim.rs").unwrap().prod.d004);
+    }
+
+    #[test]
+    fn deterministic_world_denies_hash_presence_vendor_does_not() {
+        assert!(
+            policy_for("tests/election_safety.rs")
+                .unwrap()
+                .prod
+                .d002_presence
+        );
+        assert!(policy_for("src/lib.rs").unwrap().prod.d002_presence);
+        assert!(
+            !policy_for("vendor/proptest/src/lib.rs")
+                .unwrap()
+                .prod
+                .d002_presence
+        );
+    }
+}

@@ -1,0 +1,166 @@
+//! Report assembly: human-readable text and machine-readable JSON.
+
+use crate::engine::{count_by_rule, Violation, Waiver};
+use crate::rules;
+use std::fmt::Write as _;
+
+/// The whole-workspace lint result.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// Workspace root the scan ran over (display form).
+    pub root: String,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Findings that survived waivers, sorted by (file, line, rule).
+    pub violations: Vec<Violation>,
+    /// Every well-formed waiver, with use status.
+    pub waivers: Vec<Waiver>,
+}
+
+impl LintReport {
+    /// True when nothing (including waiver hygiene) fired.
+    #[must_use]
+    pub fn clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Human-readable report.
+    #[must_use]
+    pub fn human(&self) -> String {
+        let mut out = String::new();
+        for v in &self.violations {
+            let fix = rules::rule_info(v.rule).map_or("", |r| r.fix);
+            let _ = writeln!(out, "{}:{}: [{}] {}", v.file, v.line, v.rule, v.message);
+            if !fix.is_empty() {
+                let _ = writeln!(out, "    fix: {fix}");
+            }
+        }
+        let counts = count_by_rule(&self.violations);
+        let used_waivers = self.waivers.iter().filter(|w| w.used).count();
+        if !counts.is_empty() {
+            let _ = writeln!(out);
+            for (rule, n) in &counts {
+                let _ = writeln!(out, "  {rule}: {n} violation(s)");
+            }
+        }
+        let _ = writeln!(
+            out,
+            "{} file(s) scanned, {} violation(s), {} active waiver(s)",
+            self.files_scanned,
+            self.violations.len(),
+            used_waivers
+        );
+        out
+    }
+
+    /// Machine-readable JSON (hand-rolled; the crate is dependency-free).
+    #[must_use]
+    pub fn json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"schema\": \"dynatune-lint/v1\",");
+        let _ = writeln!(out, "  \"root\": \"{}\",", esc(&self.root));
+        let _ = writeln!(out, "  \"files_scanned\": {},", self.files_scanned);
+        let _ = writeln!(out, "  \"clean\": {},", self.clean());
+        out.push_str("  \"rules\": [\n");
+        for (i, r) in rules::RULES.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"id\": \"{}\", \"summary\": \"{}\", \"fix\": \"{}\"}}",
+                r.id,
+                esc(r.summary),
+                esc(r.fix)
+            );
+            out.push_str(if i + 1 < rules::RULES.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ],\n  \"violations\": [\n");
+        for (i, v) in self.violations.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\"}}",
+                esc(&v.file),
+                v.line,
+                v.rule,
+                esc(&v.message)
+            );
+            out.push_str(if i + 1 < self.violations.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ],\n  \"waivers\": [\n");
+        for (i, w) in self.waivers.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"file\": \"{}\", \"line\": {}, \"rules\": [{}], \"reason\": \"{}\", \
+                 \"used\": {}}}",
+                esc(&w.file),
+                w.comment_line,
+                w.rules
+                    .iter()
+                    .map(|r| format!("\"{}\"", esc(r)))
+                    .collect::<Vec<_>>()
+                    .join(", "),
+                esc(&w.reason),
+                w.used
+            );
+            out.push_str(if i + 1 < self.waivers.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// Minimal JSON string escaping (mirrors the bench crate's convention).
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes_and_reports_clean_flag() {
+        let mut r = LintReport {
+            root: "/tmp/x".to_string(),
+            files_scanned: 3,
+            ..Default::default()
+        };
+        assert!(r.clean());
+        r.violations.push(Violation {
+            file: "a\"b.rs".to_string(),
+            line: 7,
+            rule: "D001",
+            message: "quote \" and backslash \\".to_string(),
+        });
+        let json = r.json();
+        assert!(json.contains("\"schema\": \"dynatune-lint/v1\""));
+        assert!(json.contains("a\\\"b.rs"));
+        assert!(json.contains("quote \\\" and backslash \\\\"));
+        assert!(json.contains("\"clean\": false"));
+        assert!(r.human().contains("a\"b.rs:7: [D001]"));
+    }
+}

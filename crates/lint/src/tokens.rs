@@ -1,0 +1,342 @@
+//! A minimal Rust lexer — just enough structure for hazard scanning.
+//!
+//! The scanner downstream only needs identifiers, the `::` path
+//! separator, and single-character punctuation, but it needs them with
+//! *no false positives from non-code text*: hazard names legally appear
+//! inside line/block comments (nested), string / byte-string / raw-string
+//! literals, and char literals, and none of those may produce tokens.
+//! Line comments are kept (not discarded) because the waiver pass reads
+//! `// lint: allow(...)` annotations out of them.
+
+/// One meaningful token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// An identifier or keyword (`HashMap`, `let`, `_`, ...). Raw
+    /// identifiers (`r#type`) lex to their unprefixed name.
+    Ident(String),
+    /// The `::` path separator.
+    PathSep,
+    /// Any other significant character (`.`, `(`, `{`, `=`, ...).
+    Punct(char),
+}
+
+/// A token plus the 1-based source line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// 1-based line number of the token's first character.
+    pub line: u32,
+    /// The token itself.
+    pub tok: Tok,
+}
+
+/// A line comment (`// ...`), kept for waiver parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// Text after the leading `//`, untrimmed (doc-comment markers `/`
+    /// and `!` are still present).
+    pub text: String,
+    /// True when only whitespace preceded the `//` on its line — an
+    /// own-line waiver covers the *next* code line, a trailing one its
+    /// own.
+    pub own_line: bool,
+}
+
+/// Lexer output: the token stream plus every line comment.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Significant tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Line comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_cont(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lex one source file. Never fails: unrecognized bytes become `Punct`s,
+/// and unterminated literals simply consume to end-of-file (the compiler,
+/// not the lint, owns rejecting malformed Rust).
+#[must_use]
+pub fn lex(src: &str) -> Lexed {
+    let cs: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    let mut line_has_code = false;
+
+    while i < cs.len() {
+        let c = cs[i];
+        if c == '\n' {
+            line += 1;
+            line_has_code = false;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comment: record it, then resume at the newline.
+        if c == '/' && cs.get(i + 1) == Some(&'/') {
+            let start = i + 2;
+            let mut j = start;
+            while j < cs.len() && cs[j] != '\n' {
+                j += 1;
+            }
+            out.comments.push(Comment {
+                line,
+                text: cs[start..j].iter().collect(),
+                own_line: !line_has_code,
+            });
+            i = j;
+            continue;
+        }
+        // Block comment, with nesting (Rust block comments nest).
+        if c == '/' && cs.get(i + 1) == Some(&'*') {
+            let mut depth = 1usize;
+            let mut j = i + 2;
+            while j < cs.len() && depth > 0 {
+                if cs[j] == '\n' {
+                    line += 1;
+                    line_has_code = false;
+                    j += 1;
+                } else if cs[j] == '/' && cs.get(j + 1) == Some(&'*') {
+                    depth += 1;
+                    j += 2;
+                } else if cs[j] == '*' && cs.get(j + 1) == Some(&'/') {
+                    depth -= 1;
+                    j += 2;
+                } else {
+                    j += 1;
+                }
+            }
+            i = j;
+            continue;
+        }
+
+        line_has_code = true;
+
+        // String-family literals. Handle the prefixed forms before plain
+        // identifiers so `r"..."` / `br#"..."#` / `b"..."` / `b'x'` don't
+        // lex as an ident followed by garbage.
+        if c == '"' {
+            i = skip_string(&cs, i + 1, &mut line);
+            continue;
+        }
+        if c == 'r' || c == 'b' {
+            // Raw (byte) string: r"..."  r#"..."#  br"..."  br##"..."##
+            let after_b = if c == 'b' && cs.get(i + 1) == Some(&'r') {
+                i + 2
+            } else if c == 'r' {
+                i + 1
+            } else {
+                usize::MAX // plain `b` prefix handled below
+            };
+            if after_b != usize::MAX {
+                let mut j = after_b;
+                while cs.get(j) == Some(&'#') {
+                    j += 1;
+                }
+                if cs.get(j) == Some(&'"') {
+                    let hashes = j - after_b;
+                    i = skip_raw_string(&cs, j + 1, hashes, &mut line);
+                    continue;
+                }
+                // Raw identifier `r#name` lexes to `name`.
+                if c == 'r' && after_b == i + 1 && cs.get(i + 1) == Some(&'#') {
+                    if let Some(&c2) = cs.get(i + 2) {
+                        if is_ident_start(c2) {
+                            let (name, j) = take_ident(&cs, i + 2);
+                            out.tokens.push(Token {
+                                line,
+                                tok: Tok::Ident(name),
+                            });
+                            i = j;
+                            continue;
+                        }
+                    }
+                }
+            }
+            if c == 'b' {
+                if cs.get(i + 1) == Some(&'"') {
+                    i = skip_string(&cs, i + 2, &mut line);
+                    continue;
+                }
+                if cs.get(i + 1) == Some(&'\'') {
+                    i = skip_char_literal(&cs, i + 1);
+                    continue;
+                }
+            }
+            // Fall through: ordinary identifier starting with r/b.
+        }
+        if is_ident_start(c) {
+            let (name, j) = take_ident(&cs, i);
+            out.tokens.push(Token {
+                line,
+                tok: Tok::Ident(name),
+            });
+            i = j;
+            continue;
+        }
+        // Char literal vs lifetime/loop-label: '\..' and 'x' are chars;
+        // 'ident (no closing quote right after one char) is a lifetime.
+        if c == '\'' {
+            if cs.get(i + 1) == Some(&'\\') || cs.get(i + 2) == Some(&'\'') {
+                i = skip_char_literal(&cs, i);
+                continue;
+            }
+            // Lifetime or label: skip the quote and its identifier.
+            i += 1;
+            while i < cs.len() && is_ident_cont(cs[i]) {
+                i += 1;
+            }
+            continue;
+        }
+        // Numbers produce no tokens; consume them carefully so `0.iter()`
+        // on a tuple field still yields the `.` and `iter` tokens.
+        if c.is_ascii_digit() {
+            i = skip_number(&cs, i);
+            continue;
+        }
+        if c == ':' && cs.get(i + 1) == Some(&':') {
+            out.tokens.push(Token {
+                line,
+                tok: Tok::PathSep,
+            });
+            i += 2;
+            continue;
+        }
+        out.tokens.push(Token {
+            line,
+            tok: Tok::Punct(c),
+        });
+        i += 1;
+    }
+    out
+}
+
+fn take_ident(cs: &[char], mut i: usize) -> (String, usize) {
+    let start = i;
+    while i < cs.len() && is_ident_cont(cs[i]) {
+        i += 1;
+    }
+    (cs[start..i].iter().collect(), i)
+}
+
+/// Skip a plain (or byte) string body starting *after* the opening quote.
+/// Returns the index after the closing quote.
+fn skip_string(cs: &[char], mut i: usize, line: &mut u32) -> usize {
+    while i < cs.len() {
+        match cs[i] {
+            '\\' => i += 2, // escape: skip the escaped char blindly
+            '"' => return i + 1,
+            '\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Skip a raw string body starting *after* the opening quote; `hashes` is
+/// the number of `#`s that must follow the closing quote.
+fn skip_raw_string(cs: &[char], mut i: usize, hashes: usize, line: &mut u32) -> usize {
+    while i < cs.len() {
+        if cs[i] == '\n' {
+            *line += 1;
+            i += 1;
+            continue;
+        }
+        if cs[i] == '"' {
+            let mut k = 0usize;
+            while k < hashes && cs.get(i + 1 + k) == Some(&'#') {
+                k += 1;
+            }
+            if k == hashes {
+                return i + 1 + hashes;
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Skip a char literal starting at its opening quote. Handles `'x'`,
+/// `'\''`, `'\\'`, and `'\u{1F600}'`.
+fn skip_char_literal(cs: &[char], mut i: usize) -> usize {
+    i += 1; // opening quote
+    if cs.get(i) == Some(&'\\') {
+        i += 1;
+        if cs.get(i) == Some(&'u') && cs.get(i + 1) == Some(&'{') {
+            i += 2;
+            while i < cs.len() && cs[i] != '}' {
+                i += 1;
+            }
+            i += 1; // '}'
+        } else {
+            i += 1; // the escaped char
+        }
+    } else {
+        i += 1; // the literal char
+    }
+    if cs.get(i) == Some(&'\'') {
+        i += 1;
+    }
+    i
+}
+
+/// Skip a numeric literal: integer, float (`1.5e-3`), radix (`0x1F`),
+/// separators (`1_000`) and type suffixes (`64u32`). Stops *before* a `.`
+/// that is not followed by a digit, so ranges (`0..n`) and tuple-field
+/// method calls (`self.0.iter()`) keep their punctuation.
+fn skip_number(cs: &[char], mut i: usize) -> usize {
+    // Radix prefix consumes alphanumerics wholesale (0x1F, 0b1010, 0o777).
+    if cs[i] == '0'
+        && matches!(
+            cs.get(i + 1),
+            Some(&'x') | Some(&'o') | Some(&'b') | Some(&'X')
+        )
+    {
+        i += 2;
+        while i < cs.len() && (cs[i].is_ascii_alphanumeric() || cs[i] == '_') {
+            i += 1;
+        }
+        return i;
+    }
+    while i < cs.len() && (cs[i].is_ascii_digit() || cs[i] == '_') {
+        i += 1;
+    }
+    if cs.get(i) == Some(&'.') && cs.get(i + 1).is_some_and(char::is_ascii_digit) {
+        i += 1;
+        while i < cs.len() && (cs[i].is_ascii_digit() || cs[i] == '_') {
+            i += 1;
+        }
+    }
+    if matches!(cs.get(i), Some(&'e') | Some(&'E'))
+        && (cs.get(i + 1).is_some_and(char::is_ascii_digit)
+            || (matches!(cs.get(i + 1), Some(&'+') | Some(&'-'))
+                && cs.get(i + 2).is_some_and(char::is_ascii_digit)))
+    {
+        i += 1;
+        if matches!(cs.get(i), Some(&'+') | Some(&'-')) {
+            i += 1;
+        }
+        while i < cs.len() && cs[i].is_ascii_digit() {
+            i += 1;
+        }
+    }
+    // Type suffix (u32, f64, usize).
+    while i < cs.len() && is_ident_cont(cs[i]) {
+        i += 1;
+    }
+    i
+}

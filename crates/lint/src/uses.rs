@@ -1,0 +1,267 @@
+//! `use`-declaration resolution: maps the names a file imports back to
+//! their full paths, so `use std::time::Instant as Clock; Clock::now()`
+//! is caught just like a spelled-out `std::time::Instant::now()`.
+//!
+//! Handles simple paths, `as` renames, nested groups
+//! (`use std::{time::Instant, collections::HashMap}`), `self` inside
+//! groups, and prefix imports (`use std::time;` → `time::X` resolves).
+//! Glob imports (`use x::*`) are ignored: nothing in this workspace
+//! globs a hazard module, and resolving them soundly needs a real name
+//! resolver.
+
+use crate::tokens::{Tok, Token};
+use std::collections::BTreeMap;
+
+/// Alias table for one source file: imported name → full path segments.
+#[derive(Debug, Default)]
+pub struct UseMap {
+    map: BTreeMap<String, Vec<String>>,
+}
+
+impl UseMap {
+    /// Build the table from a lexed token stream by parsing every `use`
+    /// declaration in it (module position is not checked; `use` is a
+    /// reserved word, so any `use` ident outside a literal is a real
+    /// import).
+    #[must_use]
+    pub fn build(tokens: &[Token]) -> Self {
+        let mut out = Self::default();
+        let mut i = 0usize;
+        while i < tokens.len() {
+            if matches!(&tokens[i].tok, Tok::Ident(s) if s == "use") {
+                i = parse_use_tree(tokens, i + 1, &[], &mut out.map);
+            } else {
+                i += 1;
+            }
+        }
+        out
+    }
+
+    /// Resolve a path's first segment: returns the imported full path the
+    /// name stands for, if the file imported it.
+    #[must_use]
+    pub fn resolve(&self, first_segment: &str) -> Option<&[String]> {
+        self.map.get(first_segment).map(Vec::as_slice)
+    }
+
+    /// Number of recorded aliases (test hook).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no aliases were recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// Parse one use-tree starting at `i` (just past `use`, a `{`, or a `,`),
+/// with `prefix` holding the path segments accumulated so far. Records
+/// every terminal into `map` and returns the index just past the tree
+/// (past the closing `;`, `,` stays for the caller's loop).
+fn parse_use_tree(
+    tokens: &[Token],
+    mut i: usize,
+    prefix: &[String],
+    map: &mut BTreeMap<String, Vec<String>>,
+) -> usize {
+    let mut path: Vec<String> = prefix.to_vec();
+    while i < tokens.len() {
+        match &tokens[i].tok {
+            Tok::Ident(seg) if seg == "as" => {
+                // `path as Alias`
+                if let Some(Tok::Ident(alias)) = tokens.get(i + 1).map(|t| &t.tok) {
+                    record(map, alias.clone(), &path);
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+                return skip_to_end(tokens, i);
+            }
+            Tok::Ident(seg) => {
+                path.push(seg.clone());
+                i += 1;
+                if matches!(tokens.get(i).map(|t| &t.tok), Some(Tok::PathSep)) {
+                    i += 1;
+                    match tokens.get(i).map(|t| &t.tok) {
+                        Some(Tok::Punct('{')) => {
+                            // Group: parse comma-separated subtrees.
+                            i += 1;
+                            loop {
+                                match tokens.get(i).map(|t| &t.tok) {
+                                    None | Some(Tok::Punct('}')) => {
+                                        i += 1;
+                                        return skip_to_end(tokens, i);
+                                    }
+                                    Some(Tok::Punct(',')) => i += 1,
+                                    _ => {
+                                        let next = parse_use_subtree(tokens, i, &path, map);
+                                        // Guard: always advance, even on
+                                        // token soup the compiler would
+                                        // reject anyway.
+                                        i = next.max(i + 1);
+                                    }
+                                }
+                            }
+                        }
+                        Some(Tok::Punct('*')) => {
+                            // Glob: unresolvable without a name resolver.
+                            return skip_to_end(tokens, i + 1);
+                        }
+                        _ => {} // next segment, keep looping
+                    }
+                } else {
+                    // `path as Alias`: loop back so the `as` arm records it.
+                    if matches!(tokens.get(i).map(|t| &t.tok), Some(Tok::Ident(s)) if s == "as") {
+                        continue;
+                    }
+                    // Terminal segment: alias is the segment itself.
+                    terminal(map, &path);
+                    return skip_to_end(tokens, i);
+                }
+            }
+            // `;` or anything unexpected ends the declaration.
+            _ => return skip_to_end(tokens, i),
+        }
+    }
+    i
+}
+
+/// Parse a subtree *inside* a group (`{...}`): like `parse_use_tree`, but
+/// stops at `,` / `}` instead of consuming to `;`.
+fn parse_use_subtree(
+    tokens: &[Token],
+    mut i: usize,
+    prefix: &[String],
+    map: &mut BTreeMap<String, Vec<String>>,
+) -> usize {
+    let mut path: Vec<String> = prefix.to_vec();
+    while i < tokens.len() {
+        match &tokens[i].tok {
+            Tok::Ident(seg) if seg == "as" => {
+                if let Some(Tok::Ident(alias)) = tokens.get(i + 1).map(|t| &t.tok) {
+                    record(map, alias.clone(), &path);
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+                return i;
+            }
+            Tok::Ident(seg) if seg == "self" => {
+                // `use a::b::{self, c}`: `self` imports the prefix module.
+                terminal(map, &path);
+                return i + 1;
+            }
+            Tok::Ident(seg) => {
+                path.push(seg.clone());
+                i += 1;
+                if matches!(tokens.get(i).map(|t| &t.tok), Some(Tok::PathSep)) {
+                    i += 1;
+                    match tokens.get(i).map(|t| &t.tok) {
+                        Some(Tok::Punct('{')) => {
+                            i += 1;
+                            loop {
+                                match tokens.get(i).map(|t| &t.tok) {
+                                    None | Some(Tok::Punct('}')) => return i + 1,
+                                    Some(Tok::Punct(',')) => i += 1,
+                                    _ => {
+                                        let next = parse_use_subtree(tokens, i, &path, map);
+                                        i = next.max(i + 1);
+                                    }
+                                }
+                            }
+                        }
+                        Some(Tok::Punct('*')) => return i + 1,
+                        _ => {}
+                    }
+                } else {
+                    if matches!(tokens.get(i).map(|t| &t.tok), Some(Tok::Ident(s)) if s == "as") {
+                        continue;
+                    }
+                    terminal(map, &path);
+                    return i;
+                }
+            }
+            _ => return i,
+        }
+    }
+    i
+}
+
+/// Record a terminal path under its last segment.
+fn terminal(map: &mut BTreeMap<String, Vec<String>>, path: &[String]) {
+    if let Some(last) = path.last() {
+        record(map, last.clone(), path);
+    }
+}
+
+fn record(map: &mut BTreeMap<String, Vec<String>>, alias: String, path: &[String]) {
+    // Keep paths through `crate`/`super`/`self` prefixes out of the table:
+    // they name workspace-local items, never the std/rand hazards.
+    if matches!(
+        path.first().map(String::as_str),
+        Some("crate" | "super" | "self")
+    ) {
+        return;
+    }
+    map.insert(alias, path.to_vec());
+}
+
+/// Advance past the terminating `;` of a use declaration (tolerates eof).
+fn skip_to_end(tokens: &[Token], mut i: usize) -> usize {
+    while i < tokens.len() {
+        if matches!(tokens[i].tok, Tok::Punct(';')) {
+            return i + 1;
+        }
+        i += 1;
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokens::lex;
+
+    fn aliases(src: &str) -> BTreeMap<String, Vec<String>> {
+        UseMap::build(&lex(src).tokens).map
+    }
+
+    #[test]
+    fn simple_and_renamed() {
+        let m = aliases("use std::time::Instant;\nuse std::time::SystemTime as Wall;\n");
+        assert_eq!(m["Instant"], ["std", "time", "Instant"]);
+        assert_eq!(m["Wall"], ["std", "time", "SystemTime"]);
+    }
+
+    #[test]
+    fn nested_groups_and_self() {
+        let m = aliases("use std::{time::{self, Instant}, collections::{HashMap, HashSet}};");
+        assert_eq!(m["time"], ["std", "time"]);
+        assert_eq!(m["Instant"], ["std", "time", "Instant"]);
+        assert_eq!(m["HashMap"], ["std", "collections", "HashMap"]);
+        assert_eq!(m["HashSet"], ["std", "collections", "HashSet"]);
+    }
+
+    #[test]
+    fn rename_inside_a_group() {
+        let m = aliases("use std::{time::Instant as Clock, collections::HashMap as Map};");
+        assert_eq!(m["Clock"], ["std", "time", "Instant"]);
+        assert_eq!(m["Map"], ["std", "collections", "HashMap"]);
+    }
+
+    #[test]
+    fn prefix_import_and_glob() {
+        let m = aliases("use std::time;\nuse std::collections::*;\n");
+        assert_eq!(m["time"], ["std", "time"]);
+        assert_eq!(m.len(), 1, "globs record nothing");
+    }
+
+    #[test]
+    fn crate_local_paths_are_ignored() {
+        let m = aliases("use crate::server::ServerHost;\nuse super::Pending;");
+        assert!(m.is_empty());
+    }
+}

@@ -1,0 +1,49 @@
+//! Workspace file discovery: every `.rs` file, in sorted order (so the
+//! report itself is deterministic), skipping build output, VCS metadata,
+//! scenario results, and the lint's own deliberately-violating fixture
+//! corpus.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directory names never descended into.
+const SKIP_DIRS: &[&str] = &[
+    "target", ".git", ".github", "fixtures", "results", "related",
+];
+
+/// Collect workspace-relative paths of every scannable `.rs` file under
+/// `root`, sorted.
+///
+/// # Errors
+/// Propagates filesystem errors from reading directories.
+pub fn rust_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    descend(root, Path::new(""), &mut out)?;
+    out.sort();
+    Ok(out)
+}
+
+fn descend(root: &Path, rel: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<_> = fs::read_dir(root.join(rel))?
+        .collect::<Result<Vec<_>, _>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        let rel_child = rel.join(name);
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name) || name.starts_with('.') {
+                continue;
+            }
+            descend(root, &rel_child, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(rel_child);
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,155 @@
+//! Rule-level self-tests: each rule has a fixture that must fire it and a
+//! fixture that must scan clean, all under the strictest (protocol)
+//! policy. The fixtures live in `crates/lint/fixtures/` — scanner input
+//! only, never compiled, and skipped by the workspace walker.
+
+use dynatune_lint::engine::{scan_source, FileScan};
+use dynatune_lint::policy::policy_for;
+use dynatune_lint::rules::id;
+
+/// Scan fixture text as if it were a protocol-crate prod file (every rule
+/// enabled, including D002 presence and L001).
+fn scan(src: &str) -> FileScan {
+    let policy = policy_for("crates/raft/src/fixture.rs").expect("protocol policy");
+    scan_source("crates/raft/src/fixture.rs", src, &policy)
+}
+
+fn rules_fired(scan: &FileScan) -> Vec<&'static str> {
+    let mut rules: Vec<&'static str> = scan.violations.iter().map(|v| v.rule).collect();
+    rules.sort_unstable();
+    rules.dedup();
+    rules
+}
+
+#[test]
+fn d001_bad_fires_and_good_is_clean() {
+    let bad = scan(include_str!("../fixtures/d001_bad.rs"));
+    assert!(
+        rules_fired(&bad).contains(&id::D001),
+        "expected D001 in {:?}",
+        bad.violations
+    );
+    // Both the direct import and the `as Clock` alias must be caught.
+    assert!(
+        bad.violations.iter().filter(|v| v.rule == id::D001).count() >= 2,
+        "aliased SystemTime import escaped: {:?}",
+        bad.violations
+    );
+    let good = scan(include_str!("../fixtures/d001_good.rs"));
+    assert!(good.violations.is_empty(), "{:?}", good.violations);
+}
+
+#[test]
+fn d002_bad_fires_and_good_is_clean() {
+    let bad = scan(include_str!("../fixtures/d002_bad.rs"));
+    assert!(
+        rules_fired(&bad).contains(&id::D002),
+        "expected D002 in {:?}",
+        bad.violations
+    );
+    // The iteration over the aliased map must be flagged, not just the use.
+    assert!(
+        bad.violations
+            .iter()
+            .any(|v| v.rule == id::D002 && v.message.contains("iter")),
+        "iteration over aliased HashMap escaped: {:?}",
+        bad.violations
+    );
+    let good = scan(include_str!("../fixtures/d002_good.rs"));
+    assert!(good.violations.is_empty(), "{:?}", good.violations);
+}
+
+#[test]
+fn d003_bad_fires_and_good_is_clean() {
+    let bad = scan(include_str!("../fixtures/d003_bad.rs"));
+    assert!(
+        rules_fired(&bad).contains(&id::D003),
+        "expected D003 in {:?}",
+        bad.violations
+    );
+    let good = scan(include_str!("../fixtures/d003_good.rs"));
+    assert!(good.violations.is_empty(), "{:?}", good.violations);
+}
+
+#[test]
+fn d004_bad_fires_and_good_is_clean() {
+    let bad = scan(include_str!("../fixtures/d004_bad.rs"));
+    assert!(
+        rules_fired(&bad).contains(&id::D004),
+        "expected D004 in {:?}",
+        bad.violations
+    );
+    // Both the Mutex import and the full-path thread spawn must fire.
+    assert!(
+        bad.violations.iter().filter(|v| v.rule == id::D004).count() >= 2,
+        "{:?}",
+        bad.violations
+    );
+    let good = scan(include_str!("../fixtures/d004_good.rs"));
+    assert!(
+        good.violations.is_empty(),
+        "Arc alone is not D004: {:?}",
+        good.violations
+    );
+}
+
+#[test]
+fn l001_bad_fires_and_good_is_clean() {
+    let bad = scan(include_str!("../fixtures/l001_bad.rs"));
+    assert_eq!(rules_fired(&bad), vec![id::L001], "{:?}", bad.violations);
+    let good = scan(include_str!("../fixtures/l001_good.rs"));
+    assert!(
+        good.violations.is_empty(),
+        "named discards / `?` are not L001: {:?}",
+        good.violations
+    );
+}
+
+#[test]
+fn l001_is_off_in_test_files() {
+    let policy = policy_for("crates/raft/tests/fixture.rs").expect("test-file policy");
+    let scan = scan_source(
+        "crates/raft/tests/fixture.rs",
+        include_str!("../fixtures/l001_bad.rs"),
+        &policy,
+    );
+    assert!(
+        scan.violations.is_empty(),
+        "L001 must not bind test code: {:?}",
+        scan.violations
+    );
+}
+
+#[test]
+fn wellformed_waivers_suppress_and_count_as_used() {
+    let s = scan(include_str!("../fixtures/waiver_good.rs"));
+    assert!(s.violations.is_empty(), "{:?}", s.violations);
+    assert_eq!(s.waivers.len(), 3, "{:?}", s.waivers);
+    assert!(
+        s.waivers.iter().all(|w| w.used && !w.reason.is_empty()),
+        "{:?}",
+        s.waivers
+    );
+}
+
+#[test]
+fn reasonless_waiver_is_w001_and_does_not_suppress() {
+    let s = scan(include_str!("../fixtures/waiver_malformed.rs"));
+    let rules = rules_fired(&s);
+    assert!(
+        rules.contains(&id::W001),
+        "expected W001 in {:?}",
+        s.violations
+    );
+    assert!(
+        rules.contains(&id::D002),
+        "a malformed waiver must not suppress: {:?}",
+        s.violations
+    );
+}
+
+#[test]
+fn unused_waiver_is_w002() {
+    let s = scan(include_str!("../fixtures/waiver_stale.rs"));
+    assert_eq!(rules_fired(&s), vec![id::W002], "{:?}", s.violations);
+}

@@ -1,0 +1,107 @@
+//! Lexer edge cases: the scanner's no-false-positive guarantee rests on
+//! the lexer producing zero tokens from comments and literals, and these
+//! are the constructs that break naive scanners.
+
+use dynatune_lint::engine::scan_source;
+use dynatune_lint::policy::policy_for;
+use dynatune_lint::tokens::{lex, Tok};
+
+fn idents(src: &str) -> Vec<String> {
+    lex(src)
+        .tokens
+        .into_iter()
+        .filter_map(|t| match t.tok {
+            Tok::Ident(s) => Some(s),
+            _ => None,
+        })
+        .collect()
+}
+
+#[test]
+fn nested_block_comments_produce_no_tokens() {
+    let src = "/* outer /* std::time::Instant */ still comment */ let x = 1;";
+    assert_eq!(idents(src), vec!["let", "x"]);
+}
+
+#[test]
+fn raw_strings_with_hashes_hide_their_contents() {
+    let src = r####"let s = r##"quote " and // and std::time::Instant"##; let y = 2;"####;
+    assert_eq!(idents(src), vec!["let", "s", "let", "y"]);
+}
+
+#[test]
+fn line_comment_marker_inside_string_is_not_a_comment() {
+    let src = "let url = \"http://example.com\"; let after = 3;";
+    let lexed = lex(src);
+    assert!(lexed.comments.is_empty(), "{:?}", lexed.comments);
+    assert_eq!(idents(src), vec!["let", "url", "let", "after"]);
+}
+
+#[test]
+fn escaped_quote_in_string_does_not_end_it() {
+    let src = r#"let s = "a\"b; let fake = 1"; let real = 2;"#;
+    assert_eq!(idents(src), vec!["let", "s", "let", "real"]);
+}
+
+#[test]
+fn char_literals_versus_lifetimes() {
+    // 'x' and '\n' are char literals (no tokens); 'a after & is a
+    // lifetime (skipped, not a string-opener that would eat the file).
+    let src = "fn f<'a>(x: &'a u64) -> u64 { let c = 'x'; let n = '\\n'; *x }";
+    let names = idents(src);
+    assert!(names.contains(&"let".to_string()));
+    assert!(names.contains(&"u64".to_string()));
+    // The chars themselves never become idents.
+    assert!(!names.contains(&"x'".to_string()));
+    // Crucially the lexer reached the end: the final `x` is tokenized.
+    assert_eq!(names.last().map(String::as_str), Some("x"));
+}
+
+#[test]
+fn raw_identifiers_lex_to_their_name() {
+    assert_eq!(
+        idents("let r#type = 1; let rate = 2;"),
+        vec!["let", "type", "let", "rate"]
+    );
+}
+
+#[test]
+fn byte_and_raw_byte_strings_are_literals() {
+    let src = r##"let a = b"bytes // x"; let b2 = br#"raw " bytes"#; let c = b'q'; let done = 1;"##;
+    assert_eq!(
+        idents(src),
+        vec!["let", "a", "let", "b2", "let", "c", "let", "done"]
+    );
+}
+
+#[test]
+fn tuple_field_method_calls_keep_their_tokens() {
+    // `self.0.iter()` — the number must not swallow `.iter`.
+    let names = idents("self.0.iter()");
+    assert_eq!(names, vec!["self", "iter"]);
+}
+
+#[test]
+fn comments_record_line_and_own_line_flag() {
+    let src = "// own-line\nlet x = 1; // trailing\n";
+    let lexed = lex(src);
+    assert_eq!(lexed.comments.len(), 2);
+    assert!(lexed.comments[0].own_line);
+    assert_eq!(lexed.comments[0].line, 1);
+    assert!(!lexed.comments[1].own_line);
+    assert_eq!(lexed.comments[1].line, 2);
+}
+
+#[test]
+fn hazards_in_comments_and_strings_never_fire() {
+    let src = concat!(
+        "//! docs: std::time::Instant::now() is banned.\n",
+        "/* and std::collections::HashMap too /* nested */ */\n",
+        "pub fn f() -> &'static str {\n",
+        "    \"thread_rng and std::time::SystemTime in a string\"\n",
+        "}\n",
+    );
+    let policy = policy_for("crates/raft/src/x.rs").unwrap();
+    let s = scan_source("crates/raft/src/x.rs", src, &policy);
+    assert!(s.violations.is_empty(), "{:?}", s.violations);
+}

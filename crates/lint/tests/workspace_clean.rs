@@ -1,0 +1,42 @@
+//! The live tree must lint clean: `cargo test -p dynatune_lint` fails the
+//! same way CI's `--deny` run does, so a violation can't land through a
+//! path that skips the lint job. Also pins the accepted-waiver set — a new
+//! waiver showing up here means README.md's waiver list needs updating.
+
+use dynatune_lint::{find_workspace_root, lint_workspace};
+use std::path::Path;
+
+#[test]
+fn workspace_has_zero_unwaived_violations() {
+    let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let root = find_workspace_root(here).expect("workspace root above crates/lint");
+    let report = lint_workspace(&root).expect("scan workspace");
+    assert!(
+        report.files_scanned > 100,
+        "walked too little: {} files",
+        report.files_scanned
+    );
+    assert!(
+        report.clean(),
+        "the tree must be lint-clean; run `cargo run -p dynatune_lint` for the report:\n{}",
+        report.human()
+    );
+    // The accepted waivers, by file — keep in sync with README.md's
+    // "Static analysis" section.
+    let mut by_file: Vec<(&str, usize)> = Vec::new();
+    for w in &report.waivers {
+        match by_file.iter_mut().find(|(f, _)| *f == w.file) {
+            Some((_, n)) => *n += 1,
+            None => by_file.push((&w.file, 1)),
+        }
+    }
+    assert_eq!(
+        by_file,
+        vec![("tests/election_safety.rs", 2)],
+        "waiver set changed — update README.md's accepted-waiver list"
+    );
+    assert!(report
+        .waivers
+        .iter()
+        .all(|w| w.used && !w.reason.is_empty()));
+}

@@ -13,7 +13,7 @@ use dynatune_raft::{
 };
 use dynatune_simnet::SimTime;
 use proptest::prelude::*;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::time::Duration;
 
 type Node = RaftNode<NullStateMachine>;
@@ -58,7 +58,7 @@ struct Harness {
     nodes: Vec<Node>,
     pool: Vec<Flight>,
     now: SimTime,
-    leaders_by_term: HashMap<Term, NodeId>,
+    leaders_by_term: BTreeMap<Term, NodeId>,
     max_term_seen: Vec<Term>,
 }
 
@@ -75,7 +75,7 @@ impl Harness {
             nodes,
             pool: Vec::new(),
             now: SimTime::ZERO,
-            leaders_by_term: HashMap::new(),
+            leaders_by_term: BTreeMap::new(),
             max_term_seen: vec![0; n],
         }
     }

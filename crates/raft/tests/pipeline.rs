@@ -22,7 +22,7 @@ use dynatune_raft::{
 };
 use dynatune_simnet::SimTime;
 use proptest::prelude::*;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::time::Duration;
 
 type Node = RaftNode<NullStateMachine>;
@@ -76,7 +76,7 @@ struct Harness {
     nodes: Vec<Node>,
     pool: Vec<Flight>,
     now: SimTime,
-    leaders_by_term: HashMap<Term, NodeId>,
+    leaders_by_term: BTreeMap<Term, NodeId>,
 }
 
 impl Harness {
@@ -96,7 +96,7 @@ impl Harness {
             nodes,
             pool: Vec::new(),
             now: SimTime::ZERO,
-            leaders_by_term: HashMap::new(),
+            leaders_by_term: BTreeMap::new(),
         }
     }
 

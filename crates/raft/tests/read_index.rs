@@ -22,7 +22,7 @@ use dynatune_raft::{
 };
 use dynatune_simnet::SimTime;
 use proptest::prelude::*;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::time::Duration;
 
 type Node = RaftNode<NullStateMachine>;
@@ -79,7 +79,7 @@ struct Harness {
     pool: Vec<Flight>,
     now: SimTime,
     next_read_id: u64,
-    pending: HashMap<u64, PendingRead>,
+    pending: BTreeMap<u64, PendingRead>,
     granted: u64,
 }
 
@@ -97,7 +97,7 @@ impl Harness {
             pool: Vec::new(),
             now: SimTime::ZERO,
             next_read_id: 0,
-            pending: HashMap::new(),
+            pending: BTreeMap::new(),
             granted: 0,
         }
     }

@@ -1,6 +1,6 @@
 //! Keep the generated docs in lockstep with the code that defines them.
 
-use dynatune_repro::cluster::scenario::catalog_markdown;
+use dynatune_repro::cluster::scenario::{catalog_json, catalog_markdown, registry};
 
 /// `SCENARIOS.md` is generated from the experiment registry
 /// (`scenarios --describe-md`); a scenario added, renamed, or re-described
@@ -14,4 +14,24 @@ fn scenarios_md_matches_the_registry() {
         "SCENARIOS.md is stale — regenerate with:\n  cargo run --release -p dynatune_bench \
          --bin scenarios -- --describe-md > SCENARIOS.md"
     );
+}
+
+/// `scenarios --list --json` and the Markdown catalog are views of the same
+/// registry: every registered scenario must appear in both, so tooling that
+/// consumes the JSON never drifts from the docs.
+#[test]
+fn catalog_json_and_markdown_cover_the_same_registry() {
+    let json = catalog_json();
+    let md = catalog_markdown();
+    for e in registry() {
+        let name = e.name();
+        assert!(
+            json.contains(&format!("\"name\": \"{name}\"")),
+            "catalog_json missing {name}"
+        );
+        assert!(
+            md.contains(&format!("| `{name}` |")),
+            "catalog_markdown missing {name}"
+        );
+    }
 }

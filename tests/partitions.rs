@@ -15,8 +15,8 @@ fn cluster(tuning: TuningConfig, seed: u64) -> ClusterSim {
 }
 
 fn assert_one_leader_per_term(sim: &ClusterSim) {
-    use std::collections::HashMap;
-    let mut by_term: HashMap<u64, usize> = HashMap::new();
+    use std::collections::BTreeMap;
+    let mut by_term: BTreeMap<u64, usize> = BTreeMap::new();
     for (t, node, ev) in sim.events() {
         if let RaftEvent::BecameLeader { term } = ev {
             if let Some(&prev) = by_term.get(&term) {

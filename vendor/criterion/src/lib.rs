@@ -13,6 +13,9 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Wall-clock timing is this shim's whole job: the D001 exemption for the
+// bench/criterion harness (see clippy.toml and dynatune_lint's policy).
+#![allow(clippy::disallowed_types)]
 
 use std::time::{Duration, Instant};
 
