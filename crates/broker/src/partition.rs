@@ -2,6 +2,7 @@
 
 use crate::record::Record;
 use crate::segment::Segment;
+use dynatune_core::invariant_violated;
 
 /// Default segment-roll threshold. Small by datacenter standards but right
 /// for simulation scale: scenario produce volumes (tens of MB) span many
@@ -86,7 +87,10 @@ impl PartitionLog {
     /// the time it is applied).
     #[must_use]
     pub fn next_offset(&self) -> u64 {
-        self.segments.last().expect("non-empty").next_offset()
+        // A partition always holds at least one segment (constructed with
+        // one, and rolls only ever push); an empty list means no offsets
+        // were assigned, so 0 is the honest answer either way.
+        self.segments.last().map_or(0, Segment::next_offset)
     }
 
     /// Total records stored.
@@ -116,13 +120,18 @@ impl PartitionLog {
     /// Append one record, rolling the active segment first if it has
     /// reached the byte threshold. Returns the record's offset.
     pub fn append(&mut self, record: Record) -> u64 {
-        let active = self.segments.last_mut().expect("non-empty");
+        let Some(active) = self.segments.last_mut() else {
+            invariant_violated!("partition has no segments — `new` seeds one and rolls only push");
+        };
         if active.bytes() >= self.config.segment_bytes && !active.is_empty() {
             let base = active.next_offset();
             self.segments
                 .push(Segment::new(base, self.config.index_interval));
         }
-        self.segments.last_mut().expect("non-empty").append(record)
+        let Some(active) = self.segments.last_mut() else {
+            invariant_violated!("segment roll removed the active segment");
+        };
+        active.append(record)
     }
 
     /// Append a batch, returning the base offset assigned to its first

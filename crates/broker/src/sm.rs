@@ -10,6 +10,7 @@
 use crate::partition::{FetchResult, PartitionConfig};
 use crate::record::Record;
 use crate::topic::Topic;
+use dynatune_core::invariant_violated;
 use dynatune_kv::ReqOrigin;
 use dynatune_raft::{LogIndex, StateMachine, DEFAULT_REPLY_WINDOW};
 use std::collections::BTreeMap;
@@ -329,7 +330,13 @@ impl BrokerSm {
             }
             // Reads reaching the replicated path (ReadStrategy::Log
             // baseline) execute like any other command, minus caching.
-            read => self.read(read).expect("read command"),
+            read => match self.read(read) {
+                Some(resp) => resp,
+                None => invariant_violated!(
+                    "execute fell through to the read arm on a write command \
+                     {read:?} — the match above must cover every write variant"
+                ),
+            },
         }
     }
 }
@@ -356,13 +363,17 @@ impl StateMachine for BrokerSm {
                 let replies = self.sessions.entry(origin.client).or_default();
                 replies.insert(origin.req_id, resp.clone());
                 // Slide the window: drop replies no live retry can ask for.
-                let newest = *replies.keys().next_back().expect("just inserted");
-                let window = self.reply_window;
-                while let Some((&oldest, _)) = replies.iter().next() {
-                    if oldest + window <= newest {
-                        replies.remove(&oldest);
-                    } else {
-                        break;
+                'slide: {
+                    let Some(newest) = replies.keys().next_back().copied() else {
+                        break 'slide; // unreachable: `insert` above made the map non-empty
+                    };
+                    let window = self.reply_window;
+                    while let Some((&oldest, _)) = replies.iter().next() {
+                        if oldest + window <= newest {
+                            replies.remove(&oldest);
+                        } else {
+                            break;
+                        }
                     }
                 }
                 resp

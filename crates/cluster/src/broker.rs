@@ -34,7 +34,7 @@ use crate::msg::ClusterMsg;
 use crate::server::{CompactionPolicy, ReadCounters, ReadStrategy, ServerHost};
 use bytes::Bytes;
 use dynatune_broker::{shard_of_partition, BrokerCommand, BrokerResponse, FetchResult, Record};
-use dynatune_core::TuningConfig;
+use dynatune_core::{invariant_violated, TuningConfig};
 use dynatune_kv::{ShardId, ShardMap};
 use dynatune_raft::{NodeId, RaftConfig, RaftEvent, Role, TimerQuantization};
 use dynatune_simnet::{
@@ -440,10 +440,9 @@ impl BrokerClient {
     /// Re-send a live request to `target`, bumping its attempt counter so
     /// timeouts armed for older attempts become inert.
     fn resend(&mut self, ctx: &mut HostCtx<'_, BrokerMsg>, req_id: u64, target: NodeId) {
-        let p = self
-            .outstanding
-            .get_mut(&req_id)
-            .expect("resend of live request");
+        let Some(p) = self.outstanding.get_mut(&req_id) else {
+            return; // the ack raced the rotation: nothing left to resend
+        };
         p.attempt += 1;
         p.target = target;
         let cmd = p.cmd.clone();
@@ -590,7 +589,16 @@ impl BrokerClient {
                 if *off != c.cursor {
                     gs.out_of_order += 1;
                 }
-                let seq = u64::from_le_bytes(rec.value[..8].try_into().expect("seq header"));
+                let Some(seq) = rec.value.get(..8).map(|h| {
+                    let mut buf = [0u8; 8];
+                    buf.copy_from_slice(h);
+                    u64::from_le_bytes(buf)
+                }) else {
+                    invariant_violated!(
+                        "record at offset {off} lacks the 8-byte seq header \
+                         every produced value starts with"
+                    );
+                };
                 // seq == offset iff every produce applied exactly once in
                 // arrival order; see the module docs.
                 if seq > *off {
@@ -946,7 +954,10 @@ impl BrokerClusterSim {
     fn server(&self, id: NodeId) -> &ServerHost<BrokerApp> {
         match self.world.host(id) {
             BrokerHost::Server(s) => s,
-            BrokerHost::Client(_) => panic!("host {id} is not a server"),
+            BrokerHost::Client(_) => invariant_violated!(
+                "host {id} is not a server — group bases map shards onto the \
+                 leading server slots"
+            ),
         }
     }
 
@@ -998,7 +1009,9 @@ impl BrokerClusterSim {
         let now = self.world.now();
         match self.world.host_mut(id) {
             BrokerHost::Server(s) => s.crash_restart(now),
-            BrokerHost::Client(_) => panic!("host {id} is not a server"),
+            BrokerHost::Client(_) => invariant_violated!(
+                "host {id} is not a server — fault schedules only target server ids"
+            ),
         }
         self.world.reschedule_wake(id);
     }

@@ -16,6 +16,7 @@
 //! paper's measured 6.4 % peak-throughput overhead of the tuning machinery,
 //! which the paper reports but does not decompose.
 
+use dynatune_core::invariant_violated;
 use dynatune_simnet::SimTime;
 use dynatune_stats::TimeSeries;
 use std::collections::BTreeMap;
@@ -105,7 +106,7 @@ impl CostModel {
     /// transfer modeling; rounds up to whole KiB).
     #[must_use]
     pub fn snapshot_cost(&self, bytes: usize) -> Duration {
-        self.per_snapshot_kib * bytes.div_ceil(1024) as u32
+        self.per_snapshot_kib * kib_factor(bytes)
     }
 
     /// Busy time to serialize `bytes` of entry payload into one outgoing
@@ -113,8 +114,15 @@ impl CostModel {
     /// nothing beyond `per_message_send`).
     #[must_use]
     pub fn append_cost(&self, bytes: usize) -> Duration {
-        self.per_append_kib * bytes.div_ceil(1024) as u32
+        self.per_append_kib * kib_factor(bytes)
     }
+}
+
+/// Whole-KiB multiplier for byte-sized costs. `Duration * u32` is the only
+/// multiply std offers, so saturate rather than silently truncate a
+/// (physically impossible) 4 TiB payload.
+fn kib_factor(bytes: usize) -> u32 {
+    u32::try_from(bytes.div_ceil(1024)).unwrap_or(u32::MAX)
 }
 
 /// Multi-core busy-time meter with windowed utilization reporting.
@@ -151,12 +159,10 @@ impl CpuMeter {
             return now;
         }
         // Pick the earliest-free core.
-        let (idx, &free_at) = self
-            .cores
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, &t)| t)
-            .expect("at least one core");
+        let earliest = self.cores.iter().enumerate().min_by_key(|(_, &t)| t);
+        let Some((idx, &free_at)) = earliest else {
+            invariant_violated!("CpuMeter has no cores — `new` asserts at least one");
+        };
         let start = free_at.max(now);
         let end = start + cost;
         self.cores[idx] = end;
@@ -182,7 +188,9 @@ impl CpuMeter {
     /// The instant the least-loaded core becomes free.
     #[must_use]
     pub fn earliest_free(&self) -> SimTime {
-        *self.cores.iter().min().expect("at least one core")
+        // `new` asserts at least one core; an (impossible) empty meter is
+        // never busy, so "free immediately" is the graceful answer.
+        self.cores.iter().min().copied().unwrap_or(SimTime::ZERO)
     }
 
     /// Cumulative busy time.

@@ -8,6 +8,7 @@
 
 use crate::scenario::{Horizon, ScenarioDriver};
 use crate::sim::{ClusterConfig, WorkloadSpec};
+use dynatune_core::invariant_violated;
 use dynatune_kv::{OpMix, WorkloadGen};
 use dynatune_simnet::rng::splitmix64;
 use dynatune_stats::OnlineStats;
@@ -92,7 +93,8 @@ pub fn run_single_ramp(cfg: &ThroughputConfig, repeat: usize) -> Vec<(f64, f64, 
     let mut seed = cfg.cluster.seed ^ (repeat as u64).wrapping_mul(0xA076_1D64_78BD_642F);
     cluster_cfg.seed = splitmix64(&mut seed);
     let steps = WorkloadGen::paper_ramp(cfg.peak_rps, cfg.increment, cfg.hold);
-    let total: Duration = cfg.settle + cfg.hold * steps.len() as u32;
+    let levels = u32::try_from(steps.len()).unwrap_or(u32::MAX);
+    let total: Duration = cfg.settle + cfg.hold * levels;
     cluster_cfg.workload = Some(WorkloadSpec {
         steps,
         mix: OpMix::write_heavy(),
@@ -111,7 +113,12 @@ pub fn run_single_ramp(cfg: &ThroughputConfig, repeat: usize) -> Vec<(f64, f64, 
     let run = ScenarioDriver::new(cluster_cfg)
         .horizon(Horizon::At(total + Duration::from_secs(5)))
         .run();
-    let steps = run.sim.client_steps().expect("client attached");
+    let Some(steps) = run.sim.client_steps() else {
+        invariant_violated!(
+            "throughput run has no client host — the config above always \
+             attaches a workload"
+        );
+    };
     steps
         .iter()
         .map(|s| (s.offered_rps, s.throughput(), s.latency_ms.mean()))

@@ -176,7 +176,7 @@ pub fn kth_smallest_timeout_ms(timeouts: &[Option<Duration>], k: usize) -> Optio
     if values.len() < k {
         return None;
     }
-    values.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    values.sort_by(f64::total_cmp);
     Some(values[k - 1])
 }
 

@@ -8,6 +8,7 @@
 //! (PR 3). Each scenario hard-asserts its correctness claim in-run, so the
 //! CI smoke pass — not just the full benchmark — catches a regression.
 
+use super::wired;
 use crate::broker::{BrokerWorkload, ConsumerStats};
 use crate::scenario::{Experiment, NetPlan, Report, RunCtx, ScenarioBuilder};
 use dynatune_core::TuningConfig;
@@ -90,7 +91,7 @@ fn produce_run(seed: u64, window: usize, hold: Duration) -> ProduceRun {
         .seed(seed)
         .build_broker_sim(wl);
     sim.run_until(SimTime::ZERO + start + hold);
-    let stats = sim.stats().expect("client attached");
+    let stats = wired(sim.stats(), "the builder attached a produce workload");
     ProduceRun {
         acked_records: stats.acked_records,
         acked_bytes: stats.acked_bytes,
@@ -227,7 +228,10 @@ impl Experiment for ConsumerLagFailover {
             t = (t + LAG_SAMPLE).min(end);
             sim.run_until(t);
             if crashed.is_none() && t >= crash_at {
-                let victim = sim.leader_of(0).expect("shard 0 has a leader to kill");
+                let victim = wired(
+                    sim.leader_of(0),
+                    "shard 0 elected a leader during the pre-crash produce phase",
+                );
                 sim.crash(victim);
                 crashed = Some(victim as u64);
             }
@@ -235,17 +239,15 @@ impl Experiment for ConsumerLagFailover {
             // The partition-side high-watermark gap would hide the outage
             // (during it the producers stall too, so the backlog queues
             // client-side); produced-minus-consumed sees the whole pipe.
-            let consumed = sim
-                .consumer_stats()
-                .expect("client attached")
+            let consumed = wired(sim.consumer_stats(), "the workload runs consumer groups")
                 .iter()
                 .map(|g| g.consumed)
                 .sum::<u64>();
-            let produced = sim.stats().expect("client attached").produced;
+            let produced = wired(sim.stats(), "the builder attached a produce workload").produced;
             samples.push(((t - SimTime::ZERO).as_secs_f64(), produced - consumed));
         }
-        let stats = sim.stats().expect("client attached");
-        let groups = sim.consumer_stats().expect("client attached");
+        let stats = wired(sim.stats(), "the builder attached a produce workload");
+        let groups = wired(sim.consumer_stats(), "the workload runs consumer groups");
         // Peak as the consumer saw it (per-fetch high-watermark gap) and as
         // the end-to-end samples saw it.
         let peak_fetch = groups[0].max_lag;
@@ -373,7 +375,7 @@ fn fanout_run(seed: u64, groups: usize, fanout: bool, hold: Duration) -> FanoutR
         .sum::<f64>()
         / leaders.len().max(1) as f64;
     let reads = sim.read_counters();
-    let group_stats = sim.consumer_stats().expect("client attached");
+    let group_stats = wired(sim.consumer_stats(), "the workload runs consumer groups");
     FanoutRun {
         leader_cpu_pct,
         follower_reads: reads.follower,
@@ -423,10 +425,10 @@ impl Experiment for ConsumerFanout {
             })
             .collect();
         let cell = |groups: usize, fanout: bool| -> &FanoutRun {
-            let i = combos
-                .iter()
-                .position(|&(g, f)| g == groups && f == fanout)
-                .expect("swept combo");
+            let i = wired(
+                combos.iter().position(|&(g, f)| g == groups && f == fanout),
+                "every (groups, fanout) cell queried below was swept above",
+            );
             &runs[i]
         };
         let max_groups = GROUP_COUNTS[GROUP_COUNTS.len() - 1];

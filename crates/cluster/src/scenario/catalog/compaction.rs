@@ -16,6 +16,7 @@
 //!   repeated snapshot-recovery cycles and that replicas converge at the
 //!   end.
 
+use super::wired;
 use crate::scenario::{Experiment, Report, RunCtx, ScenarioBuilder};
 use crate::sim::{ClusterSim, WorkloadSpec};
 use dynatune_core::TuningConfig;
@@ -64,10 +65,11 @@ fn digests(sim: &ClusterSim) -> Vec<u64> {
 }
 
 fn pick_follower(sim: &ClusterSim) -> (NodeId, NodeId) {
-    let leader = sim.leader().expect("cluster must elect before the fault");
-    let follower = (0..sim.n_servers())
-        .find(|&id| id != leader)
-        .expect("n >= 2");
+    let leader = wired(sim.leader(), "the settle window elects before the fault");
+    let follower = wired(
+        (0..sim.n_servers()).find(|&id| id != leader),
+        "a 3-replica cluster always has a non-leader",
+    );
     (leader, follower)
 }
 
@@ -93,9 +95,8 @@ fn catchup_trial(seed: u64) -> CatchupTrial {
     // rest of the cluster commits ~12k entries — far past the horizon.
     sim.pause(follower);
     run_tracking_log(&mut sim, SimTime::from_secs(25), &mut max_log);
-    let first_index = sim.with_server(sim.leader().expect("leader"), |s| {
-        s.node().log().first_index()
-    });
+    let mid_leader = wired(sim.leader(), "a paused follower cannot cost the majority");
+    let first_index = sim.with_server(mid_leader, |s| s.node().log().first_index());
     let follower_match = sim.with_server(follower, |s| s.node().log().last_index());
     let compacted_past_follower = first_index > follower_match;
     // Restart: volatile state is lost (a crash, not just a sleep), then the
@@ -110,9 +111,10 @@ fn catchup_trial(seed: u64) -> CatchupTrial {
         snapshots_sent: sim.total_snapshots_sent(),
         compacted_past_follower,
         follower_applied: sim.with_server(follower, |s| s.node().last_applied()),
-        leader_commit: sim.with_server(sim.leader().expect("led at end"), |s| {
-            s.node().commit_index()
-        }),
+        leader_commit: sim.with_server(
+            wired(sim.leader(), "the healed cluster re-elects well within 45s"),
+            |s| s.node().commit_index(),
+        ),
         converged: ds.iter().all(|&d| d == ds[0]),
     }
 }

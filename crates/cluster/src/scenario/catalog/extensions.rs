@@ -1,6 +1,7 @@
 //! §IV-E future-work extensions study: heartbeat suppression under load
 //! and the consolidated heartbeat timer.
 
+use super::wired;
 use crate::experiments::failover::{run_trials, FailoverConfig};
 use crate::experiments::throughput::{run, ThroughputConfig};
 use crate::scenario::{
@@ -153,7 +154,7 @@ impl Experiment for Extensions {
                 .horizon(Horizon::At(Duration::from_secs(120)))
                 .run();
             let sim = run.sim;
-            let leader = sim.leader().expect("leader");
+            let leader = wired(sim.leader(), "a fault-free 120s run keeps its leader");
             let cpu = sim.with_server(leader, |s| {
                 s.cpu().mean_utilization(
                     dynatune_simnet::SimTime::from_secs(60),

@@ -32,3 +32,15 @@ pub use pipeline::PipelineDepth;
 pub use reads::{FollowerReadOffload, LeaseSafetyPartition, ReadHeavyThroughput};
 pub use sharded::{HotShard, ShardLeaderFailover, ShardedThroughput};
 pub use throughput::Fig5Throughput;
+
+/// Unwrap a scenario wiring invariant. Scenarios construct their own sims,
+/// so a `None` from an accessor whose precondition the scenario itself set
+/// up (a workload client it attached, a leader its settle window elected)
+/// is a bug in the scenario — crash with the stated invariant rather than
+/// limp on with partial results.
+pub(crate) fn wired<T>(v: Option<T>, why: &str) -> T {
+    match v {
+        Some(v) => v,
+        None => dynatune_core::invariant_violated!("{why}"),
+    }
+}

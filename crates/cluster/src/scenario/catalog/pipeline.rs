@@ -9,6 +9,7 @@
 //! RTT and pins the claim that motivated the change: at WAN-ish RTTs a
 //! deeper window multiplies committed write throughput.
 
+use super::wired;
 use crate::scenario::{Experiment, NetPlan, Report, RunCtx, ScenarioBuilder};
 use crate::sim::WorkloadSpec;
 use dynatune_core::TuningConfig;
@@ -62,7 +63,7 @@ fn depth_run(seed: u64, window: usize, rtt: Duration, hold: Duration) -> DepthRu
         .build_sim();
     let end = SimTime::ZERO + Duration::from_secs(3) + hold + Duration::from_secs(2);
     sim.run_until(end);
-    let steps = sim.client_steps().expect("client attached");
+    let steps = wired(sim.client_steps(), "the builder attached a workload client");
     DepthRun {
         committed: steps.iter().map(|s| s.completed).sum(),
         hold_secs: hold.as_secs_f64(),
@@ -111,10 +112,10 @@ impl Experiment for PipelineDepth {
             })
             .collect();
         let cell = |rtt_ms: u64, window: usize| -> &DepthRun {
-            let i = combos
-                .iter()
-                .position(|&(r, w)| r == rtt_ms && w == window)
-                .expect("swept combo");
+            let i = wired(
+                combos.iter().position(|&(r, w)| r == rtt_ms && w == window),
+                "every (rtt, window) cell queried below was swept above",
+            );
             &runs[i]
         };
 

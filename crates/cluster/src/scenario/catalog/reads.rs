@@ -17,6 +17,7 @@
 //!   commit, so the trace shows zero stale reads even though the
 //!   ex-leader kept serving into the cut.
 
+use super::wired;
 use crate::observers::stale_read_violations;
 use crate::scenario::{Experiment, Report, RunCtx, ScenarioBuilder};
 use crate::server::{ReadCounters, ReadStrategy};
@@ -66,7 +67,7 @@ fn throughput_run(seed: u64, strategy: ReadStrategy, hold: Duration) -> Throughp
         .build_sim();
     let end = SimTime::ZERO + Duration::from_secs(3) + hold + Duration::from_secs(2);
     sim.run_until(end);
-    let steps = sim.client_steps().expect("client attached");
+    let steps = wired(sim.client_steps(), "the builder attached a workload client");
     ThroughputRun {
         completed: steps.iter().map(|s| s.completed).sum(),
         hold_secs: hold.as_secs_f64(),
@@ -201,14 +202,14 @@ fn offload_run(seed: u64, fanout: bool, hold: Duration) -> OffloadRun {
         .build_sim();
     let end = SimTime::ZERO + Duration::from_secs(3) + hold + Duration::from_secs(2);
     sim.run_until(end);
-    let leader = sim.leader().expect("stable leader");
+    let leader = wired(sim.leader(), "a fault-free lease run keeps its leader");
     let leader_cpu_pct = sim.with_server(leader, |s| {
         s.cpu().mean_utilization(
             SimTime::from_secs(4),
             SimTime::ZERO + Duration::from_secs(3) + hold,
         )
     });
-    let trace = sim.client_trace().expect("trace recorded");
+    let trace = wired(sim.client_trace(), "the workload was built `.recording()`");
     OffloadRun {
         leader_cpu_pct,
         reads_per_server: (0..sim.n_servers())
@@ -364,7 +365,7 @@ fn lease_trial(seed: u64) -> LeaseTrial {
         .workload(workload)
         .build_sim();
     sim.run_until(t_partition);
-    let old_leader = sim.leader().expect("leader before the cut");
+    let old_leader = wired(sim.leader(), "the settle window elects before the cut");
     let lease_reads_before = sim.with_server(old_leader, |s| s.reads_served().lease);
     assert!(
         lease_reads_before > 0,
@@ -377,7 +378,7 @@ fn lease_trial(seed: u64) -> LeaseTrial {
     let new_leader = sim.leader();
     sim.heal_partition();
     sim.run_until(SimTime::from_secs(32));
-    let trace = sim.client_trace().expect("trace recorded");
+    let trace = wired(sim.client_trace(), "the workload was built `.recording()`");
     // The checker only bites if the partition window really had both new
     // commits and reads completing after them.
     let first_new_commit = trace
@@ -475,9 +476,10 @@ impl Experiment for LeaseSafetyPartition {
         );
         for (i, t) in results.iter().enumerate() {
             assert_eq!(t.violations, 0, "trial {i}: stale read served");
-            let new_leader = t
-                .new_leader
-                .unwrap_or_else(|| panic!("trial {i}: no new leader elected during the partition"));
+            let new_leader = wired(
+                t.new_leader,
+                &format!("trial {i}: no new leader elected during the partition"),
+            );
             assert_ne!(
                 new_leader, t.old_leader,
                 "trial {i}: old leader cannot still lead"

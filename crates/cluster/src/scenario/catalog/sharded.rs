@@ -17,6 +17,7 @@
 //! ([`serving_cost`]) that saturates a 2-core group near ~800 req/s, so
 //! contention effects appear at simulation-friendly request rates.
 
+use super::wired;
 use crate::cpu::CostModel;
 use crate::observers::extract_failover;
 use crate::scenario::{Experiment, Report, RunCtx, ScenarioBuilder};
@@ -165,7 +166,7 @@ impl Experiment for ShardedThroughput {
                 })
                 .collect(),
         );
-        let last = points.last().expect("non-empty sweep");
+        let last = wired(points.last(), "the shard-count sweep is non-empty");
         report.headline(
             "committed-throughput scaling, 1 -> 8 shards",
             "n/a (beyond paper)",
@@ -216,7 +217,7 @@ pub fn measure_skew(ctx: &RunCtx, zipf_theta: f64) -> SkewOutcome {
         steady_workload(3_000.0, hold, zipf_theta, start),
     );
     sim.run_until(SimTime::ZERO + start + hold + Duration::from_secs(1));
-    let stats = sim.shard_stats().expect("client attached");
+    let stats = wired(sim.shard_stats(), "the builder attached a shard client");
     SkewOutcome {
         sent: stats.iter().map(|s| s.sent).collect(),
         completed: stats.iter().map(|s| s.completed).collect(),
@@ -250,8 +251,8 @@ impl Experiment for HotShard {
             .into_par_iter()
             .map(|theta| measure_skew(ctx, theta))
             .collect();
-        let skewed = runs.pop().expect("two runs");
-        let uniform = runs.pop().expect("two runs");
+        let skewed = wired(runs.pop(), "two runs were mapped above");
+        let uniform = wired(runs.pop(), "two runs were mapped above");
         let share = |o: &SkewOutcome, s: usize| {
             o.sent[s] as f64 / o.sent.iter().sum::<u64>().max(1) as f64 * 100.0
         };
@@ -277,7 +278,10 @@ impl Experiment for HotShard {
                 })
                 .collect(),
         );
-        let hot = (0..8).max_by_key(|&s| skewed.sent[s]).expect("8 shards");
+        let hot = wired(
+            (0..8).max_by_key(|&s| skewed.sent[s]),
+            "the 0..8 shard range is non-empty",
+        );
         report.headline(
             "hot shard's share of offered load (zipf 1.4)",
             "n/a (beyond paper)",
@@ -342,7 +346,7 @@ pub fn measure_isolation(ctx: &RunCtx, label: &str, tuning: TuningConfig) -> Fai
     let mut sim = sharded_sim(shards, tuning, seed, workload);
 
     let snapshot = |sim: &ShardedClusterSim| {
-        let stats = sim.shard_stats().expect("client attached");
+        let stats = wired(sim.shard_stats(), "the builder attached a shard client");
         let sent: Vec<u64> = stats.iter().map(|s| s.sent).collect();
         let done: Vec<u64> = stats.iter().map(|s| s.completed).collect();
         (sent, done)
@@ -352,7 +356,7 @@ pub fn measure_isolation(ctx: &RunCtx, label: &str, tuning: TuningConfig) -> Fai
     sim.run_for(window);
     let at_fault = snapshot(&sim);
     let t_fault = sim.now();
-    let victim = sim.leader_of(0).expect("shard 0 has a leader after warmup");
+    let victim = wired(sim.leader_of(0), "shard 0 elected during the warmup window");
     sim.crash(victim);
     sim.run_for(window);
     let at_end = snapshot(&sim);
@@ -418,8 +422,8 @@ impl Experiment for ShardLeaderFailover {
         .into_par_iter()
         .map(|(label, tuning)| measure_isolation(ctx, label, tuning))
         .collect();
-        let dynatune = runs.pop().expect("two systems");
-        let raft = runs.pop().expect("two systems");
+        let dynatune = wired(runs.pop(), "two systems were mapped above");
+        let raft = wired(runs.pop(), "two systems were mapped above");
         let mut report = Report::new(self.name());
         for (label, m) in [("raft", &raft), ("dynatune", &dynatune)] {
             report.table(

@@ -216,11 +216,11 @@ impl ScenarioDriver {
         loop {
             // The next thing to do: a fault, a sample, or the horizon.
             let next_fault_at = faults.peek().map(|&(at, _, _)| at);
-            let step_to = [next_fault_at, next_sample, Some(horizon)]
+            let step_to = [next_fault_at, next_sample]
                 .into_iter()
                 .flatten()
                 .min()
-                .expect("horizon always present");
+                .map_or(horizon, |t| t.min(horizon));
             if step_to > horizon {
                 break;
             }
@@ -229,7 +229,9 @@ impl ScenarioDriver {
             // a fault time observes the post-fault world, matching the old
             // imperative loops (inject, then keep sampling).
             while faults.peek().is_some_and(|&(at, _, _)| at <= step_to) {
-                let (at, index, event) = faults.next().expect("peeked");
+                let Some((at, index, event)) = faults.next() else {
+                    break; // unreachable: peek() above was Some
+                };
                 trace.push(execute(&mut sim, at, index, &event));
             }
             if next_sample.is_some_and(|t| t <= step_to) {

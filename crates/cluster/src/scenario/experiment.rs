@@ -103,11 +103,15 @@ impl RunCtx {
     #[must_use]
     pub fn run(&self, experiment: &dyn Experiment) -> Report {
         if self.jobs > 0 {
-            rayon::ThreadPoolBuilder::new()
+            let pool = rayon::ThreadPoolBuilder::new()
                 .num_threads(self.jobs)
-                .build()
-                .expect("thread pool")
-                .install(|| experiment.run(self))
+                .build();
+            match pool {
+                Ok(pool) => pool.install(|| experiment.run(self)),
+                // Results are bit-identical across thread counts, so an
+                // inline run is a correct (merely slower) fallback.
+                Err(_) => experiment.run(self),
+            }
         } else {
             experiment.run(self)
         }

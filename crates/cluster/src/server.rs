@@ -471,7 +471,9 @@ impl<A: App> ServerHost<A> {
             if front.ready_at > now {
                 break;
             }
-            let req = self.admit.pop_front().expect("non-empty");
+            let Some(req) = self.admit.pop_front() else {
+                break; // unreachable: front() above was Some
+            };
             if self.read_strategy.log_free() && A::is_read(&req.cmd) {
                 self.start_read(ctx, req.client, req.req_id, req.cmd);
                 continue;
@@ -616,12 +618,13 @@ impl<A: App> ServerHost<A> {
     /// dead leader) is merged back and re-sent.
     fn flush_forwarded(&mut self, ctx: &mut HostCtx<'_, ClusterMsg<A>>) {
         let now = ctx.now;
-        if let Some(wave) = &self.fwd_inflight {
-            if now < wave.sent_at + FWD_WAVE_RESEND {
-                return;
-            }
-            let stale = self.fwd_inflight.take().expect("checked above");
+        let stale = self
+            .fwd_inflight
+            .take_if(|w| now >= w.sent_at + FWD_WAVE_RESEND);
+        if let Some(stale) = stale {
             self.fwd_pending.extend(stale.ids);
+        } else if self.fwd_inflight.is_some() {
+            return; // a fresh wave is still in flight
         }
         if self.fwd_pending.is_empty() {
             return;
@@ -669,7 +672,9 @@ impl<A: App> ServerHost<A> {
             if idx > applied {
                 break;
             }
-            let ids = self.follower_wait.remove(&idx).expect("entry exists");
+            let Some(ids) = self.follower_wait.remove(&idx) else {
+                break; // unreachable: `idx` was just read from the map
+            };
             for id in ids {
                 self.serve_follower_read(ctx, id);
             }
@@ -742,12 +747,8 @@ impl<A: App> ServerHost<A> {
                 read_index,
             } => {
                 self.cpu.charge(ctx.now, self.cost.per_message_recv);
-                let matches = self
-                    .fwd_inflight
-                    .as_ref()
-                    .is_some_and(|w| w.wave_id == read_id);
-                if matches {
-                    let wave = self.fwd_inflight.take().expect("checked above");
+                let wave = self.fwd_inflight.take_if(|w| w.wave_id == read_id);
+                if let Some(wave) = wave {
                     match read_index {
                         Some(idx) => {
                             for id in wave.ids {

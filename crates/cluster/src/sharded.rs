@@ -21,7 +21,7 @@ use crate::cpu::CostModel;
 use crate::server::{CompactionPolicy, ReadCounters, ReadStrategy, ServerHost};
 use crate::shard_client::{ShardClient, ShardStats};
 use crate::sim::{ClusterHost, WorkloadSpec};
-use dynatune_core::{TuningConfig, TuningSnapshot};
+use dynatune_core::{invariant_violated, TuningConfig, TuningSnapshot};
 use dynatune_kv::{ShardId, ShardMap, WorkloadGen};
 use dynatune_raft::{NodeId, RaftConfig, RaftEvent, Role, TimerQuantization};
 use dynatune_simnet::{
@@ -196,7 +196,10 @@ impl ShardedClusterSim {
     fn server(&self, id: NodeId) -> &ServerHost {
         match self.world.host(id) {
             ClusterHost::Server(s) => s,
-            _ => panic!("host {id} is not a server"),
+            _ => invariant_violated!(
+                "host {id} is not a server — shard topology maps groups onto \
+                 the leading server slots"
+            ),
         }
     }
 

@@ -4,7 +4,7 @@ use crate::client::{ClientHost, OpRecord, StepRecord};
 use crate::cpu::CostModel;
 use crate::msg::ClusterMsg;
 use crate::server::{CompactionPolicy, ReadCounters, ReadStrategy, ServerHost};
-use dynatune_core::{TuningConfig, TuningSnapshot};
+use dynatune_core::{invariant_violated, TuningConfig, TuningSnapshot};
 use dynatune_kv::{OpMix, RateStep, WorkloadGen};
 use dynatune_raft::{NodeId, RaftConfig, RaftEvent, Role, TimerQuantization};
 use dynatune_simnet::{
@@ -237,7 +237,9 @@ pub(crate) fn crash_server(world: &mut World<ClusterHost>, id: NodeId) {
     let now = world.now();
     match world.host_mut(id) {
         ClusterHost::Server(s) => s.crash_restart(now),
-        _ => panic!("host {id} is not a server"),
+        _ => invariant_violated!(
+            "host {id} is not a server — fault schedules only target server ids"
+        ),
     }
     world.reschedule_wake(id);
 }
@@ -348,7 +350,9 @@ impl ClusterSim {
     fn server(&self, id: NodeId) -> &ServerHost {
         match self.world.host(id) {
             ClusterHost::Server(s) => s,
-            _ => panic!("node {id} is a client"),
+            _ => invariant_violated!(
+                "node {id} is a client — server ids are the first n_servers slots"
+            ),
         }
     }
 

@@ -1,0 +1,73 @@
+//! The panic policy for protocol code: crash only on a *stated* invariant.
+//!
+//! `dynatune_lint` denies bare `panic!`/`unreachable!`/`unwrap()` in the
+//! protocol crates (`raft`, `cluster`, `broker` — rules P001/P002):
+//! every reachable failure must propagate a typed error, and every
+//! *unreachable* one must say why it is unreachable. These macros are the
+//! sanctioned way to say why. They are not a loophole around the lint —
+//! they are the lint's fix suggestion: the message argument is mandatory,
+//! the panic text is greppably prefixed with `invariant violated:`, and a
+//! reviewer sees the stated invariant at the crash site instead of a bare
+//! `.unwrap()`.
+//!
+//! Crash-on-broken-invariant is deliberate (and standard for replicated
+//! state machines): a replica whose in-memory state has diverged from its
+//! own invariants must not keep serving — continuing risks acking writes
+//! from corrupt state, which is strictly worse than a crash the cluster
+//! is designed to fail over from.
+//!
+//! ```rust
+//! use dynatune_core::{invariant, invariant_violated};
+//!
+//! fn commit(applied: u64, committed: u64, entry: Option<u64>) -> u64 {
+//!     invariant!(applied <= committed, "applied {applied} passed commit {committed}");
+//!     match entry {
+//!         Some(e) => e,
+//!         None => invariant_violated!("committed index {committed} missing from the log"),
+//!     }
+//! }
+//! assert_eq!(commit(1, 2, Some(7)), 7);
+//! ```
+
+/// Panic with a stated invariant. Use in the `else`/`None` arm a typed
+/// error cannot reach: the argument is the *reason the arm is
+/// unreachable*, not a description of the crash.
+#[macro_export]
+macro_rules! invariant_violated {
+    ($($why:tt)+) => {
+        ::std::panic!("invariant violated: {}", ::std::format_args!($($why)+))
+    };
+}
+
+/// Assert a stated invariant (a message is mandatory — that is the point).
+/// Equivalent to `assert!` with the `invariant violated:` prefix, so
+/// protocol-crate invariants are uniform and greppable.
+#[macro_export]
+macro_rules! invariant {
+    ($cond:expr, $($why:tt)+) => {
+        if !$cond {
+            $crate::invariant_violated!($($why)+);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn holding_invariant_is_silent() {
+        invariant!(1 + 1 == 2, "arithmetic works");
+    }
+
+    #[test]
+    #[should_panic(expected = "invariant violated: count 3 exceeds cap 2")]
+    fn broken_invariant_panics_with_prefixed_message() {
+        let (count, cap) = (3, 2);
+        invariant!(count <= cap, "count {count} exceeds cap {cap}");
+    }
+
+    #[test]
+    #[should_panic(expected = "invariant violated: reached the unreachable")]
+    fn violated_macro_panics_directly() {
+        invariant_violated!("reached the {}", "unreachable");
+    }
+}

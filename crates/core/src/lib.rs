@@ -30,6 +30,7 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod invariant;
 pub mod loss;
 pub mod math;
 pub mod meta;

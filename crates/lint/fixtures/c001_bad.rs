@@ -1,0 +1,10 @@
+//! C001 must fire (scanned as a `crates/raft` source): imports reaching
+//! *up* the crate DAG, via `use`, an alias, and a fully-qualified path.
+
+use dynatune_cluster::ClusterSim;
+use dynatune_repro as umbrella;
+
+pub fn upward() -> usize {
+    let _sim: Option<ClusterSim> = None;
+    dynatune_bench::entry_count() + umbrella::version()
+}

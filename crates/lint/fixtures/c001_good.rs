@@ -1,0 +1,15 @@
+//! C001 must stay silent (scanned as a `crates/raft` source): declared
+//! downward edges, self-references, and `dynatune_`-prefixed identifiers
+//! that are not workspace crates at all.
+
+use dynatune_core::FollowerTuner;
+use dynatune_simnet::SimTime;
+
+pub fn downward(tuner: &FollowerTuner) -> SimTime {
+    let _tuner = tuner;
+    dynatune_raft::log::first_index();
+    dynatune_detects_much_faster_than_raft();
+    SimTime::ZERO
+}
+
+fn dynatune_detects_much_faster_than_raft() {}

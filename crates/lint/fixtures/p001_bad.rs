@@ -1,0 +1,14 @@
+//! P001 must fire: `.unwrap()` / `.expect()` on the serving path, in all
+//! three spellings (method, method-with-message, fully-qualified call).
+
+pub fn lookup(entry: Option<u64>) -> u64 {
+    entry.unwrap()
+}
+
+pub fn lookup_msg(entry: Option<u64>) -> u64 {
+    entry.expect("entry present")
+}
+
+pub fn lookup_uf(entry: Option<u64>) -> u64 {
+    Option::unwrap(entry)
+}

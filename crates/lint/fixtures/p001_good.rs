@@ -1,0 +1,29 @@
+//! P001 must stay silent: explicit fallbacks, propagation, let-else, and
+//! non-crashing `unwrap_*` relatives — plus mentions in comments and
+//! strings, which are not code.
+
+pub fn fallback(entry: Option<u64>) -> u64 {
+    // A stray unwrap() in a comment is not a violation.
+    entry.unwrap_or(0)
+}
+
+pub fn lazy(entry: Option<u64>) -> u64 {
+    entry.unwrap_or_else(|| 7)
+}
+
+pub fn defaulted(entry: Option<u64>) -> u64 {
+    entry.unwrap_or_default()
+}
+
+pub fn propagated(entry: Option<u64>) -> Option<u64> {
+    let v = entry?;
+    Some(v + 1)
+}
+
+pub fn structured(entry: Option<u64>) -> u64 {
+    let Some(v) = entry else {
+        return 0;
+    };
+    let _doc = "call .unwrap() at your peril";
+    v
+}

@@ -1,0 +1,11 @@
+//! P002 must fire: every explicit-panic macro, including the
+//! "placeholder" forms that must never ship in protocol code.
+
+pub fn explode(kind: u8) -> u64 {
+    match kind {
+        0 => panic!("bare panic"),
+        1 => unreachable!(),
+        2 => todo!(),
+        _ => unimplemented!(),
+    }
+}

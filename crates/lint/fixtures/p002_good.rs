@@ -1,0 +1,24 @@
+//! P002 must stay silent: stated-invariant crashes via the sanctioned
+//! `invariant!` macros, plain asserts (their message states the claim),
+//! and `panic`-the-module-path (not the macro).
+
+use dynatune_core::{invariant, invariant_violated};
+use std::panic::Location;
+
+pub fn checked(applied: u64, committed: u64) -> u64 {
+    invariant!(applied <= committed, "applied {applied} passed {committed}");
+    assert!(committed > 0, "empty log cannot commit");
+    debug_assert!(applied > 0);
+    committed
+}
+
+pub fn stated(entry: Option<u64>) -> u64 {
+    match entry {
+        Some(v) => v,
+        None => invariant_violated!("committed entries are live in the log"),
+    }
+}
+
+pub fn caller_line() -> u32 {
+    Location::caller().line()
+}

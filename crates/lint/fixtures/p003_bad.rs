@@ -1,0 +1,9 @@
+//! P003 must fire: narrowing `as` casts that silently truncate offsets
+//! and indexes.
+
+pub fn narrowed(offset: u64, count: usize, delta: i64) -> (u32, u16, i8) {
+    let a = offset as u32;
+    let b = count as u16;
+    let c = delta as i8;
+    (a, b, c)
+}

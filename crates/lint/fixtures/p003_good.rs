@@ -1,0 +1,13 @@
+//! P003 must stay silent: checked conversions with an explicit overflow
+//! policy, widening casts, float casts, and `as`-renames in use items.
+
+// Legal (if eccentric) Rust: primitive names are not keywords, so a use
+// item may alias one — the `as` here is a rename, not a cast.
+use crate::width::thirty_two as u32;
+
+pub fn converted(offset: u64, count: usize) -> (u32, u64, f64) {
+    let a = u32::try_from(offset).unwrap_or(u32::MAX);
+    let widened = (count as u64) + 1;
+    let ratio = offset as f64 / 2.0;
+    (a, widened, ratio)
+}

@@ -1,0 +1,289 @@
+//! The violation baseline — a ratchet for landing new rules incrementally.
+//!
+//! A new rule pointed at an old tree fires hundreds of times; demanding a
+//! same-PR sweep would block the rule forever. Instead the current
+//! violation set is recorded once (`--baseline PATH --update-baseline`)
+//! and CI runs `--deny --baseline PATH`: existing findings are
+//! *grandfathered*, new ones fail the build. The ratchet only turns one
+//! way — when a file gets cleaner than its baseline entry, the run
+//! reports the baseline as **stale** and `--deny` fails until it is
+//! regenerated, so recorded debt can shrink but never silently regrow.
+//!
+//! Entries are keyed by `(file, rule, count)`, not line numbers: unrelated
+//! edits move lines constantly, and a per-line baseline would churn (or
+//! worse, mask a *new* violation that happens to land on a recorded
+//! line). Within one `(file, rule)` group the first `count` findings in
+//! line order are grandfathered; any beyond that are regressions.
+
+use crate::engine::Violation;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Schema tag written into (and required from) every baseline file.
+pub const SCHEMA: &str = "dynatune-lint-baseline/v1";
+
+/// A recorded violation budget: `(file, rule) → count`.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Baseline {
+    entries: BTreeMap<(String, String), usize>,
+}
+
+/// One `(file, rule)` where the tree is now cleaner than the baseline —
+/// the ratchet must be turned (file regenerated) before `--deny` passes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StaleEntry {
+    /// Baselined file.
+    pub file: String,
+    /// Baselined rule.
+    pub rule: String,
+    /// Count recorded in the baseline.
+    pub recorded: usize,
+    /// Count actually found now (strictly less than `recorded`).
+    pub found: usize,
+}
+
+/// Result of applying a baseline to a violation list.
+#[derive(Debug, Default)]
+pub struct BaselineOutcome {
+    /// Violations not covered by the baseline (regressions — these fail
+    /// `--deny`).
+    pub regressions: Vec<Violation>,
+    /// How many findings the baseline grandfathered.
+    pub grandfathered: usize,
+    /// Baseline entries now over-recorded (fail `--deny` until the file
+    /// is regenerated).
+    pub stale: Vec<StaleEntry>,
+}
+
+impl Baseline {
+    /// Record a baseline from the current violation set.
+    #[must_use]
+    pub fn from_violations(violations: &[Violation]) -> Self {
+        let mut entries: BTreeMap<(String, String), usize> = BTreeMap::new();
+        for v in violations {
+            *entries
+                .entry((v.file.clone(), v.rule.to_string()))
+                .or_insert(0) += 1;
+        }
+        Self { entries }
+    }
+
+    /// Number of `(file, rule)` entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the baseline records no debt at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Keep only entries for the given rules (pairs with the CLI's
+    /// `--only` view: a filtered scan must not read unrelated baseline
+    /// entries as stale).
+    pub fn retain_rules(&mut self, only: &[String]) {
+        self.entries.retain(|(_, rule), _| only.contains(rule));
+    }
+
+    /// Apply the ratchet: split `violations` into grandfathered findings
+    /// and regressions, and surface stale entries.
+    #[must_use]
+    pub fn apply(&self, violations: Vec<Violation>) -> BaselineOutcome {
+        let mut found: BTreeMap<(String, String), usize> = BTreeMap::new();
+        let mut out = BaselineOutcome::default();
+        // `violations` arrive sorted by (file, line, rule); counting in
+        // that order grandfathers the earliest findings deterministically.
+        for v in violations {
+            let key = (v.file.clone(), v.rule.to_string());
+            let seen = found.entry(key.clone()).or_insert(0);
+            *seen += 1;
+            let budget = self.entries.get(&key).copied().unwrap_or(0);
+            if *seen <= budget {
+                out.grandfathered += 1;
+            } else {
+                out.regressions.push(v);
+            }
+        }
+        for ((file, rule), &recorded) in &self.entries {
+            let now = found
+                .get(&(file.clone(), rule.clone()))
+                .copied()
+                .unwrap_or(0);
+            if now < recorded {
+                out.stale.push(StaleEntry {
+                    file: file.clone(),
+                    rule: rule.clone(),
+                    recorded,
+                    found: now,
+                });
+            }
+        }
+        out
+    }
+
+    /// Serialize to the committed-file form (stable ordering, hand-rolled
+    /// JSON like every other report in this workspace).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"schema\": \"{SCHEMA}\",");
+        out.push_str("  \"entries\": [");
+        let mut first = true;
+        for ((file, rule), count) in &self.entries {
+            out.push_str(if first { "\n" } else { ",\n" });
+            first = false;
+            let _ = write!(
+                out,
+                "    {{\"file\": \"{}\", \"rule\": \"{}\", \"count\": {}}}",
+                esc(file),
+                esc(rule),
+                count
+            );
+        }
+        out.push_str(if first { "]\n}\n" } else { "\n  ]\n}\n" });
+        out
+    }
+
+    /// Parse a baseline file. The format is the one [`Baseline::to_json`]
+    /// writes (one entry object per line); parsing is deliberately
+    /// line-oriented and strict about the schema tag so a wrong or
+    /// hand-mangled file fails loudly instead of silently ratcheting
+    /// nothing.
+    ///
+    /// # Errors
+    /// Returns a description of the first malformed construct.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        if !text.contains(SCHEMA) {
+            return Err(format!("baseline file missing schema tag `{SCHEMA}`"));
+        }
+        let mut entries = BTreeMap::new();
+        for (idx, line) in text.lines().enumerate() {
+            let line_no = idx + 1;
+            if !line.contains("\"file\"") {
+                continue;
+            }
+            let file = field(line, "file")
+                .ok_or_else(|| format!("line {line_no}: entry missing \"file\""))?;
+            let rule = field(line, "rule")
+                .ok_or_else(|| format!("line {line_no}: entry missing \"rule\""))?;
+            let count = int_field(line, "count")
+                .ok_or_else(|| format!("line {line_no}: entry missing \"count\""))?;
+            entries.insert((file, rule), count);
+        }
+        Ok(Self { entries })
+    }
+}
+
+/// Extract `"name": "value"` from one line (values never contain escaped
+/// quotes: they are workspace-relative paths and rule IDs).
+fn field(line: &str, name: &str) -> Option<String> {
+    let tag = format!("\"{name}\": \"");
+    let start = line.find(&tag)? + tag.len();
+    let end = line[start..].find('"')? + start;
+    Some(line[start..end].to_string())
+}
+
+/// Extract `"name": 123` from one line.
+fn int_field(line: &str, name: &str) -> Option<usize> {
+    let tag = format!("\"{name}\": ");
+    let start = line.find(&tag)? + tag.len();
+    let digits: String = line[start..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits.parse().ok()
+}
+
+/// Minimal JSON escaping (paths and rule IDs only).
+fn esc(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(file: &str, line: u32, rule: &'static str) -> Violation {
+        Violation {
+            file: file.to_string(),
+            line,
+            rule,
+            message: String::new(),
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_entries() {
+        let b = Baseline::from_violations(&[
+            v("a.rs", 1, "P001"),
+            v("a.rs", 9, "P001"),
+            v("b.rs", 2, "P003"),
+        ]);
+        let parsed = Baseline::parse(&b.to_json()).unwrap();
+        assert_eq!(b, parsed);
+        assert_eq!(parsed.len(), 2);
+    }
+
+    #[test]
+    fn empty_baseline_roundtrips_and_grandfathers_nothing() {
+        let b = Baseline::default();
+        assert!(b.is_empty());
+        let parsed = Baseline::parse(&b.to_json()).unwrap();
+        assert!(parsed.is_empty());
+        let out = parsed.apply(vec![v("a.rs", 1, "P001")]);
+        assert_eq!(out.regressions.len(), 1);
+        assert_eq!(out.grandfathered, 0);
+        assert!(out.stale.is_empty());
+    }
+
+    #[test]
+    fn ratchet_grandfathers_up_to_budget_and_flags_excess() {
+        let base = Baseline::from_violations(&[v("a.rs", 1, "P001"), v("a.rs", 2, "P001")]);
+        // Same count: all grandfathered.
+        let out = base.apply(vec![v("a.rs", 10, "P001"), v("a.rs", 20, "P001")]);
+        assert!(out.regressions.is_empty());
+        assert_eq!(out.grandfathered, 2);
+        assert!(out.stale.is_empty());
+        // One more than budget: exactly one regression (the last in line
+        // order), others grandfathered.
+        let out = base.apply(vec![
+            v("a.rs", 10, "P001"),
+            v("a.rs", 20, "P001"),
+            v("a.rs", 30, "P001"),
+        ]);
+        assert_eq!(out.regressions.len(), 1);
+        assert_eq!(out.regressions[0].line, 30);
+        assert_eq!(out.grandfathered, 2);
+    }
+
+    #[test]
+    fn shrinking_below_baseline_is_stale() {
+        let base = Baseline::from_violations(&[v("a.rs", 1, "P001"), v("a.rs", 2, "P001")]);
+        let out = base.apply(vec![v("a.rs", 10, "P001")]);
+        assert!(out.regressions.is_empty());
+        assert_eq!(
+            out.stale,
+            vec![StaleEntry {
+                file: "a.rs".to_string(),
+                rule: "P001".to_string(),
+                recorded: 2,
+                found: 1,
+            }]
+        );
+    }
+
+    #[test]
+    fn different_rule_same_file_is_not_covered() {
+        let base = Baseline::from_violations(&[v("a.rs", 1, "P001")]);
+        let out = base.apply(vec![v("a.rs", 1, "P002")]);
+        assert_eq!(out.regressions.len(), 1);
+    }
+
+    #[test]
+    fn wrong_schema_is_rejected() {
+        assert!(Baseline::parse("{\"schema\": \"something-else\"}").is_err());
+        assert!(Baseline::parse("").is_err());
+    }
+}

@@ -11,7 +11,11 @@
 //!    ascriptions / initializers, then `.iter()`-family calls and `for`
 //!    loops over them flagged,
 //! 6. L001 pass — `let _ =` in protocol prod code,
-//! 7. waiver application — `// lint: allow(RULE) — reason` comments
+//! 7. panic-freedom passes — P001 `.unwrap()`/`.expect()` calls, P002
+//!    explicit panic macros, P003 narrowing `as` casts (all prod-only),
+//! 8. C001 layering pass — any resolved `dynatune_*` path checked
+//!    against the owning crate's declared DAG edges,
+//! 9. waiver application — `// lint: allow(RULE) — reason` comments
 //!    suppress same/next-line findings; malformed (W001) and stale (W002)
 //!    waivers are themselves findings.
 
@@ -144,8 +148,129 @@ pub fn scan_source(rel_path: &str, src: &str, policy: &FilePolicy) -> FileScan {
         }
     }
 
-    // --- Pass 7: waivers ---------------------------------------------------
+    // --- Pass 7a: P001 `.unwrap()` / `.expect()` calls --------------------
+    if policy.prod.p001 {
+        for i in 1..tokens.len().saturating_sub(1) {
+            let Tok::Ident(name) = &tokens[i].tok else {
+                continue;
+            };
+            if name != "unwrap" && name != "expect" {
+                continue;
+            }
+            // Method call (`x.unwrap()`) or UFCS (`Option::unwrap(x)`) —
+            // either way the next token must open the call.
+            let receiver = matches!(tokens[i - 1].tok, Tok::Punct('.'))
+                || matches!(tokens[i - 1].tok, Tok::PathSep);
+            if receiver
+                && matches!(tokens[i + 1].tok, Tok::Punct('('))
+                && ruleset(tokens[i].line).p001
+            {
+                raw.push(Violation {
+                    file: rel_path.to_string(),
+                    line: tokens[i].line,
+                    rule: id::P001,
+                    message: format!(
+                        "`.{name}()` in protocol prod code — a latent crash in the serving \
+                         path; propagate a typed error or state the invariant"
+                    ),
+                });
+            }
+        }
+    }
+
+    // --- Pass 7b: P002 explicit panic macros ------------------------------
+    if policy.prod.p002 {
+        for i in 0..tokens.len().saturating_sub(1) {
+            let Tok::Ident(name) = &tokens[i].tok else {
+                continue;
+            };
+            if rules::PANIC_MACROS.contains(&name.as_str())
+                && matches!(tokens[i + 1].tok, Tok::Punct('!'))
+                && ruleset(tokens[i].line).p002
+            {
+                raw.push(Violation {
+                    file: rel_path.to_string(),
+                    line: tokens[i].line,
+                    rule: id::P002,
+                    message: format!(
+                        "`{name}!` in protocol prod code — explicit panics are waivable \
+                         only with a stated invariant"
+                    ),
+                });
+            }
+        }
+    }
+
+    // --- Pass 7c: P003 narrowing `as` integer casts -----------------------
+    if policy.prod.p003 {
+        flag_narrowing_casts(tokens, rel_path, &mut raw, |line| ruleset(line).p003);
+    }
+
+    // --- Pass 8: C001 crate layering --------------------------------------
+    if let Some(layer) = policy.layer {
+        for p in &paths {
+            let resolved = resolve(&uses, &p.segments);
+            let Some(first) = resolved.first() else {
+                continue;
+            };
+            if crate::layering::is_workspace_lib(first)
+                && !crate::layering::edge_allowed(layer, first)
+            {
+                raw.push(Violation {
+                    file: rel_path.to_string(),
+                    line: p.line,
+                    rule: id::C001,
+                    message: format!(
+                        "`{}` imports `{first}` — not a declared edge from {} in the \
+                         crate DAG (crates/lint/src/layering.rs)",
+                        p.segments.join("::"),
+                        layer.lib
+                    ),
+                });
+            }
+        }
+    }
+
+    // --- Pass 9: waivers ---------------------------------------------------
     apply_waivers(rel_path, &lexed.comments, tokens, raw)
+}
+
+/// Flag `expr as u8|u16|u32|i8|i16|i32` casts. `as` inside a `use`
+/// declaration is a rename, not a cast, so token runs between `use` and
+/// `;` are skipped.
+fn flag_narrowing_casts(
+    tokens: &[Token],
+    rel_path: &str,
+    out: &mut Vec<Violation>,
+    p003_on: impl Fn(u32) -> bool,
+) {
+    let mut in_use = false;
+    for i in 0..tokens.len().saturating_sub(1) {
+        match &tokens[i].tok {
+            Tok::Ident(s) if s == "use" => in_use = true,
+            Tok::Punct(';') => in_use = false,
+            Tok::Ident(s) if s == "as" && !in_use => {
+                let Tok::Ident(target) = &tokens[i + 1].tok else {
+                    continue;
+                };
+                if rules::NARROWING_CAST_TARGETS.contains(&target.as_str())
+                    && p003_on(tokens[i].line)
+                {
+                    out.push(Violation {
+                        file: rel_path.to_string(),
+                        line: tokens[i].line,
+                        rule: id::P003,
+                        message: format!(
+                            "`as {target}` narrows an integer in protocol prod code — a \
+                             silent truncation corrupts offsets/indexes; use `try_from` \
+                             with an explicit overflow policy"
+                        ),
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------

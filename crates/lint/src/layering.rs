@@ -1,0 +1,303 @@
+//! The declared crate-layering DAG that C001 enforces.
+//!
+//! The workspace's architecture is a strict layering: `stats` and
+//! `simnet` at the bottom (no workspace-local imports at all), the Raft
+//! protocol core above them, the state-machine apps (`kvstore`,
+//! `broker`) above Raft, and the serving/measurement layers on top. The
+//! PR-7 `App`-trait boundary only means something if `raft` can never
+//! grow a `use dynatune_cluster` and a vendor shim can never reach into
+//! the workspace — this table is the machine-checked form of that
+//! architecture, and ARCHITECTURE.md's "Crate layering" section is
+//! generated from it (kept in lockstep by `tests/docs_sync.rs`).
+//!
+//! Two enforcement points share the table:
+//!
+//! * the engine's C001 pass flags any resolved `dynatune_*` path in a
+//!   `.rs` file whose owning crate does not declare that edge, and
+//! * [`check_manifests`] parses every `crates/*/Cargo.toml` and
+//!   `vendor/*/Cargo.toml` `[dependencies]` section, so an edge cannot
+//!   sneak in as a manifest dependency that no source file exercises yet.
+
+use crate::engine::Violation;
+use crate::rules::id;
+use std::io;
+use std::path::Path;
+
+/// One workspace crate's position in the DAG.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrateLayer {
+    /// Directory name under `crates/`.
+    pub dir: &'static str,
+    /// The crate's lib name (what `use` statements and manifests say).
+    pub lib: &'static str,
+    /// Workspace-local lib names this crate may depend on. Everything
+    /// absent is forbidden — the DAG is an allowlist, not a denylist.
+    pub allowed: &'static [&'static str],
+}
+
+/// The declared DAG, bottom layer first. Edges list *direct* allowed
+/// dependencies; transitive closure is intentionally not implied (if
+/// `broker` starts needing `stats` directly, that is a new edge to
+/// declare and review, not a freebie).
+pub const LAYERS: &[CrateLayer] = &[
+    CrateLayer {
+        dir: "stats",
+        lib: "dynatune_stats",
+        allowed: &[],
+    },
+    CrateLayer {
+        dir: "simnet",
+        lib: "dynatune_simnet",
+        allowed: &[],
+    },
+    CrateLayer {
+        dir: "core",
+        lib: "dynatune_core",
+        allowed: &["dynatune_stats"],
+    },
+    CrateLayer {
+        dir: "raft",
+        lib: "dynatune_raft",
+        allowed: &["dynatune_core", "dynatune_simnet"],
+    },
+    CrateLayer {
+        dir: "kvstore",
+        lib: "dynatune_kv",
+        allowed: &["dynatune_raft", "dynatune_simnet", "dynatune_stats"],
+    },
+    CrateLayer {
+        dir: "broker",
+        lib: "dynatune_broker",
+        allowed: &["dynatune_core", "dynatune_kv", "dynatune_raft"],
+    },
+    CrateLayer {
+        dir: "cluster",
+        lib: "dynatune_cluster",
+        allowed: &[
+            "dynatune_broker",
+            "dynatune_core",
+            "dynatune_kv",
+            "dynatune_raft",
+            "dynatune_simnet",
+            "dynatune_stats",
+        ],
+    },
+    CrateLayer {
+        dir: "bench",
+        lib: "dynatune_bench",
+        allowed: &[
+            "dynatune_broker",
+            "dynatune_cluster",
+            "dynatune_core",
+            "dynatune_kv",
+            "dynatune_raft",
+            "dynatune_simnet",
+            "dynatune_stats",
+        ],
+    },
+    CrateLayer {
+        dir: "lint",
+        lib: "dynatune_lint",
+        allowed: &[],
+    },
+];
+
+/// Look up a layer by its directory name under `crates/`.
+#[must_use]
+pub fn layer_for_dir(dir: &str) -> Option<&'static CrateLayer> {
+    LAYERS.iter().find(|l| l.dir == dir)
+}
+
+/// Is `name` the lib name of a workspace crate? (Plain `dynatune_*`
+/// identifiers — test function names, locals — are not imports; only the
+/// actual lib names participate in C001.) The umbrella `dynatune_repro`
+/// counts: no crate in the DAG may import it (it sits above everything).
+#[must_use]
+pub fn is_workspace_lib(name: &str) -> bool {
+    name == "dynatune_repro" || LAYERS.iter().any(|l| l.lib == name)
+}
+
+/// Is `dep` (a `dynatune_*` lib name) a declared edge from `layer`?
+/// A crate may always reference itself.
+#[must_use]
+pub fn edge_allowed(layer: &CrateLayer, dep: &str) -> bool {
+    dep == layer.lib || layer.allowed.contains(&dep)
+}
+
+/// The "Crate layering" markdown block ARCHITECTURE.md embeds, generated
+/// from [`LAYERS`] so the prose cannot drift from what C001 enforces.
+#[must_use]
+pub fn dag_markdown() -> String {
+    let mut out = String::from("| crate | may depend on (workspace-local) |\n|---|---|\n");
+    for l in LAYERS {
+        let deps = if l.allowed.is_empty() {
+            "*(nothing workspace-local)*".to_string()
+        } else {
+            l.allowed
+                .iter()
+                .map(|d| format!("`{d}`"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        out.push_str(&format!(
+            "| `{}` (`crates/{}`) | {} |\n",
+            l.lib, l.dir, deps
+        ));
+    }
+    out
+}
+
+/// Check every `crates/*/Cargo.toml` and `vendor/*/Cargo.toml` under
+/// `root` against the DAG: a `dynatune_*` entry in a dependency section
+/// that is not a declared edge is a C001 violation (vendor shims may
+/// not depend on the workspace at all). Manifests are data, not Rust —
+/// inline waivers cannot apply here by construction.
+///
+/// # Errors
+/// Propagates filesystem errors reading directories or manifests.
+pub fn check_manifests(root: &Path) -> io::Result<Vec<Violation>> {
+    let mut out = Vec::new();
+    for area in ["crates", "vendor"] {
+        let dir = root.join(area);
+        if !dir.is_dir() {
+            continue;
+        }
+        let mut subdirs: Vec<_> = std::fs::read_dir(&dir)?
+            .collect::<Result<Vec<_>, _>>()?
+            .into_iter()
+            .map(|e| e.path())
+            .filter(|p| p.is_dir())
+            .collect();
+        subdirs.sort();
+        for sub in subdirs {
+            let Some(name) = sub.file_name().and_then(|n| n.to_str()) else {
+                continue;
+            };
+            let manifest = sub.join("Cargo.toml");
+            if !manifest.is_file() {
+                continue;
+            }
+            let text = std::fs::read_to_string(&manifest)?;
+            let rel = format!("{area}/{name}/Cargo.toml");
+            let layer = if area == "crates" {
+                layer_for_dir(name)
+            } else {
+                None // vendor: empty allowlist
+            };
+            out.extend(check_manifest_text(&rel, &text, layer));
+        }
+    }
+    Ok(out)
+}
+
+/// Scan one manifest's dependency sections for undeclared `dynatune_*`
+/// edges. `layer` is `None` for crates outside the DAG (vendor shims),
+/// which may depend on nothing workspace-local.
+#[must_use]
+pub fn check_manifest_text(
+    rel_path: &str,
+    text: &str,
+    layer: Option<&CrateLayer>,
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let mut in_deps = false;
+    for (idx, line) in text.lines().enumerate() {
+        let line_no = u32::try_from(idx).unwrap_or(u32::MAX).saturating_add(1);
+        let trimmed = line.trim();
+        if trimmed.starts_with('[') {
+            // Any dependency table counts: [dependencies],
+            // [dev-dependencies], [build-dependencies], target-specific.
+            in_deps = trimmed.trim_matches(['[', ']']).ends_with("dependencies");
+            continue;
+        }
+        if !in_deps {
+            continue;
+        }
+        let Some(dep) = trimmed.split(['=', ' ', '.']).next() else {
+            continue;
+        };
+        if !dep.starts_with("dynatune_") {
+            continue;
+        }
+        let allowed = layer.is_some_and(|l| edge_allowed(l, dep));
+        if !allowed {
+            let owner = layer.map_or("a vendor shim", |l| l.lib);
+            out.push(Violation {
+                file: rel_path.to_string(),
+                line: line_no,
+                rule: id::C001,
+                message: format!(
+                    "manifest dependency `{dep}` is not a declared edge from {owner} — \
+                     the crate DAG in crates/lint/src/layering.rs does not allow it"
+                ),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn declared_dag_is_acyclic_and_self_consistent() {
+        // Every allowed dep must itself be a declared layer, and must
+        // appear *earlier* in LAYERS (bottom-first order doubles as a
+        // topological order, so cycles are impossible by construction).
+        for (i, l) in LAYERS.iter().enumerate() {
+            for dep in l.allowed {
+                let pos = LAYERS.iter().position(|o| o.lib == *dep);
+                let pos = pos.unwrap_or_else(|| {
+                    panic!("{}: allowed dep {dep} is not a declared layer", l.lib)
+                });
+                assert!(pos < i, "{}: dep {dep} is not a lower layer", l.lib);
+            }
+        }
+    }
+
+    #[test]
+    fn raft_may_not_depend_on_cluster_or_bench() {
+        let raft = layer_for_dir("raft").unwrap();
+        assert!(!edge_allowed(raft, "dynatune_cluster"));
+        assert!(!edge_allowed(raft, "dynatune_bench"));
+        assert!(edge_allowed(raft, "dynatune_core"));
+        assert!(edge_allowed(raft, "dynatune_raft"), "self is always fine");
+    }
+
+    #[test]
+    fn manifest_scan_flags_undeclared_edges_only() {
+        let bad = "[package]\nname = \"dynatune_raft\"\n[dependencies]\n\
+                   dynatune_cluster = { workspace = true }\n\
+                   dynatune_core = { workspace = true }\n";
+        let v = check_manifest_text("crates/raft/Cargo.toml", bad, layer_for_dir("raft"));
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, id::C001);
+        assert_eq!(v[0].line, 4);
+        assert!(v[0].message.contains("dynatune_cluster"));
+    }
+
+    #[test]
+    fn dev_dependency_edges_are_checked_too() {
+        let bad = "[dev-dependencies]\ndynatune_bench = { workspace = true }\n";
+        let v = check_manifest_text("crates/stats/Cargo.toml", bad, layer_for_dir("stats"));
+        assert_eq!(v.len(), 1, "{v:?}");
+    }
+
+    #[test]
+    fn vendor_shims_may_not_import_the_workspace() {
+        let bad = "[dependencies]\ndynatune_stats = { workspace = true }\n";
+        let v = check_manifest_text("vendor/rayon/Cargo.toml", bad, None);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("vendor shim"));
+    }
+
+    #[test]
+    fn dag_markdown_lists_every_layer() {
+        let md = dag_markdown();
+        for l in LAYERS {
+            assert!(md.contains(l.lib), "missing {}", l.lib);
+        }
+        assert!(md.contains("*(nothing workspace-local)*"));
+    }
+}

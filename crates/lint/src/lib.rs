@@ -15,8 +15,22 @@
 //! | D003 | ambient randomness / randomized hashing |
 //! | D004 | thread/sync primitives outside the vendored rayon shim |
 //! | L001 | `let _ =` discards in protocol code |
+//! | P001 | `.unwrap()` / `.expect()` in protocol prod code |
+//! | P002 | explicit panic macros in protocol prod code |
+//! | P003 | narrowing `as` integer casts in protocol prod code |
+//! | C001 | crate imports outside the declared layering DAG |
 //! | W001 | malformed waiver comment |
 //! | W002 | stale waiver |
+//!
+//! The P-family guards the *serving path*: `raft`, `cluster`, and
+//! `broker` prod code must not contain a latent crash, so every
+//! panicking construct is either converted to typed error propagation, a
+//! stated-invariant assertion, or carries a reasoned waiver. C001 keeps
+//! the crate DAG (declared in [`layering`]) from eroding. New rules land
+//! incrementally through the baseline ratchet ([`baseline`], CLI
+//! `--baseline`): recorded findings are grandfathered, new ones fail
+//! `--deny`, and a tree that gets cleaner forces the baseline to be
+//! regenerated.
 //!
 //! Violations are waived inline with
 //! `// lint: allow(D002) — <non-empty reason>`; the waiver covers its own
@@ -31,7 +45,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod baseline;
 pub mod engine;
+pub mod layering;
 pub mod policy;
 pub mod report;
 pub mod rules;
@@ -43,7 +59,9 @@ use report::LintReport;
 use std::io;
 use std::path::Path;
 
-/// Lint every scannable `.rs` file under `root` (a workspace checkout).
+/// Lint every scannable `.rs` file under `root` (a workspace checkout),
+/// plus every crate/vendor manifest (C001 checks `Cargo.toml` dependency
+/// sections against the declared DAG).
 ///
 /// # Errors
 /// Propagates filesystem errors (unreadable directories or files).
@@ -67,6 +85,7 @@ pub fn lint_workspace(root: &Path) -> io::Result<LintReport> {
         report.violations.extend(scan.violations);
         report.waivers.extend(scan.waivers);
     }
+    report.violations.extend(layering::check_manifests(root)?);
     report
         .violations
         .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));

@@ -4,35 +4,81 @@
 //! ```text
 //! cargo run -p dynatune_lint                  # report mode (always exit 0)
 //! cargo run -p dynatune_lint -- --deny        # CI mode (exit 1 on findings)
-//! cargo run -p dynatune_lint -- --json out.json
+//! cargo run -p dynatune_lint -- --json out.json --sarif out.sarif
+//! cargo run -p dynatune_lint -- --only P001,P002      # sweep one rule family
+//! cargo run -p dynatune_lint -- --baseline crates/lint/baseline.json --deny
+//! cargo run -p dynatune_lint -- --baseline B --update-baseline  # turn the ratchet
 //! cargo run -p dynatune_lint -- --rules       # print the rule catalog
 //! ```
+//!
+//! Exit codes: 0 clean (or report mode), 1 `--deny` with findings or a
+//! stale baseline, 2 usage errors (unknown flag/rule, unreadable
+//! baseline) — mirroring the bench binaries' convention.
 
+use dynatune_lint::baseline::Baseline;
 use dynatune_lint::{find_workspace_root, lint_workspace, rules};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: dynatune_lint [--root DIR] [--deny] [--json PATH] [--rules]
-  --root DIR   workspace root to scan (default: walk up from cwd)
-  --deny       exit 1 on any unwaived violation (CI mode)
-  --json PATH  also write the machine-readable report to PATH
-  --rules      print the rule catalog and exit";
+const USAGE: &str = "usage: dynatune_lint [--root DIR] [--deny] [--json PATH] [--sarif PATH]
+                     [--baseline PATH [--update-baseline]] [--only RULE[,RULE]] [--rules]
+  --root DIR         workspace root to scan (default: walk up from cwd)
+  --deny             exit 1 on any unwaived violation or stale baseline (CI mode)
+  --json PATH        also write the machine-readable report to PATH
+  --sarif PATH       also write a SARIF 2.1.0 report to PATH (GitHub code scanning)
+  --baseline PATH    ratchet: grandfather violations recorded in PATH; under --deny
+                     only regressions (and stale entries) fail
+  --update-baseline  rewrite --baseline PATH from the current scan (turn the ratchet)
+  --only RULE[,..]   report only the named rules (e.g. P001,P002); unknown rule ids
+                     are a usage error
+  --rules            print the rule catalog and exit";
 
 fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut deny = false;
     let mut json: Option<PathBuf> = None;
+    let mut sarif: Option<PathBuf> = None;
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut update_baseline = false;
+    let mut only: Option<Vec<String>> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--deny" => deny = true,
+            "--update-baseline" => update_baseline = true,
             "--root" => match args.next() {
                 Some(p) => root = Some(PathBuf::from(p)),
-                None => return fail("--root needs a path"),
+                None => return usage_error("--root needs a path"),
             },
             "--json" => match args.next() {
                 Some(p) => json = Some(PathBuf::from(p)),
-                None => return fail("--json needs a path"),
+                None => return usage_error("--json needs a path"),
+            },
+            "--sarif" => match args.next() {
+                Some(p) => sarif = Some(PathBuf::from(p)),
+                None => return usage_error("--sarif needs a path"),
+            },
+            "--baseline" => match args.next() {
+                Some(p) => baseline_path = Some(PathBuf::from(p)),
+                None => return usage_error("--baseline needs a path"),
+            },
+            "--only" => match args.next() {
+                Some(list) => {
+                    let mut sel = Vec::new();
+                    for r in list.split(',').map(str::trim).filter(|r| !r.is_empty()) {
+                        if rules::rule_info(r).is_none() {
+                            return usage_error(&format!(
+                                "unknown rule `{r}` (see --rules for the catalog)"
+                            ));
+                        }
+                        sel.push(r.to_string());
+                    }
+                    if sel.is_empty() {
+                        return usage_error("--only needs at least one rule id");
+                    }
+                    only = Some(sel);
+                }
+                None => return usage_error("--only needs a rule list"),
             },
             "--rules" => {
                 for r in rules::RULES {
@@ -44,8 +90,11 @@ fn main() -> ExitCode {
                 println!("{USAGE}");
                 return ExitCode::SUCCESS;
             }
-            other => return fail(&format!("unknown flag `{other}`")),
+            other => return usage_error(&format!("unknown flag `{other}`")),
         }
+    }
+    if update_baseline && baseline_path.is_none() {
+        return usage_error("--update-baseline needs --baseline PATH");
     }
 
     let root = match root.or_else(|| {
@@ -54,42 +103,97 @@ fn main() -> ExitCode {
             .and_then(|d| find_workspace_root(&d))
     }) {
         Some(r) => r,
-        None => return fail("no workspace root found (pass --root)"),
+        None => return usage_error("no workspace root found (pass --root)"),
     };
 
-    let report = match lint_workspace(&root) {
+    let mut report = match lint_workspace(&root) {
         Ok(r) => r,
-        Err(e) => return fail(&format!("scan failed: {e}")),
+        Err(e) => return run_error(&format!("scan failed: {e}")),
     };
+
+    if let Some(sel) = &only {
+        report.retain_rules(sel);
+    }
+
+    if let Some(path) = &baseline_path {
+        if update_baseline {
+            let base = Baseline::from_violations(&report.violations);
+            if let Err(e) = write_file(path, &base.to_json()) {
+                return run_error(&e);
+            }
+            println!(
+                "recorded baseline: {} entr{} -> {}",
+                base.len(),
+                if base.len() == 1 { "y" } else { "ies" },
+                path.display()
+            );
+        }
+        // Apply the (possibly just-rewritten) baseline so the printed
+        // report and exit code reflect the ratchet.
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => return usage_error(&format!("read baseline {}: {e}", path.display())),
+        };
+        let mut base = match Baseline::parse(&text) {
+            Ok(b) => b,
+            Err(e) => return usage_error(&format!("parse baseline {}: {e}", path.display())),
+        };
+        if let Some(sel) = &only {
+            base.retain_rules(sel);
+        }
+        report.apply_baseline(&base);
+    }
 
     print!("{}", report.human());
     if let Some(path) = &json {
-        if let Some(parent) = path.parent() {
-            if !parent.as_os_str().is_empty() {
-                if let Err(e) = std::fs::create_dir_all(parent) {
-                    return fail(&format!("create {}: {e}", parent.display()));
-                }
-            }
+        if let Err(e) = write_file(path, &report.json()) {
+            return run_error(&e);
         }
-        if let Err(e) = std::fs::write(path, report.json()) {
-            return fail(&format!("write {}: {e}", path.display()));
+        println!("wrote {}", path.display());
+    }
+    if let Some(path) = &sarif {
+        if let Err(e) = write_file(path, &report.sarif()) {
+            return run_error(&e);
         }
         println!("wrote {}", path.display());
     }
 
-    if deny && !report.clean() {
+    if deny && !report.deny_ok() {
         eprintln!(
-            "dynatune_lint: {} violation(s) — denying. Fix them or waive with \
-             `// lint: allow(RULE) — reason`.",
-            report.violations.len()
+            "dynatune_lint: {} violation(s), {} stale baseline entr{} — denying. Fix them, \
+             waive with `// lint: allow(RULE) — reason`, or regenerate the baseline.",
+            report.violations.len(),
+            report.stale_baseline.len(),
+            if report.stale_baseline.len() == 1 {
+                "y"
+            } else {
+                "ies"
+            }
         );
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
 }
 
-fn fail(msg: &str) -> ExitCode {
+fn write_file(path: &std::path::Path, content: &str) -> Result<(), String> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| format!("create {}: {e}", parent.display()))?;
+        }
+    }
+    std::fs::write(path, content).map_err(|e| format!("write {}: {e}", path.display()))
+}
+
+/// Bad invocation: usage + exit 2 (the bench binaries' convention).
+fn usage_error(msg: &str) -> ExitCode {
     eprintln!("error: {msg}");
     eprintln!("{USAGE}");
+    ExitCode::from(2)
+}
+
+/// Environment failure mid-run (I/O): exit 1, no usage spam.
+fn run_error(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}");
     ExitCode::FAILURE
 }

@@ -31,6 +31,12 @@ pub struct RuleSet {
     pub d004: bool,
     /// `let _ =` discards.
     pub l001: bool,
+    /// `.unwrap()` / `.expect()` calls.
+    pub p001: bool,
+    /// Explicit panic macros.
+    pub p002: bool,
+    /// Narrowing `as` integer casts.
+    pub p003: bool,
 }
 
 impl RuleSet {
@@ -43,6 +49,9 @@ impl RuleSet {
             "D003" => self.d003,
             "D004" => self.d004,
             "L001" => self.l001,
+            "P001" => self.p001,
+            "P002" => self.p002,
+            "P003" => self.p003,
             _ => false,
         }
     }
@@ -60,19 +69,37 @@ pub struct FilePolicy {
     pub file_is_test: bool,
     /// Rules for production code.
     pub prod: RuleSet,
-    /// Rules for test code (L001 never applies: tests drive state
-    /// machines and legitimately discard step results).
+    /// Rules for test code (L001/P001/P002/P003 never apply: tests drive
+    /// state machines, legitimately discard step results, and panic on
+    /// assertion failure by design).
     pub test: RuleSet,
+    /// C001 layering scope: `Some(layer)` when the file belongs to a
+    /// workspace crate in the declared DAG, `Some(vendor sentinel)` —
+    /// the `VENDOR` layer with an empty allowlist — for vendor shims,
+    /// `None` for the unconstrained umbrella (`src/`, root `tests/`,
+    /// `examples/` re-export everything by design).
+    pub layer: Option<&'static crate::layering::CrateLayer>,
 }
 
-const fn det(l001: bool) -> RuleSet {
+/// The empty-allowlist layer vendor shims scan under: no `dynatune_*`
+/// import is ever a declared edge from a vendored dependency.
+pub const VENDOR_LAYER: crate::layering::CrateLayer = crate::layering::CrateLayer {
+    dir: "",
+    lib: "a vendor shim",
+    allowed: &[],
+};
+
+const fn det(protocol: bool) -> RuleSet {
     RuleSet {
         d001: true,
         d002: true,
         d002_presence: true,
         d003: true,
         d004: true,
-        l001,
+        l001: protocol,
+        p001: protocol,
+        p002: protocol,
+        p003: protocol,
     }
 }
 
@@ -94,6 +121,9 @@ const fn vendor_default() -> RuleSet {
         d003: true,
         d004: true,
         l001: false,
+        p001: false,
+        p002: false,
+        p003: false,
     }
 }
 
@@ -111,39 +141,50 @@ pub fn policy_for(rel_path: &str) -> Option<FilePolicy> {
         || rel_path.starts_with("examples/")
         || rel_path.contains("/examples/");
 
-    let (label, prod): (&str, RuleSet) = if let Some(rest) = rel_path.strip_prefix("crates/") {
-        let name = rest.split('/').next().unwrap_or("");
-        match name {
-            // Protocol crates: full deterministic set plus L001.
-            "raft" | "cluster" | "broker" => ("protocol", det(true)),
-            // Other deterministic crates.
-            "simnet" | "core" | "stats" | "kvstore" | "lint" => ("deterministic", det(false)),
-            // The measurement harness owns the wall clock.
-            "bench" => ("bench-harness", without_d001(det(false))),
-            _ => ("deterministic", det(false)),
-        }
-    } else if let Some(rest) = rel_path.strip_prefix("vendor/") {
-        let name = rest.split('/').next().unwrap_or("");
-        match name {
-            // The one place threads/locks are allowed: the shim that
-            // *provides* deterministic fan-out.
-            "rayon" => ("vendor-rayon", without_d004(vendor_default())),
-            // The timing harness shim: Instant is its whole job.
-            "criterion" => ("vendor-criterion", without_d001(vendor_default())),
-            _ => ("vendor", vendor_default()),
-        }
-    } else {
-        // Umbrella src/, top-level tests/ and examples/.
-        ("workspace-root", det(false))
-    };
+    let (label, prod, layer): (&str, RuleSet, Option<&'static crate::layering::CrateLayer>) =
+        if let Some(rest) = rel_path.strip_prefix("crates/") {
+            let name = rest.split('/').next().unwrap_or("");
+            let layer = crate::layering::layer_for_dir(name);
+            match name {
+                // Protocol crates: full deterministic set plus L001 and
+                // the panic-freedom family (P001/P002/P003).
+                "raft" | "cluster" | "broker" => ("protocol", det(true), layer),
+                // Other deterministic crates.
+                "simnet" | "core" | "stats" | "kvstore" | "lint" => {
+                    ("deterministic", det(false), layer)
+                }
+                // The measurement harness owns the wall clock.
+                "bench" => ("bench-harness", without_d001(det(false)), layer),
+                _ => ("deterministic", det(false), layer),
+            }
+        } else if let Some(rest) = rel_path.strip_prefix("vendor/") {
+            let name = rest.split('/').next().unwrap_or("");
+            let vendor = Some(&VENDOR_LAYER);
+            match name {
+                // The one place threads/locks are allowed: the shim that
+                // *provides* deterministic fan-out.
+                "rayon" => ("vendor-rayon", without_d004(vendor_default()), vendor),
+                // The timing harness shim: Instant is its whole job.
+                "criterion" => ("vendor-criterion", without_d001(vendor_default()), vendor),
+                _ => ("vendor", vendor_default(), vendor),
+            }
+        } else {
+            // Umbrella src/, top-level tests/ and examples/: they re-export
+            // or exercise the whole workspace, so C001 does not bind them.
+            ("workspace-root", det(false), None)
+        };
 
     let mut test = prod;
     test.l001 = false;
+    test.p001 = false;
+    test.p002 = false;
+    test.p003 = false;
     Some(FilePolicy {
         label: label.to_string(),
         file_is_test,
         prod,
         test,
+        layer,
     })
 }
 
@@ -178,6 +219,27 @@ mod tests {
         assert!(!policy_for("vendor/rayon/src/lib.rs").unwrap().prod.d004);
         assert!(policy_for("vendor/bytes/src/lib.rs").unwrap().prod.d004);
         assert!(policy_for("crates/cluster/src/sim.rs").unwrap().prod.d004);
+    }
+
+    #[test]
+    fn panic_rules_bind_protocol_prod_code_only() {
+        let p = policy_for("crates/broker/src/partition.rs").unwrap();
+        assert!(p.prod.p001 && p.prod.p002 && p.prod.p003);
+        assert!(!p.test.p001 && !p.test.p002 && !p.test.p003);
+        let det = policy_for("crates/simnet/src/world.rs").unwrap();
+        assert!(!det.prod.p001 && !det.prod.p002 && !det.prod.p003);
+        let bench = policy_for("crates/bench/src/lib.rs").unwrap();
+        assert!(!bench.prod.p001);
+    }
+
+    #[test]
+    fn layering_scope_follows_the_dag() {
+        let raft = policy_for("crates/raft/src/node.rs").unwrap();
+        assert_eq!(raft.layer.unwrap().lib, "dynatune_raft");
+        let vendor = policy_for("vendor/bytes/src/lib.rs").unwrap();
+        assert!(vendor.layer.unwrap().allowed.is_empty());
+        assert!(policy_for("src/lib.rs").unwrap().layer.is_none());
+        assert!(policy_for("tests/docs_sync.rs").unwrap().layer.is_none());
     }
 
     #[test]

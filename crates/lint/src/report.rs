@@ -1,5 +1,7 @@
-//! Report assembly: human-readable text and machine-readable JSON.
+//! Report assembly: human-readable text, machine-readable JSON, and a
+//! SARIF 2.1.0 view for GitHub code scanning.
 
+use crate::baseline::{Baseline, StaleEntry};
 use crate::engine::{count_by_rule, Violation, Waiver};
 use crate::rules;
 use std::fmt::Write as _;
@@ -12,9 +14,15 @@ pub struct LintReport {
     /// Number of `.rs` files scanned.
     pub files_scanned: usize,
     /// Findings that survived waivers, sorted by (file, line, rule).
+    /// After [`LintReport::apply_baseline`], only regressions remain here.
     pub violations: Vec<Violation>,
     /// Every well-formed waiver, with use status.
     pub waivers: Vec<Waiver>,
+    /// Findings suppressed by the baseline ratchet (0 without one).
+    pub grandfathered: usize,
+    /// Baseline entries the tree has outgrown — the ratchet must be
+    /// regenerated before `--deny` passes.
+    pub stale_baseline: Vec<StaleEntry>,
 }
 
 impl LintReport {
@@ -22,6 +30,29 @@ impl LintReport {
     #[must_use]
     pub fn clean(&self) -> bool {
         self.violations.is_empty()
+    }
+
+    /// True when a `--deny` run passes: no live violations *and* no stale
+    /// baseline entries (a shrunk tree must turn the ratchet).
+    #[must_use]
+    pub fn deny_ok(&self) -> bool {
+        self.clean() && self.stale_baseline.is_empty()
+    }
+
+    /// Apply the baseline ratchet: grandfathered findings leave
+    /// `violations`, regressions stay, stale entries are surfaced.
+    pub fn apply_baseline(&mut self, baseline: &Baseline) {
+        let outcome = baseline.apply(std::mem::take(&mut self.violations));
+        self.violations = outcome.regressions;
+        self.grandfathered = outcome.grandfathered;
+        self.stale_baseline = outcome.stale;
+    }
+
+    /// Keep only violations of the given rules (the `--only` filter).
+    /// Waivers are untouched: filtering is a *view* for sweeping one rule
+    /// at a time, not a policy change.
+    pub fn retain_rules(&mut self, only: &[String]) {
+        self.violations.retain(|v| only.iter().any(|r| r == v.rule));
     }
 
     /// Human-readable report.
@@ -43,13 +74,93 @@ impl LintReport {
                 let _ = writeln!(out, "  {rule}: {n} violation(s)");
             }
         }
+        for s in &self.stale_baseline {
+            let _ = writeln!(
+                out,
+                "stale baseline: {} {} records {} but only {} remain — regenerate with \
+                 --update-baseline",
+                s.file, s.rule, s.recorded, s.found
+            );
+        }
         let _ = writeln!(
             out,
-            "{} file(s) scanned, {} violation(s), {} active waiver(s)",
+            "{} file(s) scanned, {} violation(s), {} active waiver(s){}",
             self.files_scanned,
             self.violations.len(),
-            used_waivers
+            used_waivers,
+            if self.grandfathered > 0 {
+                format!(", {} grandfathered by baseline", self.grandfathered)
+            } else {
+                String::new()
+            }
         );
+        out
+    }
+
+    /// SARIF 2.1.0 report (the format GitHub code scanning ingests, so CI
+    /// can annotate PR diffs with lint findings). One run, one driver,
+    /// every catalog rule listed, one result per live violation with a
+    /// `file:line` physical location.
+    #[must_use]
+    pub fn sarif(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n");
+        out.push_str("  \"version\": \"2.1.0\",\n");
+        out.push_str("  \"runs\": [\n    {\n");
+        out.push_str("      \"tool\": {\n        \"driver\": {\n");
+        out.push_str("          \"name\": \"dynatune_lint\",\n");
+        let _ = writeln!(
+            out,
+            "          \"version\": \"{}\",",
+            env!("CARGO_PKG_VERSION")
+        );
+        out.push_str(
+            "          \"informationUri\": \
+             \"https://github.com/dynatune/dynatune#static-analysis\",\n",
+        );
+        out.push_str("          \"rules\": [\n");
+        for (i, r) in rules::RULES.iter().enumerate() {
+            let _ = write!(
+                out,
+                "            {{\"id\": \"{}\", \"shortDescription\": {{\"text\": \"{}\"}}, \
+                 \"help\": {{\"text\": \"{}\"}}, \"defaultConfiguration\": \
+                 {{\"level\": \"error\"}}}}",
+                r.id,
+                esc(r.summary),
+                esc(r.fix)
+            );
+            out.push_str(if i + 1 < rules::RULES.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("          ]\n        }\n      },\n");
+        out.push_str("      \"results\": [\n");
+        for (i, v) in self.violations.iter().enumerate() {
+            let rule_index = rules::RULES
+                .iter()
+                .position(|r| r.id == v.rule)
+                .unwrap_or(0);
+            let _ = write!(
+                out,
+                "        {{\"ruleId\": \"{}\", \"ruleIndex\": {}, \"level\": \"error\", \
+                 \"message\": {{\"text\": \"{}\"}}, \"locations\": [{{\"physicalLocation\": \
+                 {{\"artifactLocation\": {{\"uri\": \"{}\", \"uriBaseId\": \"%SRCROOT%\"}}, \
+                 \"region\": {{\"startLine\": {}}}}}}}]}}",
+                v.rule,
+                rule_index,
+                esc(&v.message),
+                esc(&v.file),
+                v.line.max(1)
+            );
+            out.push_str(if i + 1 < self.violations.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("      ]\n    }\n  ]\n}\n");
         out
     }
 
@@ -61,6 +172,8 @@ impl LintReport {
         let _ = writeln!(out, "  \"root\": \"{}\",", esc(&self.root));
         let _ = writeln!(out, "  \"files_scanned\": {},", self.files_scanned);
         let _ = writeln!(out, "  \"clean\": {},", self.clean());
+        let _ = writeln!(out, "  \"grandfathered\": {},", self.grandfathered);
+        let _ = writeln!(out, "  \"stale_baseline\": {},", self.stale_baseline.len());
         out.push_str("  \"rules\": [\n");
         for (i, r) in rules::RULES.iter().enumerate() {
             let _ = write!(

@@ -18,6 +18,15 @@ pub mod id {
     pub const D004: &str = "D004";
     /// `let _ =` result discard in protocol code.
     pub const L001: &str = "L001";
+    /// `.unwrap()` / `.expect()` in protocol prod code.
+    pub const P001: &str = "P001";
+    /// Explicit panic macro (`panic!` / `unreachable!` / `todo!` /
+    /// `unimplemented!`) in protocol prod code.
+    pub const P002: &str = "P002";
+    /// Narrowing `as` integer cast in protocol prod code.
+    pub const P003: &str = "P003";
+    /// Crate-layering violation: an import outside the declared DAG.
+    pub const C001: &str = "C001";
     /// Malformed waiver comment (missing reason or bad syntax).
     pub const W001: &str = "W001";
     /// Stale waiver: covers a line with no matching violation.
@@ -76,6 +85,42 @@ pub const RULES: &[RuleInfo] = &[
               a named `_reason` binding or waive with the invariant that makes it safe",
     },
     RuleInfo {
+        id: id::P001,
+        summary: "`.unwrap()` / `.expect()` in protocol prod code — a latent crash in the \
+                  serving path (raft/cluster/broker serve live traffic; a poisoned Option \
+                  here takes the whole replica down)",
+        fix: "propagate a typed error, restructure so the None/Err case is impossible by \
+              construction, state the invariant with `assert!`/`invariant!`, or waive with \
+              the invariant that makes the value always present",
+    },
+    RuleInfo {
+        id: id::P002,
+        summary: "explicit panic (`panic!` / `unreachable!` / `todo!` / `unimplemented!`) in \
+                  protocol prod code — only a *stated invariant* justifies crashing a \
+                  serving replica",
+        fix: "return a typed error for reachable conditions; for true invariants use \
+              `assert!`/`dynatune_core::invariant!` (message required) or waive with the \
+              invariant spelled out",
+    },
+    RuleInfo {
+        id: id::P003,
+        summary: "narrowing `as` integer cast (u8/u16/u32/i8/i16/i32) in protocol prod code \
+                  — log offsets and indexes are u64; a silent truncation corrupts state \
+                  instead of failing",
+        fix: "keep arithmetic in the wide type, use `u32::try_from(x)` with an explicit \
+              overflow policy (saturate/propagate), or waive with the bound that makes \
+              the cast lossless",
+    },
+    RuleInfo {
+        id: id::C001,
+        summary: "crate-layering violation: a `use dynatune_*` import (or Cargo.toml \
+                  dependency) outside the declared crate DAG — e.g. `raft` importing \
+                  `cluster` inverts the protocol/serving boundary",
+        fix: "depend only on lower layers (see ARCHITECTURE.md \"Crate layering\" and \
+              `crates/lint/src/layering.rs`); move shared code down the DAG instead of \
+              importing up",
+    },
+    RuleInfo {
         id: id::W001,
         summary: "malformed waiver comment",
         fix: "waiver syntax is `// lint: allow(D00X) — <non-empty reason>`",
@@ -99,9 +144,25 @@ pub fn rule_info(rule_id: &str) -> Option<&'static RuleInfo> {
 pub fn is_waivable(rule_id: &str) -> bool {
     matches!(
         rule_id,
-        id::D001 | id::D002 | id::D003 | id::D004 | id::L001
+        id::D001
+            | id::D002
+            | id::D003
+            | id::D004
+            | id::L001
+            | id::P001
+            | id::P002
+            | id::P003
+            | id::C001
     )
 }
+
+/// Macro names whose invocation is an explicit panic (P002).
+pub const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Cast-target type names that narrow a 64-bit offset/index (P003).
+/// `u64`/`i64`/`u128`/`usize` are not listed: they cannot truncate the
+/// u64 offsets/indexes this rule protects.
+pub const NARROWING_CAST_TARGETS: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32"];
 
 /// A hazard path: the rule it belongs to plus the path-prefix that
 /// triggers it.

@@ -1,0 +1,31 @@
+//! Keep ARCHITECTURE.md's "Crate layering" table in lockstep with the
+//! declared DAG that C001 actually enforces. The test lives here (not in
+//! the umbrella crate's `tests/`) because nothing in the DAG may depend
+//! on `dynatune_lint` — including `dynatune_repro`.
+
+use dynatune_lint::find_workspace_root;
+use dynatune_lint::layering::dag_markdown;
+use std::path::Path;
+
+/// The committed ARCHITECTURE.md must embed `dag_markdown()` verbatim:
+/// an edge added to `LAYERS` without updating the docs (or vice versa —
+/// a hand-edited table row) fails here.
+#[test]
+fn architecture_md_embeds_the_generated_dag_table() {
+    let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let root = find_workspace_root(here).expect("workspace root above crates/lint");
+    let committed = std::fs::read_to_string(root.join("ARCHITECTURE.md"))
+        .expect("ARCHITECTURE.md at the workspace root");
+    let generated = dag_markdown();
+    assert!(
+        committed.contains(&generated),
+        "ARCHITECTURE.md's \"Crate layering\" table is stale — replace it with the \
+         output of `dynatune_lint::layering::dag_markdown()`:\n\n{generated}"
+    );
+    // And exactly once: a duplicated paste would leave one copy to rot.
+    assert_eq!(
+        committed.matches(&generated).count(),
+        1,
+        "the generated DAG table must appear exactly once in ARCHITECTURE.md"
+    );
+}

@@ -121,6 +121,110 @@ fn l001_is_off_in_test_files() {
 }
 
 #[test]
+fn p001_bad_fires_on_every_spelling_and_good_is_clean() {
+    let bad = scan(include_str!("../fixtures/p001_bad.rs"));
+    assert_eq!(rules_fired(&bad), vec![id::P001], "{:?}", bad.violations);
+    // Method call, method-with-message, and fully-qualified form.
+    assert_eq!(
+        bad.violations.iter().filter(|v| v.rule == id::P001).count(),
+        3,
+        "{:?}",
+        bad.violations
+    );
+    let good = scan(include_str!("../fixtures/p001_good.rs"));
+    assert!(
+        good.violations.is_empty(),
+        "unwrap_or / let-else / `?` are not P001: {:?}",
+        good.violations
+    );
+}
+
+#[test]
+fn p001_is_off_in_test_files() {
+    let policy = policy_for("crates/raft/tests/fixture.rs").expect("test-file policy");
+    let scan = scan_source(
+        "crates/raft/tests/fixture.rs",
+        include_str!("../fixtures/p001_bad.rs"),
+        &policy,
+    );
+    assert!(
+        scan.violations.is_empty(),
+        "P001 must not bind test code: {:?}",
+        scan.violations
+    );
+}
+
+#[test]
+fn p002_bad_fires_on_every_panic_macro_and_good_is_clean() {
+    let bad = scan(include_str!("../fixtures/p002_bad.rs"));
+    assert_eq!(rules_fired(&bad), vec![id::P002], "{:?}", bad.violations);
+    assert_eq!(
+        bad.violations.iter().filter(|v| v.rule == id::P002).count(),
+        4,
+        "panic!/unreachable!/todo!/unimplemented! must each fire: {:?}",
+        bad.violations
+    );
+    let good = scan(include_str!("../fixtures/p002_good.rs"));
+    assert!(
+        good.violations.is_empty(),
+        "invariant!/assert!/std::panic::Location are not P002: {:?}",
+        good.violations
+    );
+}
+
+#[test]
+fn p003_bad_fires_per_narrowing_cast_and_good_is_clean() {
+    let bad = scan(include_str!("../fixtures/p003_bad.rs"));
+    assert_eq!(rules_fired(&bad), vec![id::P003], "{:?}", bad.violations);
+    assert_eq!(
+        bad.violations.iter().filter(|v| v.rule == id::P003).count(),
+        3,
+        "{:?}",
+        bad.violations
+    );
+    let good = scan(include_str!("../fixtures/p003_good.rs"));
+    assert!(
+        good.violations.is_empty(),
+        "try_from / widening / float casts / use-renames are not P003: {:?}",
+        good.violations
+    );
+}
+
+#[test]
+fn c001_bad_fires_on_upward_imports_and_good_is_clean() {
+    let bad = scan(include_str!("../fixtures/c001_bad.rs"));
+    assert_eq!(rules_fired(&bad), vec![id::C001], "{:?}", bad.violations);
+    assert!(
+        bad.violations.iter().filter(|v| v.rule == id::C001).count() >= 3,
+        "use, alias, and fully-qualified upward paths must all fire: {:?}",
+        bad.violations
+    );
+    let good = scan(include_str!("../fixtures/c001_good.rs"));
+    assert!(
+        good.violations.is_empty(),
+        "declared edges / self / non-crate dynatune_ idents are not C001: {:?}",
+        good.violations
+    );
+}
+
+#[test]
+fn c001_binds_test_code_too() {
+    // Unlike the P rules, layering applies everywhere: a test importing up
+    // the DAG creates the same compile-time edge a prod file would.
+    let policy = policy_for("crates/raft/tests/fixture.rs").expect("test-file policy");
+    let scan = scan_source(
+        "crates/raft/tests/fixture.rs",
+        include_str!("../fixtures/c001_bad.rs"),
+        &policy,
+    );
+    assert!(
+        scan.violations.iter().any(|v| v.rule == id::C001),
+        "{:?}",
+        scan.violations
+    );
+}
+
+#[test]
 fn wellformed_waivers_suppress_and_count_as_used() {
     let s = scan(include_str!("../fixtures/waiver_good.rs"));
     assert!(s.violations.is_empty(), "{:?}", s.violations);

@@ -1,0 +1,74 @@
+//! Property tests for the lexer and the scanner on adversarial input.
+//!
+//! The lexer's contract is total: *any* text — truncated literals,
+//! unmatched delimiters, raw-string fences, stray control bytes — lexes
+//! without panicking, and every produced token/comment carries a 1-based
+//! line number inside the input. Two generators exercise it: raw byte
+//! soup (lossily decoded), and structured soup assembled from the exact
+//! fragments the lexer special-cases, which reaches far deeper into the
+//! literal/comment state machine than uniform bytes ever would.
+
+use dynatune_lint::engine::scan_source;
+use dynatune_lint::policy::policy_for;
+use dynatune_lint::tokens::lex;
+use proptest::prelude::*;
+
+/// Fragments chosen to hit lexer edge paths: comment nesting, raw-string
+/// fences, char-vs-lifetime disambiguation, waiver syntax, and the idents
+/// the rules react to.
+#[rustfmt::skip]
+const FRAGMENTS: &[&str] = &[
+    "/*", "*/", "//", "// lint: allow(D001) — reason", "\n", "\"", "\\\"",
+    "r#\"", "\"#", "r\"", "b\"", "'a'", "'static", "'\\''", "::", ".", "!",
+    "unwrap", "expect", "panic", "as", "u32", "HashMap", "use ", ";", "(",
+    ")", "{", "}", "let _ = ", "dynatune_cluster", "Instant", "r#type",
+    "#[cfg(test)]", "mod tests", "\t", "é", "🦀",
+];
+
+fn assert_lex_contract(src: &str) {
+    let lexed = lex(src);
+    let max_line = u32::try_from(src.split('\n').count()).unwrap_or(u32::MAX);
+    for t in &lexed.tokens {
+        assert!(
+            t.line >= 1 && t.line <= max_line,
+            "token {:?} line {} out of bounds 1..={max_line} in {src:?}",
+            t.tok,
+            t.line
+        );
+    }
+    for c in &lexed.comments {
+        assert!(
+            c.line >= 1 && c.line <= max_line,
+            "comment line {} out of bounds 1..={max_line} in {src:?}",
+            c.line
+        );
+    }
+    // The full scanner (uses, policies, every rule pass, waiver matching)
+    // must be just as total — and report in-bounds lines.
+    let policy = policy_for("crates/raft/src/soup.rs").expect("protocol policy");
+    let scan = scan_source("crates/raft/src/soup.rs", src, &policy);
+    for v in &scan.violations {
+        assert!(
+            v.line >= 1 && v.line <= max_line,
+            "violation {v:?} out of bounds 1..={max_line} in {src:?}"
+        );
+    }
+}
+
+proptest! {
+    #[test]
+    fn prop_lexer_total_on_byte_soup(
+        bytes in proptest::collection::vec(0u8..=255u8, 0..512),
+    ) {
+        let src = String::from_utf8_lossy(&bytes);
+        assert_lex_contract(&src);
+    }
+
+    #[test]
+    fn prop_lexer_total_on_structured_soup(
+        picks in proptest::collection::vec(0usize..36, 0..64),
+    ) {
+        let src: String = picks.iter().map(|&i| FRAGMENTS[i % FRAGMENTS.len()]).collect();
+        assert_lex_contract(&src);
+    }
+}

@@ -1,6 +1,7 @@
 //! The replicated log: append, conflict resolution, matching, compaction.
 
 use crate::types::{LogIndex, Term};
+use dynatune_core::invariant_violated;
 
 /// One log entry. `data == None` is the no-op entry a new leader appends to
 /// commit entries from previous terms (the etcd convention).
@@ -208,7 +209,14 @@ impl<C: Clone> RaftLog<C> {
         if index <= self.base_index {
             return;
         }
-        let term = self.term_at(index).expect("index in range");
+        let Some(term) = self.term_at(index) else {
+            invariant_violated!(
+                "compact target {index} has no term despite being clamped to \
+                 ({}, {}] — the live suffix must be dense",
+                self.base_index,
+                self.last_index()
+            );
+        };
         let drop = (index - self.base_index) as usize;
         self.entries.drain(..drop);
         self.base_index = index;

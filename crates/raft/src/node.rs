@@ -37,7 +37,7 @@ use crate::message::{
 use crate::progress::Progress;
 use crate::state_machine::{Applied, Effects, ReadGrant, ReadPath, Snapshot, StateMachine};
 use crate::types::{quorum, LogIndex, NodeId, Role, Term};
-use dynatune_core::{FollowerTuner, LeaderPacer, TuningSnapshot};
+use dynatune_core::{invariant_violated, FollowerTuner, LeaderPacer, TuningSnapshot};
 use dynatune_simnet::rng::Rng;
 use dynatune_simnet::SimTime;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
@@ -431,7 +431,7 @@ impl<SM: StateMachine> RaftNode<SM> {
                 self.escalate_campaign(fx);
                 self.become_candidate(now, fx);
             }
-            Role::Leader => unreachable!("leaders have no election timer"),
+            Role::Leader => invariant_violated!("leaders have no election timer to expire"),
         }
     }
 
@@ -927,11 +927,9 @@ impl<SM: StateMachine> RaftNode<SM> {
             if acked < needed {
                 break;
             }
-            let round = self
-                .reads
-                .pending_confirm
-                .pop_front()
-                .expect("front exists");
+            let Some(round) = self.reads.pending_confirm.pop_front() else {
+                break; // unreachable: front() above was Some
+            };
             for (id, wait_apply) in round.reads {
                 self.finish_read(id, round.read_index, ReadPath::ReadIndex, wait_apply, fx);
             }
@@ -944,7 +942,9 @@ impl<SM: StateMachine> RaftNode<SM> {
             if index > self.last_applied {
                 break;
             }
-            let waiters = self.reads.apply_wait.remove(&index).expect("entry exists");
+            let Some(waiters) = self.reads.apply_wait.remove(&index) else {
+                break; // unreachable: `index` was just read from the map
+            };
             for (id, path) in waiters {
                 fx.reads.push(ReadGrant {
                     id,
@@ -1026,10 +1026,14 @@ impl<SM: StateMachine> RaftNode<SM> {
     /// dropped here and the window stays closed until the install acks.
     fn send_snapshot(&mut self, now: SimTime, to: NodeId, fx: &mut NodeEffects<SM>) {
         let last_included_index = self.last_applied;
-        let last_included_term = self
-            .log
-            .term_at(last_included_index)
-            .expect("applied index is at or above the log base");
+        let Some(last_included_term) = self.log.term_at(last_included_index) else {
+            invariant_violated!(
+                "applied index {last_included_index} fell outside the live log \
+                 [{}, {}] — compaction must never pass last_applied",
+                self.log.first_index(),
+                self.log.last_index()
+            );
+        };
         let data = self.sm.snapshot();
         let Some(p) = self.progress.get_mut(&to) else {
             return;
@@ -1133,10 +1137,14 @@ impl<SM: StateMachine> RaftNode<SM> {
     fn apply_committed(&mut self, fx: &mut NodeEffects<SM>) {
         while self.last_applied < self.commit_index {
             let index = self.last_applied + 1;
-            let entry = self
-                .log
-                .entry_at(index)
-                .expect("committed entry must be live");
+            let Some(entry) = self.log.entry_at(index) else {
+                invariant_violated!(
+                    "committed index {index} is not live in the log [{}, {}] — \
+                     commit_index must never outrun the stored suffix",
+                    self.log.first_index(),
+                    self.log.last_index()
+                );
+            };
             let term = entry.term;
             let response = entry.data.clone().map(|cmd| self.sm.apply(index, &cmd));
             fx.applied.push(Applied {
@@ -1616,10 +1624,14 @@ impl<SM: StateMachine> RaftNode<SM> {
             return; // nothing new to discard
         }
         let last_included_index = self.last_applied;
-        let last_included_term = self
-            .log
-            .term_at(last_included_index)
-            .expect("applied index is at or above the log base");
+        let Some(last_included_term) = self.log.term_at(last_included_index) else {
+            invariant_violated!(
+                "applied index {last_included_index} fell outside the live log \
+                 [{}, {}] — safe_compact_index clamps to last_applied",
+                self.log.first_index(),
+                self.log.last_index()
+            );
+        };
         self.snap = Some(Snapshot {
             last_included_index,
             last_included_term,
