@@ -9,11 +9,7 @@ use std::time::Duration;
 fn filled_log(n: u64) -> RaftLog<u64> {
     let mut log = RaftLog::new();
     for i in 1..=n {
-        log.append(Entry {
-            term: 1 + i / 100,
-            index: i,
-            data: Some(i),
-        });
+        log.append(Entry::normal(1 + i / 100, i, Some(i)));
     }
     log
 }
@@ -30,11 +26,7 @@ fn bench_append(c: &mut Criterion) {
             || {
                 let follower = filled_log(1000);
                 let batch: Vec<Entry<u64>> = (1001..=1064)
-                    .map(|i| Entry {
-                        term: 11,
-                        index: i,
-                        data: Some(i),
-                    })
+                    .map(|i| Entry::normal(11, i, Some(i)))
                     .collect();
                 (follower, batch)
             },

@@ -21,6 +21,7 @@ pub mod cpu;
 pub mod experiments;
 pub mod msg;
 pub mod observers;
+pub mod rebalance;
 pub mod scenario;
 pub mod server;
 pub mod shard_client;
@@ -38,6 +39,7 @@ pub use observers::{
     count_events, election_safety_violations, extract_failover, kth_smallest_timeout_ms,
     leaderless_intervals, stale_read_violations, total_leaderless_secs, FailoverTimes,
 };
+pub use rebalance::{RebalancePhase, Rebalancer, CATCH_UP_SLACK};
 pub use scenario::{
     Experiment, FaultAction, FaultEvent, FaultPlan, Horizon, NetPlan, PartitionSpec, Report,
     RunCtx, ScenarioBuilder, ScenarioDriver, Target,

@@ -119,6 +119,8 @@ impl NetPlan {
 pub struct ScenarioBuilder {
     n: usize,
     shards: usize,
+    spares: usize,
+    shard_spares: Vec<usize>,
     tuning: TuningConfig,
     net: NetPlan,
     congestion: Option<CongestionConfig>,
@@ -150,6 +152,8 @@ impl ScenarioBuilder {
         Self {
             n,
             shards: 1,
+            spares: 0,
+            shard_spares: Vec::new(),
             tuning: TuningConfig::raft_default(),
             net: NetPlan::stable(Duration::from_millis(100)),
             congestion: None,
@@ -189,6 +193,27 @@ impl ScenarioBuilder {
     #[must_use]
     pub fn shards(mut self, shards: usize) -> Self {
         self.shards = shards;
+        self
+    }
+
+    /// Attach `spares` outsider servers to the single group: hosts on the
+    /// fabric from t=0 that belong to no quorum until a configuration
+    /// change admits them (elastic scale-out; see
+    /// [`ClusterSim::propose_conf_change`](crate::sim::ClusterSim::propose_conf_change)).
+    /// The net plan must be uniform/custom — geo plans name one region per
+    /// voter and cannot place spares.
+    #[must_use]
+    pub fn spares(mut self, spares: usize) -> Self {
+        self.spares = spares;
+        self
+    }
+
+    /// Attach one spare outsider server to `shard` in a sharded scenario
+    /// (rebalancing target). May be called repeatedly; spare hosts occupy
+    /// world ids after every mapped replica, in call order.
+    #[must_use]
+    pub fn spare_for_shard(mut self, shard: usize) -> Self {
+        self.shard_spares.push(shard);
         self
     }
 
@@ -347,13 +372,18 @@ impl ScenarioBuilder {
             self.shards, 1,
             "a sharded builder resolves via build_sharded()"
         );
+        assert!(
+            self.shard_spares.is_empty(),
+            "per-shard spares resolve via build_sharded()"
+        );
         let congestion = self
             .congestion
             .unwrap_or_else(|| self.net.default_congestion());
         ClusterConfig {
             n: self.n,
+            spare_servers: self.spares,
             tuning: self.tuning,
-            topology: self.net.topology(self.n),
+            topology: self.net.topology(self.n + self.spares),
             congestion,
             quantization: self.quantization,
             udp_heartbeats: self.udp_heartbeats,
@@ -387,14 +417,20 @@ impl ScenarioBuilder {
     /// `n` replicas each, the net plan resolved over all servers.
     #[must_use]
     pub fn build_sharded(self) -> ShardedConfig {
+        assert_eq!(self.spares, 0, "single-group spares resolve via build()");
         let map = ShardMap::new(self.shards, self.n);
+        for &shard in &self.shard_spares {
+            assert!(shard < self.shards, "spare names a shard out of range");
+        }
         let congestion = self
             .congestion
             .unwrap_or_else(|| self.net.default_congestion());
+        let n_hosts = map.n_servers() + self.shard_spares.len();
         ShardedConfig {
             map,
+            spares: self.shard_spares,
             tuning: self.tuning,
-            topology: self.net.topology(map.n_servers()),
+            topology: self.net.topology(n_hosts),
             congestion,
             quantization: self.quantization,
             udp_heartbeats: self.udp_heartbeats,

@@ -15,6 +15,7 @@ mod compaction;
 mod extensions;
 mod failover;
 mod fluctuation;
+mod membership;
 mod novel;
 mod pipeline;
 mod reads;
@@ -27,6 +28,7 @@ pub use compaction::{CompactionChurn, LaggingFollowerCatchup};
 pub use extensions::Extensions;
 pub use failover::{Fig4Failover, Fig8GeoFailover};
 pub use fluctuation::{Fig6aGradualRtt, Fig6bRadicalRtt, Fig7LossFluctuation};
+pub use membership::{ElasticScaleout, MembershipChurn, ShardRebalance};
 pub use novel::{GeoAsymmetricFailover, PartitionChurn};
 pub use pipeline::PipelineDepth;
 pub use reads::{FollowerReadOffload, LeaseSafetyPartition, ReadHeavyThroughput};

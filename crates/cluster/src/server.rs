@@ -10,8 +10,8 @@ use crate::app::{App, KvApp};
 use crate::cpu::{CostModel, CpuMeter};
 use crate::msg::{ClusterMsg, RaftPayload};
 use dynatune_raft::{
-    LogIndex, NodeEffects, NodeId, Payload, RaftConfig, RaftEvent, RaftNode, ReadPath, Role,
-    StateMachine, Term,
+    ConfChange, LogIndex, NodeEffects, NodeId, Payload, RaftConfig, RaftEvent, RaftNode, ReadPath,
+    Role, StateMachine, Term,
 };
 use dynatune_simnet::{Channel, HostCtx, SimTime};
 use std::collections::BTreeMap;
@@ -194,6 +194,12 @@ pub struct ServerHost<A: App = KvApp> {
     follower_wait: BTreeMap<LogIndex, Vec<u64>>,
     /// Served-read counters by path.
     reads_served: ReadCounters,
+    /// Configuration changes queued from outside the dispatch loop (the
+    /// rebalancer); proposed on the next wake while this node leads.
+    pending_conf: std::collections::VecDeque<ConfChange>,
+    /// Conf changes the node rejected (not leader / in flight / learner
+    /// behind) — the orchestrator's signal to re-submit.
+    conf_rejections: u64,
 }
 
 impl<A: App> ServerHost<A> {
@@ -223,6 +229,8 @@ impl<A: App> ServerHost<A> {
             fwd_inflight: None,
             follower_wait: BTreeMap::new(),
             reads_served: ReadCounters::default(),
+            pending_conf: std::collections::VecDeque::new(),
+            conf_rejections: 0,
         }
     }
 
@@ -293,6 +301,20 @@ impl<A: App> ServerHost<A> {
         &self.cpu
     }
 
+    /// Queue a configuration change for proposal on the next wake. The
+    /// queue is volatile (a crash drops it) and only a leader proposes:
+    /// a change drained while this node follows is counted as a rejection
+    /// for the orchestrator to re-submit against the real leader.
+    pub fn enqueue_conf_change(&mut self, change: ConfChange) {
+        self.pending_conf.push_back(change);
+    }
+
+    /// Conf changes this server dropped or the node rejected.
+    #[must_use]
+    pub fn conf_rejections(&self) -> u64 {
+        self.conf_rejections
+    }
+
     /// Crash this server: persistent Raft state (term, vote, log, retained
     /// snapshot) survives, everything else (pending requests, admission
     /// queue) is lost; the state machine is rebuilt from the snapshot plus
@@ -307,6 +329,7 @@ impl<A: App> ServerHost<A> {
         self.fwd_pending.clear();
         self.fwd_inflight = None;
         self.follower_wait.clear();
+        self.pending_conf.clear();
     }
 
     fn msg_recv_cost(&self, payload: &RaftPayload<A>) -> Duration {
@@ -801,9 +824,28 @@ impl<A: App> ServerHost<A> {
         cost
     }
 
+    /// Propose every queued configuration change. Non-leaders cannot
+    /// propose; their queued changes are dropped (and counted) so a stale
+    /// enqueue against a deposed leader cannot linger forever.
+    fn drain_conf(&mut self, ctx: &mut HostCtx<'_, ClusterMsg<A>>) {
+        while let Some(change) = self.pending_conf.pop_front() {
+            if self.node.role() != Role::Leader {
+                self.conf_rejections += 1;
+                continue;
+            }
+            self.cpu.charge(ctx.now, self.cost.per_request);
+            let (result, fx) = self.node.propose_conf_change(ctx.now, change);
+            if result.is_err() {
+                self.conf_rejections += 1;
+            }
+            self.route_effects(ctx, fx);
+        }
+    }
+
     /// Timer wake-up.
     pub fn handle_wake(&mut self, ctx: &mut HostCtx<'_, ClusterMsg<A>>) {
         self.cpu.charge(ctx.now, self.cost.per_timer_wake);
+        self.drain_conf(ctx);
         self.drain_admitted(ctx);
         self.flush_forwarded(ctx); // wave resend on silence
         let fx = self.node.tick(ctx.now);
@@ -813,13 +855,17 @@ impl<A: App> ServerHost<A> {
     /// Earliest instant this server needs a wake-up.
     #[must_use]
     pub fn wake_deadline(&self) -> Option<SimTime> {
+        // A queued conf change wants an immediate wake (the kernel clamps
+        // past deadlines to `now`); `handle_wake` fully drains the queue,
+        // so this cannot spin.
+        let conf_wake = (!self.pending_conf.is_empty()).then_some(SimTime::ZERO);
         let node_wake = self.node.next_wake();
         let admit_wake = self.admit.front().map(|a| a.ready_at);
         let wave_wake = self
             .fwd_inflight
             .as_ref()
             .map(|w| w.sent_at + FWD_WAVE_RESEND);
-        [node_wake, admit_wake, wave_wake]
+        [conf_wake, node_wake, admit_wake, wave_wake]
             .into_iter()
             .flatten()
             .min()

@@ -13,7 +13,7 @@ use crate::msg::ClusterMsg;
 use dynatune_kv::{KvCommand, ShardId, ShardMap, ShardRouter, WorkloadGen};
 use dynatune_raft::NodeId;
 use dynatune_simnet::{Channel, HostCtx, SimTime};
-use dynatune_stats::OnlineStats;
+use dynatune_stats::{Histogram, OnlineStats};
 use std::collections::{BTreeMap, VecDeque};
 use std::time::Duration;
 
@@ -54,12 +54,22 @@ struct Outstanding {
 pub struct ShardClient {
     workload: WorkloadGen,
     router: ShardRouter,
-    map: ShardMap,
+    /// Per-shard replica placement (global host ids). Seeded from the
+    /// static [`ShardMap`] but **dynamic**: [`ShardClient::repoint`]
+    /// rewrites a row when the rebalancer moves a replica, so routing,
+    /// redirect validation and read fan-out never assume the contiguous
+    /// genesis universe.
+    placement: Vec<Vec<NodeId>>,
     /// Per-shard leader guess (global host id within the shard's group).
     leader_guess: Vec<NodeId>,
     next_req_id: u64,
     outstanding: BTreeMap<u64, Outstanding>,
     stats: Vec<ShardStats>,
+    /// Per-shard latency histogram (µs) since the last
+    /// [`ShardClient::take_latency_window`] — windowed tail-latency
+    /// measurements for before/after comparisons the cumulative
+    /// [`ShardStats`] moments cannot express.
+    window_hist: Vec<Histogram>,
     request_timeout: Option<Duration>,
     /// FIFO of `(deadline, req_id)`; constant timeout keeps it ordered.
     timeout_queue: VecDeque<(SimTime, u64)>,
@@ -87,14 +97,17 @@ impl ShardClient {
     #[must_use]
     pub fn new(workload: WorkloadGen, map: ShardMap) -> Self {
         let shards = map.shards();
+        let placement: Vec<Vec<NodeId>> =
+            (0..shards).map(|s| map.servers_of(s).collect()).collect();
         Self {
             workload,
             router: ShardRouter::new(shards),
-            map,
-            leader_guess: (0..shards).map(|s| map.server(s, 0)).collect(),
+            leader_guess: placement.iter().map(|row| row[0]).collect(),
+            placement,
             next_req_id: 0,
             outstanding: BTreeMap::new(),
             stats: vec![ShardStats::default(); shards],
+            window_hist: vec![Histogram::new(); shards],
             request_timeout: Some(Duration::from_secs(1)),
             timeout_queue: VecDeque::new(),
             timed_out: 0,
@@ -160,11 +173,44 @@ impl ShardClient {
         self.timed_out
     }
 
-    /// Rotate a shard's leader guess to the next replica of its group.
+    /// Rotate a shard's leader guess to the next replica in its placement
+    /// row. A guess no longer in the row (just repointed away) restarts at
+    /// the row's first replica.
     fn rotate_guess(&mut self, shard: ShardId) {
-        let base = self.map.group_base(shard);
-        let local = self.leader_guess[shard] - base;
-        self.leader_guess[shard] = base + (local + 1) % self.map.replicas();
+        let row = &self.placement[shard];
+        let next = match row.iter().position(|&r| r == self.leader_guess[shard]) {
+            Some(i) => (i + 1) % row.len(),
+            None => 0,
+        };
+        self.leader_guess[shard] = row[next];
+    }
+
+    /// Rewrite the placement row of `shard`: replica `from` is replaced by
+    /// `to` (the rebalancer's cut-over). A leader guess or in-flight
+    /// retry pointing at `from` moves to `to`; requests already sent to
+    /// `from` resolve through the ordinary redirect/timeout paths.
+    pub fn repoint(&mut self, shard: ShardId, from: NodeId, to: NodeId) {
+        for slot in &mut self.placement[shard] {
+            if *slot == from {
+                *slot = to;
+            }
+        }
+        if self.leader_guess[shard] == from {
+            self.leader_guess[shard] = to;
+        }
+    }
+
+    /// Current placement row of one shard (observers / tests).
+    #[must_use]
+    pub fn placement_of(&self, shard: ShardId) -> &[NodeId] {
+        &self.placement[shard]
+    }
+
+    /// Take (and reset) the latency histogram one shard accumulated since
+    /// the previous take: completed-request latencies in microseconds.
+    /// Call once to discard warm-up, again after a window of interest.
+    pub fn take_latency_window(&mut self, shard: ShardId) -> Histogram {
+        std::mem::take(&mut self.window_hist[shard])
     }
 
     fn arm_timeout(&mut self, now: SimTime, req_id: u64) {
@@ -176,7 +222,7 @@ impl ShardClient {
     /// Retry (or abandon) overdue requests. The guess rotates at most once
     /// per shard per expiry wave, exactly like the single-group client.
     fn expire_timeouts(&mut self, ctx: &mut HostCtx<'_, ClusterMsg>) {
-        let mut rotated = vec![false; self.map.shards()];
+        let mut rotated = vec![false; self.placement.len()];
         while let Some(&(deadline, req_id)) = self.timeout_queue.front() {
             if deadline > ctx.now {
                 break;
@@ -230,9 +276,9 @@ impl ShardClient {
             self.stats[shard].sent += 1;
             self.arm_timeout(ctx.now, req_id);
             if self.read_fanout && cmd.is_read() {
-                let base = self.map.group_base(shard);
-                self.read_rr[shard] = (self.read_rr[shard] + 1) % self.map.replicas();
-                let target = base + self.read_rr[shard];
+                let row = &self.placement[shard];
+                self.read_rr[shard] = (self.read_rr[shard] + 1) % row.len();
+                let target = row[self.read_rr[shard]];
                 ctx.send(target, Channel::Tcp, ClusterMsg::ClientReq { req_id, cmd });
                 continue;
             }
@@ -243,7 +289,7 @@ impl ShardClient {
         }
         if self.flush_at.is_some_and(|t| t <= ctx.now) {
             self.flush_at = None;
-            for shard in 0..self.map.shards() {
+            for shard in 0..self.placement.len() {
                 if self.batch_scratch[shard].is_empty() {
                     continue;
                 }
@@ -271,8 +317,9 @@ impl ShardClient {
                     let rec = &mut self.stats[o.shard];
                     if result.is_some() {
                         rec.completed += 1;
-                        let ms = (ctx.now - o.sent_at).as_secs_f64() * 1e3;
-                        rec.latency_ms.push(ms);
+                        let elapsed = ctx.now - o.sent_at;
+                        rec.latency_ms.push(elapsed.as_secs_f64() * 1e3);
+                        self.window_hist[o.shard].record(elapsed.as_micros() as u64);
                     } else {
                         rec.failed += 1;
                     }
@@ -289,8 +336,10 @@ impl ShardClient {
                 }
                 match hint {
                     // Hints are global host ids (the server translates);
-                    // trust only hints that stay inside the shard's group.
-                    Some(h) if self.map.shard_of_server(h) == Some(shard) => {
+                    // trust only hints inside the shard's current placement
+                    // row — which may name a spare the rebalancer admitted,
+                    // never a host of a foreign group.
+                    Some(h) if self.placement[shard].contains(&h) => {
                         self.leader_guess[shard] = h;
                     }
                     _ => self.rotate_guess(shard),
@@ -453,6 +502,76 @@ mod tests {
             Some(shard),
             "retry must stay in the owning group"
         );
+    }
+
+    #[test]
+    fn repoint_breaks_the_static_universe_assumption() {
+        // Regression: routing used to be pure ShardMap arithmetic
+        // (base + (local+1) % replicas), which cannot address a replica
+        // outside the contiguous genesis block. After a repoint the row
+        // names a spare host beyond map.n_servers(), and every routing
+        // path — guess, rotation, hints, fan-out — must follow it.
+        let mut c = client(2, 3, 100.0);
+        let map = ShardMap::new(2, 3);
+        let spare = map.n_servers() + 1; // outside the static universe
+        let retired = map.server(0, 1);
+        c.repoint(0, retired, spare);
+        assert_eq!(
+            c.placement_of(0),
+            &[map.server(0, 0), spare, map.server(0, 2)]
+        );
+        assert!(map.shard_of_server(spare).is_none(), "spare is unmapped");
+        // Rotation cycles through the spare instead of the retired host.
+        c.leader_guess[0] = map.server(0, 0);
+        c.rotate_guess(0);
+        assert_eq!(c.leader_guess[0], spare);
+        c.rotate_guess(0);
+        assert_eq!(c.leader_guess[0], map.server(0, 2));
+        c.leader_guess[0] = map.server(0, 0);
+        // A redirect hint naming the spare is now trusted...
+        let mut out = Vec::new();
+        let mut ctx = HostCtx::test_ctx(SimTime::from_millis(500), 0, &mut out);
+        c.handle_wake(&mut ctx);
+        let mut shard0_req = None;
+        for (to, _, m) in &out {
+            if let ClusterMsg::ClientBatch { reqs } = m {
+                if c.placement_of(0).contains(to) {
+                    shard0_req = Some(reqs[0].clone());
+                    break;
+                }
+            }
+        }
+        let (req_id, cmd) = shard0_req.expect("some request routed to shard 0");
+        let mut out2 = Vec::new();
+        let mut ctx = HostCtx::test_ctx(SimTime::from_millis(210), 0, &mut out2);
+        c.handle_message(
+            &mut ctx,
+            map.server(0, 0),
+            ClusterMsg::ClientRedirect {
+                req_id,
+                hint: Some(spare),
+                cmd,
+            },
+        );
+        assert_eq!(out2.len(), 1);
+        assert_eq!(out2[0].0, spare, "hint to the admitted spare is adopted");
+        // ...while a hint to the retired host is rejected (rotate instead).
+        let mut out3 = Vec::new();
+        let mut ctx = HostCtx::test_ctx(SimTime::from_millis(220), 0, &mut out3);
+        c.handle_message(
+            &mut ctx,
+            spare,
+            ClusterMsg::ClientRedirect {
+                req_id,
+                hint: Some(retired),
+                cmd: KvCommand::Get {
+                    key: bytes::Bytes::from_static(b"k"),
+                },
+            },
+        );
+        assert_eq!(out3.len(), 1);
+        assert_ne!(out3[0].0, retired, "retired replica is never re-targeted");
+        assert!(c.placement_of(0).contains(&out3[0].0));
     }
 
     #[test]

@@ -23,7 +23,9 @@ use crate::shard_client::{ShardClient, ShardStats};
 use crate::sim::{ClusterHost, WorkloadSpec};
 use dynatune_core::{invariant_violated, TuningConfig, TuningSnapshot};
 use dynatune_kv::{ShardId, ShardMap, WorkloadGen};
-use dynatune_raft::{NodeId, RaftConfig, RaftEvent, Role, TimerQuantization};
+use dynatune_raft::{
+    ConfChange, Membership, NodeId, RaftConfig, RaftEvent, Role, TimerQuantization,
+};
 use dynatune_simnet::{
     CongestionConfig, LinkSchedule, NetParams, Network, Rng, SimTime, Topology, World,
 };
@@ -32,8 +34,14 @@ use std::time::Duration;
 /// Full description of one sharded cluster run.
 #[derive(Debug, Clone)]
 pub struct ShardedConfig {
-    /// Shard count and replicas per shard (the placement).
+    /// Shard count and replicas per shard (the genesis placement).
     pub map: ShardMap,
+    /// Spare outsider servers, one entry per spare naming the shard it can
+    /// join. Spare `k` occupies world id `map.n_servers() + k`, speaks its
+    /// shard's group-local protocol, and belongs to no quorum until a
+    /// configuration change admits it. The topology must cover
+    /// `map.n_servers() + spares.len()` hosts.
+    pub spares: Vec<ShardId>,
     /// Tuning mode, applied to every group independently.
     pub tuning: TuningConfig,
     /// Server-to-server topology over all `map.n_servers()` hosts.
@@ -82,6 +90,8 @@ pub struct ShardedConfig {
 pub struct ShardedClusterSim {
     world: World<ClusterHost>,
     map: ShardMap,
+    /// Shard each spare host (world id `map.n_servers() + k`) belongs to.
+    spares: Vec<ShardId>,
 }
 
 impl ShardedClusterSim {
@@ -92,11 +102,11 @@ impl ShardedClusterSim {
     #[must_use]
     pub fn new(config: &ShardedConfig) -> Self {
         let map = config.map;
-        let n_servers = map.n_servers();
+        let n_servers = map.n_servers() + config.spares.len();
         assert_eq!(
             config.topology.len(),
             n_servers,
-            "topology must cover exactly the servers"
+            "topology must cover exactly the servers (mapped replicas + spares)"
         );
         let master = Rng::new(config.seed);
         let n_total = n_servers + usize::from(config.workload.is_some());
@@ -136,6 +146,33 @@ impl ShardedClusterSim {
                 )));
             }
         }
+        // Spare outsiders: same group-local protocol as their shard (the
+        // peer-base translation is pure addition, so a local id past the
+        // mapped replicas addresses a host outside the shard's block), no
+        // quorum membership until a conf change admits them.
+        for (k, &shard) in config.spares.iter().enumerate() {
+            let global = map.n_servers() + k;
+            let local = global - map.group_base(shard);
+            let mut rc =
+                RaftConfig::with_peers(local, (0..map.replicas()).collect(), config.tuning);
+            rc.pre_vote = config.pre_vote;
+            rc.check_quorum = config.check_quorum;
+            rc.quantization = config.quantization;
+            rc.udp_heartbeats = config.udp_heartbeats;
+            rc.lease_reads = config.read_strategy == ReadStrategy::Lease;
+            rc.pipeline_window = config.pipeline_window;
+            rc.max_batch_bytes = config.max_batch_bytes;
+            rc.max_batch_delay = config.max_batch_delay;
+            rc.max_entries_per_append = config.max_entries_per_append;
+            let mut stream = node_seed_root.child(global as u64);
+            rc.seed = stream.next_u64();
+            hosts.push(ClusterHost::Server(Box::new(
+                ServerHost::new(rc, config.cost, config.cores, config.cpu_window)
+                    .with_peer_base(map.group_base(shard))
+                    .with_compaction(config.compaction)
+                    .with_reads(config.read_strategy, config.follower_reads),
+            )));
+        }
         if let Some(spec) = &config.workload {
             let wl = WorkloadGen::new(
                 spec.steps.clone(),
@@ -155,6 +192,7 @@ impl ShardedClusterSim {
         Self {
             world: World::new(hosts, net),
             map,
+            spares: config.spares.clone(),
         }
     }
 
@@ -176,10 +214,23 @@ impl ShardedClusterSim {
         self.map.shards()
     }
 
-    /// Number of server hosts (clients excluded).
+    /// Number of server hosts, spares included (clients excluded).
     #[must_use]
     pub fn n_servers(&self) -> usize {
-        self.map.n_servers()
+        self.map.n_servers() + self.spares.len()
+    }
+
+    /// World ids of every server belonging to `shard`: the mapped replica
+    /// block plus any spares attached to the shard.
+    #[must_use]
+    pub fn members_of(&self, shard: ShardId) -> Vec<NodeId> {
+        let mut out: Vec<NodeId> = self.map.servers_of(shard).collect();
+        for (k, &s) in self.spares.iter().enumerate() {
+            if s == shard {
+                out.push(self.map.n_servers() + k);
+            }
+        }
+        out
     }
 
     /// Advance the simulation to `deadline`.
@@ -213,7 +264,7 @@ impl ShardedClusterSim {
     #[must_use]
     pub fn leader_of(&self, shard: ShardId) -> Option<NodeId> {
         let mut best: Option<(u64, NodeId)> = None;
-        for id in self.map.servers_of(shard) {
+        for id in self.members_of(shard) {
             if self.world.is_paused(id) {
                 continue;
             }
@@ -256,7 +307,7 @@ impl ShardedClusterSim {
     pub fn shard_events(&self, shard: ShardId) -> Vec<(SimTime, NodeId, RaftEvent)> {
         let base = self.map.group_base(shard);
         let mut out = Vec::new();
-        for id in self.map.servers_of(shard) {
+        for id in self.members_of(shard) {
             for &(t, e) in self.server(id).events() {
                 out.push((t, id - base, e));
             }
@@ -265,10 +316,63 @@ impl ShardedClusterSim {
         out
     }
 
+    /// Queue a configuration change on `shard`'s current leader (node ids
+    /// inside the change are group-local). Returns `false` when the shard
+    /// has no live leader; see
+    /// [`ClusterSim::propose_conf_change`](crate::sim::ClusterSim::propose_conf_change)
+    /// for the re-submission contract.
+    pub fn propose_conf_change(&mut self, shard: ShardId, change: ConfChange) -> bool {
+        let Some(leader) = self.leader_of(shard) else {
+            return false;
+        };
+        match self.world.host_mut(leader) {
+            ClusterHost::Server(s) => s.enqueue_conf_change(change),
+            _ => invariant_violated!("leader {leader} is not a server host"),
+        }
+        self.world.reschedule_wake(leader);
+        true
+    }
+
+    /// The membership one server currently acts under (global host id).
+    #[must_use]
+    pub fn membership(&self, id: NodeId) -> Membership {
+        self.server(id).node().membership().clone()
+    }
+
+    /// Conf changes dropped or rejected across all servers.
+    #[must_use]
+    pub fn conf_rejections(&self) -> u64 {
+        (0..self.n_servers())
+            .map(|id| self.server(id).conf_rejections())
+            .sum()
+    }
+
+    /// Repoint the shard client's placement row for `shard`: replica `from`
+    /// (world id) is replaced by `to`. Called by the rebalancer after the
+    /// final configuration commits, so client traffic follows the data.
+    /// No-op without a workload client.
+    pub fn repoint_shard(&mut self, shard: ShardId, from: NodeId, to: NodeId) {
+        let last = self.world.len() - 1;
+        if let ClusterHost::ShardClient(c) = self.world.host_mut(last) {
+            c.repoint(shard, from, to);
+        }
+    }
+
     /// Tuning snapshot of one server (global host id).
     #[must_use]
     pub fn tuning_snapshot(&self, id: NodeId) -> TuningSnapshot {
         self.server(id).node().tuning_snapshot()
+    }
+
+    /// Take (and reset) one shard's windowed latency histogram (µs) from
+    /// the workload client (`None` without one). Take once to discard
+    /// warm-up, again after the window of interest.
+    pub fn take_latency_window(&mut self, shard: ShardId) -> Option<dynatune_stats::Histogram> {
+        let last = self.world.len() - 1;
+        match self.world.host_mut(last) {
+            ClusterHost::ShardClient(c) => Some(c.take_latency_window(shard)),
+            _ => None,
+        }
     }
 
     /// Per-shard client counters (`None` without a workload).

@@ -6,7 +6,9 @@ use crate::msg::ClusterMsg;
 use crate::server::{CompactionPolicy, ReadCounters, ReadStrategy, ServerHost};
 use dynatune_core::{invariant_violated, TuningConfig, TuningSnapshot};
 use dynatune_kv::{OpMix, RateStep, WorkloadGen};
-use dynatune_raft::{NodeId, RaftConfig, RaftEvent, Role, TimerQuantization};
+use dynatune_raft::{
+    ConfChange, Membership, NodeId, RaftConfig, RaftEvent, Role, TimerQuantization,
+};
 use dynatune_simnet::{
     CongestionConfig, Host, HostCtx, LinkSchedule, NetParams, Network, Rng, SimTime, Topology,
     World,
@@ -94,8 +96,14 @@ impl WorkloadSpec {
 /// Full description of one simulated cluster run.
 #[derive(Debug, Clone)]
 pub struct ClusterConfig {
-    /// Number of Raft servers.
+    /// Number of genesis Raft voters.
     pub n: usize,
+    /// Extra outsider servers beyond the genesis voters. Spares share the
+    /// fabric from t=0 but belong to no quorum and never campaign; they
+    /// join live through replicated configuration changes
+    /// ([`ClusterSim::propose_conf_change`]). The topology must cover
+    /// `n + spare_servers` hosts.
+    pub spare_servers: usize,
     /// Tuning mode + parameters (selects Raft / Raft-Low / Fix-K / Dynatune).
     pub tuning: TuningConfig,
     /// Server-to-server network topology (must have exactly `n` nodes).
@@ -154,6 +162,7 @@ impl ClusterConfig {
         let params = NetParams::clean(rtt).with_jitter(0.02);
         Self {
             n,
+            spare_servers: 0,
             tuning,
             topology: Topology::uniform_constant(n, params),
             congestion: CongestionConfig::disabled(),
@@ -257,13 +266,14 @@ impl ClusterSim {
     /// Panics when the topology size does not match `config.n`.
     #[must_use]
     pub fn new(config: &ClusterConfig) -> Self {
+        let n_servers = config.n + config.spare_servers;
         assert_eq!(
             config.topology.len(),
-            config.n,
-            "topology must cover exactly the servers"
+            n_servers,
+            "topology must cover exactly the servers (voters + spares)"
         );
         let master = Rng::new(config.seed);
-        let n_total = config.n + usize::from(config.workload.is_some());
+        let n_total = n_servers + usize::from(config.workload.is_some());
         // Extend the topology with the client node if needed.
         let topology = if config.workload.is_some() {
             config
@@ -276,9 +286,11 @@ impl ClusterSim {
             topology.schedule(f, t)
         });
         let node_seed_root = master.child(2);
-        let mut hosts: Vec<ClusterHost> = (0..config.n)
+        let mut hosts: Vec<ClusterHost> = (0..n_servers)
             .map(|id| {
-                let mut rc = RaftConfig::new(id, config.n, config.tuning);
+                // Voters get the genesis membership; ids beyond it build
+                // outsider spares that idle until a conf change admits them.
+                let mut rc = RaftConfig::with_peers(id, (0..config.n).collect(), config.tuning);
                 rc.pre_vote = config.pre_vote;
                 rc.check_quorum = config.check_quorum;
                 rc.quantization = config.quantization;
@@ -312,7 +324,7 @@ impl ClusterSim {
                 SimTime::ZERO + spec.start_offset,
             );
             hosts.push(ClusterHost::Client(Box::new(
-                ClientHost::new(wl, config.n, SimTime::ZERO + spec.start_offset)
+                ClientHost::new(wl, n_servers, SimTime::ZERO + spec.start_offset)
                     .with_request_timeout(spec.request_timeout)
                     .with_read_fanout(spec.read_fanout)
                     .with_trace(spec.record_trace),
@@ -320,7 +332,7 @@ impl ClusterSim {
         }
         Self {
             world: World::new(hosts, net),
-            n_servers: config.n,
+            n_servers,
         }
     }
 
@@ -410,6 +422,39 @@ impl ClusterSim {
     /// rejoins as follower with its persistent log.
     pub fn crash(&mut self, id: NodeId) {
         crash_server(&mut self.world, id);
+    }
+
+    /// Queue a configuration change on the current leader. Returns `false`
+    /// when no live leader exists (retry after the next election) — the
+    /// queued change may still be dropped if leadership moves before the
+    /// leader's next wake, so orchestrators re-submit until the membership
+    /// they observe reflects the change.
+    pub fn propose_conf_change(&mut self, change: ConfChange) -> bool {
+        let Some(leader) = self.leader() else {
+            return false;
+        };
+        match self.world.host_mut(leader) {
+            ClusterHost::Server(s) => s.enqueue_conf_change(change),
+            _ => invariant_violated!("leader {leader} is not a server host"),
+        }
+        self.world.reschedule_wake(leader);
+        true
+    }
+
+    /// The membership one server currently acts under (its latest appended
+    /// configuration — Raft configs take effect at append time).
+    #[must_use]
+    pub fn membership(&self, id: NodeId) -> Membership {
+        self.server(id).node().membership().clone()
+    }
+
+    /// Conf changes dropped or rejected across all servers (stale-leader
+    /// submissions the orchestrator had to re-issue).
+    #[must_use]
+    pub fn conf_rejections(&self) -> u64 {
+        (0..self.n_servers)
+            .map(|id| self.server(id).conf_rejections())
+            .sum()
     }
 
     /// All recorded events, merged and sorted by time.
@@ -542,6 +587,7 @@ impl ClusterSim {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::observers::election_safety_violations;
 
     fn stable_cluster(tuning: TuningConfig, seed: u64) -> ClusterSim {
         let cfg = ClusterConfig::stable(5, tuning, Duration::from_millis(100), seed);
@@ -618,6 +664,63 @@ mod tests {
         sim.run_for(Duration::from_secs(5));
         let role = sim.with_server(old_leader, |s| s.node().role());
         assert_eq!(role, Role::Follower);
+    }
+
+    #[test]
+    fn spares_join_live_via_joint_consensus() {
+        // 3 genesis voters + 2 spare outsiders; grow to 5 voters online.
+        let params = NetParams::clean(Duration::from_millis(50)).with_jitter(0.02);
+        let mut cfg = ClusterConfig::stable(
+            3,
+            TuningConfig::raft_default(),
+            Duration::from_millis(50),
+            9,
+        );
+        cfg.spare_servers = 2;
+        cfg.topology = Topology::uniform_constant(5, params);
+        let mut sim = ClusterSim::new(&cfg);
+        sim.run_until(SimTime::from_secs(10));
+        let leader = sim.leader().expect("genesis voters elect");
+        assert!(leader < 3, "spares cannot lead before joining");
+        for id in 3..5 {
+            assert_eq!(sim.with_server(id, |s| s.node().role()), Role::Follower);
+            assert!(!sim.membership(leader).contains(id));
+        }
+        // Learners first (one conf change may be uncommitted at a time)...
+        assert!(sim.propose_conf_change(ConfChange::AddLearner(3)));
+        sim.run_for(Duration::from_secs(3));
+        assert!(sim.propose_conf_change(ConfChange::AddLearner(4)));
+        sim.run_for(Duration::from_secs(3));
+        let leader = sim.leader().expect("leader");
+        let m = sim.membership(leader);
+        assert!(
+            m.is_learner(3) && m.is_learner(4),
+            "learners admitted: {m:?}"
+        );
+        // ...then promote both through one joint change.
+        assert!(sim.propose_conf_change(ConfChange::Begin {
+            add: vec![3, 4],
+            remove: vec![],
+        }));
+        sim.run_for(Duration::from_secs(3));
+        assert!(sim.propose_conf_change(ConfChange::Finalize));
+        sim.run_for(Duration::from_secs(5));
+        for id in 0..5 {
+            let m = sim.membership(id);
+            assert!(!m.is_joint(), "server {id} still joint");
+            assert_eq!(
+                m.voting_members().len(),
+                5,
+                "server {id} sees the 5-voter config"
+            );
+        }
+        assert_eq!(sim.conf_rejections(), 0, "stable run needs no re-issues");
+        // The grown cluster survives two failures — impossible at n=3.
+        sim.crash(0);
+        sim.pause(1);
+        sim.run_for(Duration::from_secs(15));
+        assert!(sim.leader().is_some(), "5-voter cluster rides out 2 faults");
+        assert_eq!(election_safety_violations(&sim.events()), 0);
     }
 
     #[test]

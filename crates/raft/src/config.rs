@@ -36,8 +36,16 @@ pub enum TimerQuantization {
 pub struct RaftConfig {
     /// This node's id.
     pub id: NodeId,
-    /// All cluster members (including this node).
+    /// The genesis voter set. Usually includes this node; an *outsider*
+    /// configuration (id not in `peers` or `learners`) is also valid — the
+    /// node then starts as a silent follower that never campaigns, waiting
+    /// to be admitted through a replicated configuration change
+    /// (`AddLearner` → catch-up → promotion).
     pub peers: Vec<NodeId>,
+    /// Genesis non-voting learners: replicated to, but counted in no
+    /// election, commit, read or lease quorum. Normally empty — learners
+    /// are usually added at runtime via `ConfChange::AddLearner`.
+    pub learners: Vec<NodeId>,
     /// Election-parameter tuning configuration (mode selects the paper's
     /// Raft / Raft-Low / Fix-K / Dynatune variants).
     pub tuning: TuningConfig,
@@ -131,9 +139,19 @@ impl RaftConfig {
     #[must_use]
     pub fn new(id: NodeId, n: usize, tuning: TuningConfig) -> Self {
         assert!(id < n, "node id {id} out of range for cluster of {n}");
+        Self::with_peers(id, (0..n).collect(), tuning)
+    }
+
+    /// Configuration with an explicit genesis voter set. Unlike
+    /// [`RaftConfig::new`], `id` need not appear in `peers`: an absent id
+    /// builds an outsider node that never campaigns until a replicated
+    /// configuration change admits it.
+    #[must_use]
+    pub fn with_peers(id: NodeId, peers: Vec<NodeId>, tuning: TuningConfig) -> Self {
         Self {
             id,
-            peers: (0..n).collect(),
+            peers,
+            learners: Vec::new(),
             tuning,
             pre_vote: true,
             check_quorum: true,
@@ -170,11 +188,11 @@ impl RaftConfig {
     /// # Panics
     /// Panics when the config is inconsistent.
     pub fn validate(&self) {
-        assert!(
-            self.peers.contains(&self.id),
-            "peers must include the node itself"
-        );
         assert!(!self.peers.is_empty(), "empty cluster");
+        assert!(
+            !self.learners.iter().any(|l| self.peers.contains(l)),
+            "a node cannot be both a genesis voter and a genesis learner"
+        );
         assert!(self.max_entries_per_append > 0, "zero append batch size");
         assert!(self.pipeline_window > 0, "zero pipeline window");
         assert!(self.max_batch_bytes > 0, "zero group-commit byte cap");
@@ -270,5 +288,23 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn id_out_of_range_panics() {
         let _ = RaftConfig::new(5, 5, TuningConfig::dynatune());
+    }
+
+    #[test]
+    fn outsider_config_is_valid() {
+        // A node configured with a genesis voter set it is not part of:
+        // the spare-server shape used for elastic scale-out.
+        let c = RaftConfig::with_peers(3, vec![0, 1, 2], TuningConfig::dynatune());
+        assert!(!c.peers.contains(&c.id));
+        assert!(c.learners.is_empty());
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "both a genesis voter and a genesis learner")]
+    fn voter_learner_overlap_panics() {
+        let mut c = RaftConfig::new(0, 3, TuningConfig::dynatune());
+        c.learners = vec![2];
+        c.validate();
     }
 }

@@ -73,6 +73,21 @@ pub enum RaftEvent {
         /// Highest log index the snapshot covers.
         last_included_index: LogIndex,
     },
+    /// The active cluster configuration changed: a configuration-change
+    /// entry was appended (or rolled back by log truncation, or restored
+    /// from a snapshot). Raft §6 append-time semantics: this fires when the
+    /// entry enters the log, not when it commits.
+    MembershipChanged {
+        /// Log index of the configuration entry now in force (the snapshot
+        /// boundary when restored from a snapshot).
+        index: LogIndex,
+        /// Number of voters in the (new, while joint) voter set.
+        voters: usize,
+        /// Number of non-voting learners.
+        learners: usize,
+        /// Whether a joint configuration (`C_old,new`) is active.
+        joint: bool,
+    },
     /// The leader opened a ReadIndex confirmation round: queued log-free
     /// reads could not be served from the lease (expired or disabled) and
     /// now await a quorum of `read_ctx` echoes. Observably absent under a
@@ -99,6 +114,7 @@ impl RaftEvent {
             RaftEvent::TunerReset => "tuner_reset",
             RaftEvent::SnapshotSent { .. } => "snapshot_sent",
             RaftEvent::SnapshotInstalled { .. } => "snapshot_installed",
+            RaftEvent::MembershipChanged { .. } => "membership_changed",
             RaftEvent::ReadConfirmRound { .. } => "read_confirm_round",
         }
     }
@@ -132,6 +148,12 @@ mod tests {
             },
             RaftEvent::SnapshotInstalled {
                 last_included_index: 9,
+            },
+            RaftEvent::MembershipChanged {
+                index: 4,
+                voters: 3,
+                learners: 1,
+                joint: false,
             },
             RaftEvent::ReadConfirmRound { seq: 1 },
         ];

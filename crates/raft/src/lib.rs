@@ -26,6 +26,7 @@
 pub mod config;
 pub mod events;
 pub mod log;
+pub mod membership;
 pub mod message;
 pub mod node;
 pub mod progress;
@@ -35,11 +36,12 @@ pub mod types;
 pub use config::{RaftConfig, TimerQuantization, DEFAULT_REPLY_WINDOW};
 pub use events::RaftEvent;
 pub use log::{AppendOutcome, Entry, RaftLog};
+pub use membership::{ConfChange, Membership};
 pub use message::{
     AppendEntries, AppendResp, Heartbeat, HeartbeatResp, InstallSnapshot, OutMsg, Payload,
     RequestVote, RequestVoteResp,
 };
-pub use node::{NodeEffects, NodePayload, NotLeader, RaftNode};
+pub use node::{ConfChangeError, NodeEffects, NodePayload, NotLeader, RaftNode};
 pub use progress::{InflightSend, Progress};
 pub use state_machine::{
     Applied, Effects, NullStateMachine, ReadGrant, ReadPath, Snapshot, StateMachine,

@@ -1,10 +1,13 @@
 //! The replicated log: append, conflict resolution, matching, compaction.
 
+use crate::membership::ConfChange;
 use crate::types::{LogIndex, Term};
 use dynatune_core::invariant_violated;
 
 /// One log entry. `data == None` is the no-op entry a new leader appends to
-/// commit entries from previous terms (the etcd convention).
+/// commit entries from previous terms (the etcd convention). A
+/// configuration change travels as an entry with `conf` set; it takes
+/// effect the moment it is appended (Raft §6), not when it commits.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Entry<C> {
     /// Term in which the entry was created.
@@ -13,6 +16,21 @@ pub struct Entry<C> {
     pub index: LogIndex,
     /// The command, or `None` for a leader-change no-op.
     pub data: Option<C>,
+    /// The configuration change this entry carries, if any.
+    pub conf: Option<ConfChange>,
+}
+
+impl<C> Entry<C> {
+    /// A normal entry (command or leader no-op).
+    #[must_use]
+    pub fn normal(term: Term, index: LogIndex, data: Option<C>) -> Self {
+        Self {
+            term,
+            index,
+            data,
+            conf: None,
+        }
+    }
 }
 
 /// Result of offering entries from an `AppendEntries` RPC to the log.
@@ -123,7 +141,19 @@ impl<C: Clone> RaftLog<C> {
     /// Leader helper: create and append a new entry at the tail.
     pub fn append_new(&mut self, term: Term, data: Option<C>) -> LogIndex {
         let index = self.last_index() + 1;
-        self.entries.push(Entry { term, index, data });
+        self.entries.push(Entry::normal(term, index, data));
+        index
+    }
+
+    /// Leader helper: create and append a configuration-change entry.
+    pub fn append_conf(&mut self, term: Term, conf: ConfChange) -> LogIndex {
+        let index = self.last_index() + 1;
+        self.entries.push(Entry {
+            term,
+            index,
+            data: None,
+            conf: Some(conf),
+        });
         index
     }
 
@@ -242,11 +272,7 @@ mod tests {
     use proptest::prelude::*;
 
     fn entry(term: Term, index: LogIndex, v: u32) -> Entry<u32> {
-        Entry {
-            term,
-            index,
-            data: Some(v),
-        }
+        Entry::normal(term, index, Some(v))
     }
 
     fn log_from(terms: &[Term]) -> RaftLog<u32> {
@@ -491,7 +517,7 @@ mod tests {
                 let mut batch = Vec::new();
                 for k in 0..n {
                     let index = prev + k as LogIndex + 1;
-                    batch.push(Entry { term, index, data: Some(index as u32 * 10) });
+                    batch.push(Entry::normal(term, index, Some(index as u32 * 10)));
                 }
                 for e in &batch {
                     leader.append(e.clone());

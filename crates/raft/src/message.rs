@@ -6,6 +6,7 @@
 //! [`Payload::channel`] method encodes that mapping.
 
 use crate::log::Entry;
+use crate::membership::Membership;
 use crate::types::{LogIndex, NodeId, Term};
 use dynatune_core::{HeartbeatMeta, HeartbeatReply};
 use dynatune_simnet::Channel;
@@ -92,6 +93,11 @@ pub struct InstallSnapshot<S> {
     pub last_included_index: LogIndex,
     /// Term of that entry.
     pub last_included_term: Term,
+    /// The cluster configuration as of `last_included_index`. Configuration
+    /// changes live in log entries, so a follower whose log is replaced by
+    /// the snapshot would otherwise lose the membership history the
+    /// discarded prefix carried; the snapshot restores it directly.
+    pub membership: Membership,
     /// The state-machine snapshot covering entries `1..=last_included_index`.
     pub data: S,
 }
@@ -232,6 +238,7 @@ mod tests {
             leader: 0,
             last_included_index: 10,
             last_included_term: 2,
+            membership: Membership::initial(&[0, 1, 2], &[]),
             data: (),
         });
         assert_eq!(snap.channel(true), Channel::Tcp);

@@ -29,7 +29,8 @@
 
 use crate::config::{RaftConfig, TimerQuantization};
 use crate::events::RaftEvent;
-use crate::log::{AppendOutcome, RaftLog};
+use crate::log::{AppendOutcome, Entry, RaftLog};
+use crate::membership::{ConfChange, Membership};
 use crate::message::{
     AppendEntries, AppendResp, Heartbeat, HeartbeatResp, InstallSnapshot, OutMsg, Payload,
     RequestVote, RequestVoteResp,
@@ -49,6 +50,37 @@ pub struct NotLeader {
     /// The leader this node believes in, if any (client redirect hint).
     pub hint: Option<NodeId>,
 }
+
+/// Why [`RaftNode::propose_conf_change`] refused a configuration change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfChangeError {
+    /// This node is not the leader (redirect hint attached).
+    NotLeader(NotLeader),
+    /// The previous configuration entry has not committed yet. At most one
+    /// configuration change may be in flight at a time (etcd's discipline);
+    /// retry once the pending entry commits.
+    InFlight,
+    /// The change is invalid against the active configuration (see the
+    /// reason for which [`Membership::apply`] precondition failed).
+    Rejected(&'static str),
+    /// A learner named in `Begin.add` is still too far behind the leader's
+    /// tail — promotion is gated on snapshot/append catch-up so a voter
+    /// with an empty log can never be counted into a quorum.
+    LearnerBehind {
+        /// The lagging learner.
+        node: NodeId,
+        /// Its replicated match index at the leader.
+        match_index: LogIndex,
+        /// The leader's last log index.
+        last_index: LogIndex,
+    },
+}
+
+/// How close (in log entries) a learner must be to the leader's tail before
+/// `Begin { add: [it], .. }` promotes it to voter. Catch-up runs through
+/// `InstallSnapshot` + pipelined appends; the slack only has to cover the
+/// entries proposed while the final append batches were in flight.
+pub const PROMOTION_SLACK: u64 = 256;
 
 /// Effects alias bound to a state machine.
 pub type NodeEffects<SM> = Effects<
@@ -116,6 +148,20 @@ impl ReadState {
     }
 }
 
+/// One epoch of the membership frame stack: the configuration put in force
+/// by the conf entry at `(index, term)`. The base frame sits at the genesis
+/// position (0, 0) or at the snapshot boundary after an install/compaction.
+/// The stack mirrors the log — truncation pops frames, compaction collapses
+/// them into the base, a snapshot install replaces the base — which is what
+/// implements Raft §6's "a server uses the latest configuration in its log"
+/// including rollback when that entry is truncated away.
+#[derive(Debug, Clone)]
+struct MembershipFrame {
+    index: LogIndex,
+    term: Term,
+    membership: Membership,
+}
+
 /// A single Raft server.
 pub struct RaftNode<SM: StateMachine> {
     config: RaftConfig,
@@ -123,6 +169,10 @@ pub struct RaftNode<SM: StateMachine> {
     term: Term,
     voted_for: Option<NodeId>,
     log: RaftLog<SM::Command>,
+    /// Membership frame stack, ascending by index, never empty. Derived
+    /// from persistent state (genesis config + conf entries in the log +
+    /// snapshot boundary), so it survives crash-recovery with the log.
+    frames: Vec<MembershipFrame>,
     // --- volatile state ---
     role: Role,
     leader_id: Option<NodeId>,
@@ -181,11 +231,17 @@ impl<SM: StateMachine> RaftNode<SM> {
         let mut rng = Rng::new(config.seed);
         let timeout_factor = 1.0 + rng.f64();
         let tick_phase = rng.f64();
+        let frames = vec![MembershipFrame {
+            index: 0,
+            term: 0,
+            membership: Membership::initial(&config.peers, &config.learners),
+        }];
         Self {
             tuner: FollowerTuner::new(config.tuning),
             term: 0,
             voted_for: None,
             log: RaftLog::new(),
+            frames,
             role: Role::Follower,
             leader_id: None,
             commit_index: 0,
@@ -305,12 +361,53 @@ impl<SM: StateMachine> RaftNode<SM> {
         self.pacers.get(&follower).map(LeaderPacer::interval)
     }
 
-    fn cluster_size(&self) -> usize {
-        self.config.peers.len()
+    /// The active cluster configuration (append-time semantics, Raft §6).
+    #[must_use]
+    pub fn membership(&self) -> &Membership {
+        &self.active_frame().membership
     }
 
-    fn majority(&self) -> usize {
-        quorum(self.cluster_size())
+    /// Log index of the entry that put the active configuration in force
+    /// (0 for the genesis configuration; the snapshot boundary after an
+    /// install). The configuration is *committed* once
+    /// `commit_index >= membership_index()`.
+    #[must_use]
+    pub fn membership_index(&self) -> LogIndex {
+        self.active_frame().index
+    }
+
+    /// Replication progress the leader tracks for `peer` (None on
+    /// non-leaders and for unknown peers). Observers use it to gate learner
+    /// promotion on measured catch-up.
+    #[must_use]
+    pub fn progress_of(&self, peer: NodeId) -> Option<&Progress> {
+        self.progress.get(&peer)
+    }
+
+    fn active_frame(&self) -> &MembershipFrame {
+        match self.frames.last() {
+            Some(f) => f,
+            None => invariant_violated!("the membership frame stack is never empty"),
+        }
+    }
+
+    /// Whether the nodes this node has collected votes from form a quorum
+    /// in every active voter set (both sets while joint).
+    fn vote_quorum_reached(&self) -> bool {
+        let votes = &self.votes;
+        self.active_frame()
+            .membership
+            .quorum_satisfied(|n| votes.contains(&n))
+    }
+
+    fn emit_membership_event(&self, fx: &mut NodeEffects<SM>) {
+        let f = self.active_frame();
+        fx.events.push(RaftEvent::MembershipChanged {
+            index: f.index,
+            voters: f.membership.voters.len(),
+            learners: f.membership.learners.len(),
+            joint: f.membership.is_joint(),
+        });
     }
 
     fn tick_period(&self) -> Duration {
@@ -396,6 +493,15 @@ impl<SM: StateMachine> RaftNode<SM> {
     }
 
     fn handle_election_timeout(&mut self, now: SimTime, fx: &mut NodeEffects<SM>) {
+        if !self.active_frame().membership.is_voter(self.config.id) {
+            // Learners, outsiders awaiting admission, and removed members
+            // detect leader silence like everyone else but never campaign
+            // (Raft §6: a server outside the voter set must not disrupt the
+            // cluster). Re-arm the timer and stay a silent follower.
+            self.leader_id = None;
+            self.reset_election_timer(now, true);
+            return;
+        }
         fx.events.push(RaftEvent::ElectionTimeout {
             term: self.term,
             randomized_timeout: self.randomized_timeout(),
@@ -451,13 +557,9 @@ impl<SM: StateMachine> RaftNode<SM> {
     }
 
     fn leader_tick(&mut self, now: SimTime, fx: &mut NodeEffects<SM>) {
-        let peers: Vec<NodeId> = self
-            .config
-            .peers
-            .iter()
-            .copied()
-            .filter(|&p| p != self.config.id)
-            .collect();
+        // Every tracked member — voters of both configs and learners —
+        // receives heartbeats and replication traffic.
+        let peers: Vec<NodeId> = self.progress.keys().copied().collect();
         // Heartbeats: per-follower cadence, or one consolidated burst at
         // the smallest interval (§IV-E extension 2).
         let consolidated_due = self.config.consolidated_heartbeat_timer
@@ -530,14 +632,21 @@ impl<SM: StateMachine> RaftNode<SM> {
                 self.send_append(now, peer, fx);
             }
         }
-        // Check-quorum lease: step down if a majority has gone silent.
+        // Check-quorum lease: step down unless the recently-heard members
+        // (counting ourselves) form a quorum in every active voter set —
+        // during a joint configuration, silence from either C_old or C_new
+        // majorities deposes the leader.
         if self.config.check_quorum && now >= self.lease_check_at {
             let lease = self.config.tuning.default_election_timeout;
-            let active = 1 + peers
-                .iter()
-                .filter(|&&p| self.progress[&p].last_active + lease >= now)
-                .count();
-            if active < self.majority() {
+            let id = self.config.id;
+            let progress = &self.progress;
+            let alive = self.active_frame().membership.quorum_satisfied(|n| {
+                n == id
+                    || progress
+                        .get(&n)
+                        .is_some_and(|p| p.last_active + lease >= now)
+            });
+            if !alive {
                 // become_follower emits the SteppedDown event.
                 let term = self.term;
                 self.become_follower(now, term, None, fx);
@@ -602,8 +711,8 @@ impl<SM: StateMachine> RaftNode<SM> {
         fx.events.push(RaftEvent::PreVoteStarted {
             campaign_term: self.campaign_term,
         });
-        if self.votes.len() >= self.majority() {
-            // Single-node cluster: skip straight to the real election.
+        if self.vote_quorum_reached() {
+            // Single-voter configuration: skip straight to the election.
             self.become_candidate(now, fx);
             return;
         }
@@ -626,7 +735,7 @@ impl<SM: StateMachine> RaftNode<SM> {
         self.reset_election_timer(now, true);
         fx.events
             .push(RaftEvent::ElectionStarted { term: self.term });
-        if self.votes.len() >= self.majority() {
+        if self.vote_quorum_reached() {
             self.become_leader(now, fx);
             return;
         }
@@ -640,7 +749,9 @@ impl<SM: StateMachine> RaftNode<SM> {
     }
 
     fn broadcast_vote_request(&mut self, req: RequestVote, fx: &mut NodeEffects<SM>) {
-        for &peer in &self.config.peers {
+        // Votes are requested from every node that votes in *any* active
+        // set; learners never receive (or need) vote traffic.
+        for peer in self.active_frame().membership.voting_members() {
             if peer == self.config.id {
                 continue;
             }
@@ -667,12 +778,12 @@ impl<SM: StateMachine> RaftNode<SM> {
         }
         self.progress.clear();
         self.pacers.clear();
-        for &peer in &self.config.peers {
+        let last_index = self.log.last_index();
+        for peer in self.active_frame().membership.members() {
             if peer == self.config.id {
                 continue;
             }
-            self.progress
-                .insert(peer, Progress::new(self.log.last_index(), now));
+            self.progress.insert(peer, Progress::new(last_index, now));
             self.pacers
                 .insert(peer, LeaderPacer::new(self.config.tuning, now.as_nanos()));
         }
@@ -743,6 +854,184 @@ impl<SM: StateMachine> RaftNode<SM> {
     }
 
     // ------------------------------------------------------------------
+    // Configuration changes (joint consensus, Raft §6)
+    // ------------------------------------------------------------------
+
+    /// Propose a configuration change as a replicated log entry.
+    ///
+    /// The change takes effect on this leader the moment it is appended
+    /// (and on each follower when it accepts the entry). At most one
+    /// configuration change may be uncommitted at a time; `Begin` entries
+    /// additionally require every promoted node to be a learner within
+    /// [`PROMOTION_SLACK`] entries of the leader's tail, so a voter can
+    /// never be counted into a quorum before it can actually store entries.
+    ///
+    /// A leader that removes itself keeps leading until the removing
+    /// configuration *commits* (the entry must still replicate), then steps
+    /// down via the commit path.
+    pub fn propose_conf_change(
+        &mut self,
+        now: SimTime,
+        change: ConfChange,
+    ) -> (Result<(Term, LogIndex), ConfChangeError>, NodeEffects<SM>) {
+        let mut fx = Effects::new();
+        if self.role != Role::Leader {
+            return (
+                Err(ConfChangeError::NotLeader(NotLeader {
+                    hint: self.leader_id,
+                })),
+                fx,
+            );
+        }
+        if self.active_frame().index > self.commit_index {
+            return (Err(ConfChangeError::InFlight), fx);
+        }
+        let next = match self.active_frame().membership.apply(&change) {
+            Ok(next) => next,
+            Err(reason) => return (Err(ConfChangeError::Rejected(reason)), fx),
+        };
+        if let ConfChange::Begin { add, .. } = &change {
+            let last_index = self.log.last_index();
+            for &node in add {
+                let match_index = self.progress.get(&node).map_or(0, |p| p.match_index);
+                if match_index + PROMOTION_SLACK < last_index {
+                    return (
+                        Err(ConfChangeError::LearnerBehind {
+                            node,
+                            match_index,
+                            last_index,
+                        }),
+                        fx,
+                    );
+                }
+            }
+        }
+        let index = self.log.append_conf(self.term, change);
+        self.frames.push(MembershipFrame {
+            index,
+            term: self.term,
+            membership: next,
+        });
+        self.sync_member_tracking(now);
+        self.emit_membership_event(&mut fx);
+        // Replicate like an ordinary proposal: idle pipes ship immediately,
+        // busy ones flush through the group-commit deadline.
+        let peers: Vec<NodeId> = self.progress.keys().copied().collect();
+        for peer in peers {
+            if self.progress[&peer].inflight.is_empty() {
+                self.send_append(now, peer, &mut fx);
+            }
+        }
+        if self.batch_deadline.is_none() && self.has_unsent_entries() {
+            self.batch_deadline = Some(now + self.config.max_batch_delay);
+        }
+        self.try_advance_commit(now, &mut fx);
+        (Ok((self.term, index)), fx)
+    }
+
+    /// Align the leader's per-member tracking (progress + pacers) with the
+    /// active configuration: new members (learners, promoted voters) gain
+    /// entries, members dropped by a `Finalize` lose theirs — per Raft §6
+    /// removed servers simply stop receiving traffic.
+    fn sync_member_tracking(&mut self, now: SimTime) {
+        if self.role != Role::Leader {
+            return;
+        }
+        let members = self.active_frame().membership.members();
+        self.progress.retain(|id, _| members.contains(id));
+        self.pacers.retain(|id, _| members.contains(id));
+        let last_index = self.log.last_index();
+        let tuning = self.config.tuning;
+        let own_id = self.config.id;
+        for &peer in &members {
+            if peer == own_id {
+                continue;
+            }
+            self.progress
+                .entry(peer)
+                .or_insert_with(|| Progress::new(last_index, now));
+            self.pacers
+                .entry(peer)
+                .or_insert_with(|| LeaderPacer::new(tuning, now.as_nanos()));
+        }
+    }
+
+    /// Reconcile the membership frame stack with the log after an accepted
+    /// append. Two motions, both Raft §6:
+    ///
+    /// 1. **Rollback**: frames whose `(index, term)` entry no longer exists
+    ///    in the log were truncated away by a conflicting suffix — the node
+    ///    reverts to the configuration *before* them. Truncation is always
+    ///    suffix-shaped, so invalid frames form a suffix of the stack.
+    /// 2. **Absorption**: conf entries in the accepted batch take effect in
+    ///    log order, each applied to the previous frame's configuration.
+    ///    Replay is deterministic — same log, same frames on every replica.
+    fn absorb_conf_entries(&mut self, offered: &[Entry<SM::Command>], fx: &mut NodeEffects<SM>) {
+        let mut changed = false;
+        while self.frames.len() > 1 {
+            let Some(top) = self.frames.last() else {
+                break;
+            };
+            if self.log.term_at(top.index) == Some(top.term) {
+                break;
+            }
+            self.frames.pop();
+            changed = true;
+        }
+        for e in offered {
+            let Some(conf) = &e.conf else {
+                continue;
+            };
+            if self.log.term_at(e.index) != Some(e.term) {
+                continue; // superseded duplicate: this copy never survived
+            }
+            if self.active_frame().index >= e.index {
+                continue; // already absorbed (redelivered batch)
+            }
+            match self.active_frame().membership.apply(conf) {
+                Ok(next) => {
+                    self.frames.push(MembershipFrame {
+                        index: e.index,
+                        term: e.term,
+                        membership: next,
+                    });
+                    changed = true;
+                }
+                Err(reason) => {
+                    // The leader validated this change against the same
+                    // predecessor configuration, so replay cannot fail
+                    // unless genesis configs diverged across nodes.
+                    debug_assert!(false, "conf-change replay rejected: {reason}");
+                }
+            }
+        }
+        if changed {
+            self.emit_membership_event(fx);
+        }
+    }
+
+    /// The configuration in force at `index` (used when cutting a snapshot:
+    /// the receiver must learn the membership as of the boundary, not the
+    /// possibly-newer active one).
+    fn membership_at(&self, index: LogIndex) -> Membership {
+        let mut chosen: Option<&Membership> = None;
+        for f in &self.frames {
+            if f.index <= index {
+                chosen = Some(&f.membership);
+            }
+        }
+        match chosen {
+            Some(m) => m.clone(),
+            // The base frame sits at or below every snapshot cut
+            // (compaction never passes last_applied).
+            None => invariant_violated!(
+                "no membership frame at or below index {index} — the base \
+                 frame must cover every snapshot boundary"
+            ),
+        }
+    }
+
+    // ------------------------------------------------------------------
     // Log-free reads (ReadIndex + leader lease)
     // ------------------------------------------------------------------
 
@@ -808,11 +1097,32 @@ impl<SM: StateMachine> RaftNode<SM> {
         if !self.config.lease_reads || !self.config.check_quorum || self.role != Role::Leader {
             return false;
         }
-        let needed = self.majority() - 1; // follower acks; we count ourselves
-        if needed == 0 {
-            return true; // single-node quorum
+        let membership = &self.active_frame().membership;
+        // The lease is conservatively void while a joint configuration is
+        // active or once this leader is no longer a voter: the "no rival
+        // can win inside the window" argument would have to hold in two
+        // voter sets at once, and the dual-quorum window is exactly when a
+        // stale single-set lease could serve a stale read. Reads fall back
+        // to ReadIndex, whose echo tally *is* dual-quorum.
+        if membership.is_joint() || !membership.voters.contains(&self.config.id) {
+            return false;
         }
-        let mut bases: Vec<SimTime> = self.progress.values().map(|p| p.lease_basis).collect();
+        let needed = quorum(membership.voters.len()) - 1; // we count ourselves
+        if needed == 0 {
+            return true; // single-voter quorum
+        }
+        // Only voters extend the lease: a learner's ack says nothing about
+        // who can win an election.
+        let mut bases: Vec<SimTime> = membership
+            .voters
+            .iter()
+            .filter(|&&v| v != self.config.id)
+            .map(|v| {
+                self.progress
+                    .get(v)
+                    .map_or(SimTime::ZERO, |p| p.lease_basis)
+            })
+            .collect();
         bases.sort_unstable_by(|a, b| b.cmp(a));
         let basis = bases[needed - 1];
         let min_electable = if self.config.tuning.mode.tunes() {
@@ -916,15 +1226,18 @@ impl<SM: StateMachine> RaftNode<SM> {
     }
 
     /// Pop every pending round a quorum has confirmed and grant its reads.
+    /// The tally is the dual-quorum predicate: while a joint configuration
+    /// is active, echoes must cover a majority of *both* voter sets, and a
+    /// learner's echo never counts.
     fn advance_read_confirmations(&mut self, fx: &mut NodeEffects<SM>) {
         while let Some(front) = self.reads.pending_confirm.front() {
-            let needed = self.majority() - 1;
-            let acked = self
-                .progress
-                .values()
-                .filter(|p| p.acked_read_seq >= front.seq)
-                .count();
-            if acked < needed {
+            let seq = front.seq;
+            let id = self.config.id;
+            let progress = &self.progress;
+            let confirmed = self.active_frame().membership.quorum_satisfied(|n| {
+                n == id || progress.get(&n).is_some_and(|p| p.acked_read_seq >= seq)
+            });
+            if !confirmed {
                 break;
             }
             let Some(round) = self.reads.pending_confirm.pop_front() else {
@@ -1051,6 +1364,7 @@ impl<SM: StateMachine> RaftNode<SM> {
             leader: self.config.id,
             last_included_index,
             last_included_term,
+            membership: self.membership_at(last_included_index),
             data,
         });
         let channel = payload.channel(self.config.udp_heartbeats);
@@ -1103,24 +1417,36 @@ impl<SM: StateMachine> RaftNode<SM> {
         if self.role != Role::Leader {
             return;
         }
-        let mut matches: Vec<LogIndex> = self
-            .config
-            .peers
-            .iter()
-            .map(|&p| {
-                if p == self.config.id {
-                    self.log.last_index()
+        // Joint-consensus commit tally (Raft §6): the candidate index must
+        // be stored on a majority of *every* active voter set — the
+        // membership computes the per-set quorum indices and takes their
+        // minimum. Learner match indices never participate, and this
+        // node's own log only counts in sets it actually votes in.
+        let candidate = {
+            let id = self.config.id;
+            let own_last = self.log.last_index();
+            let progress = &self.progress;
+            self.active_frame().membership.committed_index(|n| {
+                if n == id {
+                    own_last
                 } else {
-                    self.progress[&p].match_index
+                    progress.get(&n).map_or(0, |p| p.match_index)
                 }
             })
-            .collect();
-        matches.sort_unstable_by(|a, b| b.cmp(a));
-        let candidate = matches[self.majority() - 1];
+        };
         // Raft §5.4.2: only entries of the current term commit by counting.
         if candidate > self.commit_index && self.log.term_at(candidate) == Some(self.term) {
             self.commit_index = candidate;
             self.apply_committed(fx);
+        }
+        // Raft §6: a leader removed by a configuration change leads until
+        // the removing configuration commits, then steps down. (While joint
+        // it is still a voter of C_old, so this only fires after Finalize.)
+        let active = self.active_frame();
+        if active.index <= self.commit_index && !active.membership.is_voter(self.config.id) {
+            let term = self.term;
+            self.become_follower(now, term, None, fx);
+            return;
         }
         // The first current-term commit un-parks reads registered before it
         // (commit_index now provably covers the previous leader's commits).
@@ -1349,6 +1675,9 @@ impl<SM: StateMachine> RaftNode<SM> {
             .try_append(ae.prev_log_index, ae.prev_log_term, &ae.entries);
         let resp = match outcome {
             AppendOutcome::Success { last_index } => {
+                // Conf entries take effect at append time; truncated conf
+                // entries roll back — both before any commit movement.
+                self.absorb_conf_entries(&ae.entries, fx);
                 let new_commit = ae.leader_commit.min(last_index).min(self.log.last_index());
                 if new_commit > self.commit_index {
                     self.commit_index = new_commit;
@@ -1424,7 +1753,10 @@ impl<SM: StateMachine> RaftNode<SM> {
         }
         self.reset_election_timer(now, false);
         if snap.last_included_index > self.commit_index {
-            if self.log.term_at(snap.last_included_index) == Some(snap.last_included_term) {
+            let membership_before = self.active_frame().membership.clone();
+            let kept_tail =
+                self.log.term_at(snap.last_included_index) == Some(snap.last_included_term);
+            if kept_tail {
                 // Our log already reaches the snapshot point: fast-forward
                 // state and compaction, retain the matching tail.
                 self.log.compact(snap.last_included_index);
@@ -1432,6 +1764,25 @@ impl<SM: StateMachine> RaftNode<SM> {
                 // Behind (or diverged): the snapshot replaces everything.
                 self.log
                     .reset(snap.last_included_index, snap.last_included_term);
+            }
+            // The snapshot's boundary configuration becomes the base frame.
+            // Conf entries in a retained tail stay stacked on top; on the
+            // reset path the tail is gone, so the boundary config rules.
+            if kept_tail {
+                self.frames.retain(|f| f.index > snap.last_included_index);
+            } else {
+                self.frames.clear();
+            }
+            self.frames.insert(
+                0,
+                MembershipFrame {
+                    index: snap.last_included_index,
+                    term: snap.last_included_term,
+                    membership: snap.membership.clone(),
+                },
+            );
+            if self.active_frame().membership != membership_before {
+                self.emit_membership_event(fx);
             }
             self.sm.restore(&snap.data);
             self.commit_index = snap.last_included_index;
@@ -1570,7 +1921,7 @@ impl<SM: StateMachine> RaftNode<SM> {
         if resp.pre_vote {
             if self.role == Role::PreCandidate && resp.granted && resp.term == self.campaign_term {
                 self.votes.insert(from);
-                if self.votes.len() >= self.majority() {
+                if self.vote_quorum_reached() {
                     self.become_candidate(now, fx);
                 }
             }
@@ -1578,7 +1929,7 @@ impl<SM: StateMachine> RaftNode<SM> {
         }
         if self.role == Role::Candidate && resp.granted && resp.term == self.term {
             self.votes.insert(from);
-            if self.votes.len() >= self.majority() {
+            if self.vote_quorum_reached() {
                 self.become_leader(now, fx);
             }
         }
@@ -1637,6 +1988,32 @@ impl<SM: StateMachine> RaftNode<SM> {
             last_included_term,
             data: self.sm.snapshot(),
         });
+        // Collapse membership frames the compacted prefix carried into one
+        // base frame at the compaction boundary: their history is gone from
+        // the log, but the configuration they produced must survive (a
+        // snapshot cut at or above the boundary ships it to catch-up
+        // followers via `membership_at`).
+        let Some(boundary_term) = self.log.term_at(index) else {
+            invariant_violated!(
+                "compaction boundary {index} has no term in the live log \
+                 [{}, {}]",
+                self.log.first_index(),
+                self.log.last_index()
+            );
+        };
+        let covered = self.frames.iter().filter(|f| f.index <= index).count();
+        if covered > 0 {
+            let collapsed = self.frames[covered - 1].membership.clone();
+            self.frames.drain(..covered);
+            self.frames.insert(
+                0,
+                MembershipFrame {
+                    index,
+                    term: boundary_term,
+                    membership: collapsed,
+                },
+            );
+        }
         self.log.compact(index);
     }
 
@@ -1679,7 +2056,7 @@ mod tests {
         assert_eq!(node.role(), Role::PreCandidate);
         let campaign = node.term() + 1;
         // Grant pre-votes from a majority of peers.
-        for peer in 1..node.cluster_size() {
+        for peer in 1..node.config().cluster_size() {
             fx.extend(node.step(
                 t,
                 peer,
@@ -1695,7 +2072,7 @@ mod tests {
         }
         assert!(matches!(node.role(), Role::Candidate | Role::Leader));
         let term = node.term();
-        for peer in 1..node.cluster_size() {
+        for peer in 1..node.config().cluster_size() {
             if node.role() == Role::Leader {
                 break;
             }
@@ -1881,16 +2258,8 @@ mod tests {
     fn append_entries_replicates_and_commits() {
         let mut n = node(1, 3);
         let entries = vec![
-            crate::log::Entry {
-                term: 1,
-                index: 1,
-                data: None,
-            },
-            crate::log::Entry {
-                term: 1,
-                index: 2,
-                data: Some(77),
-            },
+            crate::log::Entry::normal(1, 1, None),
+            crate::log::Entry::normal(1, 2, Some(77)),
         ];
         let fx = n.step(
             ms(1),
@@ -2113,11 +2482,7 @@ mod tests {
                 leader: 1,
                 prev_log_index: 0,
                 prev_log_term: 0,
-                entries: vec![crate::log::Entry {
-                    term: 2,
-                    index: 1,
-                    data: Some(5),
-                }],
+                entries: vec![crate::log::Entry::normal(2, 1, Some(5))],
                 leader_commit: 0,
                 read_ctx: None,
             }),
@@ -2388,11 +2753,7 @@ mod tests {
                 leader: 0,
                 prev_log_index: 0,
                 prev_log_term: 0,
-                entries: vec![crate::log::Entry {
-                    term: 4,
-                    index: 1,
-                    data: Some(11),
-                }],
+                entries: vec![crate::log::Entry::normal(4, 1, Some(11))],
                 leader_commit: 1,
                 read_ctx: None,
             }),
@@ -2595,11 +2956,7 @@ mod tests {
                 leader: 2,
                 prev_log_index: 0,
                 prev_log_term: 0,
-                entries: vec![crate::log::Entry {
-                    term: 1,
-                    index: 1,
-                    data: Some(11),
-                }],
+                entries: vec![crate::log::Entry::normal(1, 1, Some(11))],
                 leader_commit: 0,
                 read_ctx: None,
             }),
@@ -2612,6 +2969,7 @@ mod tests {
                 leader: 0,
                 last_included_index: 7,
                 last_included_term: 2,
+                membership: Membership::initial(&[0, 1, 2], &[]),
                 data: vec![(7, 77)],
             }),
         );
@@ -2647,11 +3005,7 @@ mod tests {
                 leader: 0,
                 prev_log_index: 7,
                 prev_log_term: 2,
-                entries: vec![crate::log::Entry {
-                    term: 3,
-                    index: 8,
-                    data: Some(88),
-                }],
+                entries: vec![crate::log::Entry::normal(3, 8, Some(88))],
                 leader_commit: 8,
                 read_ctx: None,
             }),
@@ -2672,11 +3026,7 @@ mod tests {
                 prev_log_index: 0,
                 prev_log_term: 0,
                 entries: (1..=5)
-                    .map(|i| crate::log::Entry {
-                        term: 2,
-                        index: i,
-                        data: Some(i),
-                    })
+                    .map(|i| crate::log::Entry::normal(2, i, Some(i)))
                     .collect(),
                 leader_commit: 5,
                 read_ctx: None,
@@ -2692,6 +3042,7 @@ mod tests {
                 leader: 0,
                 last_included_index: 3,
                 last_included_term: 2,
+                membership: Membership::initial(&[0, 1, 2], &[]),
                 data: vec![(3, 33)],
             }),
         );

@@ -1,0 +1,388 @@
+//! Membership-churn safety battery: drive a cluster through
+//! proptest-generated schedules that interleave configuration changes
+//! (add/remove learner, joint-consensus begin/finalize) with crashes,
+//! message drops, duplications and reorderings, and check after every
+//! step that Raft's safety invariants survive reconfiguration:
+//!
+//! * at most one leader per term, across **both** quorums of a joint
+//!   configuration (a stale `C_old` majority must never elect a second
+//!   leader for a term the `C_new` majority already decided);
+//! * no committed entry is ever lost or rewritten across a
+//!   reconfiguration boundary — once `(index, term, data)` commits
+//!   anywhere, every node whose commit index covers it agrees;
+//! * a self-acknowledged learner never campaigns (it can lag behind the
+//!   configuration that promoted it, but it must never act on a vote
+//!   timer while it still believes itself a learner).
+//!
+//! Proposals here are *blind*: the generator fires conf changes at
+//! arbitrary nodes and ignores rejections (`NotLeader`, `InFlight`,
+//! validation errors), exactly like an external operator retrying
+//! against a moving cluster. Safety must hold regardless of which
+//! proposals happen to land.
+
+use dynatune_core::TuningConfig;
+use dynatune_raft::{
+    ConfChange, NodeEffects, NodeId, NullStateMachine, Payload, RaftConfig, RaftEvent, RaftNode,
+    Role, Term,
+};
+use dynatune_simnet::SimTime;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+type Node = RaftNode<NullStateMachine>;
+
+/// Genesis voter set; the remaining harness nodes start as outsiders
+/// (spares) and only join through `AddLearner` + joint consensus.
+const GENESIS_VOTERS: usize = 3;
+
+#[derive(Debug, Clone)]
+struct Flight {
+    from: NodeId,
+    to: NodeId,
+    payload: Payload<u64, Vec<(u64, u64)>>,
+}
+
+/// One adversarial step. Compared to the plain adversarial battery this
+/// adds configuration-change proposals and crash-restarts.
+#[derive(Debug, Clone)]
+enum Action {
+    /// Deliver the k-th in-flight message (modulo pool size).
+    Deliver(usize),
+    /// Drop the k-th in-flight message.
+    Drop(usize),
+    /// Deliver the k-th message but keep a copy in flight.
+    Duplicate(usize),
+    /// Advance time to the chosen node's deadline and tick it.
+    FireTimer(usize),
+    /// Advance time by a few milliseconds.
+    Sleep(u64),
+    /// Propose a command on the chosen node (no-op unless leader).
+    Propose(usize, u64),
+    /// Propose a configuration change; even selectors route to the
+    /// current leader (so churn actually happens), odd ones to an
+    /// arbitrary node (so stale/non-leader rejections stay exercised).
+    /// `shape` picks the change against the target's membership view.
+    ProposeConf(usize, u8, usize),
+    /// Crash the chosen node and restart it immediately (persistent
+    /// state survives, volatile state resets).
+    CrashRestart(usize),
+    /// Fire every due timer, then deliver everything in flight — a burst
+    /// of calm that lets in-progress reconfigurations commit before the
+    /// next round of chaos.
+    HealRound,
+}
+
+fn action_strategy() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        5 => (0usize..64).prop_map(Action::Deliver),
+        1 => (0usize..64).prop_map(Action::Drop),
+        1 => (0usize..64).prop_map(Action::Duplicate),
+        2 => (0usize..8).prop_map(Action::FireTimer),
+        2 => (1u64..50).prop_map(Action::Sleep),
+        2 => ((0usize..8), (0u64..1000)).prop_map(|(n, v)| Action::Propose(n, v)),
+        4 => ((0usize..8), (0u8..5), (0usize..8))
+            .prop_map(|(n, s, t)| Action::ProposeConf(n, s, t)),
+        1 => (0usize..8).prop_map(Action::CrashRestart),
+        2 => Just(Action::HealRound),
+    ]
+}
+
+struct Harness {
+    nodes: Vec<Node>,
+    pool: Vec<Flight>,
+    now: SimTime,
+    leaders_by_term: BTreeMap<Term, NodeId>,
+    max_term_seen: Vec<Term>,
+    /// Global commit ledger: `(term, data)` of every entry any node has
+    /// ever observed as committed. Entries must never change once here.
+    committed: BTreeMap<u64, (Term, Option<u64>)>,
+}
+
+impl Harness {
+    fn new(n: usize, seed: u64) -> Self {
+        let voters: Vec<NodeId> = (0..GENESIS_VOTERS).collect();
+        let nodes = (0..n)
+            .map(|id| {
+                // Every node — voter or spare — shares the same genesis
+                // voter set; spares are outsiders until a conf change
+                // admits them.
+                let mut cfg = RaftConfig::with_peers(id, voters.clone(), TuningConfig::dynatune());
+                cfg.seed = seed ^ (id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                RaftNode::new(cfg, NullStateMachine::default(), SimTime::ZERO)
+            })
+            .collect();
+        Self {
+            nodes,
+            pool: Vec::new(),
+            now: SimTime::ZERO,
+            leaders_by_term: BTreeMap::new(),
+            max_term_seen: vec![0; n],
+            committed: BTreeMap::new(),
+        }
+    }
+
+    fn absorb(
+        &mut self,
+        from: NodeId,
+        fx: NodeEffects<NullStateMachine>,
+    ) -> Result<(), TestCaseError> {
+        for m in fx.messages {
+            self.pool.push(Flight {
+                from,
+                to: m.to,
+                payload: m.payload,
+            });
+        }
+        for ev in fx.events {
+            if let RaftEvent::BecameLeader { term } = ev {
+                if let Some(&prev) = self.leaders_by_term.get(&term) {
+                    prop_assert_eq!(
+                        prev,
+                        from,
+                        "two leaders in term {} — dual-quorum election safety violated",
+                        term
+                    );
+                }
+                self.leaders_by_term.insert(term, from);
+            }
+        }
+        Ok(())
+    }
+
+    /// Pick a configuration change relative to `node`'s current
+    /// membership view. Most shapes are valid against that view (so real
+    /// churn happens); stale views produce rejections, which is the
+    /// operator-retry reality the battery wants to exercise.
+    fn conf_for(&self, node: usize, shape: u8, target: usize) -> ConfChange {
+        let m = self.nodes[node].membership();
+        let target = target % self.nodes.len();
+        match shape {
+            0 => ConfChange::AddLearner(target),
+            1 => ConfChange::RemoveLearner(target),
+            2 => {
+                // Promote every caught-up learner in one joint step.
+                let add: Vec<NodeId> = m.learners.iter().copied().collect();
+                ConfChange::Begin {
+                    add,
+                    remove: Vec::new(),
+                }
+            }
+            3 => {
+                // Swap: promote learners, demote one voter (never the
+                // whole voter set — `apply` rejects empty results).
+                let add: Vec<NodeId> = m.learners.iter().copied().collect();
+                let remove: Vec<NodeId> =
+                    m.voters.iter().copied().filter(|v| *v == target).collect();
+                ConfChange::Begin { add, remove }
+            }
+            _ => ConfChange::Finalize,
+        }
+    }
+
+    fn check_invariants(&mut self) -> Result<(), TestCaseError> {
+        for (id, node) in self.nodes.iter().enumerate() {
+            prop_assert!(
+                node.term() >= self.max_term_seen[id],
+                "term went backwards on node {}",
+                id
+            );
+            self.max_term_seen[id] = node.term();
+            // A node that believes itself a learner (or an outsider)
+            // must never campaign. Leading is legal in exactly one
+            // window (Raft §6): a leader removed by a still-uncommitted
+            // configuration keeps leading until that entry commits.
+            if !node.membership().is_voter(id) {
+                match node.role() {
+                    Role::Follower => {}
+                    Role::Leader => prop_assert!(
+                        node.membership_index() > node.commit_index(),
+                        "removed leader {} survived its own removal committing",
+                        id
+                    ),
+                    r => prop_assert!(false, "non-voter {} holds role {:?}", id, r),
+                }
+            }
+        }
+        // Commit ledger: nothing committed is ever lost or rewritten,
+        // across any number of reconfigurations.
+        for node in &self.nodes {
+            let first = node.log().first_index().max(1);
+            for i in first..=node.commit_index() {
+                let Some(term) = node.log().term_at(i) else {
+                    continue;
+                };
+                let data = node.log().entry_at(i).and_then(|e| e.data);
+                if let Some((t0, d0)) = self.committed.get(&i) {
+                    prop_assert_eq!(
+                        (*t0, *d0),
+                        (term, data),
+                        "committed entry {} changed after commit",
+                        i
+                    );
+                } else {
+                    self.committed.insert(i, (term, data));
+                }
+            }
+        }
+        // At most one leader among nodes sharing the max term.
+        let max_term = self.nodes.iter().map(Node::term).max().unwrap_or(0);
+        let leaders_at_max = self
+            .nodes
+            .iter()
+            .filter(|n| n.term() == max_term && n.role() == Role::Leader)
+            .count();
+        prop_assert!(
+            leaders_at_max <= 1,
+            "{} leaders at term {}",
+            leaders_at_max,
+            max_term
+        );
+        Ok(())
+    }
+
+    fn apply(&mut self, action: &Action) -> Result<(), TestCaseError> {
+        match action {
+            Action::Deliver(k) => {
+                if !self.pool.is_empty() {
+                    let f = self.pool.swap_remove(k % self.pool.len());
+                    let fx = self.nodes[f.to].step(self.now, f.from, f.payload);
+                    self.absorb(f.to, fx)?;
+                }
+            }
+            Action::Drop(k) => {
+                if !self.pool.is_empty() {
+                    let idx = k % self.pool.len();
+                    self.pool.swap_remove(idx);
+                }
+            }
+            Action::Duplicate(k) => {
+                if !self.pool.is_empty() {
+                    let f = self.pool[k % self.pool.len()].clone();
+                    let fx = self.nodes[f.to].step(self.now, f.from, f.payload);
+                    self.absorb(f.to, fx)?;
+                }
+            }
+            Action::FireTimer(n) => {
+                let id = n % self.nodes.len();
+                if let Some(deadline) = self.nodes[id].next_wake() {
+                    self.now = self.now.max(deadline);
+                    let fx = self.nodes[id].tick(self.now);
+                    self.absorb(id, fx)?;
+                }
+            }
+            Action::Sleep(ms) => {
+                self.now += Duration::from_millis(*ms);
+                for id in 0..self.nodes.len() {
+                    let due = self.nodes[id].next_wake().is_some_and(|w| w <= self.now);
+                    if due {
+                        let fx = self.nodes[id].tick(self.now);
+                        self.absorb(id, fx)?;
+                    }
+                }
+            }
+            Action::Propose(n, v) => {
+                let id = n % self.nodes.len();
+                let (_, fx) = self.nodes[id].propose(self.now, *v);
+                self.absorb(id, fx)?;
+            }
+            Action::ProposeConf(n, shape, target) => {
+                let id = if n % 2 == 0 {
+                    self.leader().unwrap_or(n % self.nodes.len())
+                } else {
+                    n % self.nodes.len()
+                };
+                let change = self.conf_for(id, *shape, *target);
+                let (_, fx) = self.nodes[id].propose_conf_change(self.now, change);
+                self.absorb(id, fx)?;
+            }
+            Action::CrashRestart(n) => {
+                let id = n % self.nodes.len();
+                self.nodes[id].restart(self.now, NullStateMachine::default());
+            }
+            Action::HealRound => {
+                self.heal_round()?;
+            }
+        }
+        self.check_invariants()
+    }
+
+    fn leader(&self) -> Option<NodeId> {
+        let max_term = self.nodes.iter().map(Node::term).max().unwrap_or(0);
+        self.nodes
+            .iter()
+            .position(|n| n.role() == Role::Leader && n.term() == max_term)
+    }
+
+    /// Fire every due timer, then drain the in-flight pool in order.
+    fn heal_round(&mut self) -> Result<(), TestCaseError> {
+        if let Some(deadline) = self.nodes.iter().filter_map(Node::next_wake).min() {
+            self.now = self.now.max(deadline);
+        }
+        for id in 0..self.nodes.len() {
+            if self.nodes[id].next_wake().is_some_and(|w| w <= self.now) {
+                let fx = self.nodes[id].tick(self.now);
+                self.absorb(id, fx)?;
+            }
+        }
+        let mut budget = 10_000usize;
+        while !self.pool.is_empty() {
+            let f = self.pool.swap_remove(0);
+            let fx = self.nodes[f.to].step(self.now, f.from, f.payload);
+            self.absorb(f.to, fx)?;
+            budget -= 1;
+            prop_assert!(budget > 0, "delivery storm: messages never drain");
+        }
+        self.now += Duration::from_millis(5);
+        Ok(())
+    }
+
+    /// Deterministic boot: heal until a leader exists, so the schedule
+    /// starts from a live cluster instead of hoping chaos elects one.
+    fn boot(&mut self) -> Result<(), TestCaseError> {
+        for _ in 0..200 {
+            if self.leader().is_some() {
+                return Ok(());
+            }
+            self.heal_round()?;
+        }
+        prop_assert!(false, "no leader after 200 boot rounds");
+        Ok(())
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 48,
+        max_shrink_iters: 2000,
+        ..ProptestConfig::default()
+    })]
+
+    /// Safety holds on 3 genesis voters + 2 spares under arbitrary
+    /// interleavings of conf changes, crashes and message chaos.
+    #[test]
+    fn churn_safety_3_plus_2_spares(
+        seed in 0u64..1_000,
+        actions in proptest::collection::vec(action_strategy(), 50..350),
+    ) {
+        let mut h = Harness::new(5, seed);
+        h.boot()?;
+        for a in &actions {
+            h.apply(a)?;
+        }
+    }
+
+    /// Same battery with a larger spare pool (3 voters + 4 spares) so
+    /// joint configurations routinely double the voter set.
+    #[test]
+    fn churn_safety_3_plus_4_spares(
+        seed in 0u64..1_000,
+        actions in proptest::collection::vec(action_strategy(), 50..250),
+    ) {
+        let mut h = Harness::new(7, seed);
+        h.boot()?;
+        for a in &actions {
+            h.apply(a)?;
+        }
+    }
+}

@@ -130,6 +130,32 @@ fn broker_reports_identical_serial_vs_parallel() {
 }
 
 #[test]
+fn membership_reports_identical_serial_vs_parallel() {
+    // The membership battery layers conf-change orchestration, learner
+    // catch-up, crash/partition faults and a seeded churn schedule on top
+    // of the serving path; every goodput window, latency quantile and
+    // violation count must still be bit-identical at any pool width. Each
+    // run also re-executes the in-run checkers: bounded scale-out dip,
+    // p99 improvement from the replica move, and — via the recorded
+    // client traces — zero stale reads, i.e. no lease hole anywhere in
+    // the dual-quorum (joint-consensus) window.
+    for experiment in [
+        &catalog::ElasticScaleout as &dyn Experiment,
+        &catalog::ShardRebalance,
+        &catalog::MembershipChurn,
+    ] {
+        let serial = report_with_jobs(experiment, 1);
+        let parallel = report_with_jobs(experiment, 4);
+        assert_eq!(
+            serial, parallel,
+            "{}: --jobs must not change the report",
+            serial.name
+        );
+        assert!(!serial.tables.is_empty() && !serial.headlines.is_empty());
+    }
+}
+
+#[test]
 fn failover_trials_identical_across_pool_widths() {
     let cluster = ClusterConfig::stable(
         5,
